@@ -1,0 +1,15 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper artefact (table or figure) and
+prints the resulting rows, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.
+"""
+
+import pytest
+
+from repro.platform.cluster import build_cluster
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    return build_cluster()

@@ -1,0 +1,201 @@
+"""Bench: ablation study over HiDP's design choices (DESIGN.md Sec. 5).
+
+1. Hierarchical vs global-only partitioning (the local tier's value).
+2. Hybrid mode selection vs forced single mode.
+3. DP share search vs proportional greedy.
+4. Per-layer-class compute intensity vs a scalar delta (collapses the
+   EfficientNet behaviour).
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines import MoDNNFTPStrategy
+from repro.core.dp import ExecutorModel, data_shares_dp, data_shares_greedy
+from repro.core.framework import DistributedInferenceFramework
+from repro.core.hidp import HiDPStrategy
+from repro.core.plans import MODE_DATA, MODE_MODEL
+from repro.dnn.layers import LAYER_CLASSES
+from repro.dnn.models import MODEL_NAMES, build_model
+from repro.platform.cluster import build_cluster
+from repro.workloads.requests import single_request
+
+
+def _mean_latency(strategy, cluster):
+    values = []
+    for model in MODEL_NAMES:
+        framework = DistributedInferenceFramework(cluster, strategy)
+        values.append(framework.run(single_request(model)).results[0].latency_s)
+    return statistics.mean(values)
+
+
+def test_bench_ablation_local_tier(benchmark, cluster):
+    """Disabling the local tier must cost latency on average -- this is
+    the paper's central claim isolated from everything else."""
+
+    def run():
+        full = _mean_latency(HiDPStrategy(), cluster)
+        global_only = _mean_latency(
+            HiDPStrategy(local_data=False, local_pipeline=False), cluster
+        )
+        return full, global_only
+
+    full, global_only = benchmark(run)
+    print(f"\nlocal tier ablation: full {full*1000:.0f} ms vs global-only {global_only*1000:.0f} ms")
+    assert full < global_only
+
+
+def test_bench_ablation_hybrid_mode(benchmark, cluster):
+    """min(data, model) must not lose to either forced mode."""
+
+    def run():
+        return (
+            _mean_latency(HiDPStrategy(), cluster),
+            _mean_latency(HiDPStrategy(allowed_modes=(MODE_DATA,)), cluster),
+            _mean_latency(HiDPStrategy(allowed_modes=(MODE_MODEL,)), cluster),
+        )
+
+    hybrid, data_only, model_only = benchmark(run)
+    print(
+        f"\nhybrid {hybrid*1000:.0f} ms, data-only {data_only*1000:.0f} ms, "
+        f"model-only {model_only*1000:.0f} ms"
+    )
+    assert hybrid <= data_only * 1.02
+    assert hybrid <= model_only * 1.02
+
+
+def test_bench_ablation_dp_vs_greedy(benchmark):
+    """The subset-sum DP must dominate proportional splitting once
+    communication and fixed costs matter."""
+    executors = [
+        ExecutorModel(
+            ident="leader",
+            rates={cls: 20e9 for cls in LAYER_CLASSES},
+            comm_bytes_s=1e18,
+        ),
+        ExecutorModel(
+            ident="remote",
+            rates={cls: 60e9 for cls in LAYER_CLASSES},
+            comm_bytes_s=10e6,
+            fixed_s=0.006,
+        ),
+        ExecutorModel(
+            ident="weak",
+            rates={cls: 2e9 for cls in LAYER_CLASSES},
+            comm_bytes_s=10e6,
+            fixed_s=0.008,
+        ),
+    ]
+    flops = {"conv": int(5e9)}
+
+    def run():
+        dp = data_shares_dp(flops, 2 * 10**6, executors, quanta=20)
+        greedy = data_shares_greedy(flops, 2 * 10**6, executors)
+        # evaluate the greedy split under the full cost model
+        greedy_makespan = max(
+            ex.fixed_s + ex.comm_seconds(share * 2 * 10**6) + share * ex.compute_seconds(flops)
+            for ex, share in zip(executors, greedy.shares)
+            if share > 0
+        )
+        return dp.makespan_s, greedy_makespan
+
+    dp_makespan, greedy_makespan = benchmark(run)
+    print(f"\nDP {dp_makespan*1000:.1f} ms vs greedy {greedy_makespan*1000:.1f} ms")
+    assert dp_makespan <= greedy_makespan
+
+
+def test_bench_ablation_scalar_delta(benchmark):
+    """Collapsing the per-layer-class intensity table to a scalar must
+    destroy the EfficientNet CPU+GPU benefit (DESIGN.md Sec. 5.4)."""
+    from repro.platform.processor import CPU_PROFILE, GPU_PROFILE
+
+    def run():
+        import repro.platform.processor as proc_mod
+
+        cluster_classful = build_cluster(["jetson_tx2"])
+        eff = build_model("efficientnet_b0")
+        classful_plan = HiDPStrategy().plan(eff, cluster_classful)
+
+        # scalar-delta cluster: flatten the profiles
+        saved_gpu, saved_cpu = dict(GPU_PROFILE), dict(CPU_PROFILE)
+        try:
+            for profile in (GPU_PROFILE, CPU_PROFILE):
+                for key in profile:
+                    profile[key] = 1.0
+            cluster_scalar = build_cluster(["jetson_tx2"])
+            scalar_plan = HiDPStrategy().plan(eff, cluster_scalar)
+        finally:
+            GPU_PROFILE.update(saved_gpu)
+            CPU_PROFILE.update(saved_cpu)
+        return classful_plan, scalar_plan
+
+    classful_plan, scalar_plan = benchmark(run)
+    classful_procs = {
+        task.processor for a in classful_plan.assignments for task in a.local.tasks
+    }
+    scalar_procs = {
+        task.processor for a in scalar_plan.assignments for task in a.local.tasks
+    }
+    print(f"\nclassful procs: {sorted(classful_procs)}; scalar procs: {sorted(scalar_procs)}")
+    # With per-class deltas the CPUs earn real shares of EfficientNet;
+    # with a scalar delta the GPU dominates outright.
+    assert any(proc.startswith("cpu") for proc in classful_procs)
+
+
+def test_bench_ablation_modnn_semantics(benchmark, cluster):
+    """Literal MoDNN (per-layer exchange) vs MoDNN-from-HiDP's-data-
+    module (FTP + serial tail): the exchange reading is the kinder one
+    on deep networks, which is why it is our primary baseline."""
+
+    def run():
+        from repro.baselines import MoDNNStrategy
+
+        exchange = _mean_latency(MoDNNStrategy(), cluster)
+        ftp = _mean_latency(MoDNNFTPStrategy(), cluster)
+        return exchange, ftp
+
+    exchange, ftp = benchmark(run)
+    print(f"\nMoDNN exchange {exchange*1000:.0f} ms vs FTP reading {ftp*1000:.0f} ms")
+    assert exchange < ftp
+
+
+def test_bench_ablation_objectives(benchmark, cluster):
+    """Energy / EDP objectives (DESIGN.md Sec. 6): the latency objective
+    must never be slower, the energy objective never more joule-hungry,
+    under the shared candidate set."""
+    from repro.core.hidp import (
+        ModeCandidate,
+        OBJECTIVE_ENERGY,
+        OBJECTIVE_LATENCY,
+        estimate_candidate_energy,
+    )
+
+    graph = build_model("resnet152")
+
+    def run():
+        latency_plan = HiDPStrategy(objective=OBJECTIVE_LATENCY).plan(graph, cluster)
+        energy_plan = HiDPStrategy(objective=OBJECTIVE_ENERGY).plan(graph, cluster)
+        return latency_plan, energy_plan
+
+    latency_plan, energy_plan = benchmark(run)
+
+    def energy_of(plan):
+        return estimate_candidate_energy(
+            cluster,
+            ModeCandidate(
+                mode=plan.mode,
+                predicted_s=plan.predicted_latency_s,
+                assignments=plan.assignments,
+                merge_exec=plan.merge_exec,
+                notes={},
+            ),
+        )
+
+    print(
+        f"\nlatency objective: {latency_plan.predicted_latency_s*1000:.0f} ms / "
+        f"{energy_of(latency_plan):.1f} J; energy objective: "
+        f"{energy_plan.predicted_latency_s*1000:.0f} ms / {energy_of(energy_plan):.1f} J"
+    )
+    assert latency_plan.predicted_latency_s <= energy_plan.predicted_latency_s + 1e-9
+    assert energy_of(energy_plan) <= energy_of(latency_plan) + 1e-9

@@ -1,0 +1,14 @@
+"""Bench: the accuracy paragraph of Sec. IV-B -- numeric equivalence of
+partitioned inference (what keeps Top-1/Top-5 identical)."""
+
+from repro.experiments.tables import report_accuracy
+from repro.metrics.accuracy import verify_partition_equivalence
+
+
+def test_bench_accuracy(benchmark):
+    results = benchmark(verify_partition_equivalence)
+    assert results
+    for check in results:
+        assert check.equivalent, f"{check.model} x{check.num_tiles}"
+    print()
+    print(report_accuracy())

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 1 (P1-P9 on the Jetson TX2).
+
+Checks the paper anchors on every run: P1 worst everywhere,
+EfficientNet-B0 best at P9, ResNet/VGG best around P7.
+"""
+
+from repro.experiments.fig1_motivation import best_config, normalised_fig1, report_fig1, run_fig1
+
+
+def test_bench_fig1(benchmark):
+    latencies = benchmark(run_fig1)
+    norm = normalised_fig1(latencies)
+    best = best_config(latencies)
+    for model, values in norm.items():
+        assert min(values.values()) < 1.0, f"{model}: P1 unexpectedly optimal"
+    assert best["efficientnet_b0"] == "P9"
+    assert best["resnet152"] in ("P6", "P7")
+    assert best["vgg19"] in ("P6", "P7")
+    print()
+    print(report_fig1(latencies))

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 5a (latency) and 5b (energy).
+
+Paper expectations encoded as assertions: HiDP lowest latency and
+energy for every workload; mean latency reduction ordering
+DisNet < MoDNN (paper: 37% vs 56%).
+"""
+
+from repro.experiments.fig5_latency_energy import (
+    average_reduction,
+    report_fig5,
+    run_fig5,
+)
+
+
+def test_bench_fig5(benchmark):
+    table = benchmark(run_fig5)
+    for model, per_strategy in table.items():
+        hidp_latency = per_strategy["hidp"]["latency_s"]
+        hidp_energy = per_strategy["hidp"]["energy_j"]
+        for strategy, metrics in per_strategy.items():
+            assert hidp_latency <= metrics["latency_s"]
+            assert hidp_energy <= metrics["energy_j"]
+    latency_avg = average_reduction(table, "latency_s")
+    energy_avg = average_reduction(table, "energy_j")
+    assert latency_avg["modnn"] > latency_avg["disnet"]
+    assert all(value > 0 for value in energy_avg.values())
+    print()
+    print(report_fig5(table))

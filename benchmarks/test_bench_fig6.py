@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 6 (GFLOPs/s under the progressive workload)."""
+
+from repro.experiments.fig6_performance import report_fig6, run_fig6
+
+
+def test_bench_fig6(benchmark):
+    results = benchmark(run_fig6)
+    makespans = {name: result.makespan_s for name, result in results.items()}
+    means = {name: result.mean_gflops for name, result in results.items()}
+    assert makespans["hidp"] == min(makespans.values())
+    assert makespans["hidp"] < 5.0  # paper: all four DNNs inside 5 s
+    assert means["hidp"] == max(means.values())
+    print()
+    print(report_fig6(results))

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 7 (throughput over Mix 1-8)."""
+
+from repro.experiments.fig7_throughput import average_gain, report_fig7, run_fig7
+
+
+def test_bench_fig7(benchmark):
+    table = benchmark(run_fig7)
+    for mix, per_strategy in table.items():
+        hidp = per_strategy["hidp"]
+        for strategy, value in per_strategy.items():
+            assert hidp >= value, f"{mix}: {strategy} out-throughputs HiDP"
+    gains = average_gain(table)
+    # paper: 56% average gain; ordering gains(modnn) > gains(disnet)
+    assert gains["disnet"] > 20
+    assert gains["modnn"] > gains["disnet"]
+    print()
+    print(report_fig7(table))

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 8 (latency vs cluster size 2-5)."""
+
+from repro.experiments.fig8_scaling import average_reduction, report_fig8, run_fig8
+
+
+def test_bench_fig8(benchmark):
+    table = benchmark(run_fig8)
+    for size, per_strategy in table.items():
+        hidp = per_strategy["hidp"]
+        for strategy, value in per_strategy.items():
+            assert hidp <= value, f"n={size}: {strategy} beat HiDP"
+    # HiDP's local tier keeps it flat as the cluster shrinks
+    assert table[2]["hidp"] <= 1.25 * table[5]["hidp"]
+    avg = average_reduction(table)
+    assert all(value > 0 for value in avg.values())
+    print()
+    print(report_fig8(table))

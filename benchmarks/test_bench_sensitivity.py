@@ -1,0 +1,22 @@
+"""Bench: bandwidth-sensitivity sweep (extension experiment).
+
+Asserts the qualitative crossover: HiDP keeps latency bounded at low
+bandwidth by staying local, and monotonically benefits from a faster
+medium.
+"""
+
+from repro.experiments.sensitivity import report_bandwidth_sweep, run_bandwidth_sweep
+
+
+def test_bench_bandwidth_sensitivity(benchmark):
+    rows = benchmark(run_bandwidth_sweep)
+    latencies = [row["latency [ms]"] for row in rows]
+    # weakly decreasing with bandwidth (5% tolerance for fixed overheads)
+    for slow, fast in zip(latencies, latencies[1:]):
+        assert fast <= slow * 1.05
+    # at the slowest point the leader works alone or nearly so
+    assert rows[0]["devices"] <= 2
+    # at the fastest point distribution is in play
+    assert rows[-1]["devices"] >= 1
+    print()
+    print(report_bandwidth_sweep(rows))

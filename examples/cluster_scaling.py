@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cluster scaling and failure injection (the Fig. 8 story, extended).
+
+Sweeps the cluster from 2 to 5 nodes under the concurrent four-model
+workload, then knocks out the strongest worker (Jetson Orin NX) at full
+cluster size to show HiDP re-planning around the failure.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.baselines import build_strategy
+from repro.core import DistributedInferenceFramework, HiDPFramework
+from repro.metrics.report import render_table
+from repro.platform import build_cluster
+from repro.workloads import progressive_workload, single_request
+
+
+def scaling_sweep() -> None:
+    cluster = build_cluster()
+    rows = []
+    for size in (2, 3, 4, 5):
+        sub = cluster.subcluster(size)
+        row = {"Nodes": size, "Members": ", ".join(d.name for d in sub.devices)}
+        for name in ("hidp", "disnet", "modnn"):
+            framework = DistributedInferenceFramework(sub, build_strategy(name))
+            run = framework.run(progressive_workload())
+            row[f"{name} [ms]"] = run.mean_latency_s * 1000
+        rows.append(row)
+    print(render_table(rows, title="Mean latency vs cluster size (4 concurrent DNNs)",
+                       float_format="{:.0f}"))
+
+
+def failure_injection() -> None:
+    cluster = build_cluster()
+    framework = HiDPFramework(cluster)
+
+    healthy = framework.run(single_request("resnet152")).results[0]
+    print(f"\nHealthy cluster : ResNet-152 in {healthy.latency_s * 1000:.0f} ms "
+          f"on {', '.join(healthy.devices)}")
+
+    cluster.set_available("jetson_orin_nx", False)
+    degraded = framework.run(single_request("resnet152")).results[0]
+    print(f"Orin NX offline : ResNet-152 in {degraded.latency_s * 1000:.0f} ms "
+          f"on {', '.join(degraded.devices)}")
+
+    cluster.set_available("jetson_orin_nx", True)
+    recovered = framework.run(single_request("resnet152")).results[0]
+    print(f"Orin NX back    : ResNet-152 in {recovered.latency_s * 1000:.0f} ms "
+          f"on {', '.join(recovered.devices)}")
+
+
+def main() -> None:
+    scaling_sweep()
+    failure_injection()
+
+
+if __name__ == "__main__":
+    main()

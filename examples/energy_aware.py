@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Energy-aware distributed inference (the paper's stated future work).
+
+"We consider energy-efficient distributed inference for future work."
+This library already implements it: the HiDP DSE can select candidates
+by predicted latency, predicted energy, or the energy-delay product.
+
+Run:  python examples/energy_aware.py
+"""
+
+from repro.core import DistributedInferenceFramework
+from repro.core.hidp import HiDPStrategy, OBJECTIVES
+from repro.metrics.report import render_table
+from repro.platform import build_cluster
+from repro.workloads import single_request
+
+
+def main() -> None:
+    cluster = build_cluster()
+    rows = []
+    for objective in OBJECTIVES:
+        row = {"Objective": objective}
+        for model in ("efficientnet_b0", "resnet152", "vgg19"):
+            framework = DistributedInferenceFramework(
+                cluster, HiDPStrategy(objective=objective)
+            )
+            run = framework.run(single_request(model))
+            result = run.results[0]
+            row[f"{model} [ms]"] = result.latency_s * 1000
+            row[f"{model} [J]"] = run.energy_j
+        rows.append(row)
+    print(render_table(rows, title="HiDP under different DSE objectives",
+                       float_format="{:.1f}"))
+    print("\nOn this cluster the idle power floor dominates, so the "
+          "minimum-latency plan is usually also the minimum-energy plan -- "
+          "the same coupling the paper observes in Fig. 5. The objectives "
+          "diverge when candidates trade device count against makespan.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: one distributed inference with HiDP.
+
+Builds the paper's five-board edge cluster (Table II), submits a single
+ResNet-152 inference request to the leader (Jetson TX2), and prints the
+hierarchical partitioning decision and the simulated outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import HiDPFramework
+from repro.dnn.models import build_model
+from repro.platform import build_cluster
+from repro.workloads import single_request
+
+
+def main() -> None:
+    cluster = build_cluster()
+    print(f"Cluster: {', '.join(d.name for d in cluster.devices)}")
+    print(f"Leader:  {cluster.leader.name}\n")
+
+    framework = HiDPFramework(cluster)
+    model = "resnet152"
+    graph = build_model(model)
+    print(f"Model:   {model} ({graph.total_flops / 1e9:.1f} GFLOPs, "
+          f"{graph.num_layers} layers, {len(graph.segments())} segments)\n")
+
+    # Inspect the plan the DSE produces before running it.
+    plan = framework.strategy.plan(graph, cluster)
+    print(f"Global decision: {plan.mode} partitioning "
+          f"(explored: {', '.join(plan.notes['explored'])})")
+    for assignment in plan.assignments:
+        local = assignment.local
+        procs = ", ".join(dict.fromkeys(local.processors))
+        print(f"  {assignment.device:>18s} -> local {local.mode:8s} on [{procs}]"
+              f"  (send {assignment.send_bytes / 1e3:.0f} KB, "
+              f"return {assignment.return_bytes / 1e3:.0f} KB)")
+    print(f"Predicted latency: {plan.predicted_latency_s * 1000:.0f} ms\n")
+
+    # Execute in the discrete-event simulator.
+    run = framework.run(single_request(model))
+    result = run.results[0]
+    print(f"Measured latency:  {result.latency_s * 1000:.0f} ms")
+    print(f"Cluster energy:    {run.energy_j:.2f} J over {run.makespan_s * 1000:.0f} ms")
+    print(f"Network traffic:   {run.network_bytes / 1e6:.2f} MB")
+    print(f"Devices used:      {', '.join(result.devices)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's motivating application scenario (Sec. III, Workloads):
+
+"a person bearing different smart gadgets and wearables including a
+smartwatch, smartphone, smart ring, and augmented reality gear ...
+these devices have diverse DNN applications that perform cognitive
+vision tasks of variable input sizes and data volume".
+
+We model the gadget ensemble as a stream of mixed inference requests
+(AR gear -> InceptionNetV3 scene understanding, smartphone ->
+ResNet-152 photo analysis, smartwatch -> EfficientNet-B0 gesture
+recognition) arriving at the leader node, and compare how each
+distribution strategy serves the stream.
+
+Run:  python examples/smart_wearables.py
+"""
+
+from repro.baselines import build_strategy
+from repro.core import DistributedInferenceFramework
+from repro.metrics.report import render_table
+from repro.platform import build_cluster
+from repro.workloads import repeating_stream
+
+#: gadget -> (model, story)
+GADGETS = {
+    "smartwatch": ("efficientnet_b0", "gesture recognition"),
+    "ar_gear": ("inception_v3", "scene understanding"),
+    "smartphone": ("resnet152", "photo analysis"),
+}
+
+
+def main() -> None:
+    cluster = build_cluster()
+    models = [model for model, _ in GADGETS.values()]
+    requests = repeating_stream(models, interval_s=0.3, duration_s=6.0)
+    print(f"Scenario: {len(requests)} requests over 6 s from "
+          f"{', '.join(GADGETS)} on {cluster.size} edge nodes\n")
+
+    rows = []
+    for strategy_name in ("hidp", "disnet", "omniboost", "modnn"):
+        framework = DistributedInferenceFramework(cluster, build_strategy(strategy_name))
+        run = framework.run(requests)
+        row = {
+            "Strategy": strategy_name,
+            "mean latency [ms]": run.mean_latency_s * 1000,
+            "p100 latency [ms]": run.max_latency_s * 1000,
+            "all served by [s]": run.makespan_s,
+            "energy/req [J]": run.energy_per_inference_j,
+        }
+        for gadget, (model, _) in GADGETS.items():
+            row[f"{gadget} [ms]"] = run.latency_of(model) * 1000
+        rows.append(row)
+
+    print(render_table(rows, title="Wearable-ensemble serving comparison",
+                       float_format="{:.0f}"))
+    print("\nHiDP keeps every gadget's latency lowest because each node "
+          "splits its share across all of its cores, freeing the cluster "
+          "for the next arrival.")
+
+
+if __name__ == "__main__":
+    main()

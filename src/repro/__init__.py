@@ -1,0 +1,68 @@
+"""HiDP: Hierarchical DNN Partitioning for Distributed Inference on
+Heterogeneous Edge Platforms (DATE 2025) -- full reproduction.
+
+The package is organised as:
+
+- :mod:`repro.dnn` -- DNN graphs, analytical cost model, model zoo,
+  partition semantics and a numpy numeric executor.
+- :mod:`repro.platform` -- heterogeneous edge processors, devices and
+  the cluster catalogue of Table II.
+- :mod:`repro.comm` -- simulated wireless network, probing, messages.
+- :mod:`repro.sim` -- discrete-event simulation engine with resource
+  queues, busy-interval tracking and energy integration.
+- :mod:`repro.core` -- the HiDP contribution: DP partition-point search,
+  DSE agents, global/local partitioners, the run-time scheduler FSM and
+  the framework facade.
+- :mod:`repro.baselines` -- MoDNN, OmniBoost and DisNet comparators.
+- :mod:`repro.workloads` -- request streams, the Mix 1-8 workloads and
+  the progressive streaming scenario.
+- :mod:`repro.metrics` -- latency / energy / throughput / accuracy
+  bookkeeping and table rendering.
+- :mod:`repro.experiments` -- one regenerator per paper figure/table.
+
+Top-level names are loaded lazily (PEP 562) so that importing one
+subsystem does not drag in the rest.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: attribute name -> (module, symbol)
+_LAZY = {
+    "DNNGraph": ("repro.dnn", "DNNGraph"),
+    "TensorSpec": ("repro.dnn", "TensorSpec"),
+    "build_model": ("repro.dnn", "build_model"),
+    "MODEL_NAMES": ("repro.dnn", "MODEL_NAMES"),
+    "Cluster": ("repro.platform", "Cluster"),
+    "Device": ("repro.platform", "Device"),
+    "Processor": ("repro.platform", "Processor"),
+    "build_cluster": ("repro.platform", "build_cluster"),
+    "DEVICE_NAMES": ("repro.platform", "DEVICE_NAMES"),
+    "HiDPFramework": ("repro.core", "HiDPFramework"),
+    "HiDPStrategy": ("repro.core", "HiDPStrategy"),
+    "MoDNNStrategy": ("repro.baselines", "MoDNNStrategy"),
+    "OmniBoostStrategy": ("repro.baselines", "OmniBoostStrategy"),
+    "DisNetStrategy": ("repro.baselines", "DisNetStrategy"),
+    "STRATEGIES": ("repro.baselines", "STRATEGIES"),
+    "InferenceRequest": ("repro.workloads", "InferenceRequest"),
+    "InferenceResult": ("repro.metrics", "InferenceResult"),
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        import importlib
+
+        module_name, symbol = _LAZY[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, symbol)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return __all__

@@ -1,0 +1,49 @@
+"""State-of-the-art comparators: MoDNN, OmniBoost, DisNet.
+
+``STRATEGIES`` maps strategy names to factories, in the order the
+paper's figures plot them (HiDP first).
+"""
+
+from typing import Callable, Dict
+
+from repro.baselines.disnet import DisNetStrategy
+from repro.baselines.mcts import MCTS
+from repro.baselines.modnn import MoDNNFTPStrategy, MoDNNStrategy
+from repro.baselines.omniboost import OmniBoostStrategy
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import Strategy
+
+STRATEGIES: Dict[str, Callable[[], Strategy]] = {
+    "hidp": HiDPStrategy,
+    "disnet": DisNetStrategy,
+    "omniboost": OmniBoostStrategy,
+    "modnn": MoDNNStrategy,
+}
+
+#: Extra comparators available to ablation studies (not part of the
+#: paper's Fig. 5-8 line-up).
+EXTRA_STRATEGIES: Dict[str, Callable[[], Strategy]] = {
+    "modnn_ftp": MoDNNFTPStrategy,
+}
+
+STRATEGY_NAMES = tuple(STRATEGIES)
+
+
+def build_strategy(name: str) -> Strategy:
+    """Instantiate a strategy by name with default parameters."""
+    if name not in STRATEGIES:
+        raise KeyError(f"unknown strategy {name!r}; known: {sorted(STRATEGIES)}")
+    return STRATEGIES[name]()
+
+
+__all__ = [
+    "MoDNNStrategy",
+    "MoDNNFTPStrategy",
+    "EXTRA_STRATEGIES",
+    "OmniBoostStrategy",
+    "DisNetStrategy",
+    "MCTS",
+    "STRATEGIES",
+    "STRATEGY_NAMES",
+    "build_strategy",
+]

@@ -1,0 +1,34 @@
+"""DisNet baseline [Samikwa et al., IoT-J 2024].
+
+Hybrid (data + model) *global* partitioning over the edge cluster --
+but no local tier: each node runs its piece on the default framework
+processor, and the global view of a node's capacity is the default
+processor's rate (the "misrepresented compute capacity" the paper's
+introduction criticises).
+
+Following the paper's methodology -- "We used the data and model
+partitioning algorithm of HiDP to implement DisNet" -- this class
+derives from :class:`~repro.core.hidp.HiDPStrategy` with the local
+tier disabled and default-runtime (unpinned) execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import AGGREGATE_DEFAULT
+
+
+class DisNetStrategy(HiDPStrategy):
+    """Hybrid global partitioning without local-tier awareness."""
+
+    name = "disnet"
+    #: Heuristic joint data/model selection is cheaper than HiDP's
+    #: two-tier DP exploration.
+    dse_overhead_s = 0.005
+    pinned = False
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("aggregation", AGGREGATE_DEFAULT)
+        kwargs.setdefault("local_data", False)
+        kwargs.setdefault("local_pipeline", False)
+        super().__init__(**kwargs)

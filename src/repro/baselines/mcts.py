@@ -1,0 +1,113 @@
+"""Monte-Carlo tree search over sequential assignment problems.
+
+OmniBoost's search: a DNN is coarsened into a chain of blocks, and the
+tree assigns each block to one compute unit.  Nodes are assignment
+prefixes; UCB1 balances exploration/exploitation; rollouts complete the
+prefix uniformly at random and are scored by a user-supplied estimator
+(OmniBoost's learned throughput estimator -- here the analytical cost
+model, optionally noised to emulate estimator error).
+
+Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Assignment = Tuple[int, ...]
+
+
+@dataclass
+class _Node:
+    prefix: Assignment
+    visits: int = 0
+    total_reward: float = 0.0
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.visits if self.visits else 0.0
+
+
+class MCTS:
+    """UCB1 tree search over fixed-depth discrete assignments."""
+
+    def __init__(
+        self,
+        num_stages: int,
+        num_actions: int,
+        evaluate: Callable[[Assignment], float],
+        iterations: int = 300,
+        exploration: float = 1.2,
+        locality: float = 0.0,
+        seed: int = 0,
+    ):
+        if num_stages < 1 or num_actions < 1:
+            raise ValueError("need at least one stage and one action")
+        self.num_stages = num_stages
+        self.num_actions = num_actions
+        self.evaluate = evaluate
+        self.iterations = iterations
+        self.exploration = exploration
+        #: Probability a rollout repeats the previous stage's action --
+        #: a locality prior for assignment problems where switching
+        #: executors is expensive (OmniBoost pipelines).
+        self.locality = locality
+        self._rng = random.Random(seed)
+        self._root = _Node(prefix=())
+        self._best: Optional[Tuple[float, Assignment]] = None
+
+    # One search iteration: select -> expand -> rollout -> backpropagate.
+
+    def _select_action(self, node: _Node) -> int:
+        unvisited = [a for a in range(self.num_actions) if a not in node.children]
+        if unvisited:
+            return self._rng.choice(unvisited)
+        log_n = math.log(node.visits)
+        best_action, best_score = 0, -math.inf
+        for action, child in node.children.items():
+            score = child.mean_reward + self.exploration * math.sqrt(log_n / child.visits)
+            if score > best_score:
+                best_score, best_action = score, action
+        return best_action
+
+    def _rollout(self, prefix: Assignment) -> Assignment:
+        completion = list(prefix)
+        while len(completion) < self.num_stages:
+            if completion and self._rng.random() < self.locality:
+                completion.append(completion[-1])
+            else:
+                completion.append(self._rng.randrange(self.num_actions))
+        return tuple(completion)
+
+    def _iterate(self) -> None:
+        node = self._root
+        path: List[_Node] = [node]
+        while len(node.prefix) < self.num_stages:
+            action = self._select_action(node)
+            if action not in node.children:
+                node.children[action] = _Node(prefix=node.prefix + (action,))
+                node = node.children[action]
+                path.append(node)
+                break
+            node = node.children[action]
+            path.append(node)
+        assignment = self._rollout(node.prefix)
+        cost = self.evaluate(assignment)
+        if self._best is None or cost < self._best[0]:
+            self._best = (cost, assignment)
+        reward = -cost
+        for visited in path:
+            visited.visits += 1
+            visited.total_reward += reward
+
+    def search(self) -> Tuple[Assignment, float]:
+        """Run the configured number of iterations; return (best, cost)."""
+        for _ in range(self.iterations):
+            self._iterate()
+        assert self._best is not None
+        cost, assignment = self._best
+        return assignment, cost

@@ -1,0 +1,231 @@
+"""MoDNN baseline [Mao et al., DATE 2017].
+
+MoDNN distributes *input data* row bands across nodes proportionally to
+their capacity; there is no model partitioning and no local tier.  The
+paper's evaluation states "We implemented MoDNN using the data
+partitioning module of HiDP framework", so the primary
+:class:`MoDNNStrategy` here derives from HiDP restricted to data mode,
+with the default-processor (GPU) view of node capacity and default-
+runtime (unpinned) execution -- exactly the restrictions that separate
+MoDNN from HiDP in Table I.
+
+:class:`MoDNNExchangeStrategy` additionally models MoDNN's literal
+full-depth, per-layer halo-exchange semantics (the Layer-Output-
+Partition scheme) and is used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dp import data_shares_greedy
+from repro.core.dse import exchange_costs
+from repro.core.plans import (
+    ExecutionPlan,
+    LOCAL_SINGLE,
+    LocalExec,
+    MODE_DATA,
+    MODE_LOCAL,
+    NodeAssignment,
+    UnitTask,
+)
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import AGGREGATE_DEFAULT, Strategy, device_executor_models
+from repro.dnn.graph import DNNGraph
+from repro.dnn.partition import spatial_prefix
+from repro.platform.cluster import Cluster
+
+
+class MoDNNStrategy(Strategy):
+    """MoDNN: full-depth row bands with per-layer halo exchange,
+    distributed proportionally to (default-processor) node capacity."""
+
+    name = "modnn"
+    #: Proportional splitting needs no search.
+    dse_overhead_s = 0.002
+
+    def __init__(self, min_share: float = 0.05, exchange_overlap: float = 0.35):
+        super().__init__()
+        self.min_share = min_share
+        #: Fraction of the halo-exchange cost NOT hidden behind
+        #: computation (MoDNN overlaps interior compute with edge
+        #: exchange; 0.5 = half the traffic cost is exposed).
+        self.exchange_overlap = exchange_overlap
+
+    def _plan(self, graph: DNNGraph, cluster: Cluster, load=None) -> ExecutionPlan:
+        del load  # MoDNN's proportional rule is static (load-unaware)
+        devices = list(cluster.available_devices())
+        models = device_executor_models(cluster, devices, AGGREGATE_DEFAULT)
+        segments = graph.segments()
+        full_range = (0, len(segments) - 1)
+        prefix_lo, prefix_hi = spatial_prefix(graph, segments, full_range)
+        if prefix_hi < prefix_lo or len(devices) == 1:
+            return self._local_fallback(graph, cluster)
+
+        prefix_flops = {}
+        prefix_ops = sum(seg.num_ops for seg in segments[prefix_lo : prefix_hi + 1])
+        for seg in segments[prefix_lo : prefix_hi + 1]:
+            for cls, value in seg.flops_by_class.items():
+                prefix_flops[cls] = prefix_flops.get(cls, 0) + value
+        share_plan = data_shares_greedy(prefix_flops, 0, models)
+        shares = [max(share, 0.0) for share in share_plan.shares]
+        shares = [share if share >= self.min_share else 0.0 for share in shares]
+        total = sum(shares)
+        shares = [share / total for share in shares]
+        active = [(idx, share) for idx, share in enumerate(shares) if share > 0]
+        cost = exchange_costs(
+            graph, segments, full_range, [share for _, share in active]
+        )
+
+        network = cluster.network
+        # Per-layer barrier: every spatial layer synchronises all bands
+        # once (parallel halo sends).  The exposed (non-overlapped)
+        # barrier time is shared by every band; halo *traffic* scales
+        # with the number of boundaries.
+        num_boundaries = len(active) - 1
+        halo_traffic = 2 * num_boundaries * cost.exchange_bytes_per_boundary
+        barrier_equiv = int(
+            cost.exchange_events_per_boundary
+            * network.latency_s
+            * network.bandwidth_bytes_s
+            * self.exchange_overlap
+        )
+        input_bytes = graph.input_spec.size_bytes
+        prefix_out = graph.spec(segments[prefix_hi].layer_names[-1])
+        assignments: List[NodeAssignment] = []
+        remote_count = max(sum(1 for idx, _ in active if devices[idx].name != devices[0].name), 1)
+        for slot, ((device_idx, share), tile_flops) in enumerate(
+            zip(active, cost.per_tile_flops)
+        ):
+            device = devices[device_idx]
+            proc = device.default_processor
+            halo_bytes = (halo_traffic + barrier_equiv) // remote_count
+            task = UnitTask(
+                processor=proc.name,
+                flops_by_class=tile_flops,
+                input_bytes=int(share * input_bytes),
+                output_bytes=int(share * prefix_out.size_bytes),
+                label=f"{graph.name}/band{slot}",
+                pinned=False,
+                num_ops=prefix_ops,
+            )
+            is_leader = device.name == devices[0].name
+            assignments.append(
+                NodeAssignment(
+                    device=device.name,
+                    local=LocalExec(mode=LOCAL_SINGLE, tasks=(task,)),
+                    send_bytes=0 if is_leader else int(share * input_bytes) + halo_bytes // 2,
+                    return_bytes=0
+                    if is_leader
+                    else int(share * prefix_out.size_bytes) + halo_bytes // 2,
+                    label=f"band{slot}",
+                )
+            )
+        merge_exec = self._tail_exec(graph, cluster, prefix_hi, segments)
+        predicted = self._predict(
+            cluster, devices, active, cost, input_bytes, prefix_out.size_bytes, prefix_ops
+        )
+        return ExecutionPlan(
+            strategy=self.name,
+            model=graph.name,
+            mode=MODE_DATA,
+            assignments=tuple(assignments),
+            merge_exec=merge_exec,
+            predicted_latency_s=predicted,
+            dse_overhead_s=self.dse_overhead_s,
+            notes={"sigma": len(active), "exchange_bytes": cost.total_exchange_bytes(len(active))},
+        )
+
+    def _tail_exec(self, graph, cluster, prefix_hi, segments):
+        tail_segs = segments[prefix_hi + 1 :]
+        if not tail_segs:
+            return None
+        tail_flops = {}
+        tail_ops = sum(seg.num_ops for seg in tail_segs)
+        for seg in tail_segs:
+            for cls, value in seg.flops_by_class.items():
+                tail_flops[cls] = tail_flops.get(cls, 0) + value
+        leader = cluster.leader
+        proc = leader.default_processor
+        task = UnitTask(
+            processor=proc.name,
+            flops_by_class=tail_flops,
+            input_bytes=segments[prefix_hi].out_spec.size_bytes,
+            output_bytes=graph.output_spec.size_bytes,
+            label=f"{graph.name}/tail",
+            pinned=False,
+            num_ops=tail_ops,
+        )
+        return LocalExec(mode=LOCAL_SINGLE, tasks=(task,))
+
+    def _predict(
+        self, cluster, devices, active, cost, input_bytes, out_bytes, prefix_ops=0
+    ) -> float:
+        worst = 0.0
+        for slot, ((device_idx, share), tile_flops) in enumerate(
+            zip(active, cost.per_tile_flops)
+        ):
+            device = devices[device_idx]
+            proc = device.default_processor
+            time = proc.task_seconds(tile_flops, num_ops=prefix_ops, pinned=False)
+            if device.name != devices[0].name:
+                wire = int(share * (input_bytes + out_bytes))
+                time += cluster.network.transfer_seconds(wire)
+            num_boundaries = len(active) - 1
+            time += self.exchange_overlap * (
+                cost.exchange_events_per_boundary * cluster.network.latency_s
+                + 2
+                * num_boundaries
+                * cost.exchange_bytes_per_boundary
+                / cluster.network.bandwidth_bytes_s
+            )
+            worst = max(worst, time)
+        return worst
+
+    def _local_fallback(self, graph: DNNGraph, cluster: Cluster) -> ExecutionPlan:
+        """Single-node cluster: default-runtime execution on the leader."""
+        leader = cluster.leader
+        proc = leader.default_processor
+        task = UnitTask(
+            processor=proc.name,
+            flops_by_class=graph.flops_by_class(),
+            input_bytes=graph.input_spec.size_bytes,
+            output_bytes=graph.output_spec.size_bytes,
+            label=graph.name,
+            pinned=False,
+            num_ops=graph.num_layers,
+        )
+        assignment = NodeAssignment(
+            device=leader.name, local=LocalExec(mode=LOCAL_SINGLE, tasks=(task,))
+        )
+        return ExecutionPlan(
+            strategy=self.name,
+            model=graph.name,
+            mode=MODE_LOCAL,
+            assignments=(assignment,),
+            predicted_latency_s=proc.task_seconds(
+                graph.flops_by_class(), num_ops=graph.num_layers, pinned=False
+            ),
+            dse_overhead_s=self.dse_overhead_s,
+            notes={"fallback": True},
+        )
+
+
+class MoDNNFTPStrategy(HiDPStrategy):
+    """MoDNN built from HiDP's data-partitioning module (depth-cut FTP
+    tiles, serial tail on the leader) -- the ablation shows why the
+    literal per-layer-exchange semantics is the kinder reading."""
+
+    name = "modnn_ftp"
+    #: Proportional splitting with a single-mode search is cheap.
+    dse_overhead_s = 0.004
+    pinned = False
+    #: MoDNN's distribution rule is static capacity proportionality.
+    load_aware = False
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("aggregation", AGGREGATE_DEFAULT)
+        kwargs.setdefault("local_data", False)
+        kwargs.setdefault("local_pipeline", False)
+        kwargs.setdefault("allowed_modes", (MODE_DATA,))
+        super().__init__(**kwargs)

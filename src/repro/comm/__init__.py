@@ -1,0 +1,37 @@
+"""Simulated wireless communication substrate."""
+
+from repro.comm.messages import (
+    MESSAGE_KINDS,
+    MSG_RESULT,
+    MSG_STATUS_REPLY,
+    MSG_STATUS_REQUEST,
+    MSG_WORKLOAD,
+    Message,
+    result_message,
+    status_reply,
+    status_request,
+    workload_message,
+)
+from repro.comm.network import (
+    DEFAULT_BANDWIDTH_BYTES_S,
+    DEFAULT_LATENCY_S,
+    STATUS_PACKET_BYTES,
+    WirelessNetwork,
+)
+
+__all__ = [
+    "WirelessNetwork",
+    "DEFAULT_BANDWIDTH_BYTES_S",
+    "DEFAULT_LATENCY_S",
+    "STATUS_PACKET_BYTES",
+    "Message",
+    "MESSAGE_KINDS",
+    "MSG_STATUS_REQUEST",
+    "MSG_STATUS_REPLY",
+    "MSG_WORKLOAD",
+    "MSG_RESULT",
+    "status_request",
+    "status_reply",
+    "workload_message",
+    "result_message",
+]

@@ -1,0 +1,59 @@
+"""Message types exchanged by the leader/follower controllers.
+
+The paper's communication module moves status packets, workload
+partitions, intermediate tensors and result packets over the POSIX
+client-server sockets; these dataclasses are the simulated payloads.
+Sizes are what the network channel charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.comm.network import STATUS_PACKET_BYTES
+
+MSG_STATUS_REQUEST = "status_request"
+MSG_STATUS_REPLY = "status_reply"
+MSG_WORKLOAD = "workload"
+MSG_RESULT = "result"
+
+MESSAGE_KINDS = (MSG_STATUS_REQUEST, MSG_STATUS_REPLY, MSG_WORKLOAD, MSG_RESULT)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit traversing the wireless network."""
+
+    kind: str
+    src: str
+    dst: str
+    size_bytes: int
+    request_id: int = 0
+    payload: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+
+def status_request(src: str, dst: str, request_id: int = 0) -> Message:
+    return Message(MSG_STATUS_REQUEST, src, dst, STATUS_PACKET_BYTES, request_id)
+
+
+def status_reply(src: str, dst: str, request_id: int = 0) -> Message:
+    return Message(MSG_STATUS_REPLY, src, dst, STATUS_PACKET_BYTES, request_id)
+
+
+def workload_message(
+    src: str, dst: str, size_bytes: int, request_id: int, payload: Optional[Dict[str, Any]] = None
+) -> Message:
+    return Message(MSG_WORKLOAD, src, dst, size_bytes, request_id, payload)
+
+
+def result_message(
+    src: str, dst: str, size_bytes: int, request_id: int, payload: Optional[Dict[str, Any]] = None
+) -> Message:
+    return Message(MSG_RESULT, src, dst, size_bytes, request_id, payload)

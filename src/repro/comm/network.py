@@ -1,0 +1,54 @@
+"""Wireless network model connecting the edge cluster.
+
+The paper's testbed connects all nodes over an 80 Mbit/s wireless LAN
+with a POSIX client-server protocol.  We model the WLAN as a shared
+half-duplex medium: a single channel with fixed per-message latency and
+a serialisation bandwidth, so concurrent transfers contend -- exactly
+the effect that penalises chatty partitioning schemes under the Fig. 6
+and Fig. 7 concurrency workloads.
+
+This module holds the *timing model*; the discrete-event transfer
+machinery that enforces contention lives in :mod:`repro.sim.transfer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 80 Mbit/s expressed in bytes/second.
+DEFAULT_BANDWIDTH_BYTES_S = 80e6 / 8
+#: One-way message latency of the POSIX client-server path.
+DEFAULT_LATENCY_S = 0.003
+#: Size of an availability status / pseudo probe packet.
+STATUS_PACKET_BYTES = 256
+
+
+@dataclass(frozen=True)
+class WirelessNetwork:
+    """Shared-medium wireless LAN parameters (the paper's ``beta``)."""
+
+    bandwidth_bytes_s: float = DEFAULT_BANDWIDTH_BYTES_S
+    latency_s: float = DEFAULT_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_s <= 0 or self.latency_s < 0:
+            raise ValueError(f"invalid network parameters: {self}")
+
+    def transfer_seconds(self, size_bytes: int) -> float:
+        """Uncontended one-way transfer time for a payload."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        return self.latency_s + size_bytes / self.bandwidth_bytes_s
+
+    def round_trip_seconds(self, size_bytes: int = STATUS_PACKET_BYTES) -> float:
+        """Uncontended probe round trip (status packet there and back)."""
+        return 2 * self.transfer_seconds(size_bytes)
+
+    def beta(self) -> float:
+        """Node communication rate ``beta_phi`` [bytes/s].
+
+        The paper measures it by timing pseudo packets; with a uniform
+        shared medium the steady-state estimate equals the channel
+        bandwidth.
+        """
+        return self.bandwidth_bytes_s

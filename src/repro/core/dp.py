@@ -1,0 +1,371 @@
+"""Dynamic-programming partition-point search (the paper's DSE core).
+
+The paper uses "a standard subset sum algorithm for an efficient
+recursive search with time complexity O(n*m)", applied identically at
+the global level (arguments: DNN + ``Psi``) and the local level
+(arguments: DNN + ``psi``) -- only the executor rate vector changes.
+This module implements both searches over an abstract
+:class:`ExecutorModel`, so devices and processors plug in uniformly:
+
+- :func:`data_shares_dp` -- subset-sum style distribution of workload
+  quanta over executors, minimising the parallel makespan (data
+  partitioning, Eq. 6).
+- :func:`pipeline_cuts_dp` -- cut-point placement and block assignment
+  for model partitioning, minimising single-inference latency as the
+  sum of per-block compute and cut-tensor transfer times (Eq. 5).
+
+Greedy reference implementations are provided for the ablation study
+(DESIGN.md section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dnn.graph import Segment
+from repro.dnn.layers import LAYER_CLASSES
+
+
+@dataclass(frozen=True)
+class ExecutorModel:
+    """Abstract executor seen by the DP: a device (global tier) or a
+    processor (local tier).
+
+    ``rates`` are per-layer-class compute rates [FLOPs/s];
+    ``comm_bytes_s`` the rate at which input data reaches this executor
+    (network ``beta`` globally, memory fabric ``mu`` locally;
+    ``float('inf')`` for the executor already holding the data);
+    ``fixed_s`` the fixed per-task cost (setup + message latency).
+    """
+
+    ident: str
+    rates: Mapping[str, float]
+    comm_bytes_s: float
+    fixed_s: float = 0.0
+    #: Per-operator dispatch time of this executor.
+    dispatch_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.comm_bytes_s <= 0:
+            raise ValueError(f"{self.ident}: non-positive comm rate")
+        if self.fixed_s < 0 or self.dispatch_s < 0:
+            raise ValueError(f"{self.ident}: negative fixed/dispatch cost")
+        for cls, rate in self.rates.items():
+            if rate <= 0:
+                raise ValueError(f"{self.ident}: non-positive rate for {cls}")
+
+    def compute_seconds(self, flops_by_class: Mapping[str, int], num_ops: int = 0) -> float:
+        seconds = num_ops * self.dispatch_s
+        for cls, flops in flops_by_class.items():
+            if flops:
+                seconds += flops / self.rates[cls]
+        return seconds
+
+    def comm_seconds(self, size_bytes: float) -> float:
+        return size_bytes / self.comm_bytes_s
+
+
+def scale_flops(flops_by_class: Mapping[str, int], factor: float) -> Dict[str, int]:
+    """Scale a FLOPs breakdown by a share factor."""
+    if factor < 0:
+        raise ValueError(f"negative scale factor {factor}")
+    return {cls: int(flops * factor) for cls, flops in flops_by_class.items() if flops}
+
+
+# --------------------------------------------------------------------------
+# Data partitioning: subset-sum share allocation
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharePlan:
+    """Result of the data-partitioning DP."""
+
+    shares: Tuple[float, ...]  # per executor, summing to 1; zeros allowed
+    makespan_s: float
+
+    @property
+    def active_executors(self) -> int:
+        return sum(1 for share in self.shares if share > 0)
+
+
+def data_shares_dp(
+    flops_by_class: Mapping[str, int],
+    input_bytes: int,
+    executors: Sequence[ExecutorModel],
+    quanta: int = 20,
+    num_ops: int = 0,
+    inflation: Callable[[float], float] = lambda share: 1.0,
+) -> SharePlan:
+    """Distribute workload quanta over executors minimising makespan.
+
+    The workload is cut into ``quanta`` equal units (the subset-sum
+    granularity).  Executor ``e`` receiving ``q`` units finishes at::
+
+        fixed_e + dispatch_e * num_ops
+        + (q/Q) * input_bytes / comm_e
+        + inflation(q/Q) * (q/Q) * T_e
+
+    where ``T_e`` is the executor's full-workload compute time.  Every
+    active executor dispatches *all* ``num_ops`` operators of the tiled
+    range regardless of its share -- the term that makes very thin
+    shares counter-productive.  The DP table ``best[i][r]`` holds the
+    minimal makespan using executors ``i..`` for ``r`` remaining units
+    -- the back-propagating block-by-block search the paper describes,
+    in O(n_executors * quanta^2).
+    """
+    if quanta < 1:
+        raise ValueError(f"quanta must be positive, got {quanta}")
+    if not executors:
+        raise ValueError("no executors")
+    count = len(executors)
+    full_compute = [executor.compute_seconds(flops_by_class) for executor in executors]
+
+    def finish_time(executor_idx: int, units: int) -> float:
+        if units == 0:
+            return 0.0
+        share = units / quanta
+        executor = executors[executor_idx]
+        comm = executor.comm_seconds(share * input_bytes)
+        dispatch = num_ops * executor.dispatch_s
+        return (
+            executor.fixed_s
+            + dispatch
+            + comm
+            + inflation(share) * share * full_compute[executor_idx]
+        )
+
+    INF = float("inf")
+    # best[i][r]: minimal makespan distributing r units over executors i..
+    best = [[INF] * (quanta + 1) for _ in range(count + 1)]
+    choice = [[0] * (quanta + 1) for _ in range(count + 1)]
+    best[count][0] = 0.0
+    for i in range(count - 1, -1, -1):
+        for r in range(quanta + 1):
+            for q in range(r + 1):
+                rest = best[i + 1][r - q]
+                if rest == INF:
+                    continue
+                candidate = max(finish_time(i, q), rest)
+                if candidate < best[i][r]:
+                    best[i][r] = candidate
+                    choice[i][r] = q
+    shares: List[float] = []
+    remaining = quanta
+    for i in range(count):
+        q = choice[i][remaining]
+        shares.append(q / quanta)
+        remaining -= q
+    return SharePlan(shares=tuple(shares), makespan_s=best[0][quanta])
+
+
+def data_shares_greedy(
+    flops_by_class: Mapping[str, int],
+    input_bytes: int,
+    executors: Sequence[ExecutorModel],
+) -> SharePlan:
+    """Proportional-to-rate allocation (MoDNN-style reference heuristic).
+
+    Ignores fixed costs and communication; used as the ablation
+    baseline for the DP and as the MoDNN distribution rule.
+    """
+    del input_bytes
+    rates = [executor.compute_seconds(flops_by_class) for executor in executors]
+    inv = [1.0 / r if r > 0 else 0.0 for r in rates]
+    total = sum(inv)
+    if total == 0:
+        raise ValueError("all executors have zero rate")
+    shares = tuple(v / total for v in inv)
+    makespan = max(
+        executor.fixed_s + share * rate
+        for executor, share, rate in zip(executors, shares, rates)
+        if share > 0
+    )
+    return SharePlan(shares=shares, makespan_s=makespan)
+
+
+# --------------------------------------------------------------------------
+# Model partitioning: cut placement + block assignment
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """Result of the model-partitioning DP."""
+
+    #: (seg_lo, seg_hi, executor index) per block, in execution order.
+    blocks: Tuple[Tuple[int, int, int], ...]
+    latency_s: float
+    bottleneck_s: float  # slowest stage time; 1/throughput for streams
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def pipeline_cuts_dp(
+    segments: Sequence[Segment],
+    executors: Sequence[ExecutorModel],
+    source_executor: int = 0,
+    return_bytes_weight: float = 1.0,
+    max_segments: int = 48,
+) -> PipelinePlan:
+    """Optimal contiguous-block pipeline over heterogeneous executors.
+
+    ``dp[i][e]`` is the minimal latency to finish segments ``[0..i]``
+    with the block containing segment ``i`` running on executor ``e``;
+    transitions scan the previous cut point and executor.  Transfers
+    charge the cut tensor at the *receiving* executor's communication
+    rate (the data must reach it), plus its fixed message cost.  The
+    final result returns to ``source_executor``.
+
+    Long segment chains (ResNet-152 has >100) are coarsened to at most
+    ``max_segments`` candidates by merging the cheapest neighbours --
+    this preserves every high-value cut while bounding the O(n^2 m^2)
+    scan; the paper's block-by-block convergence does the same thing.
+    """
+    if not segments:
+        raise ValueError("no segments")
+    if not executors:
+        raise ValueError("no executors")
+    if not 0 <= source_executor < len(executors):
+        raise ValueError(f"bad source executor {source_executor}")
+
+    spans = _coarsen(segments, max_segments)
+    n = len(spans)
+    m = len(executors)
+    compute = [
+        [executors[e].compute_seconds(span_flops, span_ops) for e in range(m)]
+        for span_flops, _, _, _, span_ops in spans
+    ]
+    # prefix compute sums per executor for O(1) block cost
+    prefix = [[0.0] * (n + 1) for _ in range(m)]
+    for e in range(m):
+        for i in range(n):
+            prefix[e][i + 1] = prefix[e][i] + compute[i][e]
+
+    in_bytes = [span[1] for span in spans]
+    out_bytes = [span[2] for span in spans]
+
+    INF = float("inf")
+    dp = [[INF] * m for _ in range(n)]
+    parent: List[List[Optional[Tuple[int, int]]]] = [[None] * m for _ in range(n)]
+    stage: List[List[float]] = [[0.0] * m for _ in range(n)]
+
+    for i in range(n):
+        for e in range(m):
+            block_time = prefix[e][i + 1] - prefix[e][0]
+            if e == source_executor:
+                entry = block_time
+            else:
+                entry = executors[e].fixed_s + executors[e].comm_seconds(in_bytes[0]) + block_time
+            if entry < dp[i][e]:
+                dp[i][e] = entry
+                parent[i][e] = None
+                stage[i][e] = entry
+    for i in range(n):
+        for e in range(m):
+            for j in range(i):
+                for pe in range(m):
+                    if dp[j][pe] == INF or pe == e:
+                        continue
+                    block_time = prefix[e][i + 1] - prefix[e][j + 1]
+                    transfer = executors[e].fixed_s + executors[e].comm_seconds(in_bytes[j + 1])
+                    candidate = dp[j][pe] + transfer + block_time
+                    if candidate < dp[i][e]:
+                        dp[i][e] = candidate
+                        parent[i][e] = (j, pe)
+                        stage[i][e] = transfer + block_time
+
+    best_e, best_total = 0, INF
+    for e in range(m):
+        if dp[n - 1][e] == INF:
+            continue
+        back = 0.0
+        if e != source_executor:
+            back = (
+                executors[source_executor].fixed_s
+                + executors[source_executor].comm_seconds(out_bytes[n - 1]) * return_bytes_weight
+            )
+        total = dp[n - 1][e] + back
+        if total < best_total:
+            best_total, best_e = total, e
+
+    blocks: List[Tuple[int, int, int]] = []
+    i, e = n - 1, best_e
+    bottleneck = 0.0
+    while True:
+        link = parent[i][e]
+        j = -1 if link is None else link[0]
+        seg_lo = spans[j + 1][3][0]
+        seg_hi = spans[i][3][1]
+        blocks.append((seg_lo, seg_hi, e))
+        bottleneck = max(bottleneck, stage[i][e])
+        if link is None:
+            break
+        i, e = link
+    blocks.reverse()
+    return PipelinePlan(blocks=tuple(blocks), latency_s=best_total, bottleneck_s=bottleneck)
+
+
+def pipeline_greedy(
+    segments: Sequence[Segment],
+    executors: Sequence[ExecutorModel],
+    source_executor: int = 0,
+) -> PipelinePlan:
+    """Reference heuristic: run everything on the single fastest executor.
+
+    This is what a no-search strategy would do; the ablation bench
+    compares its plan quality against :func:`pipeline_cuts_dp`.
+    """
+    total = {cls: 0 for cls in LAYER_CLASSES}
+    total_ops = sum(seg.num_ops for seg in segments)
+    for seg in segments:
+        for cls, flops in seg.flops_by_class.items():
+            total[cls] = total.get(cls, 0) + flops
+    best_e, best_time = source_executor, float("inf")
+    for e, executor in enumerate(executors):
+        time = executor.compute_seconds(total, total_ops)
+        if e != source_executor:
+            time += executor.fixed_s + executor.comm_seconds(segments[0].in_bytes)
+            time += executors[source_executor].comm_seconds(segments[-1].out_bytes)
+        if time < best_time:
+            best_time, best_e = time, e
+    block = (segments[0].index, segments[-1].index, best_e)
+    return PipelinePlan(blocks=(block,), latency_s=best_time, bottleneck_s=best_time)
+
+
+def _coarsen(
+    segments: Sequence[Segment], max_segments: int
+) -> List[Tuple[Dict[str, int], int, int, Tuple[int, int], int]]:
+    """Merge adjacent segments until at most ``max_segments`` spans remain.
+
+    Each span is (flops_by_class, in_bytes, out_bytes, (seg_lo, seg_hi),
+    num_ops).  Pairs with the smallest combined FLOPs merge first, so
+    the coarse chain keeps the expensive regions separable.
+    """
+    spans = [
+        (
+            dict(seg.flops_by_class),
+            seg.in_bytes,
+            seg.out_bytes,
+            (seg.index, seg.index),
+            seg.num_ops,
+        )
+        for seg in segments
+    ]
+    while len(spans) > max_segments:
+        best_idx, best_cost = 0, float("inf")
+        for idx in range(len(spans) - 1):
+            cost = sum(spans[idx][0].values()) + sum(spans[idx + 1][0].values())
+            if cost < best_cost:
+                best_cost, best_idx = cost, idx
+        left, right = spans[best_idx], spans[best_idx + 1]
+        merged_flops = dict(left[0])
+        for cls, flops in right[0].items():
+            merged_flops[cls] = merged_flops.get(cls, 0) + flops
+        spans[best_idx : best_idx + 2] = [
+            (merged_flops, left[1], right[2], (left[3][0], right[3][1]), left[4] + right[4])
+        ]
+    return spans

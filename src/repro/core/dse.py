@@ -1,0 +1,374 @@
+"""Design-space exploration agent: joint (depth, sigma, shares) search
+for data partitioning, shared by the global and local tiers.
+
+Splitting a deep CNN data-wise at its *last* spatial layer is useless:
+the receptive field of a late row band covers nearly the whole input,
+so every tile recomputes the entire network.  Fused-tile partitioning
+therefore tiles only a *front range* of the network -- segments
+``[lo..p]`` -- and executes the remainder ``[p+1..hi]`` unpartitioned
+after the merge.  The depth cut ``p`` trades halo recomputation and
+boundary-tensor size against how much work can run in parallel.
+
+:func:`explore_data` sweeps candidate depth cuts, runs the subset-sum
+share DP (:func:`repro.core.dp.data_shares_dp`) at each, materialises
+the exact halo-inflated tiles, and returns the best found decision.
+This is the paper's DSE agent "exploring the number of parallel
+submodels sigma" -- identical machinery at the global tier (executors =
+devices, comm = beta) and the local tier (executors = processors,
+comm = mu).
+
+:func:`exchange_costs` prices the alternative MoDNN-style semantics --
+full-depth row bands with per-layer halo *exchange* instead of
+recomputation -- used by the MoDNN baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dp import ExecutorModel, data_shares_dp
+from repro.dnn.graph import DNNGraph, Segment
+from repro.dnn.layers import LAYER_CLASSES
+from repro.dnn.partition import (
+    DataPartition,
+    PartitionError,
+    make_data_partition_from_shares,
+    spatial_prefix,
+)
+
+
+@dataclass(frozen=True)
+class DataModeDecision:
+    """Outcome of the (depth, sigma, shares) search."""
+
+    cut_segment: int  # inclusive end of the tiled range
+    active: Tuple[Tuple[int, float], ...]  # (executor index, share)
+    partition: DataPartition
+    predicted_s: float
+    tail_range: Optional[Tuple[int, int]]  # segments after the cut, or None
+
+    @property
+    def sigma(self) -> int:
+        return len(self.active)
+
+
+def candidate_cuts(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    max_cuts: int = 10,
+) -> List[int]:
+    """Candidate depth cuts: spatial-prefix segment ends, thinned to at
+    most ``max_cuts`` positions evenly spaced by cumulative FLOPs."""
+    lo, hi = seg_range
+    prefix_lo, prefix_hi = spatial_prefix(graph, segments, seg_range)
+    if prefix_hi < prefix_lo:
+        return []
+    positions = list(range(prefix_lo, prefix_hi + 1))
+    if len(positions) <= max_cuts:
+        return positions
+    total = sum(segments[idx].flops for idx in positions)
+    if total == 0:
+        step = max(1, len(positions) // max_cuts)
+        return positions[::step][:max_cuts]
+    chosen: List[int] = []
+    acc = 0
+    next_quantile = total / max_cuts
+    for idx in positions:
+        acc += segments[idx].flops
+        if acc >= next_quantile or idx == positions[-1]:
+            chosen.append(idx)
+            next_quantile += total / max_cuts
+    if positions[-1] not in chosen:
+        chosen.append(positions[-1])
+    return chosen
+
+
+def _range_flops(segments: Sequence[Segment], lo: int, hi: int) -> Dict[str, int]:
+    flops = {cls: 0 for cls in LAYER_CLASSES}
+    for seg in segments[lo : hi + 1]:
+        for cls, value in seg.flops_by_class.items():
+            flops[cls] += value
+    return flops
+
+
+def _range_ops(segments: Sequence[Segment], lo: int, hi: int) -> int:
+    return sum(seg.num_ops for seg in segments[lo : hi + 1])
+
+
+def explore_data(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    quanta: int = 20,
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
+    max_cuts: int = 10,
+    min_sigma: int = 1,
+) -> Optional[DataModeDecision]:
+    """Best data-partitioning decision over depth cuts and share splits.
+
+    ``tail_seconds`` prices the unpartitioned remainder (defaults to
+    executor 0 -- the data holder -- computing it).  Decisions whose
+    share DP activates fewer than ``min_sigma`` executors are skipped
+    (``min_sigma=2`` forces a genuinely distributed decision and leaves
+    the sigma=1 case to the caller).
+    """
+    lo, hi = seg_range
+    cuts = candidate_cuts(graph, segments, seg_range, max_cuts)
+    if not cuts:
+        return None
+    if tail_seconds is None:
+
+        def tail_seconds(tail_range: Tuple[int, int]) -> float:
+            return executors[0].compute_seconds(
+                _range_flops(segments, tail_range[0], tail_range[1]),
+                _range_ops(segments, tail_range[0], tail_range[1]),
+            )
+
+    best: Optional[DataModeDecision] = None
+    for cut in cuts:
+        tile_flops = _range_flops(segments, lo, cut)
+        if sum(tile_flops.values()) == 0:
+            continue
+        tile_ops = _range_ops(segments, lo, cut)
+        entry_bytes = segments[lo].in_spec.size_bytes
+        boundary_bytes = segments[cut].out_spec.size_bytes
+        share_plan = data_shares_dp(
+            tile_flops,
+            entry_bytes + boundary_bytes,
+            executors,
+            quanta=quanta,
+            num_ops=tile_ops,
+        )
+        active = [(idx, share) for idx, share in enumerate(share_plan.shares) if share > 0]
+        if len(active) < max(min_sigma, 1):
+            continue
+        if len(active) == 1 and min_sigma <= 1:
+            # Degenerate: single executor; tiles are pointless but legal.
+            continue
+        try:
+            partition = make_data_partition_from_shares(
+                graph,
+                [share for _, share in active],
+                segments=segments,
+                seg_range=(lo, cut),
+            )
+        except PartitionError:
+            continue
+        if partition.num_tiles != len(active):
+            continue
+        # Exact makespan from materialised (halo-inflated) tiles.
+        worst = 0.0
+        for (executor_idx, _), tile in zip(active, partition.tiles):
+            executor = executors[executor_idx]
+            wire = tile.input_bytes + tile.output_bytes
+            finish = (
+                executor.fixed_s
+                + executor.comm_seconds(wire)
+                + executor.compute_seconds(tile.flops_by_class, tile_ops)
+            )
+            worst = max(worst, finish)
+        predicted = worst
+        tail_range: Optional[Tuple[int, int]] = None
+        if cut < hi:
+            tail_range = (cut + 1, hi)
+            predicted += tail_seconds(tail_range)
+        if best is None or predicted < best.predicted_s:
+            best = DataModeDecision(
+                cut_segment=cut,
+                active=tuple(active),
+                partition=partition,
+                predicted_s=predicted,
+                tail_range=tail_range,
+            )
+    return best
+
+
+@dataclass(frozen=True)
+class ExchangeDecision:
+    """Outcome of the local (intra-device) exchange-semantics search.
+
+    Unlike the FTP decision, tiles carry *exact* proportional FLOPs (no
+    halo recompute); ``exchange_equiv_bytes`` is the per-boundary halo
+    traffic plus a byte-equivalent of the per-layer sync latency, to be
+    charged over the memory fabric.
+    """
+
+    cut_segment: int
+    active: Tuple[Tuple[int, float], ...]  # (executor index, share)
+    per_tile_flops: Tuple[Dict[str, int], ...]
+    exchange_equiv_bytes: int
+    predicted_s: float
+    tail_range: Optional[Tuple[int, int]]
+
+    @property
+    def sigma(self) -> int:
+        return len(self.active)
+
+
+def exchange_equiv_bytes(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    latency_s: float,
+    bandwidth_bytes_s: float,
+) -> int:
+    """Per-boundary halo traffic of a range, with per-layer sync latency
+    folded in as equivalent bytes (so a single transfer charge prices it)."""
+    lo, hi = seg_range
+    halo_bytes = 0
+    events = 0
+    for seg in segments[lo : hi + 1]:
+        for name in seg.layer_names:
+            layer = graph.layer(name)
+            if not layer.is_spatial or layer.kernel <= 1 or not layer.inputs:
+                continue
+            producer_spec = graph.spec(layer.inputs[0])
+            halo_bytes += producer_spec.rows_bytes(layer.kernel - 1)
+            events += 1
+    return halo_bytes + int(2 * events * latency_s * bandwidth_bytes_s)
+
+
+def explore_data_exchange(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    intra_latency_s: float,
+    intra_bw_bytes_s: float,
+    quanta: int = 10,
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
+    max_cuts: int = 10,
+    min_sigma: int = 2,
+) -> Optional[ExchangeDecision]:
+    """Best intra-device data split with per-layer halo exchange.
+
+    Same (depth, sigma, shares) search as :func:`explore_data`, but
+    tiles stay resident through the chunk and swap halo rows over the
+    memory fabric instead of recomputing them -- the semantics that
+    makes thin CPU tiles viable on small feature maps.
+    """
+    lo, hi = seg_range
+    cuts = candidate_cuts(graph, segments, seg_range, max_cuts)
+    if not cuts:
+        return None
+    if tail_seconds is None:
+
+        def tail_seconds(tail_range: Tuple[int, int]) -> float:
+            return executors[0].compute_seconds(
+                _range_flops(segments, tail_range[0], tail_range[1]),
+                _range_ops(segments, tail_range[0], tail_range[1]),
+            )
+
+    best: Optional[ExchangeDecision] = None
+    for cut in cuts:
+        chunk_flops = _range_flops(segments, lo, cut)
+        if sum(chunk_flops.values()) == 0:
+            continue
+        chunk_ops = _range_ops(segments, lo, cut)
+        wire = segments[lo].in_spec.size_bytes + segments[cut].out_spec.size_bytes
+        share_plan = data_shares_dp(
+            chunk_flops, wire, executors, quanta=quanta, num_ops=chunk_ops
+        )
+        active = [(idx, share) for idx, share in enumerate(share_plan.shares) if share > 0]
+        if len(active) < max(min_sigma, 1):
+            continue
+        # Height feasibility: every tile needs at least one output row.
+        prefix_lo, prefix_hi = spatial_prefix(graph, segments, (lo, cut))
+        if prefix_hi < lo:
+            continue
+        out_height = graph.spec(segments[prefix_hi].layer_names[-1]).height
+        if out_height < len(active):
+            continue
+        equiv = exchange_equiv_bytes(
+            graph, segments, (lo, prefix_hi), intra_latency_s, intra_bw_bytes_s
+        )
+        per_tile = []
+        worst = 0.0
+        for slot, (executor_idx, share) in enumerate(active):
+            executor = executors[executor_idx]
+            tile_flops = {cls: int(value * share) for cls, value in chunk_flops.items()}
+            per_tile.append(tile_flops)
+            boundaries = (1 if slot > 0 else 0) + (1 if slot < len(active) - 1 else 0)
+            finish = (
+                executor.fixed_s
+                + executor.comm_seconds(share * wire + boundaries * equiv)
+                + executor.compute_seconds(tile_flops, chunk_ops)
+            )
+            worst = max(worst, finish)
+        predicted = worst
+        tail_range: Optional[Tuple[int, int]] = None
+        if cut < hi:
+            tail_range = (cut + 1, hi)
+            predicted += tail_seconds(tail_range)
+        if best is None or predicted < best.predicted_s:
+            best = ExchangeDecision(
+                cut_segment=cut,
+                active=tuple(active),
+                per_tile_flops=tuple(per_tile),
+                exchange_equiv_bytes=equiv,
+                predicted_s=predicted,
+                tail_range=tail_range,
+            )
+    return best
+
+
+@dataclass(frozen=True)
+class ExchangeCost:
+    """Per-layer halo exchange pricing (MoDNN full-depth semantics)."""
+
+    per_tile_flops: Tuple[Dict[str, int], ...]
+    exchange_bytes_per_boundary: int
+    exchange_events_per_boundary: int
+
+    def total_exchange_bytes(self, num_tiles: int) -> int:
+        return self.exchange_bytes_per_boundary * max(num_tiles - 1, 0) * 2
+
+    def total_exchange_events(self, num_tiles: int) -> int:
+        return self.exchange_events_per_boundary * max(num_tiles - 1, 0) * 2
+
+
+def exchange_costs(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    shares: Sequence[float],
+) -> ExchangeCost:
+    """Cost of full-depth row-band partitioning with per-layer exchange.
+
+    Each tile computes exactly its share of every spatial layer (no
+    recompute) but must receive ``(kernel-1)`` halo rows of each
+    spatial layer's input from its neighbours -- one exchange event per
+    such layer per boundary per direction.
+    """
+    lo, hi = seg_range
+    prefix_lo, prefix_hi = spatial_prefix(graph, segments, seg_range)
+    if prefix_hi < prefix_lo:
+        raise PartitionError("range has no spatial prefix to exchange over")
+    per_tile: List[Dict[str, int]] = []
+    total = sum(shares)
+    for share in shares:
+        fraction = share / total
+        tile_flops = {cls: 0 for cls in LAYER_CLASSES}
+        for seg in segments[prefix_lo : prefix_hi + 1]:
+            for cls, value in seg.flops_by_class.items():
+                tile_flops[cls] += int(value * fraction)
+        per_tile.append(tile_flops)
+    halo_bytes = 0
+    halo_events = 0
+    for seg in segments[prefix_lo : prefix_hi + 1]:
+        for name in seg.layer_names:
+            layer = graph.layer(name)
+            if not layer.is_spatial or layer.kernel <= 1 or not layer.inputs:
+                continue
+            producer_spec = graph.spec(layer.inputs[0])
+            halo_rows = layer.kernel - 1
+            halo_bytes += producer_spec.rows_bytes(halo_rows)
+            halo_events += 1
+    return ExchangeCost(
+        per_tile_flops=tuple(per_tile),
+        exchange_bytes_per_boundary=halo_bytes,
+        exchange_events_per_boundary=halo_events,
+    )

@@ -1,0 +1,303 @@
+"""Plan executor: drives an :class:`ExecutionPlan` through the
+discrete-event simulator, walking the scheduler FSM of Fig. 4.
+
+The executor is strategy-agnostic: HiDP plans and baseline plans run
+through the identical machinery, so measured differences come only
+from the decisions, never from the harness.
+
+Timeline of one request (leader FSM):
+
+1. ``analyze``        -- availability probe round-trips to every node.
+2. ``explore``        -- DSE overhead charged as a busy interval on the
+                          leader's scheduling CPU (the paper's ~15 ms).
+3. ``global_offload`` -- workload payloads leave over the WLAN.
+4. ``local_map``      -- per-node local DSE overhead.
+5. ``execute``        -- compute tasks queue on processor stations;
+                          intermediate tensors move; results gather.
+6. back to ``global_offload`` for the merge, then ``analyze``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.comm.network import STATUS_PACKET_BYTES
+from repro.core.fsm import (
+    FSMTrace,
+    STATE_ANALYZE,
+    STATE_EXECUTE,
+    STATE_EXPLORE,
+    STATE_MAP,
+    STATE_OFFLOAD,
+)
+from repro.core.plans import (
+    ExecutionPlan,
+    LOCAL_DATA,
+    LOCAL_PIPELINE,
+    LOCAL_SINGLE,
+    LOCAL_STAGED,
+    LocalExec,
+    MODE_DATA,
+    MODE_LOCAL,
+    MODE_MODEL,
+    NodeAssignment,
+)
+from repro.metrics.results import InferenceResult
+from repro.platform.processor import KIND_CPU
+from repro.sim.engine import Event
+from repro.sim.runtime import SimRuntime
+from repro.workloads.requests import InferenceRequest
+
+#: Local DSE overhead charged on each node that runs a local search.
+LOCAL_MAP_OVERHEAD_S = 0.002
+#: Result merge overhead on the leader.
+MERGE_OVERHEAD_S = 0.001
+
+
+class PlanExecutor:
+    """Executes plans on a :class:`~repro.sim.runtime.SimRuntime`."""
+
+    def __init__(self, runtime: SimRuntime, charge_local_map: bool = True):
+        self.runtime = runtime
+        self.charge_local_map = charge_local_map
+
+    # Helpers ----------------------------------------------------------------
+
+    def _scheduler_station(self, device_name: str):
+        """The processor hosting the middleware controller (first CPU)."""
+        device = self.runtime.cluster.device(device_name)
+        for proc in device.processors:
+            if proc.kind == KIND_CPU:
+                return self.runtime.station(device_name, proc.name)
+        return self.runtime.station(device_name, device.processors[0].name)
+
+    def _busy(self, device_name: str, seconds: float, label: str) -> Generator[Event, None, None]:
+        """Charge controller overhead as busy time on the scheduler CPU."""
+        if seconds <= 0:
+            return
+        station = self._scheduler_station(device_name)
+        yield from station.run_task({"elementwise": 0}, label=label)
+        # run_task charges setup only for zero flops; add the remainder
+        remainder = seconds - station.processor.setup_time_s
+        if remainder > 0:
+            start = self.runtime.env.now
+            yield self.runtime.env.timeout(remainder)
+            self.runtime.busy.record(station.key, start, self.runtime.env.now, label)
+
+    def _probe(self, leader: str) -> Generator[Event, None, None]:
+        """Availability status round trips (Eq. 4) to every other node."""
+        env = self.runtime.env
+        probes = []
+        for device in self.runtime.cluster.devices:
+            if device.name == leader:
+                continue
+
+            def round_trip(dst: str = device.name) -> Generator[Event, None, None]:
+                yield from self.runtime.network.transmit(
+                    leader, dst, STATUS_PACKET_BYTES, tag="status_request"
+                )
+                yield from self.runtime.network.transmit(
+                    dst, leader, STATUS_PACKET_BYTES, tag="status_reply"
+                )
+
+            probes.append(env.process(round_trip()))
+        if probes:
+            yield env.all_of(probes)
+
+    # Local execution ----------------------------------------------------------
+
+    def _run_local(
+        self, device_name: str, local: LocalExec, label: str
+    ) -> Generator[Event, None, None]:
+        env = self.runtime.env
+        if local.mode == LOCAL_SINGLE:
+            task = local.tasks[0]
+            yield from self.runtime.local_transfer(device_name, task.input_bytes)
+            station = self.runtime.station(device_name, task.processor)
+            yield from station.run_task(
+                task.flops_by_class,
+                label=task.label or label,
+                pinned=task.pinned,
+                num_ops=task.num_ops,
+            )
+            return
+        if local.mode == LOCAL_DATA:
+            children = []
+            for task in local.tasks:
+
+                def tile_flow(t=task) -> Generator[Event, None, None]:
+                    yield from self.runtime.local_transfer(device_name, t.input_bytes)
+                    station = self.runtime.station(device_name, t.processor)
+                    yield from station.run_task(
+                        t.flops_by_class,
+                        label=t.label or label,
+                        pinned=t.pinned,
+                        num_ops=t.num_ops,
+                    )
+                    yield from self.runtime.local_transfer(device_name, t.output_bytes)
+
+                children.append(env.process(tile_flow()))
+            yield env.all_of(children)
+            if local.tail is not None:
+                station = self.runtime.station(device_name, local.tail.processor)
+                yield from self.runtime.local_transfer(device_name, local.tail.input_bytes)
+                yield from station.run_task(
+                    local.tail.flops_by_class,
+                    label=local.tail.label,
+                    pinned=local.tail.pinned,
+                    num_ops=local.tail.num_ops,
+                )
+            return
+        if local.mode == LOCAL_STAGED:
+            for stage in local.stages:
+                children = []
+                for task in stage:
+
+                    def stage_flow(t=task) -> Generator[Event, None, None]:
+                        yield from self.runtime.local_transfer(device_name, t.input_bytes)
+                        station = self.runtime.station(device_name, t.processor)
+                        yield from station.run_task(
+                            t.flops_by_class,
+                            label=t.label or label,
+                            pinned=t.pinned,
+                            num_ops=t.num_ops,
+                        )
+                        yield from self.runtime.local_transfer(device_name, t.output_bytes)
+
+                    children.append(env.process(stage_flow()))
+                yield env.all_of(children)
+            return
+        # pipeline
+        for task in local.tasks:
+            yield from self.runtime.local_transfer(device_name, task.input_bytes)
+            station = self.runtime.station(device_name, task.processor)
+            yield from station.run_task(
+                task.flops_by_class,
+                label=task.label or label,
+                pinned=task.pinned,
+                num_ops=task.num_ops,
+            )
+
+    def _map_overhead(self, device_name: str, local: LocalExec) -> Generator[Event, None, None]:
+        """Charge the follower-side local DSE (Fig. 4 'Local: Map')."""
+        if self.charge_local_map and len(local.tasks) > 1:
+            yield from self._busy(device_name, LOCAL_MAP_OVERHEAD_S, "local_dse")
+
+    # Global modes ---------------------------------------------------------------
+
+    def _run_data_assignment(
+        self, leader: str, assignment: NodeAssignment, trace: Optional[FSMTrace]
+    ) -> Generator[Event, None, None]:
+        env = self.runtime.env
+        if assignment.device != leader:
+            yield from self.runtime.network.transmit(
+                leader, assignment.device, assignment.send_bytes, tag="workload"
+            )
+        if trace is not None:
+            trace.enter(env.now, STATE_MAP)
+        yield from self._map_overhead(assignment.device, assignment.local)
+        if trace is not None:
+            trace.enter(env.now, STATE_EXECUTE)
+        yield from self._run_local(assignment.device, assignment.local, assignment.label)
+        if assignment.device != leader:
+            yield from self.runtime.network.transmit(
+                assignment.device, leader, assignment.return_bytes, tag="result"
+            )
+        if trace is not None:
+            trace.enter(env.now, STATE_ANALYZE)
+
+    def _execute_data(
+        self, leader: str, plan: ExecutionPlan, traces: List[FSMTrace]
+    ) -> Generator[Event, None, None]:
+        env = self.runtime.env
+        children = []
+        for assignment in plan.assignments:
+            trace = None
+            if assignment.device != leader:
+                trace = FSMTrace(role="follower", node=assignment.device)
+                trace.enter(env.now, STATE_ANALYZE)
+                traces.append(trace)
+            children.append(
+                env.process(self._run_data_assignment(leader, assignment, trace))
+            )
+        yield env.all_of(children)
+
+    def _execute_model(
+        self, leader: str, plan: ExecutionPlan, traces: List[FSMTrace]
+    ) -> Generator[Event, None, None]:
+        env = self.runtime.env
+        previous = leader
+        for assignment in plan.assignments:
+            if assignment.device != previous:
+                yield from self.runtime.network.transmit(
+                    previous, assignment.device, assignment.send_bytes, tag="block"
+                )
+            trace = None
+            if assignment.device != leader:
+                trace = FSMTrace(role="follower", node=assignment.device)
+                trace.enter(env.now, STATE_ANALYZE)
+                trace.enter(env.now, STATE_MAP)
+                traces.append(trace)
+            yield from self._map_overhead(assignment.device, assignment.local)
+            if trace is not None:
+                trace.enter(env.now, STATE_EXECUTE)
+            yield from self._run_local(assignment.device, assignment.local, assignment.label)
+            if trace is not None:
+                trace.enter(env.now, STATE_ANALYZE)
+            previous = assignment.device
+        if previous != leader:
+            yield from self.runtime.network.transmit(
+                previous, leader, plan.assignments[-1].return_bytes, tag="result"
+            )
+
+    # Entry point -------------------------------------------------------------
+
+    def execute(
+        self, request: InferenceRequest, plan: ExecutionPlan
+    ) -> Generator[Event, None, InferenceResult]:
+        """Process: run one request's plan; returns its result record."""
+        env = self.runtime.env
+        leader = self.runtime.cluster.leader.name
+        submitted = env.now
+        trace = FSMTrace(role="leader", node=leader)
+        traces: List[FSMTrace] = [trace]
+        trace.enter(env.now, STATE_ANALYZE)
+        yield from self._probe(leader)
+        started = env.now
+
+        trace.enter(env.now, STATE_EXPLORE)
+        yield from self._busy(leader, plan.dse_overhead_s, "global_dse")
+
+        trace.enter(env.now, STATE_OFFLOAD)
+        if plan.mode == MODE_DATA:
+            trace.enter(env.now, STATE_MAP)
+            trace.enter(env.now, STATE_EXECUTE)
+            yield from self._execute_data(leader, plan, traces)
+        elif plan.mode == MODE_MODEL:
+            trace.enter(env.now, STATE_MAP)
+            trace.enter(env.now, STATE_EXECUTE)
+            yield from self._execute_model(leader, plan, traces)
+        else:  # MODE_LOCAL
+            assignment = plan.assignments[0]
+            trace.enter(env.now, STATE_MAP)
+            yield from self._map_overhead(leader, assignment.local)
+            trace.enter(env.now, STATE_EXECUTE)
+            yield from self._run_local(leader, assignment.local, assignment.label)
+
+        trace.enter(env.now, STATE_OFFLOAD)  # gather & merge
+        if plan.merge_exec is not None:
+            yield from self._run_local(leader, plan.merge_exec, "merge")
+        yield from self._busy(leader, MERGE_OVERHEAD_S, "merge")
+        trace.enter(env.now, STATE_ANALYZE)
+
+        return InferenceResult(
+            request_id=request.request_id,
+            model=request.model,
+            strategy=plan.strategy,
+            submitted_s=submitted,
+            started_s=started,
+            completed_s=env.now,
+            plan_mode=plan.mode,
+            devices=plan.devices,
+            traces=tuple(traces),
+        )

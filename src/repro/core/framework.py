@@ -1,0 +1,77 @@
+"""Framework facade: submit requests, run the simulation, collect metrics.
+
+This is the reproduction of the paper's middleware (Fig. 3): the
+application module hands requests to the run-time scheduler, which
+plans (strategy), distributes (communication module) and executes
+(processor stations), then merges and reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.executor import PlanExecutor
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import Strategy
+from repro.dnn.models import build_model
+from repro.metrics.energy import cluster_energy_j
+from repro.metrics.results import InferenceResult, RunResult
+from repro.platform.cluster import Cluster, build_cluster
+from repro.sim.runtime import SimRuntime
+from repro.workloads.requests import InferenceRequest
+
+
+class DistributedInferenceFramework:
+    """Runs a request stream under one strategy on one cluster."""
+
+    def __init__(self, cluster: Optional[Cluster] = None, strategy: Optional[Strategy] = None):
+        self.cluster = cluster if cluster is not None else build_cluster()
+        self.strategy = strategy if strategy is not None else HiDPStrategy()
+
+    def run(
+        self,
+        requests: Sequence[InferenceRequest],
+        gflops_bin_s: float = 0.25,
+    ) -> RunResult:
+        """Simulate the full request stream; returns aggregated metrics."""
+        if not requests:
+            raise ValueError("no requests to run")
+        runtime = SimRuntime(self.cluster)
+        executor = PlanExecutor(runtime)
+        results: List[InferenceResult] = []
+
+        def handle(request: InferenceRequest):
+            if request.arrival_s > 0:
+                yield runtime.env.timeout(request.arrival_s)
+            graph = build_model(request.model)
+            plan = self.strategy.plan(graph, self.cluster, load=runtime.load_snapshot())
+            result = yield from executor.execute(request, plan)
+            results.append(result)
+
+        for request in requests:
+            runtime.env.process(handle(request))
+        runtime.env.run()
+
+        if len(results) != len(requests):
+            raise RuntimeError(
+                f"{len(requests) - len(results)} requests never completed (deadlock?)"
+            )
+        makespan = max(result.completed_s for result in results)
+        energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
+        return RunResult(
+            strategy=self.strategy.name,
+            results=sorted(results, key=lambda r: r.request_id),
+            makespan_s=makespan,
+            energy_j=sum(energy_by_device.values()),
+            energy_by_device=energy_by_device,
+            gflops_series=runtime.flops_log.gflops_series(gflops_bin_s, makespan),
+            network_bytes=runtime.transfer_log.total_bytes,
+            total_flops=runtime.flops_log.total_flops,
+        )
+
+
+class HiDPFramework(DistributedInferenceFramework):
+    """Convenience facade pre-wired with the HiDP strategy."""
+
+    def __init__(self, cluster: Optional[Cluster] = None, **strategy_kwargs):
+        super().__init__(cluster=cluster, strategy=HiDPStrategy(**strategy_kwargs))

@@ -1,0 +1,78 @@
+"""Run-time scheduler finite state machine (paper Fig. 4).
+
+The leader walks Analyze -> Explore -> Global:Offload -> Local:Map ->
+Execute -> Global:Offload (gather/merge) -> Analyze; followers walk
+Analyze -> Local:Map -> Execute -> report.  The plan executor drives
+these transitions and records them, so tests can assert the controller
+follows the published workflow exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+STATE_ANALYZE = "analyze"
+STATE_EXPLORE = "explore"
+STATE_OFFLOAD = "global_offload"
+STATE_MAP = "local_map"
+STATE_EXECUTE = "execute"
+
+LEADER_STATES = (STATE_ANALYZE, STATE_EXPLORE, STATE_OFFLOAD, STATE_MAP, STATE_EXECUTE)
+
+#: Legal transitions of the leader controller (Fig. 4, left).
+LEADER_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    STATE_ANALYZE: (STATE_EXPLORE,),
+    STATE_EXPLORE: (STATE_OFFLOAD,),
+    STATE_OFFLOAD: (STATE_MAP, STATE_ANALYZE),
+    STATE_MAP: (STATE_EXECUTE,),
+    STATE_EXECUTE: (STATE_OFFLOAD,),
+}
+
+#: Legal transitions of the follower controller (Fig. 4, right).
+FOLLOWER_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    STATE_ANALYZE: (STATE_MAP,),
+    STATE_MAP: (STATE_EXECUTE,),
+    STATE_EXECUTE: (STATE_ANALYZE,),
+}
+
+
+class FSMError(RuntimeError):
+    """Raised on a transition the paper's controller does not allow."""
+
+
+@dataclass
+class FSMTrace:
+    """A timed walk through controller states, validated on entry."""
+
+    role: str  # "leader" | "follower"
+    node: str
+    entries: List[Tuple[float, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.role not in ("leader", "follower"):
+            raise ValueError(f"unknown FSM role {self.role!r}")
+
+    @property
+    def _transitions(self) -> Dict[str, Tuple[str, ...]]:
+        return LEADER_TRANSITIONS if self.role == "leader" else FOLLOWER_TRANSITIONS
+
+    @property
+    def state(self) -> str:
+        return self.entries[-1][1] if self.entries else STATE_ANALYZE
+
+    def enter(self, time: float, state: str) -> None:
+        if state not in self._transitions:
+            raise FSMError(f"{self.node}: unknown state {state!r}")
+        if self.entries:
+            current = self.entries[-1][1]
+            if state not in self._transitions[current]:
+                raise FSMError(f"{self.node}: illegal transition {current} -> {state}")
+            if time < self.entries[-1][0] - 1e-12:
+                raise FSMError(f"{self.node}: time went backwards entering {state}")
+        elif state != STATE_ANALYZE:
+            raise FSMError(f"{self.node}: controller must start in analyze, not {state}")
+        self.entries.append((time, state))
+
+    def states(self) -> Tuple[str, ...]:
+        return tuple(state for _, state in self.entries)

@@ -1,0 +1,438 @@
+"""HiDP: the hierarchical partitioning strategy (the paper's contribution).
+
+Global tier (Algorithm 1, lines 3-7): the leader gathers the
+availability vector, builds the global resource vector ``Psi`` from
+*full-node* rates (every core counted -- the heterogeneity-aware view),
+and runs the DP twice: once for model partitioning (``Theta_omega``,
+Eq. 5) and once for data partitioning (``Theta_sigma``, Eq. 6), keeping
+the faster mode.
+
+Local tier (lines 8-10): every node that received a piece re-runs the
+same DP over its own processors (``psi`` instead of ``Psi``) through
+:class:`~repro.core.local_partitioner.LocalPartitioner`.
+
+The ablation switches (``aggregation``, ``local_modes``,
+``allowed_modes``) let the experiment harness degrade HiDP into its
+global-only / single-mode variants, and are exactly how the DisNet
+baseline is derived (the paper implemented DisNet from HiDP's own
+partitioning modules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dp import ExecutorModel, pipeline_cuts_dp, scale_flops
+from repro.core.dse import explore_data
+from repro.core.local_partitioner import LocalDecision, LocalPartitioner
+from repro.core.plans import (
+    ExecutionPlan,
+    LOCAL_SINGLE,
+    LocalExec,
+    MODE_DATA,
+    MODE_LOCAL,
+    MODE_MODEL,
+    NodeAssignment,
+    UnitTask,
+)
+from repro.core.strategy import (
+    AGGREGATE_ALL,
+    AGGREGATE_DEFAULT,
+    Strategy,
+    device_executor_models,
+)
+from repro.dnn.graph import DNNGraph, Segment
+from repro.dnn.layers import LAYER_CLASSES
+from repro.dnn.partition import (
+    PartitionError,
+    make_data_partition_from_shares,
+    spatial_prefix,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.device import Device
+
+
+def _sum_flops(segments: Sequence[Segment]) -> Dict[str, int]:
+    total = {cls: 0 for cls in LAYER_CLASSES}
+    for seg in segments:
+        for cls, flops in seg.flops_by_class.items():
+            total[cls] += flops
+    return total
+
+
+def _sum_ops(segments: Sequence[Segment]) -> int:
+    return sum(seg.num_ops for seg in segments)
+
+
+@dataclass(frozen=True)
+class ModeCandidate:
+    """One explored partitioning mode with its predicted latency."""
+
+    mode: str
+    predicted_s: float
+    assignments: Tuple[NodeAssignment, ...]
+    merge_exec: Optional[LocalExec]
+    notes: Dict
+
+
+#: Selection objectives for the DSE (the paper's future work -- "We
+#: consider energy-efficient distributed inference for future work" --
+#: implemented here as alternative candidate-selection criteria).
+OBJECTIVE_LATENCY = "latency"
+OBJECTIVE_ENERGY = "energy"
+OBJECTIVE_EDP = "edp"
+OBJECTIVES = (OBJECTIVE_LATENCY, OBJECTIVE_ENERGY, OBJECTIVE_EDP)
+
+
+def estimate_candidate_energy(cluster: Cluster, candidate: ModeCandidate) -> float:
+    """Predicted energy [J] of executing a candidate plan.
+
+    Marginal (busy - idle) energy of every task on its processor, plus
+    the cluster-wide idle floor over the predicted makespan -- the same
+    decomposition the measured Fig. 5b energy uses.
+    """
+
+    def task_energy(device_name: str, tasks) -> float:
+        device = cluster.device(device_name)
+        joules = 0.0
+        for task in tasks:
+            proc = device.processor(task.processor)
+            busy = proc.task_seconds(
+                task.flops_by_class, num_ops=task.num_ops, pinned=task.pinned
+            )
+            joules += proc.power.active_energy_j(busy)
+        return joules
+
+    energy = 0.0
+    for assignment in candidate.assignments:
+        local = assignment.local
+        energy += task_energy(assignment.device, local.tasks)
+        if local.tail is not None:
+            energy += task_energy(assignment.device, (local.tail,))
+    if candidate.merge_exec is not None:
+        energy += task_energy(cluster.leader.name, candidate.merge_exec.tasks)
+    idle_floor_w = sum(device.idle_power_w for device in cluster.devices)
+    energy += idle_floor_w * candidate.predicted_s
+    return energy
+
+
+def candidate_score(cluster: Cluster, candidate: ModeCandidate, objective: str) -> float:
+    """Objective value of a candidate (lower is better)."""
+    if objective == OBJECTIVE_LATENCY:
+        return candidate.predicted_s
+    energy = estimate_candidate_energy(cluster, candidate)
+    if objective == OBJECTIVE_ENERGY:
+        return energy
+    if objective == OBJECTIVE_EDP:
+        return energy * candidate.predicted_s
+    raise ValueError(f"unknown objective {objective!r}; known: {OBJECTIVES}")
+
+
+class HiDPStrategy(Strategy):
+    """Hierarchical DNN partitioning (HiDP, DATE 2025)."""
+
+    name = "hidp"
+    #: "The overhead of using DP algorithm-based exploration including
+    #: both global and local partitioning is 15 ms on average."
+    dse_overhead_s = 0.015
+    #: HiDP binds workloads to cores via CGroups; derived strategies
+    #: that rely on the default framework run-time set this False.
+    pinned = True
+    #: The run-time scheduler monitors cluster-wide status before every
+    #: exploration (Algorithm 1 line 3).
+    load_aware = True
+
+    def __init__(
+        self,
+        quanta: int = 20,
+        local_quanta: int = 10,
+        aggregation: str = AGGREGATE_ALL,
+        local_data: bool = True,
+        local_pipeline: bool = True,
+        allowed_modes: Tuple[str, ...] = (MODE_DATA, MODE_MODEL),
+        max_pipeline_segments: int = 48,
+        max_cuts: int = 10,
+        objective: str = OBJECTIVE_LATENCY,
+    ):
+        super().__init__()
+        if objective not in OBJECTIVES:
+            raise ValueError(f"unknown objective {objective!r}; known: {OBJECTIVES}")
+        self.quanta = quanta
+        self.local_quanta = local_quanta
+        self.aggregation = aggregation
+        self.local_data = local_data
+        self.local_pipeline = local_pipeline
+        self.allowed_modes = allowed_modes
+        self.max_pipeline_segments = max_pipeline_segments
+        self.max_cuts = max_cuts
+        self.objective = objective
+
+    # Local tier -----------------------------------------------------------
+
+    def _local_partitioner(self, device: Device) -> LocalPartitioner:
+        return LocalPartitioner(
+            device,
+            quanta=self.local_quanta,
+            enable_data=self.local_data,
+            enable_pipeline=self.local_pipeline,
+        )
+
+    def _local_single_default(
+        self,
+        device: Device,
+        flops_by_class: Dict[str, int],
+        num_ops: int,
+        in_bytes: int,
+        out_bytes: int,
+        label: str,
+    ) -> LocalDecision:
+        """Default-runtime execution: everything on the default processor."""
+        proc = device.default_processor
+        task = UnitTask(
+            processor=proc.name,
+            flops_by_class=flops_by_class,
+            input_bytes=in_bytes,
+            output_bytes=out_bytes,
+            label=label,
+            pinned=self.pinned,
+            num_ops=num_ops,
+        )
+        predicted = proc.task_seconds(flops_by_class, num_ops=num_ops, pinned=self.pinned)
+        predicted += device.transfer_seconds(in_bytes)
+        return LocalDecision(LocalExec(mode=LOCAL_SINGLE, tasks=(task,)), predicted)
+
+    def _plan_piece(
+        self,
+        device: Device,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        seg_range: Tuple[int, int],
+        band: Optional[Tuple[int, int]],
+        label: str,
+    ) -> LocalDecision:
+        """Local-tier decision for one piece (ablation-aware)."""
+        if self.local_data or self.local_pipeline:
+            return self._local_partitioner(device).plan_piece(
+                graph, seg_range, band=band, segments=segments, label=label
+            )
+        lo, hi = seg_range
+        flops = _sum_flops(segments[lo : hi + 1])
+        num_ops = _sum_ops(segments[lo : hi + 1])
+        in_bytes = segments[lo].in_spec.size_bytes
+        out_bytes = segments[hi].out_spec.size_bytes
+        if band is not None:
+            prefix_lo, prefix_hi = spatial_prefix(graph, segments, seg_range)
+            height = graph.spec(segments[prefix_hi].layer_names[-1]).height
+            fraction = (band[1] - band[0]) / height
+            flops = scale_flops(flops, fraction)
+            in_bytes = int(in_bytes * fraction)
+            out_bytes = int(out_bytes * fraction)
+        return self._local_single_default(device, flops, num_ops, in_bytes, out_bytes, label)
+
+    # Global tier: data mode -------------------------------------------------
+
+    def _candidate_data(
+        self,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        devices: Sequence[Device],
+        models: Sequence[ExecutorModel],
+        cluster: Cluster,
+    ) -> Optional[ModeCandidate]:
+        full_range = (0, len(segments) - 1)
+        decision = explore_data(
+            graph,
+            segments,
+            full_range,
+            models,
+            quanta=self.quanta,
+            # Search-time tail estimate: leader at full-node rate; the
+            # chosen tail is re-planned exactly by the local tier below.
+            tail_seconds=lambda tail_range: models[0].compute_seconds(
+                _sum_flops(segments[tail_range[0] : tail_range[1] + 1]),
+                _sum_ops(segments[tail_range[0] : tail_range[1] + 1]),
+            ),
+            max_cuts=self.max_cuts,
+            min_sigma=2,
+        )
+        if decision is None:
+            return None
+        cut = decision.cut_segment
+        assignments: List[NodeAssignment] = []
+        worst = 0.0
+        leader_name = devices[0].name
+        for (device_idx, _), tile in zip(decision.active, decision.partition.tiles):
+            device = devices[device_idx]
+            local = self._plan_piece(
+                device,
+                graph,
+                segments,
+                (0, cut),
+                (tile.out_lo, tile.out_hi),
+                f"{graph.name}/tile{tile.index}",
+            )
+            is_leader = device.name == leader_name
+            send = 0 if is_leader else tile.input_bytes
+            ret = 0 if is_leader else tile.output_bytes
+            assignments.append(
+                NodeAssignment(
+                    device=device.name,
+                    local=local.execution,
+                    send_bytes=send,
+                    return_bytes=ret,
+                    label=f"tile{tile.index}",
+                )
+            )
+            finish = local.predicted_s
+            if not is_leader:
+                finish += cluster.network.transfer_seconds(send)
+                finish += cluster.network.transfer_seconds(ret)
+            worst = max(worst, finish)
+        merge_exec = None
+        predicted = worst
+        if decision.tail_range is not None:
+            tail_decision = self._plan_piece(
+                devices[0],
+                graph,
+                segments,
+                decision.tail_range,
+                None,
+                f"{graph.name}/tail",
+            )
+            merge_exec = tail_decision.execution
+            predicted += tail_decision.predicted_s
+        return ModeCandidate(
+            mode=MODE_DATA,
+            predicted_s=predicted,
+            assignments=tuple(assignments),
+            merge_exec=merge_exec,
+            notes={
+                "sigma": decision.sigma,
+                "cut_segment": cut,
+                "shares": [share for _, share in decision.active],
+            },
+        )
+
+    # Global tier: model mode --------------------------------------------------
+
+    def _candidate_model(
+        self,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        devices: Sequence[Device],
+        models: Sequence[ExecutorModel],
+        cluster: Cluster,
+    ) -> Optional[ModeCandidate]:
+        pipe = pipeline_cuts_dp(
+            segments, models, source_executor=0, max_segments=self.max_pipeline_segments
+        )
+        leader_name = devices[0].name
+        if pipe.num_blocks == 1 and devices[pipe.blocks[0][2]].name == leader_name:
+            seg_lo, seg_hi, executor_idx = pipe.blocks[0]
+            device = devices[executor_idx]
+            decision = self._plan_piece(
+                device, graph, segments, (seg_lo, seg_hi), None, f"{graph.name}/local"
+            )
+            assignment = NodeAssignment(
+                device=device.name, local=decision.execution, label="local"
+            )
+            return ModeCandidate(
+                mode=MODE_LOCAL,
+                predicted_s=decision.predicted_s,
+                assignments=(assignment,),
+                merge_exec=None,
+                notes={"blocks": 1},
+            )
+        assignments = []
+        predicted = 0.0
+        previous = leader_name
+        for block_idx, (seg_lo, seg_hi, executor_idx) in enumerate(pipe.blocks):
+            device = devices[executor_idx]
+            decision = self._plan_piece(
+                device,
+                graph,
+                segments,
+                (seg_lo, seg_hi),
+                None,
+                f"{graph.name}/blk{block_idx}",
+            )
+            send = segments[seg_lo].in_spec.size_bytes if device.name != previous else 0
+            is_last = block_idx == len(pipe.blocks) - 1
+            ret = segments[seg_hi].out_spec.size_bytes if (is_last and device.name != leader_name) else 0
+            assignments.append(
+                NodeAssignment(
+                    device=device.name,
+                    local=decision.execution,
+                    send_bytes=send,
+                    return_bytes=ret,
+                    label=f"blk{block_idx}",
+                )
+            )
+            if send:
+                predicted += cluster.network.transfer_seconds(send)
+            predicted += decision.predicted_s
+            if ret:
+                predicted += cluster.network.transfer_seconds(ret)
+            previous = device.name
+        return ModeCandidate(
+            mode=MODE_MODEL,
+            predicted_s=predicted,
+            assignments=tuple(assignments),
+            merge_exec=None,
+            notes={"blocks": pipe.num_blocks, "dp_latency": pipe.latency_s},
+        )
+
+    # Entry point -----------------------------------------------------------------
+
+    def _plan(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionPlan:
+        devices = list(cluster.available_devices())
+        if not devices or devices[0].name != cluster.leader.name:
+            raise RuntimeError("leader node must be available to plan")
+        models = device_executor_models(cluster, devices, self.aggregation, load=load)
+        segments = graph.segments()
+        candidates: List[ModeCandidate] = []
+        if MODE_DATA in self.allowed_modes:
+            candidate = self._candidate_data(graph, segments, devices, models, cluster)
+            if candidate is not None:
+                candidates.append(candidate)
+        if MODE_MODEL in self.allowed_modes:
+            candidate = self._candidate_model(graph, segments, devices, models, cluster)
+            if candidate is not None:
+                candidates.append(candidate)
+        if not candidates:
+            # Degenerate fall-back: everything on the leader.
+            decision = self._plan_piece(
+                devices[0], graph, segments, (0, len(segments) - 1), None, graph.name
+            )
+            candidates.append(
+                ModeCandidate(
+                    mode=MODE_LOCAL,
+                    predicted_s=decision.predicted_s,
+                    assignments=(
+                        NodeAssignment(device=devices[0].name, local=decision.execution),
+                    ),
+                    merge_exec=None,
+                    notes={"fallback": True},
+                )
+            )
+        best = min(candidates, key=lambda c: candidate_score(cluster, c, self.objective))
+        notes = dict(best.notes, explored=[c.mode for c in candidates])
+        if self.objective != OBJECTIVE_LATENCY:
+            notes["objective"] = self.objective
+            notes["predicted_energy_j"] = estimate_candidate_energy(cluster, best)
+        return ExecutionPlan(
+            strategy=self.name,
+            model=graph.name,
+            mode=best.mode,
+            assignments=best.assignments,
+            merge_exec=best.merge_exec,
+            predicted_latency_s=best.predicted_s,
+            dse_overhead_s=self.dse_overhead_s,
+            notes=notes,
+        )

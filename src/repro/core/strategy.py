@@ -1,0 +1,147 @@
+"""Strategy interface and shared executor-model helpers.
+
+A strategy turns (DNN graph, cluster state) into an
+:class:`~repro.core.plans.ExecutionPlan`.  HiDP and all three baselines
+implement this interface, so the framework and the experiment harness
+treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dp import ExecutorModel
+from repro.core.plans import ExecutionPlan
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import LAYER_CLASSES
+from repro.platform.cluster import Cluster
+from repro.platform.device import Device
+
+#: Pseudo-infinite communication rate for the executor already holding
+#: the data (the leader in global searches).
+LOCAL_COMM_RATE = 1e18
+
+AGGREGATE_ALL = "all"
+AGGREGATE_DEFAULT = "default"
+
+
+def device_executor_models(
+    cluster: Cluster,
+    devices: Sequence[Device],
+    aggregation: str = AGGREGATE_ALL,
+    leader_index: int = 0,
+    load: Optional[Mapping[str, float]] = None,
+) -> List[ExecutorModel]:
+    """Global-tier executor models, one per device.
+
+    ``aggregation`` selects how a node's capacity is represented:
+
+    - ``all``: sum of all processors' per-class rates.  This is HiDP's
+      heterogeneity-aware view (the node will exploit every core).
+    - ``default``: rates of the default (TensorFlow-chosen) processor
+      only -- the misrepresented capacity the paper criticises, used by
+      the global-only baselines.
+
+    ``load`` maps device names to outstanding-backlog seconds; a loaded
+    node's fixed cost grows accordingly, steering new work away from
+    congested nodes (the run-time scheduler's cluster monitoring).
+    """
+    if aggregation not in (AGGREGATE_ALL, AGGREGATE_DEFAULT):
+        raise ValueError(f"unknown aggregation {aggregation!r}")
+    models = []
+    for index, device in enumerate(devices):
+        rates: Dict[str, float] = {}
+        for cls in LAYER_CLASSES:
+            if aggregation == AGGREGATE_ALL:
+                rates[cls] = sum(proc.rate(cls) for proc in device.processors)
+            else:
+                rates[cls] = device.default_processor.rate(cls)
+        if index == leader_index:
+            comm, fixed = LOCAL_COMM_RATE, 0.0
+        else:
+            comm = cluster.beta(device)
+            fixed = cluster.network.latency_s + device.default_processor.setup_time_s
+        if load is not None:
+            fixed += load.get(device.name, 0.0)
+        if aggregation == AGGREGATE_ALL:
+            dispatch = min(proc.dispatch_time_s for proc in device.processors)
+        else:
+            dispatch = device.default_processor.dispatch_time_s
+        models.append(
+            ExecutorModel(
+                ident=device.name,
+                rates=rates,
+                comm_bytes_s=comm,
+                fixed_s=fixed,
+                dispatch_s=dispatch,
+            )
+        )
+    return models
+
+
+class Strategy(abc.ABC):
+    """Distributed-inference planning strategy."""
+
+    #: Human-readable identifier used in reports and plots.
+    name: str = "base"
+
+    #: Planning overhead charged on the leader CPU before execution.
+    dse_overhead_s: float = 0.0
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple, ExecutionPlan] = {}
+
+    #: Strategies that consult cluster load when planning override
+    #: this; load-unaware baselines (MoDNN's static proportional rule)
+    #: leave it False and ignore the snapshot.
+    load_aware: bool = False
+
+    @abc.abstractmethod
+    def _plan(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionPlan:
+        """Compute a fresh plan (no caching)."""
+
+    def plan(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionPlan:
+        """Plan with memoisation on (model, availability, load bucket).
+
+        Planning is deterministic given the graph, the availability
+        vector and the (quantised) load snapshot, so repeated requests
+        for the same model under similar conditions reuse the decision
+        -- mirroring how the paper's middleware caches DSE results for
+        known workloads.
+        """
+        effective_load = load if (load is not None and self.load_aware) else None
+        load_key = ()
+        if effective_load is not None:
+            load_key = tuple(
+                (name, round(backlog / self.LOAD_BUCKET_S))
+                for name, backlog in sorted(effective_load.items())
+            )
+        key = (
+            graph.name,
+            cluster.name,
+            tuple(sorted(cluster.availability_vector().items())),
+            load_key,
+        )
+        if key not in self._cache:
+            self._cache[key] = self._plan(graph, cluster, load=effective_load)
+        return self._cache[key]
+
+    #: Load quantisation bucket for plan caching.
+    LOAD_BUCKET_S = 0.05
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

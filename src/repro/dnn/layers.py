@@ -1,0 +1,456 @@
+"""Analytical layer cost model.
+
+Every layer knows, given its input :class:`~repro.dnn.tensors.TensorSpec`:
+
+- its output spec (shape propagation),
+- its FLOP count (we count one multiply-accumulate as **2 FLOPs**,
+  matching the convention of the paper's Gigaflops/s plots),
+- its parameter (weights) footprint in bytes,
+- its *layer class* -- the key used by processors to look up the
+  compute intensity ``delta`` (cycles/FLOP) of the paper's system model,
+- its spatial receptive-field geometry (kernel/stride/padding), used by
+  the data partitioner to compute halo (overlap) regions exactly.
+
+The geometry is intentionally restricted to what the four evaluated
+networks need: 2-D convolution, depthwise convolution, pooling, global
+pooling, flatten, dense, activation, batch-norm, residual add, branch
+concat and softmax.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.dnn.tensors import TensorSpec, vector
+
+# Layer classes drive the per-processor compute-intensity table.  The
+# distinction between "conv" and "depthwise" is what lets the model
+# reproduce the paper's Fig. 1 shape: depthwise convolutions have very
+# low arithmetic intensity and utilise a GPU poorly, which is why
+# EfficientNet-B0 profits most from CPU+GPU splits.
+CLASS_CONV = "conv"
+CLASS_DEPTHWISE = "depthwise"
+CLASS_DENSE = "dense"
+CLASS_POOL = "pool"
+CLASS_ELEMENTWISE = "elementwise"
+
+LAYER_CLASSES = (CLASS_CONV, CLASS_DEPTHWISE, CLASS_DENSE, CLASS_POOL, CLASS_ELEMENTWISE)
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: str) -> int:
+    """Output spatial size of a conv/pool along one dimension."""
+    if padding == "same":
+        return math.ceil(size / stride)
+    if padding == "valid":
+        if size < kernel:
+            raise ValueError(f"input {size} smaller than kernel {kernel} with valid padding")
+        return (size - kernel) // stride + 1
+    raise ValueError(f"unknown padding mode: {padding!r}")
+
+
+def _pad_amount(size: int, kernel: int, stride: int, padding: str) -> Tuple[int, int]:
+    """(pad_before, pad_after) along one dimension, TF 'same' semantics."""
+    if padding == "valid":
+        return 0, 0
+    out = _conv_out(size, kernel, stride, padding)
+    total = max((out - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all layers.
+
+    ``name`` must be unique within a graph.  ``inputs`` lists the names
+    of producer layers; the builder helpers in :mod:`repro.dnn.graph`
+    fill it in automatically for sequential chains.
+    """
+
+    name: str
+    inputs: Tuple[str, ...] = field(default=(), kw_only=True)
+
+    #: Layer class for compute-intensity lookup.
+    layer_class: str = field(default=CLASS_ELEMENTWISE, kw_only=True)
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        """Shape propagation; must be overridden."""
+        raise NotImplementedError
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        """FLOP count for one inference through this layer."""
+        raise NotImplementedError
+
+    def weight_bytes(self) -> int:
+        """Parameter footprint in bytes (0 for stateless layers)."""
+        return 0
+
+    # Spatial geometry -------------------------------------------------
+    # (kernel, stride, padding) along the height axis; identity by
+    # default.  Used to back-propagate row ranges for halo computation.
+
+    @property
+    def kernel(self) -> int:
+        """Kernel extent along the (tiled) height axis."""
+        return 1
+
+    @property
+    def kernel_w(self) -> int:
+        """Kernel extent along the width axis (never tiled)."""
+        return self.kernel
+
+    @property
+    def stride(self) -> int:
+        return 1
+
+    @property
+    def padding(self) -> str:
+        return "same"
+
+    @property
+    def is_spatial(self) -> bool:
+        """Whether the layer preserves a meaningful spatial dimension."""
+        return True
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """Graph entry point carrying the input image spec."""
+
+    spec: TensorSpec = field(default=TensorSpec(224, 224, 3))
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        return self.spec
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """Standard 2-D convolution (optionally grouped).
+
+    ``kernel_size`` may be an int (square) or an ``(kh, kw)`` tuple, the
+    latter modelling Inception-style factorised 1x7 / 7x1 convolutions.
+    """
+
+    filters: int = 64
+    kernel_size: "int | Tuple[int, int]" = 3
+    strides: int = 1
+    pad: str = "same"
+    groups: int = 1
+    use_bias: bool = True
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_class", CLASS_CONV)
+        if self.filters < 1 or self.kernel < 1 or self.kernel_w < 1:
+            raise ValueError(f"invalid conv parameters: {self}")
+        if self.strides < 1 or self.groups < 1:
+            raise ValueError(f"invalid conv parameters: {self}")
+
+    @property
+    def kernel(self) -> int:
+        if isinstance(self.kernel_size, tuple):
+            return self.kernel_size[0]
+        return self.kernel_size
+
+    @property
+    def kernel_w(self) -> int:
+        if isinstance(self.kernel_size, tuple):
+            return self.kernel_size[1]
+        return self.kernel_size
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        if spec.channels % self.groups:
+            raise ValueError(
+                f"{self.name}: input channels {spec.channels} not divisible by groups {self.groups}"
+            )
+        return TensorSpec(
+            height=_conv_out(spec.height, self.kernel, self.strides, self.pad),
+            width=_conv_out(spec.width, self.kernel_w, self.strides, self.pad),
+            channels=self.filters,
+            dtype_bytes=spec.dtype_bytes,
+        )
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        out = self.output_spec(spec)
+        in_per_group = spec.channels // self.groups
+        macs = out.height * out.width * self.filters * in_per_group * self.kernel * self.kernel_w
+        return 2 * macs
+
+    def weight_bytes_for(self, spec: TensorSpec) -> int:
+        in_per_group = spec.channels // self.groups
+        weights = self.filters * in_per_group * self.kernel * self.kernel_w
+        bias = self.filters if self.use_bias else 0
+        return (weights + bias) * spec.dtype_bytes
+
+    @property
+    def stride(self) -> int:
+        return self.strides
+
+    @property
+    def padding(self) -> str:
+        return self.pad
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2D(Layer):
+    """Depthwise (per-channel) convolution, the MBConv workhorse."""
+
+    kernel_size: int = 3
+    strides: int = 1
+    pad: str = "same"
+    use_bias: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_class", CLASS_DEPTHWISE)
+        if self.kernel_size < 1 or self.strides < 1:
+            raise ValueError(f"invalid depthwise parameters: {self}")
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return TensorSpec(
+            height=_conv_out(spec.height, self.kernel_size, self.strides, self.pad),
+            width=_conv_out(spec.width, self.kernel_size, self.strides, self.pad),
+            channels=spec.channels,
+            dtype_bytes=spec.dtype_bytes,
+        )
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        out = self.output_spec(spec)
+        macs = out.height * out.width * spec.channels * self.kernel_size ** 2
+        return 2 * macs
+
+    def weight_bytes_for(self, spec: TensorSpec) -> int:
+        weights = spec.channels * self.kernel_size ** 2
+        bias = spec.channels if self.use_bias else 0
+        return (weights + bias) * spec.dtype_bytes
+
+    @property
+    def kernel(self) -> int:
+        return self.kernel_size
+
+    @property
+    def stride(self) -> int:
+        return self.strides
+
+    @property
+    def padding(self) -> str:
+        return self.pad
+
+
+@dataclass(frozen=True)
+class Pool2D(Layer):
+    """Max or average pooling."""
+
+    pool_size: int = 2
+    strides: int = 2
+    pad: str = "valid"
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_class", CLASS_POOL)
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"unknown pooling mode: {self.mode!r}")
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return TensorSpec(
+            height=_conv_out(spec.height, self.pool_size, self.strides, self.pad),
+            width=_conv_out(spec.width, self.pool_size, self.strides, self.pad),
+            channels=spec.channels,
+            dtype_bytes=spec.dtype_bytes,
+        )
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        out = self.output_spec(spec)
+        return out.numel * self.pool_size ** 2
+
+    @property
+    def kernel(self) -> int:
+        return self.pool_size
+
+    @property
+    def stride(self) -> int:
+        return self.strides
+
+    @property
+    def padding(self) -> str:
+        return self.pad
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    """Spatial global average pooling; collapses H and W."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_class", CLASS_POOL)
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return vector(spec.channels, spec.dtype_bytes)
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        return spec.numel
+
+    @property
+    def is_spatial(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Reshape a spatial tensor into a vector."""
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return vector(spec.numel, spec.dtype_bytes)
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        return 0
+
+    @property
+    def is_spatial(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully-connected layer."""
+
+    units: int = 1000
+    use_bias: bool = True
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_class", CLASS_DENSE)
+        if self.units < 1:
+            raise ValueError(f"invalid dense units: {self.units}")
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return vector(self.units, spec.dtype_bytes)
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        return 2 * spec.numel * self.units
+
+    def weight_bytes_for(self, spec: TensorSpec) -> int:
+        weights = spec.numel * self.units
+        bias = self.units if self.use_bias else 0
+        return (weights + bias) * spec.dtype_bytes
+
+    @property
+    def is_spatial(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Standalone activation (ReLU/swish/sigmoid...)."""
+
+    fn: str = "relu"
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return spec
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        return spec.numel
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Inference-time batch normalisation (scale + shift)."""
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return spec
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        return 2 * spec.numel
+
+    def weight_bytes_for(self, spec: TensorSpec) -> int:
+        return 4 * spec.channels * spec.dtype_bytes
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Elementwise residual addition of two equal-shaped tensors."""
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        first = input_specs[0]
+        for other in input_specs[1:]:
+            if (other.height, other.width, other.channels) != (
+                first.height,
+                first.width,
+                first.channels,
+            ):
+                raise ValueError(f"{self.name}: mismatched Add inputs {first} vs {other}")
+        return first
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        return input_specs[0].numel * (len(input_specs) - 1)
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation of branch outputs."""
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        first = input_specs[0]
+        for other in input_specs[1:]:
+            if (other.height, other.width) != (first.height, first.width):
+                raise ValueError(f"{self.name}: mismatched Concat inputs {first} vs {other}")
+        channels = sum(spec.channels for spec in input_specs)
+        return TensorSpec(first.height, first.width, channels, first.dtype_bytes)
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    """Final classifier normalisation."""
+
+    def output_spec(self, *input_specs: TensorSpec) -> TensorSpec:
+        (spec,) = input_specs
+        return spec
+
+    def flops(self, *input_specs: TensorSpec) -> int:
+        (spec,) = input_specs
+        return 5 * spec.numel
+
+    @property
+    def is_spatial(self) -> bool:
+        return False
+
+
+def receptive_rows(layers: Sequence[Layer], out_lo: int, out_hi: int) -> Tuple[int, int]:
+    """Input row range needed to produce output rows ``[out_lo, out_hi)``.
+
+    Walks a *sequential* chain of spatial layers backwards applying the
+    standard receptive-field recurrence ``in = out*stride`` ...
+    ``in_hi = (out_hi-1)*stride + kernel``.  Padding is handled by the
+    caller clamping to the actual input height.  This is the exact halo
+    computation used by Fused-Tile-Partitioning style data splits.
+    """
+    lo, hi = out_lo, out_hi
+    for layer in reversed(list(layers)):
+        lo = lo * layer.stride
+        hi = (hi - 1) * layer.stride + layer.kernel
+        if layer.padding == "same":
+            pad = (layer.kernel - 1) // 2
+            lo -= pad
+            hi -= pad
+    return lo, hi

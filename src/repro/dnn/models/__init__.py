@@ -1,0 +1,65 @@
+"""Model zoo: the paper's four evaluation networks plus toy graphs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.models.efficientnet import build_efficientnet_b0
+from repro.dnn.models.inception import build_inception_v3
+from repro.dnn.models.mobilenet import build_mobilenet_v2
+from repro.dnn.models.resnet import build_resnet152
+from repro.dnn.models.toy import (
+    build_tiny_branchy,
+    build_tiny_cnn,
+    build_tiny_depthwise,
+    build_tiny_residual,
+)
+from repro.dnn.models.vgg import build_vgg19
+
+#: Canonical evaluation models of the paper, in the order used by its plots.
+MODEL_NAMES = ("efficientnet_b0", "inception_v3", "resnet152", "vgg19")
+
+_REGISTRY: Dict[str, Callable[[], DNNGraph]] = {
+    "efficientnet_b0": build_efficientnet_b0,
+    "inception_v3": build_inception_v3,
+    "resnet152": build_resnet152,
+    "vgg19": build_vgg19,
+    "mobilenet_v2": build_mobilenet_v2,
+    "tiny_cnn": build_tiny_cnn,
+    "tiny_residual": build_tiny_residual,
+    "tiny_branchy": build_tiny_branchy,
+    "tiny_depthwise": build_tiny_depthwise,
+}
+
+_CACHE: Dict[str, DNNGraph] = {}
+
+
+def build_model(name: str) -> DNNGraph:
+    """Build (and memoise) a model from the zoo by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_REGISTRY)}")
+    if name not in _CACHE:
+        _CACHE[name] = _REGISTRY[name]()
+    return _CACHE[name]
+
+
+def available_models() -> tuple:
+    """All registry names, including toy graphs."""
+    return tuple(sorted(_REGISTRY))
+
+
+__all__ = [
+    "MODEL_NAMES",
+    "build_model",
+    "available_models",
+    "build_efficientnet_b0",
+    "build_inception_v3",
+    "build_resnet152",
+    "build_vgg19",
+    "build_mobilenet_v2",
+    "build_tiny_cnn",
+    "build_tiny_residual",
+    "build_tiny_branchy",
+    "build_tiny_depthwise",
+]

@@ -1,0 +1,155 @@
+"""InceptionNet-V3 builder (Szegedy et al.), 299x299x3 input.
+
+Standard stem + 3x Inception-A + Reduction-A + 4x Inception-B +
+Reduction-B + 2x Inception-C, then global pooling and the classifier.
+Published cost ~5.7 GMACs (~11.4 GFLOPs at 2 FLOPs/MAC).  The wide
+multi-branch modules produce large single segments, which is why the
+paper observes Inception preferring fewer, coarser data partitions
+(Fig. 1 anchor: best at P6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dnn.graph import DNNGraph, GraphBuilder
+from repro.dnn.layers import Concat, Conv2D, Dense, GlobalAvgPool, Pool2D, Softmax
+from repro.dnn.tensors import image
+
+
+def _conv(
+    builder: GraphBuilder,
+    name: str,
+    filters: int,
+    kernel: "int | Tuple[int, int]",
+    stride: int = 1,
+    pad: str = "same",
+    after: str | None = None,
+) -> str:
+    return builder.add(
+        Conv2D(name=name, filters=filters, kernel_size=kernel, strides=stride, pad=pad),
+        after=after,
+    )
+
+
+def _branch(builder: GraphBuilder, entry: str, prefix: str, plan: Sequence[tuple]) -> str:
+    """A chain of convs described by (filters, kernel, stride, pad) tuples."""
+    last = entry
+    for idx, (filters, kernel, stride, pad) in enumerate(plan):
+        last = _conv(builder, f"{prefix}_{idx}", filters, kernel, stride, pad, after=last)
+    return last
+
+
+def _inception_a(builder: GraphBuilder, idx: int, pool_filters: int) -> None:
+    entry = builder.last
+    prefix = f"mixed_a{idx}"
+    b1 = _branch(builder, entry, f"{prefix}_b1", [(64, 1, 1, "same")])
+    b2 = _branch(builder, entry, f"{prefix}_b2", [(48, 1, 1, "same"), (64, 5, 1, "same")])
+    b3 = _branch(
+        builder,
+        entry,
+        f"{prefix}_b3",
+        [(64, 1, 1, "same"), (96, 3, 1, "same"), (96, 3, 1, "same")],
+    )
+    pool = builder.add(
+        Pool2D(name=f"{prefix}_pool", pool_size=3, strides=1, pad="same", mode="avg"), after=entry
+    )
+    b4 = _conv(builder, f"{prefix}_b4", pool_filters, 1, after=pool)
+    builder.add(Concat(name=f"{prefix}_concat"), after=(b1, b2, b3, b4))
+
+
+def _reduction_a(builder: GraphBuilder) -> None:
+    entry = builder.last
+    b1 = _conv(builder, "red_a_b1", 384, 3, stride=2, pad="valid", after=entry)
+    b2 = _branch(
+        builder,
+        entry,
+        "red_a_b2",
+        [(64, 1, 1, "same"), (96, 3, 1, "same"), (96, 3, 2, "valid")],
+    )
+    b3 = builder.add(Pool2D(name="red_a_pool", pool_size=3, strides=2, pad="valid"), after=entry)
+    builder.add(Concat(name="red_a_concat"), after=(b1, b2, b3))
+
+
+def _inception_b(builder: GraphBuilder, idx: int, mid: int) -> None:
+    """7x7-factorised module with genuine 1x7 / 7x1 convolution pairs."""
+    entry = builder.last
+    prefix = f"mixed_b{idx}"
+    b1 = _conv(builder, f"{prefix}_b1", 192, 1, after=entry)
+    b2 = _branch(
+        builder,
+        entry,
+        f"{prefix}_b2",
+        [(mid, 1, 1, "same"), (mid, (1, 7), 1, "same"), (192, (7, 1), 1, "same")],
+    )
+    b3 = _branch(
+        builder,
+        entry,
+        f"{prefix}_b3",
+        [
+            (mid, 1, 1, "same"),
+            (mid, (7, 1), 1, "same"),
+            (mid, (1, 7), 1, "same"),
+            (mid, (7, 1), 1, "same"),
+            (192, (1, 7), 1, "same"),
+        ],
+    )
+    pool = builder.add(
+        Pool2D(name=f"{prefix}_pool", pool_size=3, strides=1, pad="same", mode="avg"), after=entry
+    )
+    b4 = _conv(builder, f"{prefix}_b4", 192, 1, after=pool)
+    builder.add(Concat(name=f"{prefix}_concat"), after=(b1, b2, b3, b4))
+
+
+def _reduction_b(builder: GraphBuilder) -> None:
+    entry = builder.last
+    b1 = _branch(builder, entry, "red_b_b1", [(192, 1, 1, "same"), (320, 3, 2, "valid")])
+    b2 = _branch(
+        builder,
+        entry,
+        "red_b_b2",
+        [(192, 1, 1, "same"), (192, (1, 7), 1, "same"), (192, (7, 1), 1, "same"), (192, 3, 2, "valid")],
+    )
+    b3 = builder.add(Pool2D(name="red_b_pool", pool_size=3, strides=2, pad="valid"), after=entry)
+    builder.add(Concat(name="red_b_concat"), after=(b1, b2, b3))
+
+
+def _inception_c(builder: GraphBuilder, idx: int) -> None:
+    entry = builder.last
+    prefix = f"mixed_c{idx}"
+    b1 = _conv(builder, f"{prefix}_b1", 320, 1, after=entry)
+    b2_stem = _conv(builder, f"{prefix}_b2_stem", 384, 1, after=entry)
+    b2a = _conv(builder, f"{prefix}_b2a", 384, (1, 3), after=b2_stem)
+    b2b = _conv(builder, f"{prefix}_b2b", 384, (3, 1), after=b2_stem)
+    b3_stem = _branch(builder, entry, f"{prefix}_b3_stem", [(448, 1, 1, "same"), (384, 3, 1, "same")])
+    b3a = _conv(builder, f"{prefix}_b3a", 384, (1, 3), after=b3_stem)
+    b3b = _conv(builder, f"{prefix}_b3b", 384, (3, 1), after=b3_stem)
+    pool = builder.add(
+        Pool2D(name=f"{prefix}_pool", pool_size=3, strides=1, pad="same", mode="avg"), after=entry
+    )
+    b4 = _conv(builder, f"{prefix}_b4", 192, 1, after=pool)
+    builder.add(Concat(name=f"{prefix}_concat"), after=(b1, b2a, b2b, b3a, b3b, b4))
+
+
+def build_inception_v3(input_side: int = 299) -> DNNGraph:
+    """Construct the InceptionNet-V3 layer graph."""
+    builder = GraphBuilder("inception_v3", image(input_side, 3))
+    _conv(builder, "stem_conv1", 32, 3, stride=2, pad="valid")
+    _conv(builder, "stem_conv2", 32, 3, stride=1, pad="valid")
+    _conv(builder, "stem_conv3", 64, 3, stride=1, pad="same")
+    builder.add(Pool2D(name="stem_pool1", pool_size=3, strides=2, pad="valid"))
+    _conv(builder, "stem_conv4", 80, 1, stride=1, pad="valid")
+    _conv(builder, "stem_conv5", 192, 3, stride=1, pad="valid")
+    builder.add(Pool2D(name="stem_pool2", pool_size=3, strides=2, pad="valid"))
+    for idx, pool_filters in enumerate((32, 64, 64)):
+        _inception_a(builder, idx, pool_filters)
+    _reduction_a(builder)
+    for idx, mid in enumerate((128, 160, 160, 192)):
+        _inception_b(builder, idx, mid)
+    _reduction_b(builder)
+    for idx in range(2):
+        _inception_c(builder, idx)
+    builder.add(GlobalAvgPool(name="avg_pool"))
+    builder.add(Dense(name="fc1000", units=1000, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()

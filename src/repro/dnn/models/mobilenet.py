@@ -1,0 +1,91 @@
+"""MobileNet-V2 builder (Sandler et al.), 224x224x3 input.
+
+Not part of the paper's evaluation set, but the canonical depthwise-
+separable network and a natural companion workload for a DNN
+partitioning library: even more MBConv-dominated than EfficientNet-B0.
+Published cost ~0.30 GMACs (~0.60 GFLOPs at 2 FLOPs/MAC), ~3.5 M
+parameters (~3.4 M without the classifier).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph, GraphBuilder
+from repro.dnn.layers import Add, Conv2D, Dense, DepthwiseConv2D, GlobalAvgPool, Softmax
+from repro.dnn.tensors import image
+
+#: (expansion, output channels, repeats, first stride) per stage.
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    builder: GraphBuilder,
+    stage: int,
+    block: int,
+    in_channels: int,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+) -> int:
+    prefix = f"block_{stage}_{block}"
+    entry = builder.last
+    last = entry
+    if expansion != 1:
+        last = builder.add(
+            Conv2D(
+                name=f"{prefix}_expand",
+                filters=in_channels * expansion,
+                kernel_size=1,
+                strides=1,
+                pad="same",
+            ),
+            after=last,
+        )
+    last = builder.add(
+        DepthwiseConv2D(name=f"{prefix}_dwconv", kernel_size=3, strides=stride, pad="same"),
+        after=last,
+    )
+    last = builder.add(
+        Conv2D(
+            name=f"{prefix}_project",
+            filters=out_channels,
+            kernel_size=1,
+            strides=1,
+            pad="same",
+            activation="linear",
+        ),
+        after=last,
+    )
+    if stride == 1 and in_channels == out_channels:
+        builder.add(Add(name=f"{prefix}_add"), after=(last, entry))
+    return out_channels
+
+
+def build_mobilenet_v2(input_side: int = 224) -> DNNGraph:
+    """Construct the MobileNet-V2 layer graph."""
+    builder = GraphBuilder("mobilenet_v2", image(input_side, 3))
+    builder.add(Conv2D(name="stem_conv", filters=32, kernel_size=3, strides=2, pad="same"))
+    channels = 32
+    for stage, (expansion, out_channels, repeats, stride) in enumerate(_STAGES):
+        for block in range(repeats):
+            channels = _inverted_residual(
+                builder,
+                stage,
+                block,
+                channels,
+                expansion,
+                out_channels,
+                stride if block == 0 else 1,
+            )
+    builder.add(Conv2D(name="top_conv", filters=1280, kernel_size=1, strides=1, pad="same"))
+    builder.add(GlobalAvgPool(name="avg_pool"))
+    builder.add(Dense(name="fc1000", units=1000, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()

@@ -1,0 +1,69 @@
+"""ResNet-152 builder (He et al.), 224x224x3 input.
+
+Stage plan 3/8/36/3 bottleneck blocks.  Published cost ~11.3 GMACs
+(~22.6 GFLOPs with the 2-FLOPs-per-MAC convention).  Residual joins
+mean cut points only exist *between* bottleneck blocks, giving the DP
+partitioner ~51 coarse segments to work with.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph, GraphBuilder
+from repro.dnn.layers import Activation, Add, Conv2D, Dense, GlobalAvgPool, Pool2D, Softmax
+from repro.dnn.tensors import image
+
+#: (bottleneck width, block count) per stage; output channels are 4x width.
+_STAGES = ((64, 3), (128, 8), (256, 36), (512, 3))
+
+
+def _bottleneck(builder: GraphBuilder, stage: int, block: int, width: int, stride: int) -> None:
+    """Append one bottleneck residual block to the builder."""
+    prefix = f"conv{stage + 2}_block{block + 1}"
+    entry = builder.last
+    out_channels = 4 * width
+    builder.add(
+        Conv2D(name=f"{prefix}_1x1a", filters=width, kernel_size=1, strides=stride, pad="same"),
+        after=entry,
+    )
+    builder.add(Conv2D(name=f"{prefix}_3x3", filters=width, kernel_size=3, strides=1, pad="same"))
+    main = builder.add(
+        Conv2D(
+            name=f"{prefix}_1x1b",
+            filters=out_channels,
+            kernel_size=1,
+            strides=1,
+            pad="same",
+            activation="linear",
+        )
+    )
+    if block == 0:
+        shortcut = builder.add(
+            Conv2D(
+                name=f"{prefix}_proj",
+                filters=out_channels,
+                kernel_size=1,
+                strides=stride,
+                pad="same",
+                activation="linear",
+            ),
+            after=entry,
+        )
+    else:
+        shortcut = entry
+    builder.add(Add(name=f"{prefix}_add"), after=(main, shortcut))
+    builder.add(Activation(name=f"{prefix}_relu", fn="relu"))
+
+
+def build_resnet152(input_side: int = 224) -> DNNGraph:
+    """Construct the ResNet-152 layer graph."""
+    builder = GraphBuilder("resnet152", image(input_side, 3))
+    builder.add(Conv2D(name="conv1", filters=64, kernel_size=7, strides=2, pad="same"))
+    builder.add(Pool2D(name="pool1", pool_size=3, strides=2, pad="same"))
+    for stage, (width, blocks) in enumerate(_STAGES):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            _bottleneck(builder, stage, block, width, stride)
+    builder.add(GlobalAvgPool(name="avg_pool"))
+    builder.add(Dense(name="fc1000", units=1000, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()

@@ -1,0 +1,92 @@
+"""Small synthetic CNNs for fast tests, numeric-equivalence proofs and
+documentation examples.
+
+These graphs are small enough that the numpy numeric executor can run
+them in milliseconds, which is what the accuracy-equivalence property
+tests use.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph, GraphBuilder
+from repro.dnn.layers import (
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    Pool2D,
+    Softmax,
+)
+from repro.dnn.tensors import image
+
+
+def build_tiny_cnn(input_side: int = 32, channels: int = 3) -> DNNGraph:
+    """Sequential conv/pool/dense toy: the smallest interesting graph."""
+    builder = GraphBuilder("tiny_cnn", image(input_side, channels))
+    builder.add(Conv2D(name="conv1", filters=8, kernel_size=3, strides=1, pad="same"))
+    builder.add(Pool2D(name="pool1", pool_size=2, strides=2))
+    builder.add(Conv2D(name="conv2", filters=16, kernel_size=3, strides=1, pad="same"))
+    builder.add(Pool2D(name="pool2", pool_size=2, strides=2))
+    builder.add(Flatten(name="flatten"))
+    builder.add(Dense(name="fc", units=10, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()
+
+
+def build_tiny_residual(input_side: int = 32) -> DNNGraph:
+    """Toy with a residual join, exercising DAG cut-point logic."""
+    builder = GraphBuilder("tiny_residual", image(input_side, 3))
+    builder.add(Conv2D(name="stem", filters=8, kernel_size=3, strides=1, pad="same"))
+    entry = builder.last
+    main = builder.add(
+        Conv2D(name="res_conv1", filters=8, kernel_size=3, strides=1, pad="same"), after=entry
+    )
+    main = builder.add(
+        Conv2D(name="res_conv2", filters=8, kernel_size=3, strides=1, pad="same"), after=main
+    )
+    builder.add(Add(name="res_add"), after=(main, entry))
+    builder.add(Pool2D(name="pool", pool_size=2, strides=2))
+    builder.add(GlobalAvgPool(name="gap"))
+    builder.add(Dense(name="fc", units=10, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()
+
+
+def build_tiny_branchy(input_side: int = 32) -> DNNGraph:
+    """Toy with an Inception-style concat module."""
+    builder = GraphBuilder("tiny_branchy", image(input_side, 3))
+    builder.add(Conv2D(name="stem", filters=8, kernel_size=3, strides=1, pad="same"))
+    entry = builder.last
+    b1 = builder.add(
+        Conv2D(name="branch1", filters=8, kernel_size=1, strides=1, pad="same"), after=entry
+    )
+    b2 = builder.add(
+        Conv2D(name="branch2", filters=8, kernel_size=3, strides=1, pad="same"), after=entry
+    )
+    b3 = builder.add(
+        Pool2D(name="branch3_pool", pool_size=3, strides=1, pad="same", mode="avg"), after=entry
+    )
+    builder.add(Concat(name="concat"), after=(b1, b2, b3))
+    builder.add(Conv2D(name="mix", filters=16, kernel_size=3, strides=2, pad="same"))
+    builder.add(GlobalAvgPool(name="gap"))
+    builder.add(Dense(name="fc", units=10, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()
+
+
+def build_tiny_depthwise(input_side: int = 32) -> DNNGraph:
+    """Toy MBConv-style graph with depthwise convolutions."""
+    builder = GraphBuilder("tiny_depthwise", image(input_side, 3))
+    builder.add(Conv2D(name="stem", filters=8, kernel_size=3, strides=2, pad="same"))
+    builder.add(Conv2D(name="expand", filters=24, kernel_size=1, strides=1, pad="same"))
+    builder.add(DepthwiseConv2D(name="dw", kernel_size=3, strides=1, pad="same"))
+    builder.add(
+        Conv2D(name="project", filters=8, kernel_size=1, strides=1, pad="same", activation="linear")
+    )
+    builder.add(GlobalAvgPool(name="gap"))
+    builder.add(Dense(name="fc", units=10, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()

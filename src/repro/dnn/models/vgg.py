@@ -1,0 +1,39 @@
+"""VGG-19 builder (Simonyan & Zisserman), 224x224x3 input.
+
+Published cost is ~19.6 GMACs; with the 2-FLOPs-per-MAC convention of
+this package the graph totals ~39 GFLOPs.  The dense head carries
+~123 M parameters, which is what makes VGG the heaviest model to ship
+between nodes and a natural candidate for late cut points.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph, GraphBuilder
+from repro.dnn.layers import Conv2D, Dense, Flatten, Pool2D, Softmax
+from repro.dnn.tensors import image
+
+#: Convolution plan: (number of conv layers, output channels) per block.
+_BLOCKS = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def build_vgg19(input_side: int = 224) -> DNNGraph:
+    """Construct the VGG-19 layer graph."""
+    builder = GraphBuilder("vgg19", image(input_side, 3))
+    for block_idx, (count, channels) in enumerate(_BLOCKS):
+        for conv_idx in range(count):
+            builder.add(
+                Conv2D(
+                    name=f"block{block_idx + 1}_conv{conv_idx + 1}",
+                    filters=channels,
+                    kernel_size=3,
+                    strides=1,
+                    pad="same",
+                )
+            )
+        builder.add(Pool2D(name=f"block{block_idx + 1}_pool", pool_size=2, strides=2))
+    builder.add(Flatten(name="flatten"))
+    builder.add(Dense(name="fc1", units=4096))
+    builder.add(Dense(name="fc2", units=4096))
+    builder.add(Dense(name="fc3", units=1000, activation="linear"))
+    builder.add(Softmax(name="predictions"))
+    return builder.build()

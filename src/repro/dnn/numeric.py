@@ -1,0 +1,369 @@
+"""Numeric (numpy) executor for DNN graphs, full and tile-partitioned.
+
+This module backs the paper's accuracy claim ("Top-1/Top-5 accuracies
+of HiDP are the same as DisNet, OmniBoost and MoDNN, demonstrating
+robust intermediate data sharing"): we execute the same graph
+
+1. unpartitioned, and
+2. as independent row-band tiles with receptive-field halos
+   (:func:`run_data_partitioned`), stitched back together,
+
+and assert the outputs are equal to floating-point reproducibility.
+Because data-partitioned inference is *exactly* equivalent, partitioned
+accuracy equals unpartitioned accuracy on any input distribution.
+
+The executor shares the demand-walk geometry with the analytical cost
+model (:meth:`repro.dnn.graph.DNNGraph.demand_rows`), so these tests
+also validate the halo math the partitioners rely on.
+
+Only ``groups == 1`` convolutions are supported numerically; the model
+zoo satisfies this.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Layer,
+    Pool2D,
+    Softmax,
+    _pad_amount,
+)
+from repro.dnn.partition import DataPartition, make_data_partition
+
+Array = np.ndarray
+#: activation value + the global row index its first row corresponds to
+_Act = Tuple[Array, int]
+
+
+class NumericError(RuntimeError):
+    """Raised when a graph cannot be executed numerically."""
+
+
+# --------------------------------------------------------------------------
+# Parameter initialisation
+# --------------------------------------------------------------------------
+
+
+def _layer_rng(seed: int, graph_name: str, layer_name: str) -> np.random.Generator:
+    key = zlib.crc32(f"{seed}:{graph_name}:{layer_name}".encode())
+    return np.random.default_rng(key)
+
+
+def init_params(graph: DNNGraph, seed: int = 0) -> Dict[str, Dict[str, Array]]:
+    """Deterministic random parameters for every parameterised layer."""
+    params: Dict[str, Dict[str, Array]] = {}
+    for layer in graph.layers:
+        if not layer.inputs:
+            continue
+        in_spec = graph.spec(layer.inputs[0])
+        rng = _layer_rng(seed, graph.name, layer.name)
+        if isinstance(layer, Conv2D):
+            if layer.groups != 1:
+                raise NumericError(f"{layer.name}: grouped conv not supported numerically")
+            shape = (layer.kernel, layer.kernel_w, in_spec.channels, layer.filters)
+            params[layer.name] = {
+                "w": rng.normal(0.0, 0.1, size=shape).astype(np.float64),
+                "b": rng.normal(0.0, 0.05, size=(layer.filters,)).astype(np.float64),
+            }
+        elif isinstance(layer, DepthwiseConv2D):
+            shape = (layer.kernel_size, layer.kernel_size, in_spec.channels)
+            params[layer.name] = {
+                "w": rng.normal(0.0, 0.1, size=shape).astype(np.float64),
+                "b": rng.normal(0.0, 0.05, size=(in_spec.channels,)).astype(np.float64),
+            }
+        elif isinstance(layer, Dense):
+            shape = (in_spec.numel, layer.units)
+            params[layer.name] = {
+                "w": rng.normal(0.0, 0.1, size=shape).astype(np.float64),
+                "b": rng.normal(0.0, 0.05, size=(layer.units,)).astype(np.float64),
+            }
+        elif isinstance(layer, BatchNorm):
+            params[layer.name] = {
+                "scale": rng.normal(1.0, 0.1, size=(in_spec.channels,)).astype(np.float64),
+                "shift": rng.normal(0.0, 0.1, size=(in_spec.channels,)).astype(np.float64),
+            }
+    return params
+
+
+# --------------------------------------------------------------------------
+# Kernels
+# --------------------------------------------------------------------------
+
+
+def _activate(x: Array, fn: str) -> Array:
+    if fn == "linear":
+        return x
+    if fn == "relu":
+        return np.maximum(x, 0.0)
+    if fn == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    if fn == "swish":
+        return x / (1.0 + np.exp(-x))
+    raise NumericError(f"unknown activation {fn!r}")
+
+
+def _windows(x: Array, kernel_h: int, kernel_w: int, stride: int) -> Array:
+    """(Ho, Wo, C, kh, kw) sliding windows of an HWC tensor."""
+    view = sliding_window_view(x, (kernel_h, kernel_w), axis=(0, 1))
+    return view[::stride, ::stride]
+
+
+def _pad_hw(x: Array, pads: Tuple[int, int, int, int], value: float = 0.0) -> Array:
+    top, bottom, left, right = pads
+    if not any(pads):
+        return x
+    return np.pad(
+        x, ((top, bottom), (left, right), (0, 0)), mode="constant", constant_values=value
+    )
+
+
+def _conv2d(x: Array, w: Array, b: Array, stride: int, fn: str) -> Array:
+    out = np.einsum("hwckl,klcf->hwf", _windows(x, w.shape[0], w.shape[1], stride), w)
+    return _activate(out + b, fn)
+
+
+def _depthwise(x: Array, w: Array, b: Array, stride: int) -> Array:
+    out = np.einsum("hwckl,klc->hwc", _windows(x, w.shape[0], w.shape[1], stride), w)
+    return _activate(out + b, "relu")
+
+
+def _pool(x: Array, size: int, stride: int, mode: str) -> Array:
+    view = _windows(x, size, size, stride)
+    if mode == "max":
+        return view.max(axis=(3, 4))
+    return view.mean(axis=(3, 4))
+
+
+# --------------------------------------------------------------------------
+# Tile-aware execution
+# --------------------------------------------------------------------------
+
+
+def _gather(
+    acts: Dict[str, _Act],
+    producer: str,
+    want_lo: int,
+    want_hi: int,
+    full_height: int,
+    pad_value: float = 0.0,
+) -> Array:
+    """Rows ``[want_lo, want_hi)`` of a producer activation, zero-padding
+    the part of the demand that falls outside the physical tensor."""
+    value, cov_lo = acts[producer]
+    phys_lo = max(want_lo, 0)
+    phys_hi = min(want_hi, full_height)
+    if phys_lo - cov_lo < 0 or phys_hi - cov_lo > value.shape[0]:
+        raise NumericError(
+            f"coverage miss on {producer}: have [{cov_lo}, {cov_lo + value.shape[0]}), "
+            f"need [{phys_lo}, {phys_hi})"
+        )
+    window = value[phys_lo - cov_lo : phys_hi - cov_lo]
+    top = phys_lo - want_lo
+    bottom = want_hi - phys_hi
+    if top or bottom:
+        window = np.pad(
+            window,
+            ((top, bottom), (0, 0), (0, 0)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+    return window
+
+
+def _spatial_input(
+    graph: DNNGraph,
+    acts: Dict[str, _Act],
+    layer: Layer,
+    producer: str,
+    out_lo: int,
+    out_hi: int,
+    pad_value: float = 0.0,
+) -> Array:
+    """Producer rows + horizontal padding needed for output rows [out_lo, out_hi)."""
+    spec = graph.spec(producer)
+    pad_top, _ = _pad_amount(spec.height, layer.kernel, layer.stride, layer.padding)
+    want_lo = out_lo * layer.stride - pad_top
+    want_hi = (out_hi - 1) * layer.stride + layer.kernel - pad_top
+    rows = _gather(acts, producer, want_lo, want_hi, spec.height, pad_value)
+    left, right = _pad_amount(spec.width, layer.kernel_w, layer.stride, layer.padding)
+    return _pad_hw(rows, (0, 0, left, right), pad_value)
+
+
+def _require_full(graph: DNNGraph, acts: Dict[str, _Act], producer: str) -> Array:
+    value, cov_lo = acts[producer]
+    height = graph.spec(producer).height
+    if cov_lo != 0 or value.shape[0] != height:
+        raise NumericError(f"{producer}: non-spatial consumer needs full coverage")
+    return value
+
+
+def execute_layers(
+    graph: DNNGraph,
+    layer_names: Sequence[str],
+    acts: Dict[str, _Act],
+    coverage: Dict[str, Tuple[int, int]],
+    params: Dict[str, Dict[str, Array]],
+) -> Dict[str, _Act]:
+    """Run ``layer_names`` (a topo-ordered subset), producing the coverage
+    rows listed for each layer.  ``acts`` must already contain every
+    external producer.  Returns ``acts`` with new activations added."""
+    for name in layer_names:
+        layer = graph.layer(name)
+        if isinstance(layer, Input):
+            if name not in acts:
+                raise NumericError("Input activation missing")
+            continue
+        lo, hi = coverage.get(name, (0, graph.spec(name).height))
+        if isinstance(layer, Conv2D):
+            p = params[name]
+            x = _spatial_input(graph, acts, layer, layer.inputs[0], lo, hi)
+            out = _conv2d(x, p["w"], p["b"], layer.strides, layer.activation)
+        elif isinstance(layer, DepthwiseConv2D):
+            p = params[name]
+            x = _spatial_input(graph, acts, layer, layer.inputs[0], lo, hi)
+            out = _depthwise(x, p["w"], p["b"], layer.strides)
+        elif isinstance(layer, Pool2D):
+            pad_value = -np.inf if layer.mode == "max" else 0.0
+            x = _spatial_input(graph, acts, layer, layer.inputs[0], lo, hi, pad_value)
+            out = _pool(x, layer.pool_size, layer.strides, layer.mode)
+        elif isinstance(layer, Activation):
+            x = _gather(acts, layer.inputs[0], lo, hi, graph.spec(layer.inputs[0]).height)
+            out = _activate(x, layer.fn)
+        elif isinstance(layer, BatchNorm):
+            p = params[name]
+            x = _gather(acts, layer.inputs[0], lo, hi, graph.spec(layer.inputs[0]).height)
+            out = x * p["scale"] + p["shift"]
+        elif isinstance(layer, Add):
+            parts = [
+                _gather(acts, producer, lo, hi, graph.spec(producer).height)
+                for producer in layer.inputs
+            ]
+            out = np.sum(parts, axis=0)
+        elif isinstance(layer, Concat):
+            parts = [
+                _gather(acts, producer, lo, hi, graph.spec(producer).height)
+                for producer in layer.inputs
+            ]
+            out = np.concatenate(parts, axis=2)
+        elif isinstance(layer, GlobalAvgPool):
+            x = _require_full(graph, acts, layer.inputs[0])
+            out = x.mean(axis=(0, 1))[np.newaxis, np.newaxis, :]
+        elif isinstance(layer, Flatten):
+            x = _require_full(graph, acts, layer.inputs[0])
+            out = x.reshape(1, 1, -1)
+        elif isinstance(layer, Dense):
+            p = params[name]
+            x = _require_full(graph, acts, layer.inputs[0])
+            out = _activate(x.reshape(-1) @ p["w"] + p["b"], layer.activation)
+            out = out[np.newaxis, np.newaxis, :]
+        elif isinstance(layer, Softmax):
+            x = _require_full(graph, acts, layer.inputs[0])
+            flat = x.reshape(-1)
+            exp = np.exp(flat - flat.max())
+            out = (exp / exp.sum())[np.newaxis, np.newaxis, :]
+        else:
+            raise NumericError(f"no numeric kernel for layer type {type(layer).__name__}")
+        acts[name] = (out, lo)
+    return acts
+
+
+def random_input(graph: DNNGraph, seed: int = 0) -> Array:
+    """A deterministic random input image for the graph."""
+    spec = graph.input_spec
+    rng = _layer_rng(seed, graph.name, "@input")
+    return rng.normal(0.0, 1.0, size=(spec.height, spec.width, spec.channels))
+
+
+def run_graph(
+    graph: DNNGraph, x: Array, params: Optional[Dict[str, Dict[str, Array]]] = None
+) -> Array:
+    """Full (unpartitioned) forward pass; returns the final activation."""
+    if params is None:
+        params = init_params(graph)
+    acts: Dict[str, _Act] = {graph.layers[0].name: (np.asarray(x, dtype=np.float64), 0)}
+    names = [layer.name for layer in graph.layers]
+    execute_layers(graph, names, acts, {}, params)
+    final, _ = acts[graph.layers[-1].name]
+    return final
+
+
+def run_data_partitioned(
+    graph: DNNGraph,
+    x: Array,
+    num_tiles: int,
+    params: Optional[Dict[str, Dict[str, Array]]] = None,
+    partition: Optional[DataPartition] = None,
+) -> Array:
+    """Forward pass with σ-way FTP-style data partitioning.
+
+    Each tile executes independently on its halo-extended input band;
+    the prefix outputs are stitched and the non-spatial tail runs on the
+    merged tensor.  The result must equal :func:`run_graph` exactly.
+    """
+    if params is None:
+        params = init_params(graph)
+    if partition is None:
+        partition = make_data_partition(graph, num_tiles)
+    x = np.asarray(x, dtype=np.float64)
+    segs = graph.segments()
+    prefix_names = []
+    for seg in segs[partition.seg_lo :]:
+        prefix_names.extend(seg.layer_names)
+        if seg.layer_names[-1] == partition.prefix_end:
+            break
+    prefix_set = set(prefix_names)
+
+    bands = []
+    for tile in partition.tiles:
+        demands = graph.demand_rows(
+            partition.prefix_end, tile.out_lo, tile.out_hi, stop_layer=partition.entry_layer
+        )
+        coverage = {
+            name: graph.clamp_rows(name, rows)
+            for name, rows in demands.items()
+            if name in prefix_set
+        }
+        entry_rows = graph.clamp_rows(partition.entry_layer, demands[partition.entry_layer])
+        acts: Dict[str, _Act] = {
+            partition.entry_layer: (x[entry_rows[0] : entry_rows[1]], entry_rows[0])
+        }
+        execute_layers(graph, prefix_names, acts, coverage, params)
+        out, cov_lo = acts[partition.prefix_end]
+        bands.append(out[tile.out_lo - cov_lo : tile.out_hi - cov_lo])
+
+    merged = np.concatenate(bands, axis=0)
+    acts = {partition.prefix_end: (merged, 0)}
+    tail_names = [
+        layer.name
+        for layer in graph.layers
+        if layer.name not in prefix_set and not isinstance(layer, Input)
+    ]
+    # tail_names keeps topological order because graph.layers is ordered
+    execute_layers(graph, tail_names, acts, {}, params)
+    if tail_names:
+        final, _ = acts[tail_names[-1]]
+    else:
+        final = merged
+    return final
+
+
+def outputs_match(a: Array, b: Array, atol: float = 1e-9, rtol: float = 1e-9) -> bool:
+    """Float comparison used by the accuracy-equivalence experiments."""
+    return bool(np.allclose(a, b, atol=atol, rtol=rtol))

@@ -1,0 +1,73 @@
+"""Tensor shape descriptors used throughout the cost model.
+
+The simulator never materialises real activations except inside the
+numeric executor (:mod:`repro.dnn.numeric`); everywhere else tensors are
+described by :class:`TensorSpec`, which is enough to compute FLOPs,
+memory footprints and network transfer sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Bytes per element for the default (float32) activation datatype.
+DEFAULT_DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape of an activation tensor in HWC layout.
+
+    ``height``/``width`` are the spatial dimensions, ``channels`` the
+    feature dimension.  1-D tensors (outputs of Flatten/Dense layers)
+    use ``height == width == 1`` and put their length in ``channels``.
+    """
+
+    height: int
+    width: int
+    channels: int
+    dtype_bytes: int = DEFAULT_DTYPE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.height < 1 or self.width < 1 or self.channels < 1:
+            raise ValueError(f"non-positive tensor dimension: {self}")
+        if self.dtype_bytes < 1:
+            raise ValueError(f"non-positive dtype size: {self.dtype_bytes}")
+
+    @property
+    def numel(self) -> int:
+        """Total number of elements."""
+        return self.height * self.width * self.channels
+
+    @property
+    def size_bytes(self) -> int:
+        """Size in bytes when serialised for a network transfer."""
+        return self.numel * self.dtype_bytes
+
+    @property
+    def is_spatial(self) -> bool:
+        """Whether the tensor still has a spatial extent (can be tiled)."""
+        return self.height > 1 or self.width > 1
+
+    def with_height(self, height: int) -> "TensorSpec":
+        """A copy of this spec with a different number of rows."""
+        return replace(self, height=height)
+
+    def rows_bytes(self, rows: int) -> int:
+        """Size in bytes of ``rows`` full-width rows of this tensor."""
+        if rows < 0:
+            raise ValueError(f"negative row count: {rows}")
+        return rows * self.width * self.channels * self.dtype_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.height}x{self.width}x{self.channels}"
+
+
+def vector(length: int, dtype_bytes: int = DEFAULT_DTYPE_BYTES) -> TensorSpec:
+    """Spec for a 1-D tensor of ``length`` elements."""
+    return TensorSpec(height=1, width=1, channels=length, dtype_bytes=dtype_bytes)
+
+
+def image(side: int, channels: int = 3, dtype_bytes: int = DEFAULT_DTYPE_BYTES) -> TensorSpec:
+    """Spec for a square input image."""
+    return TensorSpec(height=side, width=side, channels=channels, dtype_bytes=dtype_bytes)

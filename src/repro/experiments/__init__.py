@@ -1,0 +1,71 @@
+"""Experiment regenerators: one module per paper figure/table."""
+
+from repro.experiments.common import (
+    STRATEGY_ORDER,
+    default_cluster,
+    run_all_strategies,
+    run_strategy,
+)
+from repro.experiments.fig1_motivation import (
+    CONFIG_NAMES,
+    CONFIGS,
+    FixedConfigStrategy,
+    PartitionConfig,
+    best_config,
+    normalised_fig1,
+    report_fig1,
+    run_fig1,
+)
+from repro.experiments.fig5_latency_energy import (
+    average_reduction as fig5_average_reduction,
+    max_reduction as fig5_max_reduction,
+    report_fig5,
+    run_fig5,
+)
+from repro.experiments.fig6_performance import report_fig6, run_fig6
+from repro.experiments.fig7_throughput import (
+    average_gain as fig7_average_gain,
+    report_fig7,
+    run_fig7,
+)
+from repro.experiments.fig8_scaling import (
+    CLUSTER_SIZES,
+    average_reduction as fig8_average_reduction,
+    report_fig8,
+    run_fig8,
+)
+from repro.experiments.sensitivity import report_bandwidth_sweep, run_bandwidth_sweep
+from repro.experiments.tables import report_accuracy, report_table1, report_table2
+
+__all__ = [
+    "STRATEGY_ORDER",
+    "default_cluster",
+    "run_strategy",
+    "run_all_strategies",
+    "run_fig1",
+    "report_fig1",
+    "normalised_fig1",
+    "best_config",
+    "CONFIGS",
+    "CONFIG_NAMES",
+    "PartitionConfig",
+    "FixedConfigStrategy",
+    "run_fig5",
+    "report_fig5",
+    "fig5_average_reduction",
+    "fig5_max_reduction",
+    "run_fig6",
+    "report_fig6",
+    "run_fig7",
+    "report_fig7",
+    "fig7_average_gain",
+    "run_fig8",
+    "report_fig8",
+    "fig8_average_reduction",
+    "CLUSTER_SIZES",
+    "report_table1",
+    "report_table2",
+    "report_accuracy",
+    "run_bandwidth_sweep",
+    "report_bandwidth_sweep",
+]

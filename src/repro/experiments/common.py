@@ -1,0 +1,53 @@
+"""Shared experiment infrastructure.
+
+Every ``figN_*.py`` module exposes a ``run_*`` function returning plain
+data structures (so tests and benches can assert on them) and a
+``report_*`` function rendering the paper-style table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import STRATEGIES, build_strategy
+from repro.core.framework import DistributedInferenceFramework
+from repro.core.strategy import Strategy
+from repro.dnn.models import MODEL_NAMES
+from repro.metrics.results import RunResult
+from repro.platform.cluster import Cluster, build_cluster
+from repro.workloads.requests import InferenceRequest
+
+#: Plot order of the paper's figures.
+STRATEGY_ORDER = ("hidp", "disnet", "omniboost", "modnn")
+
+
+def default_cluster() -> Cluster:
+    """The five-board Table II cluster, leader = Jetson TX2."""
+    return build_cluster()
+
+
+def run_strategy(
+    strategy_name: str,
+    requests: Sequence[InferenceRequest],
+    cluster: Optional[Cluster] = None,
+    strategy: Optional[Strategy] = None,
+) -> RunResult:
+    """Run one request stream under one strategy on a fresh framework."""
+    framework = DistributedInferenceFramework(
+        cluster=cluster if cluster is not None else default_cluster(),
+        strategy=strategy if strategy is not None else build_strategy(strategy_name),
+    )
+    return framework.run(requests)
+
+
+def run_all_strategies(
+    requests_factory: Callable[[], Sequence[InferenceRequest]],
+    cluster: Optional[Cluster] = None,
+    strategy_names: Sequence[str] = STRATEGY_ORDER,
+) -> Dict[str, RunResult]:
+    """Run the same workload under every strategy (fresh instances)."""
+    results = {}
+    for name in strategy_names:
+        results[name] = run_strategy(name, requests_factory(), cluster=cluster)
+    return results

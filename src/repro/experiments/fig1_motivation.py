@@ -1,0 +1,291 @@
+"""Figure 1: inference latency of the four DNNs under fixed workload
+partitioning configurations P1-P9 on a single Jetson TX2.
+
+Each configuration is a (number of data partitions, GPU workload share)
+pair.  P1 is the default TensorFlow choice -- the whole network on the
+GPU, no partitioning, default run-time -- which is what state-of-the-art
+distributed strategies run locally ("SoA latency" in the paper's plot).
+Partitions are realised as barrier-synchronised chunk stages over the
+spatial prefix (the same mechanism HiDP's local tier uses), with each
+chunk split between the GPU and the CPU clusters by the configured
+share; the non-spatial tail runs on the GPU.
+
+Paper anchors this experiment reproduces: every model has some P > 1
+configuration beating P1; ResNet-152 and VGG-19 bottom out around P7
+(80/20 GPU/CPU), InceptionNet-V3 around P6, and EfficientNet-B0 -- the
+depthwise-dominated, op-dense network -- prefers the deepest CPU
+involvement (P9, 50/50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dse import exchange_equiv_bytes
+from repro.core.plans import (
+    ExecutionPlan,
+    LOCAL_SINGLE,
+    LOCAL_STAGED,
+    LocalExec,
+    MODE_LOCAL,
+    NodeAssignment,
+    UnitTask,
+)
+from repro.core.strategy import Strategy
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import LAYER_CLASSES
+from repro.dnn.models import MODEL_NAMES, build_model
+from repro.dnn.partition import spatial_prefix
+from repro.experiments.common import run_strategy
+from repro.metrics.report import normalise, render_table
+from repro.platform.cluster import Cluster, build_cluster
+from repro.platform.processor import KIND_CPU, KIND_GPU
+from repro.workloads.requests import single_request
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """One P-configuration of the motivational experiment."""
+
+    name: str
+    partitions: int
+    gpu_share: float
+    pinned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1 or not 0.0 <= self.gpu_share <= 1.0:
+            raise ValueError(f"invalid configuration {self}")
+
+
+#: The nine configurations, anchored to the paper's described points:
+#: P1 = default TF (GPU only, no partitioning); P6 = 90% GPU with mixed
+#: partition counts; P7 = 4 partitions at 80/20; P9 = 4 partitions at
+#: 50/50.
+CONFIGS: Tuple[PartitionConfig, ...] = (
+    PartitionConfig("P1", 1, 1.00, pinned=False),
+    PartitionConfig("P2", 2, 1.00),
+    PartitionConfig("P3", 2, 0.90),
+    PartitionConfig("P4", 2, 0.80),
+    PartitionConfig("P5", 4, 1.00),
+    PartitionConfig("P6", 3, 0.90),
+    PartitionConfig("P7", 4, 0.80),
+    PartitionConfig("P8", 4, 0.65),
+    PartitionConfig("P9", 4, 0.50),
+)
+
+CONFIG_NAMES = tuple(config.name for config in CONFIGS)
+
+
+class FixedConfigStrategy(Strategy):
+    """Executes a DNN under one fixed P-configuration on the leader.
+
+    No search: the plan is fully determined by the configuration.  Used
+    only by this experiment.
+    """
+
+    def __init__(self, config: PartitionConfig):
+        super().__init__()
+        self.config = config
+        self.name = f"fixed_{config.name}"
+        self.dse_overhead_s = 0.0
+
+    def _plan(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionPlan:
+        del load
+        device = cluster.leader
+        local = build_config_exec(graph, device, self.config)
+        return ExecutionPlan(
+            strategy=self.name,
+            model=graph.name,
+            mode=MODE_LOCAL,
+            assignments=(NodeAssignment(device=device.name, local=local),),
+            predicted_latency_s=0.0,
+            dse_overhead_s=0.0,
+            notes={"config": self.config.name},
+        )
+
+
+def _sum_flops(segments, lo: int, hi: int) -> Dict[str, int]:
+    flops = {cls: 0 for cls in LAYER_CLASSES}
+    for seg in segments[lo : hi + 1]:
+        for cls, value in seg.flops_by_class.items():
+            flops[cls] += value
+    return flops
+
+
+#: Segments per barrier-synchronised chunk.
+CHUNK_SPAN = 6
+#: Finer chunking used by the 4-partition configurations.
+FINE_CHUNK_SPAN = 4
+
+
+def _config_shares(config: PartitionConfig, gpu, cpus) -> List[Tuple[str, float]]:
+    """Tile shares implied by a configuration.
+
+    ``partitions`` follows the paper's per-processor reading: 2
+    partitions engage the GPU plus one CPU cluster; 3 or more engage
+    every CPU cluster (shares proportional to their rates).
+    """
+    shares: List[Tuple[str, float]] = []
+    if config.gpu_share > 0:
+        shares.append((gpu.name, config.gpu_share))
+    cpu_share = 1.0 - config.gpu_share
+    if cpu_share <= 0 or not cpus:
+        return shares
+    if config.partitions <= 2:
+        best = max(cpus, key=lambda proc: proc.rate("conv"))
+        shares.append((best.name, cpu_share))
+        return shares
+    total_rate = sum(proc.rate("conv") for proc in cpus)
+    for proc in cpus:
+        shares.append((proc.name, cpu_share * proc.rate("conv") / total_rate))
+    return shares
+
+
+def build_config_exec(graph: DNNGraph, device, config: PartitionConfig) -> LocalExec:
+    """Materialise a P-configuration as a LocalExec on ``device``."""
+    segments = graph.segments()
+    full_range = (0, len(segments) - 1)
+    gpu = next(p for p in device.processors if p.kind == KIND_GPU)
+    cpus = [p for p in device.processors if p.kind == KIND_CPU]
+    prefix_lo, prefix_hi = spatial_prefix(graph, segments, full_range)
+
+    if config.partitions == 1 and config.gpu_share == 1.0:
+        # Default framework execution: one op stream on the GPU.
+        task = UnitTask(
+            processor=gpu.name,
+            flops_by_class=graph.flops_by_class(),
+            input_bytes=graph.input_spec.size_bytes,
+            output_bytes=graph.output_spec.size_bytes,
+            label=f"{graph.name}/{config.name}",
+            pinned=config.pinned,
+            num_ops=graph.num_layers,
+        )
+        return LocalExec(mode=LOCAL_SINGLE, tasks=(task,))
+
+    shares = _config_shares(config, gpu, cpus)
+    span = FINE_CHUNK_SPAN if config.partitions >= 4 else CHUNK_SPAN
+
+    stages: List[Tuple[UnitTask, ...]] = []
+    chunk_lo = prefix_lo
+    stage_idx = 0
+    while chunk_lo <= prefix_hi:
+        cut = min(chunk_lo + span - 1, prefix_hi)
+        chunk_ops = sum(seg.num_ops for seg in segments[chunk_lo : cut + 1])
+        chunk_flops = _sum_flops(segments, chunk_lo, cut)
+        chunk_in = segments[chunk_lo].in_spec.size_bytes
+        chunk_out = segments[cut].out_spec.size_bytes
+        out_height = graph.spec(segments[cut].layer_names[-1]).height
+        if len(shares) > 1 and out_height >= len(shares):
+            equiv = exchange_equiv_bytes(
+                graph,
+                segments,
+                (chunk_lo, cut),
+                device.intra_latency_s,
+                device.intra_bw_bytes_s,
+            )
+            stage_tasks = []
+            for slot, (proc_name, share) in enumerate(shares):
+                boundaries = (1 if slot > 0 else 0) + (1 if slot < len(shares) - 1 else 0)
+                stage_tasks.append(
+                    UnitTask(
+                        processor=proc_name,
+                        flops_by_class={
+                            cls: int(value * share) for cls, value in chunk_flops.items()
+                        },
+                        input_bytes=int(share * chunk_in) + boundaries * equiv,
+                        output_bytes=int(share * chunk_out),
+                        label=f"{graph.name}/{config.name}/s{stage_idx}t{slot}",
+                        pinned=config.pinned,
+                        num_ops=chunk_ops,
+                    )
+                )
+            stages.append(tuple(stage_tasks))
+        else:
+            task = UnitTask(
+                processor=gpu.name,
+                flops_by_class=chunk_flops,
+                input_bytes=chunk_in,
+                output_bytes=chunk_out,
+                label=f"{graph.name}/{config.name}/s{stage_idx}",
+                pinned=config.pinned,
+                num_ops=chunk_ops,
+            )
+            stages.append((task,))
+        chunk_lo = cut + 1
+        stage_idx += 1
+
+    if prefix_hi < len(segments) - 1:
+        tail_flops = _sum_flops(segments, prefix_hi + 1, len(segments) - 1)
+        tail_ops = sum(seg.num_ops for seg in segments[prefix_hi + 1 :])
+        stages.append(
+            (
+                UnitTask(
+                    processor=gpu.name,
+                    flops_by_class=tail_flops,
+                    input_bytes=segments[prefix_hi].out_spec.size_bytes,
+                    output_bytes=graph.output_spec.size_bytes,
+                    label=f"{graph.name}/{config.name}/tail",
+                    pinned=config.pinned,
+                    num_ops=tail_ops,
+                ),
+            )
+        )
+    flattened = tuple(task for stage in stages for task in stage)
+    return LocalExec(mode=LOCAL_STAGED, tasks=flattened, stages=tuple(stages))
+
+
+def run_fig1(
+    models: Sequence[str] = MODEL_NAMES,
+    configs: Sequence[PartitionConfig] = CONFIGS,
+) -> Dict[str, Dict[str, float]]:
+    """Latency [s] of each model under each configuration on the TX2."""
+    cluster = build_cluster(["jetson_tx2"])
+    latencies: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        latencies[model] = {}
+        for config in configs:
+            result = run_strategy(
+                "ignored",
+                single_request(model),
+                cluster=cluster,
+                strategy=FixedConfigStrategy(config),
+            )
+            latencies[model][config.name] = result.results[0].latency_s
+    return latencies
+
+
+def normalised_fig1(latencies: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Latencies normalised to P1 (the paper's plotted quantity)."""
+    return {model: normalise(values, "P1") for model, values in latencies.items()}
+
+
+def best_config(latencies: Dict[str, Dict[str, float]]) -> Dict[str, str]:
+    """The argmin configuration per model."""
+    return {
+        model: min(values, key=values.get)  # type: ignore[arg-type]
+        for model, values in latencies.items()
+    }
+
+
+def report_fig1(latencies: Optional[Dict[str, Dict[str, float]]] = None) -> str:
+    """Render the Fig. 1 table (normalised to P1)."""
+    if latencies is None:
+        latencies = run_fig1()
+    norm = normalised_fig1(latencies)
+    rows = []
+    for model, values in norm.items():
+        row: Dict[str, object] = {"Model": model}
+        row.update({name: values[name] for name in CONFIG_NAMES})
+        row["best"] = best_config(latencies)[model]
+        rows.append(row)
+    return render_table(
+        rows,
+        title="Fig. 1 -- normalised inference latency under P1-P9 (Jetson TX2)",
+        float_format="{:.2f}",
+    )

@@ -1,0 +1,93 @@
+"""Figure 5: per-inference latency (a) and energy (b) of HiDP vs.
+DisNet, OmniBoost and MoDNN on the full five-board cluster.
+
+One request per model per strategy; latency is submission-to-merged-
+prediction, energy integrates every board's power over the inference
+window (the paper's run-time power monitoring).
+
+Expected shape: HiDP lowest latency and energy for every workload;
+average latency reduction vs DisNet/OmniBoost/MoDNN around the paper's
+37/44/56 %, energy around 33/48/58 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.dnn.models import MODEL_NAMES
+from repro.experiments.common import STRATEGY_ORDER, default_cluster, run_strategy
+from repro.metrics.report import percent_reduction, render_table
+from repro.platform.cluster import Cluster
+from repro.workloads.requests import single_request
+
+
+def run_fig5(
+    models: Sequence[str] = MODEL_NAMES,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    cluster: Optional[Cluster] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{model: {strategy: {"latency_s": .., "energy_j": ..}}}."""
+    if cluster is None:
+        cluster = default_cluster()
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model in models:
+        table[model] = {}
+        for strategy in strategies:
+            result = run_strategy(strategy, single_request(model), cluster=cluster)
+            table[model][strategy] = {
+                "latency_s": result.results[0].latency_s,
+                "energy_j": result.energy_j,
+            }
+    return table
+
+
+def average_reduction(
+    table: Dict[str, Dict[str, Dict[str, float]]], metric: str = "latency_s"
+) -> Dict[str, float]:
+    """Mean % reduction of HiDP vs each baseline across models."""
+    reductions: Dict[str, list] = {}
+    for model, per_strategy in table.items():
+        hidp = per_strategy["hidp"][metric]
+        for strategy, metrics in per_strategy.items():
+            if strategy == "hidp":
+                continue
+            reductions.setdefault(strategy, []).append(
+                percent_reduction(metrics[metric], hidp)
+            )
+    return {strategy: sum(vals) / len(vals) for strategy, vals in reductions.items()}
+
+
+def max_reduction(
+    table: Dict[str, Dict[str, Dict[str, float]]], metric: str = "latency_s"
+) -> Dict[str, float]:
+    """Per-model 'up to' reduction vs the worst baseline (paper phrasing)."""
+    out = {}
+    for model, per_strategy in table.items():
+        hidp = per_strategy["hidp"][metric]
+        worst = max(metrics[metric] for metrics in per_strategy.values())
+        out[model] = percent_reduction(worst, hidp)
+    return out
+
+
+def report_fig5(table: Optional[Dict] = None) -> str:
+    """Render Fig. 5a (latency) and 5b (energy) tables plus summaries."""
+    if table is None:
+        table = run_fig5()
+    parts = []
+    for metric, unit, title in (
+        ("latency_s", 1000.0, "Fig. 5a -- inference latency [ms]"),
+        ("energy_j", 1.0, "Fig. 5b -- inference energy [J]"),
+    ):
+        rows = []
+        for model, per_strategy in table.items():
+            row: Dict[str, object] = {"Model": model}
+            for strategy in STRATEGY_ORDER:
+                row[strategy] = per_strategy[strategy][metric] * unit
+            rows.append(row)
+        parts.append(render_table(rows, title=title, float_format="{:.1f}"))
+        avg = average_reduction(table, metric)
+        parts.append(
+            "HiDP mean reduction: "
+            + ", ".join(f"{k} {v:.0f}%" for k, v in sorted(avg.items()))
+        )
+    return "\n\n".join(parts)

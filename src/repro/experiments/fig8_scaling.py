@@ -1,0 +1,75 @@
+"""Figure 8: inference latency with varying numbers of edge nodes (2-5).
+
+The concurrent four-model workload (the Fig. 6 staircase) runs on
+progressively smaller sub-clusters; we report the mean per-request
+latency per strategy.  Expected shape: HiDP lowest at every cluster
+size, with its advantage most pronounced at small clusters -- HiDP's
+local tier keeps extracting parallelism from each node while global-
+only strategies lose their distribution options.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import STRATEGY_ORDER, default_cluster, run_strategy
+from repro.metrics.report import percent_reduction, render_table
+from repro.platform.cluster import Cluster
+from repro.workloads.streaming import progressive_workload
+
+CLUSTER_SIZES = (2, 3, 4, 5)
+
+
+def run_fig8(
+    sizes: Sequence[int] = CLUSTER_SIZES,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    cluster: Optional[Cluster] = None,
+) -> Dict[int, Dict[str, float]]:
+    """{cluster size: {strategy: mean latency [s]}}."""
+    if cluster is None:
+        cluster = default_cluster()
+    table: Dict[int, Dict[str, float]] = {}
+    for size in sizes:
+        sub = cluster.subcluster(size)
+        table[size] = {}
+        for strategy in strategies:
+            result = run_strategy(strategy, progressive_workload(), cluster=sub)
+            table[size][strategy] = result.mean_latency_s
+    return table
+
+
+def average_reduction(table: Dict[int, Dict[str, float]]) -> Dict[str, float]:
+    """Mean % latency reduction of HiDP vs each baseline across sizes."""
+    reductions: Dict[str, list] = {}
+    for size, per_strategy in table.items():
+        hidp = per_strategy["hidp"]
+        for strategy, value in per_strategy.items():
+            if strategy == "hidp":
+                continue
+            reductions.setdefault(strategy, []).append(percent_reduction(value, hidp))
+    return {strategy: sum(vals) / len(vals) for strategy, vals in reductions.items()}
+
+
+def report_fig8(table: Optional[Dict[int, Dict[str, float]]] = None) -> str:
+    if table is None:
+        table = run_fig8()
+    rows = []
+    for size, per_strategy in sorted(table.items()):
+        row: Dict[str, object] = {"Nodes": size}
+        row.update(
+            {name: per_strategy[name] * 1000.0 for name in STRATEGY_ORDER}
+        )
+        rows.append(row)
+    avg = average_reduction(table)
+    summary = "HiDP mean reduction: " + ", ".join(
+        f"{k} {v:.0f}%" for k, v in sorted(avg.items())
+    )
+    return (
+        render_table(
+            rows,
+            title="Fig. 8 -- mean latency [ms] vs cluster size (concurrent workload)",
+            float_format="{:.0f}",
+        )
+        + "\n"
+        + summary
+    )

@@ -1,0 +1,60 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage::
+
+    hidp-experiments                # everything
+    hidp-experiments fig1 fig5     # selected experiments
+    python -m repro.experiments.runner table2 accuracy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.fig1_motivation import report_fig1
+from repro.experiments.fig5_latency_energy import report_fig5
+from repro.experiments.fig6_performance import report_fig6
+from repro.experiments.fig7_throughput import report_fig7
+from repro.experiments.fig8_scaling import report_fig8
+from repro.experiments.sensitivity import report_bandwidth_sweep
+from repro.experiments.tables import report_accuracy, report_table1, report_table2
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": report_table1,
+    "table2": report_table2,
+    "fig1": report_fig1,
+    "fig5": report_fig5,
+    "fig6": report_fig6,
+    "fig7": report_fig7,
+    "fig8": report_fig8,
+    "accuracy": report_accuracy,
+    "sensitivity": report_bandwidth_sweep,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hidp-experiments",
+        description="Regenerate the tables and figures of the HiDP paper (DATE 2025).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[[]] + list(EXPERIMENTS),  # type: ignore[arg-type]
+        help="subset to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    for name in selected:
+        start = time.time()
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(EXPERIMENTS[name]())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

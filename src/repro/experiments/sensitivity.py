@@ -1,0 +1,57 @@
+"""Extension experiment: sensitivity to wireless bandwidth.
+
+Not a paper figure -- a sanity sweep the paper's setup implies: as the
+WLAN gets slower, HiDP's DSE must retreat from distribution toward
+leader-local execution (its local tier keeping it useful), and as it
+gets faster, offloading and tiling become profitable.  The crossover
+point is the interesting output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.network import WirelessNetwork
+from repro.core.framework import DistributedInferenceFramework
+from repro.core.hidp import HiDPStrategy
+from repro.metrics.report import render_table
+from repro.platform.cluster import build_cluster
+from repro.platform.specs import DEVICE_NAMES
+from repro.workloads.requests import single_request
+
+#: Sweep points [Mbit/s]; 80 is the paper's testbed.
+BANDWIDTHS_MBPS = (5, 20, 80, 320, 1280)
+
+
+def run_bandwidth_sweep(
+    model: str = "resnet152",
+    bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
+) -> List[Dict[str, object]]:
+    """One HiDP inference per bandwidth point; returns report rows."""
+    rows: List[Dict[str, object]] = []
+    for mbps in bandwidths_mbps:
+        network = WirelessNetwork(bandwidth_bytes_s=mbps * 1e6 / 8)
+        cluster = build_cluster(DEVICE_NAMES, network=network)
+        framework = DistributedInferenceFramework(cluster, HiDPStrategy())
+        run = framework.run(single_request(model))
+        result = run.results[0]
+        rows.append(
+            {
+                "WLAN [Mbit/s]": mbps,
+                "latency [ms]": result.latency_s * 1000,
+                "mode": result.plan_mode,
+                "devices": len(result.devices),
+                "network [MB]": run.network_bytes / 1e6,
+            }
+        )
+    return rows
+
+
+def report_bandwidth_sweep(rows: Optional[List[Dict[str, object]]] = None) -> str:
+    if rows is None:
+        rows = run_bandwidth_sweep()
+    return render_table(
+        rows,
+        title="Sensitivity -- HiDP (ResNet-152) vs wireless bandwidth",
+        float_format="{:.1f}",
+    )

@@ -1,0 +1,14 @@
+"""Measurement and reporting utilities."""
+
+from repro.metrics.energy import cluster_energy_j, device_energy_j
+from repro.metrics.results import InferenceResult, RunResult
+from repro.metrics.timeline import render_timeline, utilisation
+
+__all__ = [
+    "InferenceResult",
+    "RunResult",
+    "cluster_energy_j",
+    "device_energy_j",
+    "render_timeline",
+    "utilisation",
+]

@@ -1,0 +1,49 @@
+"""Energy integration from simulator traces.
+
+Mirrors the paper's measurement: every board's power (static floor +
+per-processor idle/active draw) integrated over the experiment window.
+Slower strategies pay twice -- more active seconds on the busy
+processors and a longer window of idle draw on every board, which is
+why the paper's latency ordering carries over to energy (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.platform.cluster import Cluster
+from repro.sim.trace import BusyRecorder
+
+
+def device_energy_j(
+    cluster: Cluster,
+    busy: BusyRecorder,
+    device_name: str,
+    window: Tuple[float, float],
+) -> float:
+    """Energy of one board over a time window [J]."""
+    window_start, window_end = window
+    if window_end < window_start:
+        raise ValueError(f"window ends before it starts: {window}")
+    device = cluster.device(device_name)
+    duration = window_end - window_start
+    energy = device.static_power_w * duration
+    for processor in device.processors:
+        key = BusyRecorder.key(device_name, processor.name)
+        busy_s = busy.busy_seconds(key, window)
+        energy += processor.power.energy_j(duration, busy_s)
+    return energy
+
+
+def cluster_energy_j(
+    cluster: Cluster,
+    busy: BusyRecorder,
+    window: Optional[Tuple[float, float]] = None,
+) -> Dict[str, float]:
+    """Per-device energy over a window (defaults to [0, makespan]) [J]."""
+    if window is None:
+        window = (0.0, busy.makespan)
+    return {
+        device.name: device_energy_j(cluster, busy, device.name, window)
+        for device in cluster.devices
+    }

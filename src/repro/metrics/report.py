@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment regenerator returns structured rows; this module
+turns them into the aligned tables printed by the benchmark harness
+and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(line[idx]) for line in table))
+        for idx, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * width for width in widths)
+    header = " | ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+    body = [
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in table
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, sep])
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def normalise(values: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Normalise a metric map to one entry (the paper's Fig. 1 style)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not in {sorted(values)}")
+    ref = values[reference]
+    if ref == 0:
+        raise ValueError("reference value is zero")
+    return {key: value / ref for key, value in values.items()}
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Reduction of ``improved`` relative to ``baseline`` in percent."""
+    if baseline <= 0:
+        raise ValueError(f"non-positive baseline {baseline}")
+    return 100.0 * (1.0 - improved / baseline)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, for aggregating normalised ratios."""
+    product = 1.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"non-positive value {value}")
+        product *= value
+        count += 1
+    if count == 0:
+        raise ValueError("no values")
+    return product ** (1.0 / count)

@@ -1,0 +1,94 @@
+"""Result records produced by framework runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fsm import FSMTrace
+from repro.core.plans import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of one inference request."""
+
+    request_id: int
+    model: str
+    strategy: str
+    submitted_s: float
+    started_s: float
+    completed_s: float
+    plan_mode: str
+    devices: Tuple[str, ...]
+    traces: Tuple[FSMTrace, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.submitted_s <= self.started_s <= self.completed_s:
+            raise ValueError(
+                f"inconsistent timeline: submit {self.submitted_s}, "
+                f"start {self.started_s}, complete {self.completed_s}"
+            )
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency from submission to merged prediction."""
+        return self.completed_s - self.submitted_s
+
+    @property
+    def service_s(self) -> float:
+        """Time spent after the controller picked the request up."""
+        return self.completed_s - self.started_s
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulated run."""
+
+    strategy: str
+    results: List[InferenceResult] = field(default_factory=list)
+    makespan_s: float = 0.0
+    energy_j: float = 0.0
+    energy_by_device: Dict[str, float] = field(default_factory=dict)
+    gflops_series: List[Tuple[float, float]] = field(default_factory=list)
+    network_bytes: int = 0
+    total_flops: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.latency_s for result in self.results) / len(self.results)
+
+    @property
+    def max_latency_s(self) -> float:
+        return max((result.latency_s for result in self.results), default=0.0)
+
+    def latency_of(self, model: str) -> float:
+        """Mean latency of one model's requests."""
+        matching = [result.latency_s for result in self.results if result.model == model]
+        if not matching:
+            raise KeyError(f"no results for model {model!r}")
+        return sum(matching) / len(matching)
+
+    def throughput_per_100s(self) -> float:
+        """Completed inferences normalised to a 100 s window (Fig. 7)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return 100.0 * self.count / self.makespan_s
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.energy_j / len(self.results)
+
+    @property
+    def mean_gflops(self) -> float:
+        if not self.gflops_series:
+            return 0.0
+        return sum(v for _, v in self.gflops_series) / len(self.gflops_series)

@@ -1,0 +1,79 @@
+"""Text-mode execution timelines from simulator traces.
+
+Renders per-processor Gantt charts of busy intervals, the debugging
+view behind every calibration decision in this reproduction::
+
+    jetson_tx2/gpu_pascal    |## ####      |
+    jetson_tx2/cpu_denver2   |   ###       |
+    jetson_orin_nx/gpu_ampere|     ########|
+
+Use :func:`render_timeline` on the ``BusyRecorder`` of a
+:class:`~repro.sim.runtime.SimRuntime` after a run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.trace import BusyRecorder
+
+
+def render_timeline(
+    busy: BusyRecorder,
+    width: int = 72,
+    window: Optional[Tuple[float, float]] = None,
+    keys: Optional[Sequence[str]] = None,
+) -> str:
+    """ASCII Gantt chart of busy intervals.
+
+    ``width`` is the number of time buckets; a bucket prints ``#`` when
+    the processor is busy for more than half of it, ``-`` when busy for
+    any part of it, and space otherwise.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    selected = list(keys) if keys is not None else sorted(busy.keys())
+    if not selected:
+        return "(no activity)"
+    if window is None:
+        window = (0.0, busy.makespan)
+    start, end = window
+    span = end - start
+    if span <= 0:
+        return "(empty window)"
+    bucket = span / width
+    label_width = max(len(key) for key in selected)
+    lines: List[str] = [
+        f"timeline [{start:.3f}s .. {end:.3f}s], one column = {bucket * 1000:.1f} ms"
+    ]
+    for key in selected:
+        cells = []
+        for idx in range(width):
+            b_start = start + idx * bucket
+            b_end = b_start + bucket
+            occupancy = busy.busy_seconds(key, (b_start, b_end)) / bucket
+            if occupancy > 0.5:
+                cells.append("#")
+            elif occupancy > 0.0:
+                cells.append("-")
+            else:
+                cells.append(" ")
+        lines.append(f"{key.ljust(label_width)}|{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def utilisation(
+    busy: BusyRecorder, window: Optional[Tuple[float, float]] = None
+) -> List[Tuple[str, float]]:
+    """Per-processor utilisation over a window, sorted descending."""
+    if window is None:
+        window = (0.0, busy.makespan)
+    start, end = window
+    span = end - start
+    if span <= 0:
+        raise ValueError(f"empty window {window}")
+    rows = [
+        (key, busy.busy_seconds(key, window) / span) for key in sorted(busy.keys())
+    ]
+    rows.sort(key=lambda item: item[1], reverse=True)
+    return rows

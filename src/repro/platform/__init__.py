@@ -1,0 +1,50 @@
+"""Heterogeneous edge platform substrate (Table II catalogue)."""
+
+from repro.platform.cluster import Cluster, build_cluster
+from repro.platform.device import Device
+from repro.platform.power import PowerModel
+from repro.platform.processor import (
+    CPU_PROFILE,
+    ComputeIntensity,
+    GPU_PROFILE,
+    KIND_CPU,
+    KIND_GPU,
+    KIND_NPU,
+    PROCESSOR_KINDS,
+    Processor,
+)
+from repro.platform.specs import (
+    DEVICE_NAMES,
+    build_device,
+    build_jetson_nano,
+    build_jetson_orin_nx,
+    build_jetson_orin_nx_npu,
+    build_jetson_tx2,
+    build_raspberry_pi4,
+    build_raspberry_pi5,
+    table2_rows,
+)
+
+__all__ = [
+    "Cluster",
+    "build_cluster",
+    "Device",
+    "PowerModel",
+    "Processor",
+    "ComputeIntensity",
+    "CPU_PROFILE",
+    "GPU_PROFILE",
+    "KIND_CPU",
+    "KIND_GPU",
+    "KIND_NPU",
+    "PROCESSOR_KINDS",
+    "DEVICE_NAMES",
+    "build_device",
+    "build_jetson_orin_nx",
+    "build_jetson_orin_nx_npu",
+    "build_jetson_tx2",
+    "build_jetson_nano",
+    "build_raspberry_pi4",
+    "build_raspberry_pi5",
+    "table2_rows",
+]

@@ -1,0 +1,110 @@
+"""Edge clusters: the paper's ``N(phi_j)`` with the global resource
+vector ``Psi`` (Eq. 3) and the availability vector ``A`` (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.comm.network import WirelessNetwork
+from repro.platform.device import Device
+from repro.platform.specs import DEVICE_NAMES, build_device
+
+
+@dataclass
+class Cluster:
+    """A set of collaborating edge nodes on one wireless network.
+
+    ``devices[0]`` is the node where inference requests arrive; the
+    HiDP scheduling algorithm assigns it leader status (Algorithm 1,
+    lines 1-2).  ``available`` tracks the availability vector; nodes
+    can be marked unavailable to model churn / failure injection.
+    """
+
+    devices: Tuple[Device, ...]
+    network: WirelessNetwork = field(default_factory=WirelessNetwork)
+    name: str = "edge-cluster"
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("cluster needs at least one device")
+        names = [device.name for device in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+        self._available: Dict[str, bool] = {device.name: True for device in self.devices}
+
+    # Topology -----------------------------------------------------------
+
+    @property
+    def leader(self) -> Device:
+        return self.devices[0]
+
+    def device(self, name: str) -> Device:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r} in {self.name}")
+
+    @property
+    def size(self) -> int:
+        return len(self.devices)
+
+    def subcluster(self, count: int) -> "Cluster":
+        """First ``count`` devices (leader retained), for Fig. 8 sweeps."""
+        if not 1 <= count <= len(self.devices):
+            raise ValueError(f"cannot take {count} devices from {len(self.devices)}")
+        return Cluster(devices=self.devices[:count], network=self.network, name=self.name)
+
+    # Availability (paper Eq. 4) ------------------------------------------
+
+    def set_available(self, device_name: str, available: bool) -> None:
+        if device_name not in self._available:
+            raise KeyError(f"no device named {device_name!r}")
+        self._available[device_name] = available
+
+    def is_available(self, device_name: str) -> bool:
+        return self._available[device_name]
+
+    def availability_vector(self) -> Dict[str, int]:
+        """``A(N_phi) = {alpha_j}`` with 1 = available."""
+        return {name: int(flag) for name, flag in self._available.items()}
+
+    def available_devices(self) -> Tuple[Device, ...]:
+        return tuple(device for device in self.devices if self._available[device.name])
+
+    # Resource vectors (paper Eq. 3) ---------------------------------------
+
+    def beta(self, device: Device) -> float:
+        """Node communication rate over the wireless medium [bytes/s]."""
+        del device  # uniform shared medium
+        return self.network.beta()
+
+    def psi_global(self, flops_by_class: Optional[Mapping[str, int]] = None) -> Dict[str, float]:
+        """Global computation-to-communication vector ``Psi{Lambda, beta}``.
+
+        Keyed by device name, over *available* devices only.
+        """
+        vector = {}
+        for device in self.available_devices():
+            vector[device.name] = device.compute_rate(flops_by_class) / self.beta(device)
+        return vector
+
+    def transfer_seconds(self, src: str, dst: str, size_bytes: int) -> float:
+        """Uncontended node-to-node transfer time (0 for self-transfers)."""
+        if src == dst:
+            return 0.0
+        return self.network.transfer_seconds(size_bytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster({self.name}: {', '.join(d.name for d in self.devices)})"
+
+
+def build_cluster(
+    device_names: Sequence[str] = DEVICE_NAMES,
+    network: Optional[WirelessNetwork] = None,
+    name: str = "edge-cluster",
+) -> Cluster:
+    """Build a cluster from Table II board names (leader first)."""
+    devices = tuple(build_device(device_name) for device_name in device_names)
+    return Cluster(devices=devices, network=network or WirelessNetwork(), name=name)

@@ -1,0 +1,43 @@
+"""Power models for processors and boards.
+
+The paper monitors run-time power via on-board sensors (Jetson) or an
+external shunt (Raspberry Pi) and reports per-inference energy.  We
+reproduce that with a two-state model per processor -- idle draw and
+full-load draw -- plus a per-board static floor.  Energy over a window
+is ``idle * T + (busy - idle) * busy_seconds``, integrated exactly from
+the simulator's busy intervals.
+
+Relative energy between strategies (what the paper's Fig. 5b reports)
+depends only on busy-time distribution across processors, which this
+model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Two-state power draw of one processor, in watts."""
+
+    idle_w: float
+    busy_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.busy_w < self.idle_w:
+            raise ValueError(f"inconsistent power model: {self}")
+
+    def energy_j(self, window_s: float, busy_s: float) -> float:
+        """Energy consumed over ``window_s`` with ``busy_s`` at full load."""
+        if busy_s < 0 or window_s < 0:
+            raise ValueError(f"negative time: window={window_s}, busy={busy_s}")
+        if busy_s > window_s + 1e-9:
+            raise ValueError(f"busy {busy_s} exceeds window {window_s}")
+        return self.idle_w * window_s + (self.busy_w - self.idle_w) * busy_s
+
+    def active_energy_j(self, busy_s: float) -> float:
+        """Marginal energy of ``busy_s`` seconds of load (excludes idle floor)."""
+        if busy_s < 0:
+            raise ValueError(f"negative busy time: {busy_s}")
+        return (self.busy_w - self.idle_w) * busy_s

@@ -1,0 +1,165 @@
+"""Processors: the ``rho_k`` of the paper's system model.
+
+Each processor has a computation frequency ``f_k`` (cycles/s, summed
+over cores) and a *compute intensity* table ``delta`` (cycles per FLOP)
+keyed by layer class.  The computation rate for a layer class is
+
+    lambda = f_k / delta_class          [FLOPs/s]     (paper Sec. III)
+
+The per-class table -- rather than a scalar ``delta`` -- is what lets a
+GPU be 20x faster than a CPU on dense convolutions yet barely faster on
+depthwise convolutions, reproducing the CPU-friendly-layer effect the
+paper builds on (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.dnn.layers import (
+    CLASS_CONV,
+    CLASS_DENSE,
+    CLASS_DEPTHWISE,
+    CLASS_ELEMENTWISE,
+    CLASS_POOL,
+    LAYER_CLASSES,
+)
+from repro.platform.power import PowerModel
+
+KIND_CPU = "cpu"
+KIND_GPU = "gpu"
+KIND_NPU = "npu"
+PROCESSOR_KINDS = (KIND_CPU, KIND_GPU, KIND_NPU)
+
+
+@dataclass(frozen=True)
+class ComputeIntensity:
+    """Cycles per FLOP for each layer class (the paper's ``delta``)."""
+
+    conv: float
+    depthwise: float
+    dense: float
+    pool: float
+    elementwise: float
+
+    def __post_init__(self) -> None:
+        for cls in LAYER_CLASSES:
+            if getattr(self, cls) <= 0:
+                raise ValueError(f"non-positive intensity for {cls}: {self}")
+
+    def for_class(self, layer_class: str) -> float:
+        if layer_class not in LAYER_CLASSES:
+            raise KeyError(f"unknown layer class {layer_class!r}")
+        return getattr(self, layer_class)
+
+    @classmethod
+    def scaled(cls, conv: float, profile: Mapping[str, float]) -> "ComputeIntensity":
+        """Build from a conv intensity and relative multipliers."""
+        return cls(
+            conv=conv,
+            depthwise=conv * profile.get(CLASS_DEPTHWISE, 1.0),
+            dense=conv * profile.get(CLASS_DENSE, 1.0),
+            pool=conv * profile.get(CLASS_POOL, 1.0),
+            elementwise=conv * profile.get(CLASS_ELEMENTWISE, 1.0),
+        )
+
+
+#: Relative delta multipliers: GPUs are memory-bound on low-arithmetic-
+#: intensity classes; CPUs degrade much more gently.
+GPU_PROFILE: Dict[str, float] = {
+    CLASS_DEPTHWISE: 40.0,
+    CLASS_DENSE: 2.0,
+    CLASS_POOL: 3.0,
+    CLASS_ELEMENTWISE: 8.0,
+}
+CPU_PROFILE: Dict[str, float] = {
+    CLASS_DEPTHWISE: 1.3,
+    CLASS_DENSE: 1.1,
+    CLASS_POOL: 1.2,
+    CLASS_ELEMENTWISE: 1.5,
+}
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One processing unit of an edge node (CPU cluster, GPU or NPU).
+
+    ``frequency_hz`` is per core; the aggregate cycle budget is
+    ``cores * frequency_hz``.  ``setup_time_s`` models the fixed
+    per-task cost (kernel launch, thread pool wake-up, tensor staging)
+    that makes very fine partitioning counter-productive.
+    """
+
+    name: str
+    kind: str
+    cores: int
+    frequency_hz: float
+    intensity: ComputeIntensity
+    power: PowerModel
+    setup_time_s: float = 0.002
+    #: Slow-down factor of *default framework* execution (TensorFlow
+    #: placement under stock OS governors) relative to HiDP's pinned,
+    #: CGroup-bound execution.  "HiDP overtakes the control from
+    #: default OS governors and allocates the workload to the desired
+    #: processing units" -- strategies that rely on the default
+    #: run-time (the paper's P1 and all three baselines) pay this.
+    default_runtime_penalty: float = 1.6
+    #: Per-operator dispatch cost (kernel launch / op scheduling).
+    #: This is why op-dense, FLOP-light networks (EfficientNet-B0) run
+    #: disproportionately slowly on GPUs under stock frameworks.
+    dispatch_time_s: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESSOR_KINDS:
+            raise ValueError(f"unknown processor kind {self.kind!r}")
+        if self.cores < 1 or self.frequency_hz <= 0 or self.setup_time_s < 0:
+            raise ValueError(f"invalid processor parameters: {self}")
+        if self.default_runtime_penalty < 1.0:
+            raise ValueError(f"penalty below 1.0: {self.default_runtime_penalty}")
+
+    @property
+    def cycle_rate(self) -> float:
+        """Aggregate cycles per second (the paper's ``f_k``)."""
+        return self.cores * self.frequency_hz
+
+    def rate(self, layer_class: str = CLASS_CONV) -> float:
+        """Computation rate ``lambda`` for a layer class [FLOPs/s]."""
+        return self.cycle_rate / self.intensity.for_class(layer_class)
+
+    def effective_rate(self, flops_by_class: Mapping[str, int]) -> float:
+        """Workload-weighted rate: total FLOPs / total time [FLOPs/s]."""
+        total = sum(flops_by_class.values())
+        if total == 0:
+            return self.rate(CLASS_CONV)
+        return total / self.compute_seconds(flops_by_class)
+
+    def compute_seconds(
+        self, flops_by_class: Mapping[str, int], num_ops: int = 0, pinned: bool = True
+    ) -> float:
+        """Compute time for a workload of ``num_ops`` operators (no setup).
+
+        ``pinned=False`` applies the default-runtime penalty (stock
+        framework scheduling instead of CGroup-pinned execution) to
+        both arithmetic and dispatch.
+        """
+        seconds = num_ops * self.dispatch_time_s
+        for layer_class, flops in flops_by_class.items():
+            if flops < 0:
+                raise ValueError(f"negative flops for {layer_class}")
+            if flops:
+                seconds += flops / self.rate(layer_class)
+        if not pinned:
+            seconds *= self.default_runtime_penalty
+        return seconds
+
+    def task_seconds(
+        self, flops_by_class: Mapping[str, int], num_ops: int = 0, pinned: bool = True
+    ) -> float:
+        """Compute time including the fixed per-task setup overhead."""
+        return self.setup_time_s + self.compute_seconds(
+            flops_by_class, num_ops=num_ops, pinned=pinned
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind}, {self.cores}x{self.frequency_hz / 1e9:.2f}GHz)"

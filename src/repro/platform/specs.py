@@ -1,0 +1,222 @@
+"""Device catalogue: the evaluation platform of the paper's Table II.
+
+Core counts, frequencies and DRAM sizes follow Table II and the public
+datasheets.  Compute intensities (``delta``, cycles/FLOP) are
+calibrated so that each processor's *achieved* batch-1 TensorFlow
+convolution throughput lands at realistic values for these boards
+(e.g. ~17.5 GFLOPs/s for the TX2's Pascal GPU and ~4.5 GFLOPs/s for its
+two CPU clusters combined, putting ResNet-152 at several hundred ms as
+the paper's testbed shows).  The ~80/20 GPU/CPU capacity ratio on the
+TX2 is what makes the paper's Fig. 1 find P7 (80% GPU / 20% CPU)
+optimal for ResNet-152 and VGG-19 on this board.
+
+On the Raspberry Pi boards the CPU out-performs the VideoCore GPU,
+reproducing the "CPUs performing better than GPUs" platforms the paper
+cites ([21], [10]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.platform.device import Device
+from repro.platform.power import PowerModel
+from repro.platform.processor import (
+    CPU_PROFILE,
+    ComputeIntensity,
+    GPU_PROFILE,
+    KIND_CPU,
+    KIND_GPU,
+    KIND_NPU,
+    Processor,
+)
+
+GiB = 1024**3
+
+#: Boards of Table II, in the order used by the Fig. 8 cluster-size sweep
+#: (the leader first, then workers by decreasing capability).
+DEVICE_NAMES = ("jetson_tx2", "jetson_orin_nx", "jetson_nano", "raspberry_pi5", "raspberry_pi4")
+
+
+def _cpu(name: str, cores: int, ghz: float, conv_delta: float, power: PowerModel) -> Processor:
+    return Processor(
+        name=name,
+        kind=KIND_CPU,
+        cores=cores,
+        frequency_hz=ghz * 1e9,
+        intensity=ComputeIntensity.scaled(conv_delta, CPU_PROFILE),
+        power=power,
+        setup_time_s=0.001,
+        dispatch_time_s=0.00004,
+    )
+
+
+def _gpu(
+    name: str,
+    cores: int,
+    ghz: float,
+    conv_delta: float,
+    power: PowerModel,
+    setup_time_s: float = 0.003,
+    dispatch_time_s: float = 0.00015,
+) -> Processor:
+    return Processor(
+        name=name,
+        kind=KIND_GPU,
+        cores=cores,
+        frequency_hz=ghz * 1e9,
+        intensity=ComputeIntensity.scaled(conv_delta, GPU_PROFILE),
+        power=power,
+        setup_time_s=setup_time_s,
+        dispatch_time_s=dispatch_time_s,
+    )
+
+
+def _npu(name: str, cores: int, ghz: float, conv_delta: float, power: PowerModel) -> Processor:
+    """Fixed-function DL accelerator (Jetson DLA class): excellent at
+    dense convolutions, poor at everything irregular, near-zero dispatch
+    (ahead-of-time compiled graphs)."""
+    return Processor(
+        name=name,
+        kind=KIND_NPU,
+        cores=cores,
+        frequency_hz=ghz * 1e9,
+        intensity=ComputeIntensity(
+            conv=conv_delta,
+            depthwise=conv_delta * 25.0,
+            dense=conv_delta * 8.0,
+            pool=conv_delta * 6.0,
+            elementwise=conv_delta * 12.0,
+        ),
+        power=power,
+        setup_time_s=0.004,
+        dispatch_time_s=0.00002,
+    )
+
+
+def build_jetson_orin_nx(include_npu: bool = False) -> Device:
+    """Jetson Orin NX: 8x Cortex-A78, 1024-core Ampere, 8 GB.
+
+    ``include_npu=True`` adds the board's DLA engine (the "NPU" of the
+    paper's "CPU, GPU, and Neural Processing Units" node description);
+    the Table II evaluation cluster leaves it off, matching the paper's
+    CPU+GPU experiments.
+    """
+    processors = [
+        _cpu("cpu_a78", 8, 2.0, 2.0, PowerModel(0.6, 9.0)),
+        _gpu("gpu_ampere", 1024, 0.918, 12.54, PowerModel(1.0, 14.0)),
+    ]
+    if include_npu:
+        # DLA: ~20 GFLOPs/s achieved on dense conv at very low power.
+        processors.append(_npu("npu_dla", 128, 0.614, 4.0, PowerModel(0.3, 3.0)))
+    return Device(
+        name="jetson_orin_nx_npu" if include_npu else "jetson_orin_nx",
+        processors=tuple(processors),
+        intra_bw_bytes_s=8e9,
+        static_power_w=2.0,
+        dram_bytes=8 * GiB,
+    )
+
+
+def build_jetson_tx2() -> Device:
+    """Jetson TX2: 2x Denver-2 + 4x Cortex-A57, 256-core Pascal, 8 GB."""
+    return Device(
+        name="jetson_tx2",
+        processors=(
+            _cpu("cpu_denver2", 2, 2.0, 2.0, PowerModel(0.3, 3.5)),
+            _cpu("cpu_a57", 4, 2.0, 3.2, PowerModel(0.3, 4.0)),
+            _gpu("gpu_pascal", 256, 1.3, 19.02, PowerModel(0.5, 8.0)),
+        ),
+        intra_bw_bytes_s=5e9,
+        static_power_w=1.5,
+        dram_bytes=8 * GiB,
+    )
+
+
+def build_jetson_nano() -> Device:
+    """Jetson Nano: 4x Cortex-A57, 128-core Maxwell, 4 GB."""
+    return Device(
+        name="jetson_nano",
+        processors=(
+            _cpu("cpu_a57", 4, 1.43, 3.26, PowerModel(0.3, 3.5)),
+            _gpu("gpu_maxwell", 128, 0.9216, 16.86, PowerModel(0.4, 5.0)),
+        ),
+        intra_bw_bytes_s=3e9,
+        static_power_w=1.2,
+        dram_bytes=4 * GiB,
+    )
+
+
+def build_raspberry_pi5() -> Device:
+    """Raspberry Pi 5 (Table II config): 2x Cortex-A76, VideoCore VII, 4 GB.
+
+    The CPU out-performs the OpenGL-driven GPU on this board.
+    """
+    return Device(
+        name="raspberry_pi5",
+        processors=(
+            _cpu("cpu_a76", 2, 2.4, 1.74, PowerModel(0.5, 6.0)),
+            _gpu("gpu_videocore7", 12, 0.8, 5.48, PowerModel(0.3, 2.5), setup_time_s=0.005, dispatch_time_s=0.0004),
+        ),
+        intra_bw_bytes_s=3e9,
+        static_power_w=2.2,
+        dram_bytes=4 * GiB,
+    )
+
+
+def build_raspberry_pi4() -> Device:
+    """Raspberry Pi 4B (Table II config): 2x Cortex-A72, VideoCore VI, 4 GB."""
+    return Device(
+        name="raspberry_pi4",
+        processors=(
+            _cpu("cpu_a72", 2, 1.5, 2.4, PowerModel(0.4, 4.0)),
+            _gpu("gpu_videocore6", 8, 0.5, 5.0, PowerModel(0.3, 2.0), setup_time_s=0.005, dispatch_time_s=0.0004),
+        ),
+        intra_bw_bytes_s=2e9,
+        static_power_w=1.8,
+        dram_bytes=4 * GiB,
+    )
+
+
+def build_jetson_orin_nx_npu() -> Device:
+    """Orin NX with its DLA engine enabled (see build_jetson_orin_nx)."""
+    return build_jetson_orin_nx(include_npu=True)
+
+
+_BUILDERS = {
+    "jetson_orin_nx": build_jetson_orin_nx,
+    "jetson_orin_nx_npu": build_jetson_orin_nx_npu,
+    "jetson_tx2": build_jetson_tx2,
+    "jetson_nano": build_jetson_nano,
+    "raspberry_pi5": build_raspberry_pi5,
+    "raspberry_pi4": build_raspberry_pi4,
+}
+
+
+def build_device(name: str) -> Device:
+    """Build one board from the Table II catalogue."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(_BUILDERS)}")
+    return _BUILDERS[name]()
+
+
+def table2_rows() -> Tuple[Dict[str, str], ...]:
+    """Rows of the paper's Table II, for the report renderer."""
+    rows = []
+    for name in DEVICE_NAMES:
+        device = build_device(name)
+        cpus = ", ".join(
+            f"{proc.cores}x {proc.name}" for proc in device.processors if proc.kind == KIND_CPU
+        )
+        gpus = ", ".join(
+            f"{proc.cores}-core {proc.name}" for proc in device.processors if proc.kind == KIND_GPU
+        )
+        rows.append(
+            {
+                "Device": name,
+                "CPU": cpus,
+                "GPU": gpus,
+                "DRAM": f"{device.dram_bytes // GiB} GB",
+            }
+        )
+    return tuple(rows)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation engine and runtime services."""
+
+from repro.sim.engine import AllOf, Environment, Event, Process, SimulationError, Timeout
+from repro.sim.resources import Request, Resource, Store
+from repro.sim.runtime import NetworkChannel, ProcessorStation, SimRuntime
+from repro.sim.trace import (
+    BusyRecorder,
+    FlopsEntry,
+    FlopsLog,
+    Interval,
+    TransferEntry,
+    TransferLog,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "SimulationError",
+    "Resource",
+    "Request",
+    "Store",
+    "SimRuntime",
+    "ProcessorStation",
+    "NetworkChannel",
+    "BusyRecorder",
+    "FlopsLog",
+    "FlopsEntry",
+    "TransferLog",
+    "TransferEntry",
+    "Interval",
+]

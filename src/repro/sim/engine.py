@@ -1,0 +1,192 @@
+"""Discrete-event simulation core.
+
+A deliberately small generator-based engine in the style of SimPy:
+processes are generators that yield events; resources serialise access
+with FIFO queues.  Event ordering is fully deterministic -- ties at the
+same simulated time resolve by schedule order -- so every experiment in
+this package is exactly reproducible.
+
+Only the features the HiDP framework needs are implemented: timeouts,
+processes, all-of conditions, FIFO resources and stores.  No interrupt
+machinery, no real-time pacing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine usage (double triggers, deadlocks...)."""
+
+
+class Event:
+    """A one-shot occurrence; callbacks fire when it triggers."""
+
+    __slots__ = ("env", "callbacks", "_triggered", "_processed", "_value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now (callbacks run at the current sim time)."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Late subscription: run at the current time via a fresh event.
+            proxy = Event(self.env)
+            proxy.callbacks.append(callback)
+            proxy._triggered = True
+            proxy._value = self._value
+            self.env._schedule(proxy, 0.0)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers when it returns."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+        super().__init__(env)
+        self._generator = generator
+        bootstrap = Event(env)
+        bootstrap._triggered = True
+        env._schedule(bootstrap, 0.0)
+        bootstrap.callbacks.append(self._resume)
+
+    def _resume(self, completed: Event) -> None:
+        try:
+            target = self._generator.send(completed.value)
+        except StopIteration as stop:
+            if self._triggered:
+                raise SimulationError("process event already triggered")
+            self._triggered = True
+            self._value = stop.value
+            self.env._schedule(self, 0.0)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once every child event has triggered.
+
+    The value is the list of child values in the original order.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        del child
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class Environment:
+    """The event loop: a priority queue over (time, sequence)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List = []
+        self._seq = 0
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached."""
+        while self._queue:
+            time, _, event = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = time
+            event._process()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
+        """Convenience: drive one process to completion, return its value."""
+        process = self.process(generator)
+        self.run()
+        if not process.triggered:
+            raise SimulationError("process deadlocked: event queue drained early")
+        return process.value
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,161 @@
+"""Simulation runtime: binds platform objects to engine resources.
+
+One :class:`SimRuntime` per experiment run.  Every processor of every
+device becomes a FIFO-served compute station; the wireless LAN becomes
+a single shared half-duplex channel.  All contention effects -- a GPU
+queueing two tiles, two nodes fighting for the air -- emerge from these
+resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Mapping, Tuple
+
+from repro.platform.cluster import Cluster
+from repro.platform.device import Device
+from repro.platform.processor import Processor
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.trace import BusyRecorder, FlopsLog, TransferLog
+
+
+class ProcessorStation:
+    """A processor with a FIFO task queue and busy-interval recording."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: Device,
+        processor: Processor,
+        busy: BusyRecorder,
+        flops_log: FlopsLog,
+    ):
+        self.env = env
+        self.device = device
+        self.processor = processor
+        self._resource = Resource(env, capacity=1)
+        self._busy = busy
+        self._flops_log = flops_log
+        self.key = BusyRecorder.key(device.name, processor.name)
+        #: Time at which all currently committed work will have drained;
+        #: lets planners see the backlog of in-flight requests.
+        self.committed_until = 0.0
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Outstanding committed work on this processor."""
+        return max(0.0, self.committed_until - self.env.now)
+
+    def run_task(
+        self,
+        flops_by_class: Mapping[str, int],
+        label: str = "",
+        pinned: bool = True,
+        num_ops: int = 0,
+    ) -> Generator[Event, None, float]:
+        """Process: queue for the processor, compute, record.  Returns
+        the completion time."""
+        duration = self.processor.task_seconds(flops_by_class, num_ops=num_ops, pinned=pinned)
+        self.committed_until = max(self.committed_until, self.env.now) + duration
+        request = self._resource.request()
+        yield request
+        start = self.env.now
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            end = self.env.now
+            self._busy.record(self.key, start, end, label)
+            self._resource.release(request)
+        self._flops_log.record(
+            end, sum(flops_by_class.values()), self.device.name, self.processor.name, label
+        )
+        return end
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length + self._resource.in_use
+
+
+class NetworkChannel:
+    """The shared wireless medium: one transfer at a time."""
+
+    def __init__(self, env: Environment, cluster: Cluster, log: TransferLog):
+        self.env = env
+        self.cluster = cluster
+        self._resource = Resource(env, capacity=1)
+        self._log = log
+
+    def transmit(
+        self, src: str, dst: str, size_bytes: int, tag: str = ""
+    ) -> Generator[Event, None, None]:
+        """Process: occupy the channel for the serialisation time."""
+        if src == dst:
+            return
+        request = self._resource.request()
+        yield request
+        start = self.env.now
+        # The medium is held for the serialisation time only;
+        # propagation latency elapses after the channel is free.
+        serialisation = size_bytes / self.cluster.network.bandwidth_bytes_s
+        try:
+            yield self.env.timeout(serialisation)
+        finally:
+            self._resource.release(request)
+        yield self.env.timeout(self.cluster.network.latency_s)
+        self._log.record(start, self.env.now, size_bytes, src, dst, tag)
+
+
+class SimRuntime:
+    """All simulation state for one experiment run."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.env = Environment()
+        self.busy = BusyRecorder()
+        self.flops_log = FlopsLog()
+        self.transfer_log = TransferLog()
+        self.network = NetworkChannel(self.env, cluster, self.transfer_log)
+        self._stations: Dict[Tuple[str, str], ProcessorStation] = {}
+        for device in cluster.devices:
+            for processor in device.processors:
+                self._stations[(device.name, processor.name)] = ProcessorStation(
+                    self.env, device, processor, self.busy, self.flops_log
+                )
+
+    def station(self, device_name: str, processor_name: str) -> ProcessorStation:
+        try:
+            return self._stations[(device_name, processor_name)]
+        except KeyError:
+            raise KeyError(f"no station for {device_name}/{processor_name}") from None
+
+    def stations_of(self, device_name: str) -> Tuple[ProcessorStation, ...]:
+        return tuple(
+            station
+            for (dev, _), station in self._stations.items()
+            if dev == device_name
+        )
+
+    def local_transfer(
+        self, device_name: str, size_bytes: int
+    ) -> Generator[Event, None, None]:
+        """Process: intra-device tensor hand-off over shared memory."""
+        device = self.cluster.device(device_name)
+        yield self.env.timeout(device.transfer_seconds(size_bytes))
+
+    def device_backlog(self, device_name: str) -> float:
+        """Committed work outstanding on a device's least-loaded processor.
+
+        The planner uses this as the earliest-start delay new work on
+        the node would see (the node can route a new piece to its
+        freest processor).
+        """
+        stations = self.stations_of(device_name)
+        return min(station.backlog_seconds for station in stations)
+
+    def load_snapshot(self) -> Dict[str, float]:
+        """Per-device backlog, consumed by load-aware strategies."""
+        return {device.name: self.device_backlog(device.name) for device in self.cluster.devices}
+
+    @property
+    def now(self) -> float:
+        return self.env.now

@@ -1,0 +1,136 @@
+"""Execution traces: busy intervals, FLOPs completions, transfers.
+
+The recorders are the simulated counterpart of the paper's run-time
+power monitoring and Gigaflops/s instrumentation: energy is integrated
+from busy intervals (Fig. 5b), performance series are binned from the
+FLOPs log (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    def clipped_seconds(self, window_start: float, window_end: float) -> float:
+        """Overlap of the interval with a time window."""
+        lo = max(self.start, window_start)
+        hi = min(self.end, window_end)
+        return max(hi - lo, 0.0)
+
+
+class BusyRecorder:
+    """Per-processor busy intervals, keyed by ``device/processor``."""
+
+    def __init__(self) -> None:
+        self._intervals: Dict[str, List[Interval]] = {}
+
+    @staticmethod
+    def key(device_name: str, processor_name: str) -> str:
+        return f"{device_name}/{processor_name}"
+
+    def record(self, key: str, start: float, end: float, label: str = "") -> None:
+        self._intervals.setdefault(key, []).append(Interval(start, end, label))
+
+    def intervals(self, key: str) -> Tuple[Interval, ...]:
+        return tuple(self._intervals.get(key, ()))
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._intervals)
+
+    def busy_seconds(self, key: str, window: Optional[Tuple[float, float]] = None) -> float:
+        intervals = self._intervals.get(key, [])
+        if window is None:
+            return sum(interval.end - interval.start for interval in intervals)
+        window_start, window_end = window
+        return sum(interval.clipped_seconds(window_start, window_end) for interval in intervals)
+
+    @property
+    def makespan(self) -> float:
+        """Latest busy-interval end over all processors."""
+        ends = [iv.end for ivs in self._intervals.values() for iv in ivs]
+        return max(ends, default=0.0)
+
+
+@dataclass(frozen=True)
+class FlopsEntry:
+    time: float
+    flops: int
+    device: str
+    processor: str
+    label: str = ""
+
+
+class FlopsLog:
+    """Completion log of compute tasks, for throughput/performance series."""
+
+    def __init__(self) -> None:
+        self._entries: List[FlopsEntry] = []
+
+    def record(self, time: float, flops: int, device: str, processor: str, label: str = "") -> None:
+        self._entries.append(FlopsEntry(time, flops, device, processor, label))
+
+    @property
+    def entries(self) -> Tuple[FlopsEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(entry.flops for entry in self._entries)
+
+    def gflops_series(self, bin_seconds: float, end_time: float) -> List[Tuple[float, float]]:
+        """(bin centre time, achieved GFLOPs/s) series, paper Fig. 6 style."""
+        if bin_seconds <= 0:
+            raise ValueError(f"bin width must be positive, got {bin_seconds}")
+        num_bins = max(1, int(end_time / bin_seconds + 0.999999))
+        bins = [0.0] * num_bins
+        for entry in self._entries:
+            index = min(int(entry.time / bin_seconds), num_bins - 1)
+            bins[index] += entry.flops
+        return [
+            ((idx + 0.5) * bin_seconds, total / bin_seconds / 1e9)
+            for idx, total in enumerate(bins)
+        ]
+
+
+@dataclass(frozen=True)
+class TransferEntry:
+    start: float
+    end: float
+    size_bytes: int
+    src: str
+    dst: str
+    tag: str = ""
+
+
+class TransferLog:
+    """Network transfer history, for communication-overhead analysis."""
+
+    def __init__(self) -> None:
+        self._entries: List[TransferEntry] = []
+
+    def record(
+        self, start: float, end: float, size_bytes: int, src: str, dst: str, tag: str = ""
+    ) -> None:
+        self._entries.append(TransferEntry(start, end, size_bytes, src, dst, tag))
+
+    @property
+    def entries(self) -> Tuple[TransferEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self._entries)
+
+    def busy_seconds(self) -> float:
+        return sum(entry.end - entry.start for entry in self._entries)

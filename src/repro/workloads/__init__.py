@@ -1,0 +1,22 @@
+"""Workload generators: single requests, streams, mixes, scenarios."""
+
+from repro.workloads.mixes import MIXES, MIX_NAMES, mix_requests
+from repro.workloads.requests import (
+    InferenceRequest,
+    repeating_stream,
+    request_sequence,
+    single_request,
+)
+from repro.workloads.streaming import FIG6_INTERVAL_S, progressive_workload
+
+__all__ = [
+    "InferenceRequest",
+    "single_request",
+    "request_sequence",
+    "repeating_stream",
+    "MIXES",
+    "MIX_NAMES",
+    "mix_requests",
+    "progressive_workload",
+    "FIG6_INTERVAL_S",
+]

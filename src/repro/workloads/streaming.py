@@ -1,0 +1,23 @@
+"""The progressive dynamic workload of the paper's Fig. 6.
+
+"We created a dynamic workload with successive run-time inference
+requests for every 0.5 s, in the order of EfficientNetB0,
+InceptionNetV3, ResNet152, and VGG-19.  This creates a progressively
+increasing workload such that at t=1.5 s, all four DNNs are running
+concurrently on the edge cluster."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dnn.models import MODEL_NAMES
+from repro.workloads.requests import InferenceRequest, request_sequence
+
+#: Arrival spacing of the Fig. 6 scenario.
+FIG6_INTERVAL_S = 0.5
+
+
+def progressive_workload(interval_s: float = FIG6_INTERVAL_S) -> List[InferenceRequest]:
+    """The four-model staircase: Eff @0s, Inc @0.5s, Res @1.0s, VGG @1.5s."""
+    return request_sequence(MODEL_NAMES, interval_s)

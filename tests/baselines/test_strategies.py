@@ -1,0 +1,144 @@
+"""Baseline strategy tests: MoDNN, OmniBoost, DisNet plan invariants."""
+
+import pytest
+
+from repro.baselines import (
+    DisNetStrategy,
+    EXTRA_STRATEGIES,
+    MoDNNFTPStrategy,
+    MoDNNStrategy,
+    OmniBoostStrategy,
+    STRATEGIES,
+    build_strategy,
+)
+from repro.core.plans import LOCAL_SINGLE, MODE_DATA, MODE_LOCAL, MODE_MODEL
+from repro.dnn.models import MODEL_NAMES, build_model
+
+
+class TestRegistry:
+    def test_paper_lineup(self):
+        assert tuple(STRATEGIES) == ("hidp", "disnet", "omniboost", "modnn")
+
+    def test_build_strategy(self):
+        assert build_strategy("modnn").name == "modnn"
+        with pytest.raises(KeyError):
+            build_strategy("neurosurgeon")
+
+    def test_extra_strategies(self):
+        assert "modnn_ftp" in EXTRA_STRATEGIES
+
+
+class TestMoDNN:
+    @pytest.fixture()
+    def strategy(self):
+        return MoDNNStrategy()
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_data_mode_only(self, strategy, cluster, model):
+        plan = strategy.plan(build_model(model), cluster)
+        assert plan.mode in (MODE_DATA, MODE_LOCAL)
+
+    def test_default_processor_only(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        for assignment in plan.assignments:
+            device = cluster.device(assignment.device)
+            assert assignment.local.mode == LOCAL_SINGLE
+            assert assignment.local.tasks[0].processor == device.default_processor.name
+
+    def test_unpinned_execution(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        for assignment in plan.assignments:
+            for task in assignment.local.tasks:
+                assert not task.pinned
+
+    def test_proportional_distribution_uses_strong_nodes(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        assert "jetson_orin_nx" in plan.devices
+
+    def test_min_share_drops_weak_nodes(self, cluster):
+        strategy = MoDNNStrategy(min_share=0.2)
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        assert "raspberry_pi4" not in plan.devices
+
+    def test_exchange_traffic_accounted(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        assert plan.notes["exchange_bytes"] > 0
+
+    def test_single_node_fallback(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster.subcluster(1))
+        assert plan.mode == MODE_LOCAL
+        assert plan.notes.get("fallback")
+
+    def test_load_unaware(self, strategy, cluster):
+        graph = build_model("resnet152")
+        idle = strategy.plan(graph, cluster)
+        busy = strategy.plan(graph, cluster, load={"jetson_orin_nx": 60.0})
+        assert idle is busy  # snapshot ignored entirely
+
+    def test_ftp_variant_plans(self, cluster):
+        plan = MoDNNFTPStrategy().plan(build_model("resnet152"), cluster)
+        assert plan.mode in (MODE_DATA, MODE_LOCAL)
+
+
+class TestOmniBoost:
+    @pytest.fixture()
+    def strategy(self):
+        return OmniBoostStrategy(iterations=200)
+
+    def test_pipeline_blocks_cover_network(self, strategy, cluster):
+        graph = build_model("resnet152")
+        plan = strategy.plan(graph, cluster)
+        assert plan.mode in (MODE_MODEL, MODE_LOCAL)
+        total = sum(a.local.flops for a in plan.assignments)
+        assert total == pytest.approx(graph.total_flops, rel=0.02)
+
+    def test_single_processor_per_block(self, strategy, cluster):
+        plan = strategy.plan(build_model("vgg19"), cluster)
+        for assignment in plan.assignments:
+            assert assignment.local.mode == LOCAL_SINGLE
+
+    def test_unpinned(self, strategy, cluster):
+        plan = strategy.plan(build_model("vgg19"), cluster)
+        assert all(not t.pinned for a in plan.assignments for t in a.local.tasks)
+
+    def test_deterministic(self, cluster):
+        a = OmniBoostStrategy(iterations=150).plan(build_model("vgg19"), cluster)
+        b = OmniBoostStrategy(iterations=150).plan(build_model("vgg19"), cluster)
+        assert [x.device for x in a.assignments] == [x.device for x in b.assignments]
+
+    def test_bottleneck_noted(self, strategy, cluster):
+        plan = strategy.plan(build_model("vgg19"), cluster)
+        assert plan.notes["bottleneck_s"] > 0
+        assert plan.notes["blocks"] == len(plan.assignments)
+
+
+class TestDisNet:
+    @pytest.fixture()
+    def strategy(self):
+        return DisNetStrategy()
+
+    def test_hybrid_modes_explored(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        assert set(plan.notes["explored"]) >= {"data"} or set(
+            plan.notes["explored"]
+        ) >= {"model"}
+
+    def test_no_local_tier(self, strategy, cluster):
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        for assignment in plan.assignments:
+            assert assignment.local.mode == LOCAL_SINGLE
+
+    def test_default_processor_everywhere(self, strategy, cluster):
+        plan = strategy.plan(build_model("vgg19"), cluster)
+        for assignment in plan.assignments:
+            device = cluster.device(assignment.device)
+            assert assignment.local.tasks[0].processor == device.default_processor.name
+
+    def test_unpinned(self, strategy, cluster):
+        plan = strategy.plan(build_model("vgg19"), cluster)
+        assert all(not t.pinned for a in plan.assignments for t in a.local.tasks)
+
+    def test_cheaper_dse_than_hidp(self, strategy):
+        from repro.core.hidp import HiDPStrategy
+
+        assert strategy.dse_overhead_s < HiDPStrategy.dse_overhead_s

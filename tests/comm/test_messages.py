@@ -1,0 +1,43 @@
+"""Message type tests."""
+
+import pytest
+
+from repro.comm.messages import (
+    MSG_RESULT,
+    MSG_STATUS_REPLY,
+    MSG_STATUS_REQUEST,
+    MSG_WORKLOAD,
+    Message,
+    result_message,
+    status_reply,
+    status_request,
+    workload_message,
+)
+from repro.comm.network import STATUS_PACKET_BYTES
+
+
+class TestMessages:
+    def test_status_request(self):
+        msg = status_request("a", "b", request_id=7)
+        assert msg.kind == MSG_STATUS_REQUEST
+        assert msg.size_bytes == STATUS_PACKET_BYTES
+        assert (msg.src, msg.dst, msg.request_id) == ("a", "b", 7)
+
+    def test_status_reply(self):
+        assert status_reply("b", "a").kind == MSG_STATUS_REPLY
+
+    def test_workload_carries_payload(self):
+        msg = workload_message("a", "b", 1024, 3, payload={"tile": 0})
+        assert msg.kind == MSG_WORKLOAD
+        assert msg.payload == {"tile": 0}
+
+    def test_result(self):
+        assert result_message("b", "a", 100, 3).kind == MSG_RESULT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Message("gossip", "a", "b", 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MSG_RESULT, "a", "b", -1)

@@ -1,0 +1,43 @@
+"""Wireless network model tests."""
+
+import pytest
+
+from repro.comm.network import (
+    DEFAULT_BANDWIDTH_BYTES_S,
+    STATUS_PACKET_BYTES,
+    WirelessNetwork,
+)
+
+
+class TestWirelessNetwork:
+    def test_default_is_80_mbit(self):
+        assert DEFAULT_BANDWIDTH_BYTES_S == pytest.approx(10e6)
+        assert WirelessNetwork().bandwidth_bytes_s == pytest.approx(10e6)
+
+    def test_transfer_seconds(self):
+        net = WirelessNetwork(bandwidth_bytes_s=1e6, latency_s=0.01)
+        assert net.transfer_seconds(1e6) == pytest.approx(1.01)
+
+    def test_zero_bytes_just_latency(self):
+        net = WirelessNetwork(latency_s=0.003)
+        assert net.transfer_seconds(0) == pytest.approx(0.003)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            WirelessNetwork().transfer_seconds(-1)
+
+    def test_round_trip(self):
+        net = WirelessNetwork()
+        assert net.round_trip_seconds() == pytest.approx(
+            2 * net.transfer_seconds(STATUS_PACKET_BYTES)
+        )
+
+    def test_beta_equals_bandwidth(self):
+        net = WirelessNetwork(bandwidth_bytes_s=5e6)
+        assert net.beta() == 5e6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WirelessNetwork(bandwidth_bytes_s=0)
+        with pytest.raises(ValueError):
+            WirelessNetwork(latency_s=-1)

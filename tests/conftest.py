@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.dnn.models import build_model
+from repro.platform.cluster import build_cluster
+from repro.platform.specs import build_device
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn():
+    return build_model("tiny_cnn")
+
+
+@pytest.fixture(scope="session")
+def tiny_residual():
+    return build_model("tiny_residual")
+
+
+@pytest.fixture(scope="session")
+def tiny_branchy():
+    return build_model("tiny_branchy")
+
+
+@pytest.fixture(scope="session")
+def tiny_depthwise():
+    return build_model("tiny_depthwise")
+
+
+@pytest.fixture(scope="session")
+def vgg19():
+    return build_model("vgg19")
+
+
+@pytest.fixture(scope="session")
+def resnet152():
+    return build_model("resnet152")
+
+
+@pytest.fixture(scope="session")
+def inception_v3():
+    return build_model("inception_v3")
+
+
+@pytest.fixture(scope="session")
+def efficientnet_b0():
+    return build_model("efficientnet_b0")
+
+
+@pytest.fixture()
+def cluster():
+    """Fresh five-board cluster (mutable availability state)."""
+    return build_cluster()
+
+
+@pytest.fixture()
+def tx2():
+    return build_device("jetson_tx2")
+
+
+@pytest.fixture()
+def orin():
+    return build_device("jetson_orin_nx")

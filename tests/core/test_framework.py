@@ -1,0 +1,85 @@
+"""Framework facade tests."""
+
+import pytest
+
+from repro.baselines import build_strategy
+from repro.core.framework import DistributedInferenceFramework, HiDPFramework
+from repro.workloads.requests import InferenceRequest, request_sequence, single_request
+
+
+class TestRun:
+    def test_single_request(self, cluster):
+        framework = HiDPFramework(cluster)
+        run = framework.run(single_request("tiny_cnn"))
+        assert run.count == 1
+        assert run.strategy == "hidp"
+        assert run.makespan_s > 0
+        assert run.energy_j > 0
+        assert run.total_flops > 0
+
+    def test_empty_requests_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            HiDPFramework(cluster).run([])
+
+    def test_results_ordered_by_id(self, cluster):
+        framework = HiDPFramework(cluster)
+        run = framework.run(request_sequence(["tiny_cnn", "tiny_residual", "tiny_cnn"], 0.1))
+        assert [r.request_id for r in run.results] == [0, 1, 2]
+
+    def test_arrivals_respected(self, cluster):
+        framework = HiDPFramework(cluster)
+        run = framework.run(
+            [InferenceRequest(0, "tiny_cnn", 0.0), InferenceRequest(1, "tiny_cnn", 1.0)]
+        )
+        assert run.results[1].submitted_s == pytest.approx(1.0)
+
+    def test_deterministic_repeat(self, cluster):
+        def go():
+            framework = HiDPFramework(cluster)
+            run = framework.run(request_sequence(["vgg19", "efficientnet_b0"], 0.5))
+            return [r.latency_s for r in run.results]
+
+        assert go() == go()
+
+    def test_gflops_series_produced(self, cluster):
+        run = HiDPFramework(cluster).run(single_request("vgg19"))
+        assert run.gflops_series
+        assert any(v > 0 for _, v in run.gflops_series)
+
+    def test_energy_by_device_covers_cluster(self, cluster):
+        run = HiDPFramework(cluster).run(single_request("vgg19"))
+        assert set(run.energy_by_device) == {d.name for d in cluster.devices}
+        assert run.energy_j == pytest.approx(sum(run.energy_by_device.values()))
+
+    def test_default_construction(self):
+        framework = DistributedInferenceFramework()
+        assert framework.cluster.size == 5
+        assert framework.strategy.name == "hidp"
+
+    @pytest.mark.parametrize("strategy_name", ["hidp", "disnet", "omniboost", "modnn"])
+    def test_all_strategies_complete(self, cluster, strategy_name):
+        framework = DistributedInferenceFramework(cluster, build_strategy(strategy_name))
+        run = framework.run(single_request("resnet152"))
+        assert run.count == 1
+        assert run.results[0].latency_s > 0
+
+
+class TestConcurrency:
+    def test_concurrent_requests_all_finish(self, cluster):
+        framework = HiDPFramework(cluster)
+        requests = request_sequence(["efficientnet_b0"] * 6, 0.05)
+        run = framework.run(requests)
+        assert run.count == 6
+
+    def test_contention_increases_later_latency(self, cluster):
+        framework = HiDPFramework(cluster)
+        requests = [InferenceRequest(i, "vgg19", 0.0) for i in range(3)]
+        run = framework.run(requests)
+        latencies = [r.latency_s for r in run.results]
+        assert max(latencies) > min(latencies)
+
+    def test_failure_injection(self, cluster):
+        cluster.set_available("jetson_orin_nx", False)
+        framework = HiDPFramework(cluster)
+        run = framework.run(single_request("resnet152"))
+        assert "jetson_orin_nx" not in run.results[0].devices

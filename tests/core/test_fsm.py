@@ -1,0 +1,80 @@
+"""Scheduler FSM tests (paper Fig. 4)."""
+
+import pytest
+
+from repro.core.fsm import (
+    FSMError,
+    FSMTrace,
+    STATE_ANALYZE,
+    STATE_EXECUTE,
+    STATE_EXPLORE,
+    STATE_MAP,
+    STATE_OFFLOAD,
+)
+
+
+class TestLeaderFSM:
+    def test_full_cycle(self):
+        trace = FSMTrace(role="leader", node="tx2")
+        for t, state in enumerate(
+            [
+                STATE_ANALYZE,
+                STATE_EXPLORE,
+                STATE_OFFLOAD,
+                STATE_MAP,
+                STATE_EXECUTE,
+                STATE_OFFLOAD,
+                STATE_ANALYZE,
+            ]
+        ):
+            trace.enter(float(t), state)
+        assert trace.state == STATE_ANALYZE
+        assert len(trace.entries) == 7
+
+    def test_must_start_in_analyze(self):
+        trace = FSMTrace(role="leader", node="tx2")
+        with pytest.raises(FSMError):
+            trace.enter(0.0, STATE_EXECUTE)
+
+    def test_illegal_transition(self):
+        trace = FSMTrace(role="leader", node="tx2")
+        trace.enter(0.0, STATE_ANALYZE)
+        with pytest.raises(FSMError):
+            trace.enter(1.0, STATE_EXECUTE)  # must explore first
+
+    def test_time_must_not_regress(self):
+        trace = FSMTrace(role="leader", node="tx2")
+        trace.enter(5.0, STATE_ANALYZE)
+        with pytest.raises(FSMError):
+            trace.enter(4.0, STATE_EXPLORE)
+
+    def test_unknown_state(self):
+        trace = FSMTrace(role="leader", node="tx2")
+        trace.enter(0.0, STATE_ANALYZE)
+        with pytest.raises(FSMError):
+            trace.enter(1.0, "sleeping")
+
+
+class TestFollowerFSM:
+    def test_follower_cycle(self):
+        trace = FSMTrace(role="follower", node="nano")
+        for t, state in enumerate(
+            [STATE_ANALYZE, STATE_MAP, STATE_EXECUTE, STATE_ANALYZE]
+        ):
+            trace.enter(float(t), state)
+        assert trace.states() == (
+            STATE_ANALYZE,
+            STATE_MAP,
+            STATE_EXECUTE,
+            STATE_ANALYZE,
+        )
+
+    def test_follower_cannot_explore(self):
+        trace = FSMTrace(role="follower", node="nano")
+        trace.enter(0.0, STATE_ANALYZE)
+        with pytest.raises(FSMError):
+            trace.enter(1.0, STATE_EXPLORE)
+
+    def test_unknown_role(self):
+        with pytest.raises(ValueError):
+            FSMTrace(role="observer", node="x")

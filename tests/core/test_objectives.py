@@ -1,0 +1,106 @@
+"""Energy-aware objective tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.framework import DistributedInferenceFramework
+from repro.core.hidp import (
+    HiDPStrategy,
+    OBJECTIVE_EDP,
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_LATENCY,
+    OBJECTIVES,
+    candidate_score,
+    estimate_candidate_energy,
+)
+from repro.dnn.models import MODEL_NAMES, build_model
+from repro.workloads.requests import single_request
+
+
+class TestObjectiveSelection:
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            HiDPStrategy(objective="carbon")
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    @pytest.mark.parametrize("model", ["resnet152", "efficientnet_b0"])
+    def test_all_objectives_plan(self, cluster, objective, model):
+        strategy = HiDPStrategy(objective=objective)
+        plan = strategy.plan(build_model(model), cluster)
+        assert plan.predicted_latency_s > 0
+        if objective != OBJECTIVE_LATENCY:
+            assert plan.notes["objective"] == objective
+            assert plan.notes["predicted_energy_j"] > 0
+
+    def test_energy_objective_never_picks_higher_energy(self, cluster):
+        """Energy-selected plan's estimated energy <= latency-selected
+        plan's estimated energy (both sets of candidates coincide)."""
+        graph = build_model("resnet152")
+        latency_strategy = HiDPStrategy(objective=OBJECTIVE_LATENCY)
+        energy_strategy = HiDPStrategy(objective=OBJECTIVE_ENERGY)
+        latency_plan = latency_strategy.plan(graph, cluster)
+        energy_plan = energy_strategy.plan(graph, cluster)
+
+        def as_candidate(plan):
+            from repro.core.hidp import ModeCandidate
+
+            return ModeCandidate(
+                mode=plan.mode,
+                predicted_s=plan.predicted_latency_s,
+                assignments=plan.assignments,
+                merge_exec=plan.merge_exec,
+                notes={},
+            )
+
+        e_latency = estimate_candidate_energy(cluster, as_candidate(latency_plan))
+        e_energy = estimate_candidate_energy(cluster, as_candidate(energy_plan))
+        assert e_energy <= e_latency + 1e-9
+
+    def test_latency_objective_never_picks_slower(self, cluster):
+        graph = build_model("vgg19")
+        latency_plan = HiDPStrategy(objective=OBJECTIVE_LATENCY).plan(graph, cluster)
+        energy_plan = HiDPStrategy(objective=OBJECTIVE_ENERGY).plan(graph, cluster)
+        assert latency_plan.predicted_latency_s <= energy_plan.predicted_latency_s + 1e-9
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_energy_objective_executes(self, cluster, model):
+        framework = DistributedInferenceFramework(
+            cluster, HiDPStrategy(objective=OBJECTIVE_ENERGY)
+        )
+        run = framework.run(single_request(model))
+        assert run.count == 1
+        assert run.energy_j > 0
+
+
+class TestCandidateScore:
+    def _candidate(self, cluster):
+        strategy = HiDPStrategy()
+        plan = strategy.plan(build_model("resnet152"), cluster)
+        from repro.core.hidp import ModeCandidate
+
+        return ModeCandidate(
+            mode=plan.mode,
+            predicted_s=plan.predicted_latency_s,
+            assignments=plan.assignments,
+            merge_exec=plan.merge_exec,
+            notes={},
+        )
+
+    def test_latency_score_is_predicted(self, cluster):
+        candidate = self._candidate(cluster)
+        assert candidate_score(cluster, candidate, OBJECTIVE_LATENCY) == candidate.predicted_s
+
+    def test_edp_is_product(self, cluster):
+        candidate = self._candidate(cluster)
+        energy = candidate_score(cluster, candidate, OBJECTIVE_ENERGY)
+        edp = candidate_score(cluster, candidate, OBJECTIVE_EDP)
+        assert edp == pytest.approx(energy * candidate.predicted_s)
+
+    def test_energy_includes_idle_floor(self, cluster):
+        candidate = self._candidate(cluster)
+        energy = estimate_candidate_energy(cluster, candidate)
+        idle_floor = sum(d.idle_power_w for d in cluster.devices) * candidate.predicted_s
+        assert energy > idle_floor
+
+    def test_unknown_objective(self, cluster):
+        with pytest.raises(ValueError):
+            candidate_score(cluster, self._candidate(cluster), "carbon")

@@ -1,0 +1,51 @@
+"""Strategy base and executor-model helper tests."""
+
+import pytest
+
+from repro.core.strategy import (
+    AGGREGATE_ALL,
+    AGGREGATE_DEFAULT,
+    LOCAL_COMM_RATE,
+    device_executor_models,
+)
+
+
+class TestDeviceExecutorModels:
+    def test_leader_has_free_comm(self, cluster):
+        models = device_executor_models(cluster, cluster.devices)
+        assert models[0].comm_bytes_s == LOCAL_COMM_RATE
+        assert models[0].fixed_s == 0.0
+
+    def test_remote_pays_network(self, cluster):
+        models = device_executor_models(cluster, cluster.devices)
+        for model in models[1:]:
+            assert model.comm_bytes_s == cluster.network.beta()
+            assert model.fixed_s > 0
+
+    def test_aggregate_all_sums_rates(self, cluster):
+        models = device_executor_models(cluster, cluster.devices, AGGREGATE_ALL)
+        tx2 = cluster.device("jetson_tx2")
+        expected = sum(p.rate("conv") for p in tx2.processors)
+        assert models[0].rates["conv"] == pytest.approx(expected)
+
+    def test_aggregate_default_misrepresents(self, cluster):
+        narrow = device_executor_models(cluster, cluster.devices, AGGREGATE_DEFAULT)
+        full = device_executor_models(cluster, cluster.devices, AGGREGATE_ALL)
+        assert narrow[0].rates["conv"] < full[0].rates["conv"]
+        tx2 = cluster.device("jetson_tx2")
+        assert narrow[0].rates["conv"] == pytest.approx(
+            tx2.default_processor.rate("conv")
+        )
+
+    def test_load_inflates_fixed_cost(self, cluster):
+        loaded = device_executor_models(
+            cluster, cluster.devices, load={"jetson_orin_nx": 2.0}
+        )
+        idle = device_executor_models(cluster, cluster.devices)
+        orin_loaded = next(m for m in loaded if m.ident == "jetson_orin_nx")
+        orin_idle = next(m for m in idle if m.ident == "jetson_orin_nx")
+        assert orin_loaded.fixed_s == pytest.approx(orin_idle.fixed_s + 2.0)
+
+    def test_unknown_aggregation_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            device_executor_models(cluster, cluster.devices, "median")

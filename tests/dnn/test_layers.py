@@ -1,0 +1,226 @@
+"""Unit tests for the layer cost model."""
+
+import pytest
+
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    CLASS_CONV,
+    CLASS_DENSE,
+    CLASS_DEPTHWISE,
+    CLASS_ELEMENTWISE,
+    CLASS_POOL,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Pool2D,
+    Softmax,
+    _conv_out,
+    _pad_amount,
+    receptive_rows,
+)
+from repro.dnn.tensors import TensorSpec
+
+
+class TestShapeHelpers:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [
+            (224, 3, 1, "same", 224),
+            (224, 3, 2, "same", 112),
+            (224, 7, 2, "same", 112),
+            (224, 3, 1, "valid", 222),
+            (224, 3, 2, "valid", 111),
+            (5, 5, 1, "valid", 1),
+        ],
+    )
+    def test_conv_out(self, size, kernel, stride, padding, expected):
+        assert _conv_out(size, kernel, stride, padding) == expected
+
+    def test_conv_out_valid_too_small(self):
+        with pytest.raises(ValueError):
+            _conv_out(2, 3, 1, "valid")
+
+    def test_conv_out_unknown_padding(self):
+        with pytest.raises(ValueError):
+            _conv_out(10, 3, 1, "reflect")
+
+    def test_pad_amount_same_odd_kernel(self):
+        assert _pad_amount(224, 3, 1, "same") == (1, 1)
+
+    def test_pad_amount_same_stride2(self):
+        # TF semantics: ceil(224/2)=112 -> total pad = 111*2+3-224 = 1
+        assert _pad_amount(224, 3, 2, "same") == (0, 1)
+
+    def test_pad_amount_valid(self):
+        assert _pad_amount(224, 3, 1, "valid") == (0, 0)
+
+
+class TestConv2D:
+    def test_output_spec_same(self):
+        conv = Conv2D(name="c", filters=64, kernel_size=3, strides=1, pad="same")
+        out = conv.output_spec(TensorSpec(32, 32, 3))
+        assert (out.height, out.width, out.channels) == (32, 32, 64)
+
+    def test_output_spec_stride(self):
+        conv = Conv2D(name="c", filters=8, kernel_size=3, strides=2, pad="same")
+        out = conv.output_spec(TensorSpec(32, 32, 3))
+        assert (out.height, out.width) == (16, 16)
+
+    def test_flops_formula(self):
+        conv = Conv2D(name="c", filters=64, kernel_size=3, strides=1, pad="same")
+        spec = TensorSpec(32, 32, 16)
+        # 2 * H * W * Cout * Cin * k^2
+        assert conv.flops(spec) == 2 * 32 * 32 * 64 * 16 * 9
+
+    def test_rectangular_kernel(self):
+        conv = Conv2D(name="c", filters=8, kernel_size=(1, 7), strides=1, pad="same")
+        spec = TensorSpec(17, 17, 4)
+        assert conv.kernel == 1
+        assert conv.kernel_w == 7
+        assert conv.flops(spec) == 2 * 17 * 17 * 8 * 4 * 7
+        out = conv.output_spec(spec)
+        assert (out.height, out.width) == (17, 17)
+
+    def test_weight_bytes(self):
+        conv = Conv2D(name="c", filters=10, kernel_size=3, strides=1, use_bias=True)
+        spec = TensorSpec(8, 8, 4)
+        assert conv.weight_bytes_for(spec) == (10 * 4 * 9 + 10) * 4
+
+    def test_layer_class(self):
+        assert Conv2D(name="c").layer_class == CLASS_CONV
+
+    def test_groups_divisibility_checked(self):
+        conv = Conv2D(name="c", filters=8, kernel_size=1, groups=3)
+        with pytest.raises(ValueError):
+            conv.output_spec(TensorSpec(8, 8, 4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", filters=0)
+        with pytest.raises(ValueError):
+            Conv2D(name="c", strides=0)
+
+
+class TestDepthwiseConv2D:
+    def test_output_preserves_channels(self):
+        dw = DepthwiseConv2D(name="d", kernel_size=3, strides=1)
+        out = dw.output_spec(TensorSpec(16, 16, 24))
+        assert out.channels == 24
+
+    def test_flops_formula(self):
+        dw = DepthwiseConv2D(name="d", kernel_size=3, strides=1)
+        spec = TensorSpec(16, 16, 24)
+        assert dw.flops(spec) == 2 * 16 * 16 * 24 * 9
+
+    def test_layer_class(self):
+        assert DepthwiseConv2D(name="d").layer_class == CLASS_DEPTHWISE
+
+    def test_flops_much_lower_than_regular_conv(self):
+        spec = TensorSpec(16, 16, 24)
+        dw = DepthwiseConv2D(name="d", kernel_size=3)
+        conv = Conv2D(name="c", filters=24, kernel_size=3)
+        assert dw.flops(spec) * 24 == conv.flops(spec)
+
+
+class TestPooling:
+    def test_pool_output(self):
+        pool = Pool2D(name="p", pool_size=2, strides=2)
+        out = pool.output_spec(TensorSpec(32, 32, 8))
+        assert (out.height, out.width, out.channels) == (16, 16, 8)
+
+    def test_pool_class(self):
+        assert Pool2D(name="p").layer_class == CLASS_POOL
+
+    def test_pool_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Pool2D(name="p", mode="median")
+
+    def test_global_avg_pool_collapses(self):
+        gap = GlobalAvgPool(name="g")
+        out = gap.output_spec(TensorSpec(7, 7, 2048))
+        assert (out.height, out.width, out.channels) == (1, 1, 2048)
+        assert not gap.is_spatial
+
+
+class TestDenseAndFriends:
+    def test_dense_output(self):
+        dense = Dense(name="fc", units=1000)
+        out = dense.output_spec(TensorSpec(1, 1, 2048))
+        assert out.channels == 1000
+
+    def test_dense_flops(self):
+        dense = Dense(name="fc", units=10)
+        assert dense.flops(TensorSpec(1, 1, 20)) == 2 * 20 * 10
+
+    def test_dense_weight_bytes(self):
+        dense = Dense(name="fc", units=10, use_bias=True)
+        assert dense.weight_bytes_for(TensorSpec(1, 1, 20)) == (200 + 10) * 4
+
+    def test_dense_class(self):
+        assert Dense(name="fc").layer_class == CLASS_DENSE
+
+    def test_flatten(self):
+        out = Flatten(name="f").output_spec(TensorSpec(7, 7, 512))
+        assert out.channels == 7 * 7 * 512
+        assert Flatten(name="f").flops(TensorSpec(7, 7, 512)) == 0
+
+    def test_softmax_flops_positive(self):
+        assert Softmax(name="s").flops(TensorSpec(1, 1, 1000)) > 0
+
+
+class TestJoins:
+    def test_add_requires_matching_shapes(self):
+        add = Add(name="a")
+        with pytest.raises(ValueError):
+            add.output_spec(TensorSpec(8, 8, 4), TensorSpec(8, 8, 5))
+
+    def test_add_output(self):
+        add = Add(name="a")
+        out = add.output_spec(TensorSpec(8, 8, 4), TensorSpec(8, 8, 4))
+        assert (out.height, out.width, out.channels) == (8, 8, 4)
+
+    def test_concat_sums_channels(self):
+        concat = Concat(name="c")
+        out = concat.output_spec(TensorSpec(8, 8, 4), TensorSpec(8, 8, 6))
+        assert out.channels == 10
+
+    def test_concat_requires_matching_spatial(self):
+        with pytest.raises(ValueError):
+            Concat(name="c").output_spec(TensorSpec(8, 8, 4), TensorSpec(4, 4, 4))
+
+
+class TestElementwise:
+    def test_activation_identity_spec(self):
+        act = Activation(name="r", fn="relu")
+        spec = TensorSpec(8, 8, 4)
+        assert act.output_spec(spec) == spec
+        assert act.flops(spec) == spec.numel
+
+    def test_batchnorm(self):
+        bn = BatchNorm(name="b")
+        spec = TensorSpec(8, 8, 4)
+        assert bn.output_spec(spec) == spec
+        assert bn.flops(spec) == 2 * spec.numel
+        assert bn.weight_bytes_for(spec) == 4 * 4 * 4
+
+
+class TestReceptiveRows:
+    def test_identity_for_pointwise(self):
+        layers = [Conv2D(name="c", filters=4, kernel_size=1, strides=1, pad="same")]
+        assert receptive_rows(layers, 5, 10) == (5, 10)
+
+    def test_expands_for_3x3(self):
+        layers = [Conv2D(name="c", filters=4, kernel_size=3, strides=1, pad="same")]
+        lo, hi = receptive_rows(layers, 5, 10)
+        assert lo == 4 and hi == 11
+
+    def test_stride_scales(self):
+        layers = [Conv2D(name="c", filters=4, kernel_size=3, strides=2, pad="same")]
+        lo, hi = receptive_rows(layers, 2, 4)
+        assert lo < 2 * 2 and hi >= 3 * 2

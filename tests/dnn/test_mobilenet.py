@@ -1,0 +1,47 @@
+"""MobileNet-V2 zoo-extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_partitioner import LocalPartitioner
+from repro.dnn.models import build_model
+from repro.platform.specs import build_device
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return build_model("mobilenet_v2")
+
+
+class TestMobileNetV2:
+    def test_published_flops(self, mobilenet):
+        assert abs(mobilenet.total_flops - 0.60e9) / 0.60e9 < 0.15
+
+    def test_published_params(self, mobilenet):
+        params = mobilenet.total_weight_bytes / 4
+        assert abs(params - 3.5e6) / 3.5e6 < 0.15
+
+    def test_depthwise_heavy(self, mobilenet):
+        by_class = mobilenet.flops_by_class()
+        assert by_class["depthwise"] > 0.04 * mobilenet.total_flops
+
+    def test_classifier(self, mobilenet):
+        assert mobilenet.output_spec.channels == 1000
+        assert mobilenet.input_spec.height == 224
+
+    def test_stage_structure(self, mobilenet):
+        # 17 inverted residual blocks -> at least that many segments
+        assert len(mobilenet.segments()) >= 17
+
+    def test_local_tier_splits_it(self, mobilenet):
+        """Like EfficientNet, MobileNet should engage the TX2's CPUs."""
+        device = build_device("jetson_tx2")
+        segments = mobilenet.segments()
+        decision = LocalPartitioner(device).plan_piece(mobilenet, (0, len(segments) - 1))
+        assert len(set(decision.execution.processors)) >= 2
+
+    def test_hidp_plans_it(self, mobilenet, cluster):
+        from repro.core.hidp import HiDPStrategy
+
+        plan = HiDPStrategy().plan(mobilenet, cluster)
+        assert plan.predicted_latency_s > 0

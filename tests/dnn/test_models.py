@@ -1,0 +1,98 @@
+"""Model zoo validation: published cost figures and structure."""
+
+import pytest
+
+from repro.dnn.models import MODEL_NAMES, available_models, build_model
+
+#: Published GMACs x 2 (our FLOPs convention), tolerance 15%.
+PUBLISHED_GFLOPS = {
+    "vgg19": 39.2,
+    "resnet152": 22.6,
+    "inception_v3": 11.4,
+    "efficientnet_b0": 0.78,
+}
+
+#: Published parameter counts [millions], tolerance 15% (EfficientNet
+#: omits squeeze-excitation, see the builder docstring).
+PUBLISHED_MPARAMS = {
+    "vgg19": 143.7,
+    "resnet152": 60.2,
+    "inception_v3": 23.8,
+    "efficientnet_b0": 4.7,
+}
+
+
+class TestZooCosts:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_flops_match_published(self, name):
+        graph = build_model(name)
+        expected = PUBLISHED_GFLOPS[name] * 1e9
+        assert abs(graph.total_flops - expected) / expected < 0.15
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_params_match_published(self, name):
+        graph = build_model(name)
+        params = graph.total_weight_bytes / 4
+        expected = PUBLISHED_MPARAMS[name] * 1e6
+        assert abs(params - expected) / expected < 0.15
+
+    def test_vgg_dense_head_dominates_weights(self, vgg19):
+        fc_bytes = sum(
+            vgg19._weights[name]  # noqa: SLF001 - white-box check
+            for name in ("fc1", "fc2", "fc3")
+        )
+        assert fc_bytes > 0.8 * vgg19.total_weight_bytes
+
+    def test_efficientnet_has_depthwise_flops(self, efficientnet_b0):
+        by_class = efficientnet_b0.flops_by_class()
+        assert by_class["depthwise"] > 0.05 * efficientnet_b0.total_flops
+
+    def test_conv_dominates_others(self, resnet152, vgg19, inception_v3):
+        for graph in (resnet152, vgg19, inception_v3):
+            by_class = graph.flops_by_class()
+            assert by_class["conv"] > 0.9 * graph.total_flops
+
+
+class TestZooStructure:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_input_sizes(self, name):
+        graph = build_model(name)
+        expected = 299 if name == "inception_v3" else 224
+        assert graph.input_spec.height == expected
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_classifier_output(self, name):
+        graph = build_model(name)
+        assert graph.output_spec.channels == 1000
+
+    def test_resnet_depth(self, resnet152):
+        convs = sum(1 for layer in resnet152.layers if type(layer).__name__ == "Conv2D")
+        # 1 stem + 3*(50 bottlenecks) + 4 projections = 155 convs
+        assert convs == 155
+
+    def test_vgg_conv_count(self, vgg19):
+        convs = sum(1 for layer in vgg19.layers if type(layer).__name__ == "Conv2D")
+        assert convs == 16
+
+    def test_resnet_segments_one_per_block(self, resnet152):
+        # 50 bottleneck blocks + stem conv + pool + 3 head segments
+        segments = resnet152.segments()
+        assert 50 <= len(segments) <= 110
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_spatial_prefix_exists(self, name):
+        graph = build_model(name)
+        segments = graph.segments()
+        assert segments[0].spatial
+
+    def test_build_model_is_cached(self):
+        assert build_model("vgg19") is build_model("vgg19")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_available_models_superset_of_eval_models(self):
+        names = available_models()
+        for name in MODEL_NAMES:
+            assert name in names

@@ -1,0 +1,149 @@
+"""Numeric executor tests: kernel correctness and partition equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import numeric
+from repro.dnn.graph import GraphBuilder
+from repro.dnn.layers import Activation, BatchNorm, Conv2D, Dense, Flatten, Pool2D, Softmax
+from repro.dnn.models import build_model
+from repro.dnn.tensors import image
+
+
+class TestKernels:
+    def test_conv2d_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 6, 2))
+        w = rng.normal(size=(3, 3, 2, 4))
+        b = rng.normal(size=(4,))
+        out = numeric._conv2d(x, w, b, stride=1, fn="linear")
+        naive = np.zeros((4, 4, 4))
+        for i in range(4):
+            for j in range(4):
+                patch = x[i : i + 3, j : j + 3, :]
+                for f in range(4):
+                    naive[i, j, f] = (patch * w[:, :, :, f]).sum() + b[f]
+        assert np.allclose(out, naive)
+
+    def test_depthwise_matches_naive(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 5, 3))
+        w = rng.normal(size=(3, 3, 3))
+        b = np.zeros(3)
+        out = numeric._depthwise(x, w, b, stride=1)
+        naive = np.zeros((3, 3, 3))
+        for i in range(3):
+            for j in range(3):
+                for c in range(3):
+                    naive[i, j, c] = (x[i : i + 3, j : j + 3, c] * w[:, :, c]).sum()
+        assert np.allclose(out, np.maximum(naive, 0.0))
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=float).reshape(4, 4, 1)
+        out = numeric._pool(x, 2, 2, "max")
+        assert out.shape == (2, 2, 1)
+        assert out[0, 0, 0] == 5.0
+
+    def test_avgpool(self):
+        x = np.ones((4, 4, 2))
+        out = numeric._pool(x, 2, 2, "avg")
+        assert np.allclose(out, 1.0)
+
+    @pytest.mark.parametrize("fn", ["relu", "linear", "sigmoid", "swish"])
+    def test_activations_finite(self, fn):
+        x = np.linspace(-5, 5, 11)
+        out = numeric._activate(x, fn)
+        assert np.all(np.isfinite(out))
+
+    def test_relu_clips(self):
+        assert numeric._activate(np.array([-1.0, 2.0]), "relu").tolist() == [0.0, 2.0]
+
+    def test_unknown_activation(self):
+        with pytest.raises(numeric.NumericError):
+            numeric._activate(np.zeros(1), "gelu")
+
+
+class TestFullRun:
+    def test_softmax_output_sums_to_one(self, tiny_cnn):
+        x = numeric.random_input(tiny_cnn, seed=3)
+        out = numeric.run_graph(tiny_cnn, x)
+        assert out.shape == (1, 1, 10)
+        assert abs(out.sum() - 1.0) < 1e-9
+
+    def test_deterministic(self, tiny_cnn):
+        x = numeric.random_input(tiny_cnn, seed=3)
+        a = numeric.run_graph(tiny_cnn, x)
+        b = numeric.run_graph(tiny_cnn, x)
+        assert np.array_equal(a, b)
+
+    def test_params_deterministic_per_seed(self, tiny_cnn):
+        p1 = numeric.init_params(tiny_cnn, seed=5)
+        p2 = numeric.init_params(tiny_cnn, seed=5)
+        p3 = numeric.init_params(tiny_cnn, seed=6)
+        assert np.array_equal(p1["conv1"]["w"], p2["conv1"]["w"])
+        assert not np.array_equal(p1["conv1"]["w"], p3["conv1"]["w"])
+
+    def test_batchnorm_and_activation_layers(self):
+        builder = GraphBuilder("bn_net", image(8, 2))
+        builder.add(Conv2D(name="c", filters=4, kernel_size=3, activation="linear"))
+        builder.add(BatchNorm(name="bn"))
+        builder.add(Activation(name="act", fn="swish"))
+        builder.add(Flatten(name="flat"))
+        builder.add(Dense(name="fc", units=3, activation="linear"))
+        builder.add(Softmax(name="sm"))
+        graph = builder.build()
+        out = numeric.run_graph(graph, numeric.random_input(graph))
+        assert out.shape == (1, 1, 3)
+
+    def test_grouped_conv_rejected(self):
+        builder = GraphBuilder("grouped", image(8, 4))
+        builder.add(Conv2D(name="c", filters=8, kernel_size=3, groups=2))
+        graph = builder.build()
+        with pytest.raises(numeric.NumericError):
+            numeric.init_params(graph)
+
+
+class TestPartitionEquivalence:
+    @pytest.mark.parametrize(
+        "model_name", ["tiny_cnn", "tiny_residual", "tiny_branchy", "tiny_depthwise"]
+    )
+    @pytest.mark.parametrize("tiles", [2, 3, 5])
+    def test_tiled_equals_full(self, model_name, tiles):
+        graph = build_model(model_name)
+        x = numeric.random_input(graph, seed=11)
+        params = numeric.init_params(graph, seed=12)
+        full = numeric.run_graph(graph, x, params)
+        part = numeric.run_data_partitioned(graph, x, tiles, params)
+        assert np.allclose(full, part, atol=1e-9, rtol=1e-9)
+
+    def test_valid_padding_network(self):
+        builder = GraphBuilder("valid_net", image(20, 3))
+        builder.add(Conv2D(name="c1", filters=4, kernel_size=3, pad="valid"))
+        builder.add(Conv2D(name="c2", filters=4, kernel_size=3, strides=2, pad="valid"))
+        builder.add(Flatten(name="flat"))
+        builder.add(Dense(name="fc", units=5, activation="linear"))
+        graph = builder.build()
+        x = numeric.random_input(graph, seed=1)
+        params = numeric.init_params(graph, seed=2)
+        full = numeric.run_graph(graph, x, params)
+        part = numeric.run_data_partitioned(graph, x, 3, params)
+        assert np.allclose(full, part)
+
+    def test_maxpool_boundary_handling(self):
+        # max pooling with 'same' padding exercises the -inf pad path
+        builder = GraphBuilder("pool_net", image(9, 2))
+        builder.add(Conv2D(name="c", filters=4, kernel_size=3, pad="same"))
+        builder.add(Pool2D(name="p", pool_size=3, strides=2, pad="same", mode="max"))
+        builder.add(Flatten(name="flat"))
+        builder.add(Dense(name="fc", units=4, activation="linear"))
+        graph = builder.build()
+        x = -np.abs(numeric.random_input(graph, seed=7))  # all-negative input
+        params = numeric.init_params(graph, seed=8)
+        full = numeric.run_graph(graph, x, params)
+        part = numeric.run_data_partitioned(graph, x, 2, params)
+        assert np.allclose(full, part)
+
+    def test_outputs_match_helper(self):
+        a = np.ones(4)
+        assert numeric.outputs_match(a, a + 1e-12)
+        assert not numeric.outputs_match(a, a + 1.0)

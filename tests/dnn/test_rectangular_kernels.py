@@ -1,0 +1,61 @@
+"""Factorised (1xk / kx1) convolution support, as used by InceptionV3."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import numeric
+from repro.dnn.graph import GraphBuilder
+from repro.dnn.layers import Conv2D, Dense, Flatten
+from repro.dnn.tensors import image
+
+
+def _factorised_net(side=17):
+    builder = GraphBuilder("factorised", image(side, 3))
+    builder.add(Conv2D(name="stem", filters=4, kernel_size=3, pad="same"))
+    builder.add(Conv2D(name="row_conv", filters=4, kernel_size=(1, 7), pad="same"))
+    builder.add(Conv2D(name="col_conv", filters=4, kernel_size=(7, 1), pad="same"))
+    builder.add(Flatten(name="flat"))
+    builder.add(Dense(name="fc", units=5, activation="linear"))
+    return builder.build()
+
+
+class TestRectangularKernels:
+    def test_shapes_preserved(self):
+        graph = _factorised_net()
+        assert graph.spec("row_conv").height == 17
+        assert graph.spec("col_conv").height == 17
+
+    def test_flops_asymmetry(self):
+        graph = _factorised_net()
+        # 1x7 and 7x1 cost the same here (square input)
+        assert graph.layer_flops("row_conv") == graph.layer_flops("col_conv")
+        # and 7x less than a full 7x7 would
+        full = Conv2D(name="full", kernel_size=7, filters=4)
+        assert graph.layer_flops("row_conv") * 7 == full.flops(graph.spec("stem"))
+
+    def test_halo_only_vertical_for_kx1(self):
+        graph = _factorised_net()
+        demands = graph.demand_rows("col_conv", 5, 6)
+        # 7x1 conv: needs 7 rows of its input
+        lo, hi = demands["row_conv"]
+        assert hi - lo == 7
+        # 1x7 conv: needs exactly 1 row
+        lo, hi = demands["stem"]
+        assert hi - lo == 7  # unchanged by the 1x7 layer (kernel_h == 1)
+
+    def test_numeric_equivalence_with_rect_kernels(self):
+        graph = _factorised_net()
+        x = numeric.random_input(graph, seed=4)
+        params = numeric.init_params(graph, seed=5)
+        full = numeric.run_graph(graph, x, params)
+        for tiles in (2, 3):
+            tiled = numeric.run_data_partitioned(graph, x, tiles, params)
+            assert np.allclose(full, tiled, atol=1e-9)
+
+    def test_inception_contains_factorised_convs(self, inception_v3):
+        rect = [
+            layer
+            for layer in inception_v3.layers
+            if isinstance(layer, Conv2D) and layer.kernel != layer.kernel_w
+        ]
+        assert len(rect) >= 10

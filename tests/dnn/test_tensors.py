@@ -1,0 +1,63 @@
+"""Unit tests for tensor shape descriptors."""
+
+import pytest
+
+from repro.dnn.tensors import DEFAULT_DTYPE_BYTES, TensorSpec, image, vector
+
+
+class TestTensorSpec:
+    def test_numel(self):
+        assert TensorSpec(4, 5, 3).numel == 60
+
+    def test_size_bytes_float32(self):
+        assert TensorSpec(2, 2, 2).size_bytes == 8 * DEFAULT_DTYPE_BYTES
+
+    def test_size_bytes_custom_dtype(self):
+        assert TensorSpec(2, 2, 2, dtype_bytes=2).size_bytes == 16
+
+    def test_rows_bytes(self):
+        spec = TensorSpec(10, 7, 3)
+        assert spec.rows_bytes(2) == 2 * 7 * 3 * 4
+
+    def test_rows_bytes_zero(self):
+        assert TensorSpec(10, 7, 3).rows_bytes(0) == 0
+
+    def test_rows_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(10, 7, 3).rows_bytes(-1)
+
+    def test_is_spatial(self):
+        assert TensorSpec(2, 2, 1).is_spatial
+        assert TensorSpec(1, 2, 1).is_spatial
+        assert not TensorSpec(1, 1, 100).is_spatial
+
+    def test_with_height(self):
+        spec = TensorSpec(10, 7, 3)
+        taller = spec.with_height(20)
+        assert taller.height == 20
+        assert taller.width == spec.width
+        assert spec.height == 10  # original untouched
+
+    @pytest.mark.parametrize("height,width,channels", [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-1, 1, 1)])
+    def test_invalid_dimensions_rejected(self, height, width, channels):
+        with pytest.raises(ValueError):
+            TensorSpec(height, width, channels)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(1, 1, 1, dtype_bytes=0)
+
+
+class TestHelpers:
+    def test_vector(self):
+        spec = vector(1000)
+        assert (spec.height, spec.width, spec.channels) == (1, 1, 1000)
+        assert not spec.is_spatial
+
+    def test_image(self):
+        spec = image(224)
+        assert (spec.height, spec.width, spec.channels) == (224, 224, 3)
+        assert spec.is_spatial
+
+    def test_image_custom_channels(self):
+        assert image(32, channels=1).channels == 1

@@ -1,0 +1,79 @@
+"""Fig. 1 reproduction tests: the paper's motivational anchors."""
+
+import pytest
+
+from repro.experiments.fig1_motivation import (
+    CONFIG_NAMES,
+    CONFIGS,
+    PartitionConfig,
+    best_config,
+    normalised_fig1,
+    report_fig1,
+    run_fig1,
+)
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return run_fig1()
+
+
+class TestConfigs:
+    def test_nine_configurations(self):
+        assert len(CONFIGS) == 9
+        assert CONFIG_NAMES[0] == "P1"
+
+    def test_p1_is_default_runtime(self):
+        p1 = CONFIGS[0]
+        assert p1.partitions == 1
+        assert p1.gpu_share == 1.0
+        assert not p1.pinned
+
+    def test_anchor_configs(self):
+        by_name = {c.name: c for c in CONFIGS}
+        assert by_name["P7"].partitions == 4 and by_name["P7"].gpu_share == 0.80
+        assert by_name["P9"].partitions == 4 and by_name["P9"].gpu_share == 0.50
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionConfig("X", 0, 0.5)
+        with pytest.raises(ValueError):
+            PartitionConfig("X", 2, 1.5)
+
+
+class TestPaperAnchors:
+    def test_p1_worst_for_every_model(self, latencies):
+        """The paper's headline: the default TF configuration is never
+        the fastest."""
+        norm = normalised_fig1(latencies)
+        for model, values in norm.items():
+            best = min(values.values())
+            assert best < 0.95, f"{model}: no configuration beats P1"
+            assert values["P1"] == pytest.approx(1.0)
+
+    def test_efficientnet_best_at_p9(self, latencies):
+        assert best_config(latencies)["efficientnet_b0"] == "P9"
+
+    def test_resnet_vgg_best_near_p7(self, latencies):
+        for model in ("resnet152", "vgg19"):
+            assert best_config(latencies)[model] in ("P6", "P7")
+
+    def test_inception_best_near_p6(self, latencies):
+        assert best_config(latencies)["inception_v3"] in ("P2", "P5", "P6", "P7")
+
+    def test_efficientnet_gains_most_from_cpu(self, latencies):
+        """EfficientNet's depthwise layers make the 50/50 split shine."""
+        norm = normalised_fig1(latencies)
+        assert norm["efficientnet_b0"]["P9"] < norm["resnet152"]["P9"]
+        assert norm["efficientnet_b0"]["P9"] < norm["vgg19"]["P9"]
+
+    def test_heavy_cpu_hurts_conv_models(self, latencies):
+        """ResNet/VGG have ~80/20 GPU/CPU capacity: P9 must be worse
+        than P7 for them (the crossover the paper plots)."""
+        norm = normalised_fig1(latencies)
+        for model in ("resnet152", "vgg19"):
+            assert norm[model]["P9"] > norm[model]["P7"]
+
+    def test_report_renders(self, latencies):
+        text = report_fig1(latencies)
+        assert "P1" in text and "best" in text

@@ -1,0 +1,96 @@
+"""Fig. 6-8 reproduction tests."""
+
+import pytest
+
+from repro.experiments.fig6_performance import report_fig6, run_fig6
+from repro.experiments.fig7_throughput import (
+    average_gain,
+    report_fig7,
+    run_fig7,
+)
+from repro.experiments.fig8_scaling import (
+    average_reduction,
+    report_fig8,
+    run_fig8,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6_results():
+    return run_fig6()
+
+
+@pytest.fixture(scope="module")
+def fig7_table():
+    # two representative mixes keep the suite fast; the bench covers all 8
+    return run_fig7(mixes=("mix2", "mix8"), horizon_s=8.0)
+
+
+@pytest.fixture(scope="module")
+def fig8_table():
+    return run_fig8(sizes=(2, 5))
+
+
+class TestFig6:
+    def test_hidp_finishes_first(self, fig6_results):
+        makespans = {name: result.makespan_s for name, result in fig6_results.items()}
+        assert makespans["hidp"] == min(makespans.values())
+
+    def test_hidp_finishes_within_5s(self, fig6_results):
+        """Paper: 'HiDP completes the inference of all the models
+        within 5 s in total.'"""
+        assert fig6_results["hidp"].makespan_s < 5.0
+
+    def test_hidp_highest_mean_performance(self, fig6_results):
+        means = {name: result.mean_gflops for name, result in fig6_results.items()}
+        assert means["hidp"] == max(means.values())
+
+    def test_all_four_requests_complete(self, fig6_results):
+        for result in fig6_results.values():
+            assert result.count == 4
+
+    def test_report(self, fig6_results):
+        assert "GFLOPs/s" in report_fig6(fig6_results)
+
+
+class TestFig7:
+    def test_hidp_highest_throughput_per_mix(self, fig7_table):
+        for mix, per_strategy in fig7_table.items():
+            hidp = per_strategy["hidp"]
+            for strategy, value in per_strategy.items():
+                assert hidp >= value, f"{mix}: {strategy} out-throughputs HiDP"
+
+    def test_gains_positive(self, fig7_table):
+        gains = average_gain(fig7_table)
+        for strategy, value in gains.items():
+            assert value > 20, f"{strategy}: only +{value:.0f}%"
+
+    def test_report(self, fig7_table):
+        assert "throughput" in report_fig7(fig7_table)
+
+
+class TestFig8:
+    def test_hidp_lowest_at_every_size(self, fig8_table):
+        for size, per_strategy in fig8_table.items():
+            hidp = per_strategy["hidp"]
+            for strategy, value in per_strategy.items():
+                assert hidp <= value, f"n={size}: {strategy} beat HiDP"
+
+    def test_hidp_insensitive_to_shrinking(self, fig8_table):
+        """HiDP keeps exploiting local resources when the cluster
+        shrinks; its latency must not blow up at n=2."""
+        assert fig8_table[2]["hidp"] <= 1.25 * fig8_table[5]["hidp"]
+
+    def test_some_baseline_degrades_at_small_cluster(self, fig8_table):
+        degradations = [
+            fig8_table[2][s] / fig8_table[5][s] for s in ("omniboost", "modnn")
+        ]
+        assert max(degradations) > 1.0
+
+    def test_reductions_positive(self, fig8_table):
+        avg = average_reduction(fig8_table)
+        for strategy, value in avg.items():
+            assert value > 10
+
+    def test_report(self, fig8_table):
+        assert "cluster size" in report_fig8(fig8_table)

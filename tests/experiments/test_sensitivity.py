@@ -1,0 +1,28 @@
+"""Bandwidth-sensitivity extension tests."""
+
+import pytest
+
+from repro.experiments.sensitivity import report_bandwidth_sweep, run_bandwidth_sweep
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_bandwidth_sweep(bandwidths_mbps=(5, 80, 1280))
+
+
+class TestBandwidthSweep:
+    def test_latency_weakly_decreasing(self, rows):
+        latencies = [row["latency [ms]"] for row in rows]
+        for slow, fast in zip(latencies, latencies[1:]):
+            assert fast <= slow * 1.05
+
+    def test_slow_network_stays_near_leader(self, rows):
+        assert rows[0]["devices"] <= 2
+
+    def test_fast_network_moves_more_bytes_or_equal_latency(self, rows):
+        # a faster medium never makes HiDP strictly worse
+        assert rows[-1]["latency [ms]"] <= rows[0]["latency [ms]"]
+
+    def test_report_renders(self, rows):
+        text = report_bandwidth_sweep(rows)
+        assert "Sensitivity" in text

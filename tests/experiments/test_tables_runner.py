@@ -1,0 +1,50 @@
+"""Table renderers and CLI runner tests."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.tables import TABLE1_ROWS, report_accuracy, report_table1, report_table2
+
+
+class TestTables:
+    def test_table1_hidp_unique_local_tier(self):
+        local = [row for row in TABLE1_ROWS if row["Local partitioning"] == "yes"]
+        assert len(local) == 1
+        assert "HiDP" in local[0]["Approach"]
+
+    def test_table1_renders(self):
+        text = report_table1()
+        assert "DisNet" in text and "HiDP" in text
+
+    def test_table2_renders(self):
+        text = report_table2()
+        assert "jetson_tx2" in text and "8 GB" in text
+
+    def test_accuracy_report(self):
+        text = report_accuracy()
+        assert "Top-1" in text
+        assert "NO" not in text  # every equivalence check passed
+
+
+class TestRunner:
+    def test_experiment_registry(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "fig1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "accuracy",
+            "sensitivity",
+        }
+
+    def test_main_selected(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "==== table1" in out and "==== table2" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

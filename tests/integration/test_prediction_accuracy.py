@@ -1,0 +1,45 @@
+"""Model-validation tests: the DSE's predictions vs simulated reality.
+
+A cost model that plans well but predicts garbage would be suspicious;
+these tests pin the predicted latency of every (model, strategy) pair
+to within a factor of the simulated outcome. The gap covers what the
+analytical prediction deliberately ignores (probe round-trips, channel
+contention, controller overheads).
+"""
+
+import pytest
+
+from repro.baselines import build_strategy
+from repro.core.framework import DistributedInferenceFramework
+from repro.dnn.models import MODEL_NAMES, build_model
+from repro.platform.cluster import build_cluster
+from repro.workloads.requests import single_request
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+@pytest.mark.parametrize("strategy_name", ["hidp", "disnet", "modnn"])
+def test_prediction_within_factor_two(model, strategy_name):
+    cluster = build_cluster()
+    strategy = build_strategy(strategy_name)
+    plan = strategy.plan(build_model(model), cluster)
+    framework = DistributedInferenceFramework(cluster, strategy)
+    measured = framework.run(single_request(model)).results[0].latency_s
+    predicted = plan.predicted_latency_s
+    assert predicted > 0
+    ratio = measured / predicted
+    assert 0.5 <= ratio <= 2.5, (
+        f"{strategy_name}/{model}: predicted {predicted*1000:.0f} ms, "
+        f"measured {measured*1000:.0f} ms (x{ratio:.2f})"
+    )
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_prediction_is_optimistic_bound(model):
+    """The analytical prediction excludes probe/DSE/merge overheads, so
+    the simulation should rarely beat it by much."""
+    cluster = build_cluster()
+    strategy = build_strategy("hidp")
+    plan = strategy.plan(build_model(model), cluster)
+    framework = DistributedInferenceFramework(cluster, strategy)
+    measured = framework.run(single_request(model)).results[0].latency_s
+    assert measured >= 0.9 * plan.predicted_latency_s

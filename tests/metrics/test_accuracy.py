@@ -1,0 +1,36 @@
+"""Accuracy bookkeeping tests."""
+
+from repro.metrics.accuracy import (
+    REPORTED_ACCURACY,
+    accuracy_rows,
+    verify_partition_equivalence,
+)
+
+
+class TestReportedAccuracy:
+    def test_paper_constants(self):
+        assert REPORTED_ACCURACY["vgg19"] == (75.3, 89.7)
+        assert REPORTED_ACCURACY["inception_v3"] == (80.9, 92.5)
+        assert set(REPORTED_ACCURACY) == {
+            "vgg19",
+            "efficientnet_b0",
+            "resnet152",
+            "inception_v3",
+        }
+
+    def test_rows_render(self):
+        rows = accuracy_rows()
+        assert len(rows) == 4
+        assert all("Top-1 %" in row for row in rows)
+
+
+class TestEquivalence:
+    def test_all_toys_equivalent(self):
+        results = verify_partition_equivalence(tile_counts=(2, 3))
+        assert results
+        for check in results:
+            assert check.equivalent, f"{check.model} x{check.num_tiles}: {check.max_abs_error}"
+
+    def test_error_is_tracked(self):
+        results = verify_partition_equivalence(model_names=("tiny_cnn",), tile_counts=(2,))
+        assert results[0].max_abs_error <= 1e-9

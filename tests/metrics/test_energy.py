@@ -1,0 +1,60 @@
+"""Energy integration tests."""
+
+import pytest
+
+from repro.metrics.energy import cluster_energy_j, device_energy_j
+from repro.platform.cluster import build_cluster
+from repro.sim.trace import BusyRecorder
+
+
+@pytest.fixture()
+def small_cluster():
+    return build_cluster(["jetson_tx2", "jetson_nano"])
+
+
+class TestDeviceEnergy:
+    def test_idle_energy_floor(self, small_cluster):
+        busy = BusyRecorder()
+        tx2 = small_cluster.device("jetson_tx2")
+        energy = device_energy_j(small_cluster, busy, "jetson_tx2", (0.0, 10.0))
+        assert energy == pytest.approx(tx2.idle_power_w * 10.0)
+
+    def test_busy_adds_marginal(self, small_cluster):
+        busy = BusyRecorder()
+        busy.record("jetson_tx2/gpu_pascal", 0.0, 2.0)
+        tx2 = small_cluster.device("jetson_tx2")
+        gpu = tx2.processor("gpu_pascal")
+        expected = tx2.idle_power_w * 10.0 + (gpu.power.busy_w - gpu.power.idle_w) * 2.0
+        energy = device_energy_j(small_cluster, busy, "jetson_tx2", (0.0, 10.0))
+        assert energy == pytest.approx(expected)
+
+    def test_busy_outside_window_ignored(self, small_cluster):
+        busy = BusyRecorder()
+        busy.record("jetson_tx2/gpu_pascal", 20.0, 25.0)
+        with_burst = device_energy_j(small_cluster, busy, "jetson_tx2", (0.0, 10.0))
+        without = device_energy_j(small_cluster, BusyRecorder(), "jetson_tx2", (0.0, 10.0))
+        assert with_burst == pytest.approx(without)
+
+    def test_backwards_window_rejected(self, small_cluster):
+        with pytest.raises(ValueError):
+            device_energy_j(small_cluster, BusyRecorder(), "jetson_tx2", (5.0, 1.0))
+
+
+class TestClusterEnergy:
+    def test_covers_all_devices(self, small_cluster):
+        energies = cluster_energy_j(small_cluster, BusyRecorder(), (0.0, 1.0))
+        assert set(energies) == {"jetson_tx2", "jetson_nano"}
+
+    def test_default_window_is_makespan(self, small_cluster):
+        busy = BusyRecorder()
+        busy.record("jetson_tx2/gpu_pascal", 0.0, 4.0)
+        energies = cluster_energy_j(small_cluster, busy)
+        explicit = cluster_energy_j(small_cluster, busy, (0.0, 4.0))
+        assert energies == explicit
+
+    def test_longer_makespan_costs_idle_everywhere(self, small_cluster):
+        """The effect behind Fig. 5b: slow strategies pay idle draw on
+        every board for longer."""
+        short = cluster_energy_j(small_cluster, BusyRecorder(), (0.0, 1.0))
+        long = cluster_energy_j(small_cluster, BusyRecorder(), (0.0, 2.0))
+        assert sum(long.values()) > sum(short.values())

@@ -1,0 +1,52 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.metrics.report import geometric_mean, normalise, percent_reduction, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_floats_formatted(self):
+        text = render_table([{"v": 1.23456}], float_format="{:.2f}")
+        assert "1.23" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_table([])
+
+    def test_column_subset(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestMath:
+    def test_normalise(self):
+        out = normalise({"P1": 2.0, "P2": 1.0}, "P1")
+        assert out == {"P1": 1.0, "P2": 0.5}
+
+    def test_normalise_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalise({"a": 1.0}, "b")
+
+    def test_normalise_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalise({"a": 0.0}, "a")
+
+    def test_percent_reduction(self):
+        assert percent_reduction(2.0, 1.0) == pytest.approx(50.0)
+        assert percent_reduction(1.0, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            percent_reduction(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

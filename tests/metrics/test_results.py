@@ -1,0 +1,67 @@
+"""Result record tests."""
+
+import pytest
+
+from repro.metrics.results import InferenceResult, RunResult
+
+
+def _result(rid=0, model="vgg19", submit=0.0, start=0.1, done=1.1):
+    return InferenceResult(
+        request_id=rid,
+        model=model,
+        strategy="hidp",
+        submitted_s=submit,
+        started_s=start,
+        completed_s=done,
+        plan_mode="data",
+        devices=("jetson_tx2",),
+    )
+
+
+class TestInferenceResult:
+    def test_latency(self):
+        assert _result().latency_s == pytest.approx(1.1)
+        assert _result().service_s == pytest.approx(1.0)
+
+    def test_inconsistent_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            _result(submit=1.0, start=0.5)
+        with pytest.raises(ValueError):
+            _result(start=2.0, done=1.0)
+
+
+class TestRunResult:
+    def _run(self):
+        return RunResult(
+            strategy="hidp",
+            results=[
+                _result(0, "vgg19", 0.0, 0.0, 1.0),
+                _result(1, "vgg19", 0.5, 0.5, 2.5),
+                _result(2, "resnet152", 1.0, 1.0, 2.0),
+            ],
+            makespan_s=2.5,
+            energy_j=50.0,
+        )
+
+    def test_counts_and_means(self):
+        run = self._run()
+        assert run.count == 3
+        assert run.mean_latency_s == pytest.approx((1.0 + 2.0 + 1.0) / 3)
+        assert run.max_latency_s == pytest.approx(2.0)
+
+    def test_latency_of_model(self):
+        run = self._run()
+        assert run.latency_of("vgg19") == pytest.approx(1.5)
+        with pytest.raises(KeyError):
+            run.latency_of("alexnet")
+
+    def test_throughput(self):
+        assert self._run().throughput_per_100s() == pytest.approx(120.0)
+        assert RunResult(strategy="x").throughput_per_100s() == 0.0
+
+    def test_energy_per_inference(self):
+        assert self._run().energy_per_inference_j == pytest.approx(50.0 / 3)
+        assert RunResult(strategy="x").energy_per_inference_j == 0.0
+
+    def test_mean_gflops_empty(self):
+        assert RunResult(strategy="x").mean_gflops == 0.0

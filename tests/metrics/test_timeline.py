@@ -1,0 +1,71 @@
+"""Timeline renderer tests."""
+
+import pytest
+
+from repro.metrics.timeline import render_timeline, utilisation
+from repro.sim.trace import BusyRecorder
+
+
+def _recorder():
+    busy = BusyRecorder()
+    busy.record("dev/gpu", 0.0, 5.0)
+    busy.record("dev/cpu", 5.0, 10.0)
+    return busy
+
+
+class TestRenderTimeline:
+    def test_busy_processor_is_hashed(self):
+        text = render_timeline(_recorder(), width=10)
+        lines = text.splitlines()
+        gpu_line = next(line for line in lines if line.startswith("dev/gpu"))
+        cpu_line = next(line for line in lines if line.startswith("dev/cpu"))
+        assert gpu_line.count("#") == 5
+        assert cpu_line.count("#") == 5
+        # gpu busy first half, cpu second half
+        assert gpu_line.index("#") < cpu_line.index("#")
+
+    def test_empty_recorder(self):
+        assert render_timeline(BusyRecorder()) == "(no activity)"
+
+    def test_window_selection(self):
+        text = render_timeline(_recorder(), width=10, window=(0.0, 5.0))
+        cpu_line = next(line for line in text.splitlines() if line.startswith("dev/cpu"))
+        assert "#" not in cpu_line
+
+    def test_key_filter(self):
+        text = render_timeline(_recorder(), keys=["dev/gpu"])
+        assert "dev/cpu" not in text
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_timeline(_recorder(), width=0)
+
+    def test_renders_from_real_run(self, cluster):
+        from repro.core.framework import HiDPFramework
+        from repro.sim.runtime import SimRuntime
+        from repro.core.executor import PlanExecutor
+        from repro.dnn.models import build_model
+        from repro.workloads.requests import InferenceRequest
+
+        runtime = SimRuntime(cluster)
+        executor = PlanExecutor(runtime)
+        framework = HiDPFramework(cluster)
+        plan = framework.strategy.plan(build_model("resnet152"), cluster)
+        runtime.env.process(executor.execute(InferenceRequest(0, "resnet152"), plan))
+        runtime.env.run()
+        text = render_timeline(runtime.busy, width=40)
+        assert "#" in text
+
+
+class TestUtilisation:
+    def test_sorted_descending(self):
+        busy = BusyRecorder()
+        busy.record("a/p", 0.0, 1.0)
+        busy.record("b/q", 0.0, 9.0)
+        rows = utilisation(busy, (0.0, 10.0))
+        assert rows[0] == ("b/q", pytest.approx(0.9))
+        assert rows[1] == ("a/p", pytest.approx(0.1))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            utilisation(BusyRecorder(), (1.0, 1.0))

@@ -1,0 +1,88 @@
+"""Cluster topology, availability and global resource vector tests."""
+
+import pytest
+
+from repro.comm.network import WirelessNetwork
+from repro.platform.cluster import Cluster, build_cluster
+from repro.platform.specs import DEVICE_NAMES, build_device
+
+
+class TestTopology:
+    def test_default_cluster_order(self, cluster):
+        assert tuple(d.name for d in cluster.devices) == DEVICE_NAMES
+        assert cluster.leader.name == "jetson_tx2"
+
+    def test_device_lookup(self, cluster):
+        assert cluster.device("jetson_nano").name == "jetson_nano"
+        with pytest.raises(KeyError):
+            cluster.device("cloud")
+
+    def test_subcluster_keeps_leader(self, cluster):
+        sub = cluster.subcluster(2)
+        assert sub.size == 2
+        assert sub.leader.name == cluster.leader.name
+
+    def test_subcluster_bounds(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.subcluster(0)
+        with pytest.raises(ValueError):
+            cluster.subcluster(6)
+
+    def test_duplicate_devices_rejected(self):
+        dev = build_device("jetson_tx2")
+        with pytest.raises(ValueError):
+            Cluster(devices=(dev, build_device("jetson_tx2")))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(devices=())
+
+
+class TestAvailability:
+    def test_all_available_initially(self, cluster):
+        vector = cluster.availability_vector()
+        assert all(v == 1 for v in vector.values())
+        assert len(vector) == 5
+
+    def test_mark_unavailable(self, cluster):
+        cluster.set_available("jetson_nano", False)
+        assert cluster.availability_vector()["jetson_nano"] == 0
+        assert not cluster.is_available("jetson_nano")
+        names = [d.name for d in cluster.available_devices()]
+        assert "jetson_nano" not in names
+
+    def test_recover(self, cluster):
+        cluster.set_available("jetson_nano", False)
+        cluster.set_available("jetson_nano", True)
+        assert cluster.is_available("jetson_nano")
+
+    def test_unknown_device_rejected(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.set_available("cloud", False)
+
+
+class TestResourceVectors:
+    def test_psi_global_covers_available(self, cluster):
+        psi = cluster.psi_global()
+        assert set(psi) == set(DEVICE_NAMES)
+        cluster.set_available("raspberry_pi4", False)
+        assert "raspberry_pi4" not in cluster.psi_global()
+
+    def test_psi_global_ordering(self, cluster):
+        psi = cluster.psi_global()
+        assert psi["jetson_orin_nx"] > psi["jetson_tx2"] > psi["raspberry_pi4"]
+
+    def test_transfer_seconds_self_is_free(self, cluster):
+        assert cluster.transfer_seconds("jetson_tx2", "jetson_tx2", 10**6) == 0.0
+
+    def test_transfer_seconds_uses_network(self, cluster):
+        t = cluster.transfer_seconds("jetson_tx2", "jetson_nano", 10**7)
+        assert t == pytest.approx(cluster.network.latency_s + 10**7 / cluster.network.bandwidth_bytes_s)
+
+    def test_custom_network(self):
+        cluster = build_cluster(["jetson_tx2", "jetson_nano"], network=WirelessNetwork(bandwidth_bytes_s=1e6, latency_s=0.01))
+        assert cluster.transfer_seconds("jetson_tx2", "jetson_nano", 10**6) == pytest.approx(1.01)
+
+    def test_beta_uniform(self, cluster):
+        betas = {cluster.beta(d) for d in cluster.devices}
+        assert len(betas) == 1

@@ -1,0 +1,88 @@
+"""Unit tests for devices and local resource vectors."""
+
+import pytest
+
+from repro.dnn.layers import CLASS_CONV
+from repro.platform.device import Device
+from repro.platform.power import PowerModel
+from repro.platform.processor import ComputeIntensity, KIND_CPU, KIND_GPU, Processor
+
+
+def _proc(name, kind, rate_gf):
+    # one core at rate_gf GHz with delta 1 => rate_gf GFLOPs/s
+    return Processor(
+        name=name,
+        kind=kind,
+        cores=1,
+        frequency_hz=rate_gf * 1e9,
+        intensity=ComputeIntensity.scaled(1.0, {}),
+        power=PowerModel(0.1, 1.0),
+    )
+
+
+def _device():
+    return Device(
+        name="dev",
+        processors=(_proc("cpu", KIND_CPU, 4.0), _proc("gpu", KIND_GPU, 16.0)),
+        intra_bw_bytes_s=1e9,
+        intra_latency_s=0.001,
+        static_power_w=1.0,
+    )
+
+
+class TestDevice:
+    def test_default_processor_prefers_gpu(self):
+        assert _device().default_processor.name == "gpu"
+
+    def test_default_processor_falls_back_to_first(self):
+        dev = Device(name="cpuonly", processors=(_proc("cpu", KIND_CPU, 4.0),), intra_bw_bytes_s=1e9)
+        assert dev.default_processor.name == "cpu"
+
+    def test_processor_lookup(self):
+        dev = _device()
+        assert dev.processor("cpu").name == "cpu"
+        with pytest.raises(KeyError):
+            dev.processor("npu")
+
+    def test_compute_rate_sums_processors(self):
+        dev = _device()
+        assert dev.compute_rate() == pytest.approx(20e9)
+
+    def test_psi_vector(self):
+        dev = _device()
+        psi = dev.psi()
+        assert psi["gpu"] == pytest.approx(16e9 / 1e9)
+        assert psi["cpu"] == pytest.approx(4e9 / 1e9)
+
+    def test_psi_respects_workload_mix(self):
+        dev = _device()
+        conv_only = dev.psi({"conv": 10**9})
+        assert conv_only["gpu"] == pytest.approx(16.0)
+
+    def test_transfer_seconds(self):
+        dev = _device()
+        assert dev.transfer_seconds(10**9) == pytest.approx(0.001 + 1.0)
+        assert dev.transfer_seconds(0) == pytest.approx(0.001)
+
+    def test_transfer_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _device().transfer_seconds(-1)
+
+    def test_idle_power(self):
+        assert _device().idle_power_w == pytest.approx(1.0 + 0.2)
+
+    def test_duplicate_processor_names_rejected(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="dup",
+                processors=(_proc("p", KIND_CPU, 1.0), _proc("p", KIND_GPU, 1.0)),
+                intra_bw_bytes_s=1e9,
+            )
+
+    def test_empty_processors_rejected(self):
+        with pytest.raises(ValueError):
+            Device(name="empty", processors=(), intra_bw_bytes_s=1e9)
+
+    def test_invalid_interconnect_rejected(self):
+        with pytest.raises(ValueError):
+            Device(name="bad", processors=(_proc("p", KIND_CPU, 1.0),), intra_bw_bytes_s=0)

@@ -1,0 +1,54 @@
+"""NPU (DLA) variant tests: the paper's 'CPU, GPU, and NPU' node class."""
+
+import pytest
+
+from repro.core.local_partitioner import LocalPartitioner
+from repro.dnn.models import build_model
+from repro.platform.processor import KIND_NPU
+from repro.platform.specs import build_device, build_jetson_orin_nx, build_jetson_orin_nx_npu
+
+
+class TestNPUVariant:
+    def test_default_orin_has_no_npu(self):
+        device = build_jetson_orin_nx()
+        assert all(p.kind != KIND_NPU for p in device.processors)
+
+    def test_npu_variant_registered(self):
+        device = build_device("jetson_orin_nx_npu")
+        kinds = {p.kind for p in device.processors}
+        assert KIND_NPU in kinds
+        assert device.name == "jetson_orin_nx_npu"
+
+    def test_npu_conv_specialisation(self):
+        device = build_jetson_orin_nx_npu()
+        npu = next(p for p in device.processors if p.kind == KIND_NPU)
+        # great at conv relative to its own depthwise/dense rates
+        assert npu.rate("conv") > 10 * npu.rate("depthwise")
+        assert npu.rate("conv") > 5 * npu.rate("dense")
+
+    def test_npu_low_power(self):
+        device = build_jetson_orin_nx_npu()
+        npu = next(p for p in device.processors if p.kind == KIND_NPU)
+        gpu = next(p for p in device.processors if p.name == "gpu_ampere")
+        assert npu.power.busy_w < gpu.power.busy_w / 3
+
+    def test_local_tier_exploits_npu(self):
+        """HiDP's local partitioner must pick up the third engine for a
+        conv-heavy network."""
+        device = build_jetson_orin_nx_npu()
+        graph = build_model("resnet152")
+        segments = graph.segments()
+        decision = LocalPartitioner(device).plan_piece(graph, (0, len(segments) - 1))
+        assert "npu_dla" in set(decision.execution.processors)
+
+    def test_npu_never_beats_three_way_split(self):
+        """Adding an engine can only help (predicted time)."""
+        graph = build_model("resnet152")
+        segments = graph.segments()
+        with_npu = LocalPartitioner(build_jetson_orin_nx_npu()).plan_piece(
+            graph, (0, len(segments) - 1)
+        )
+        without = LocalPartitioner(build_jetson_orin_nx()).plan_piece(
+            graph, (0, len(segments) - 1)
+        )
+        assert with_npu.predicted_s <= without.predicted_s * 1.001

@@ -1,0 +1,44 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro.platform.power import PowerModel
+
+
+class TestPowerModel:
+    def test_idle_only(self):
+        pm = PowerModel(idle_w=2.0, busy_w=10.0)
+        assert pm.energy_j(window_s=5.0, busy_s=0.0) == pytest.approx(10.0)
+
+    def test_fully_busy(self):
+        pm = PowerModel(idle_w=2.0, busy_w=10.0)
+        assert pm.energy_j(window_s=5.0, busy_s=5.0) == pytest.approx(50.0)
+
+    def test_mixed(self):
+        pm = PowerModel(idle_w=1.0, busy_w=5.0)
+        # 10s idle floor + 4W marginal * 2s busy
+        assert pm.energy_j(10.0, 2.0) == pytest.approx(10.0 + 8.0)
+
+    def test_active_energy(self):
+        pm = PowerModel(idle_w=1.0, busy_w=5.0)
+        assert pm.active_energy_j(3.0) == pytest.approx(12.0)
+
+    def test_busy_exceeding_window_rejected(self):
+        pm = PowerModel(1.0, 2.0)
+        with pytest.raises(ValueError):
+            pm.energy_j(1.0, 2.0)
+
+    def test_negative_times_rejected(self):
+        pm = PowerModel(1.0, 2.0)
+        with pytest.raises(ValueError):
+            pm.energy_j(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            pm.active_energy_j(-1.0)
+
+    def test_busy_below_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_w=5.0, busy_w=1.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_w=-1.0, busy_w=1.0)

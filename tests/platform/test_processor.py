@@ -1,0 +1,116 @@
+"""Unit tests for processors and compute intensities."""
+
+import pytest
+
+from repro.dnn.layers import CLASS_CONV, CLASS_DEPTHWISE, LAYER_CLASSES
+from repro.platform.power import PowerModel
+from repro.platform.processor import (
+    CPU_PROFILE,
+    ComputeIntensity,
+    GPU_PROFILE,
+    KIND_CPU,
+    KIND_GPU,
+    Processor,
+)
+
+
+def _gpu(dispatch=0.0, penalty=1.6):
+    return Processor(
+        name="gpu",
+        kind=KIND_GPU,
+        cores=256,
+        frequency_hz=1.3e9,
+        intensity=ComputeIntensity.scaled(19.02, GPU_PROFILE),
+        power=PowerModel(0.5, 8.0),
+        setup_time_s=0.003,
+        default_runtime_penalty=penalty,
+        dispatch_time_s=dispatch,
+    )
+
+
+class TestComputeIntensity:
+    def test_scaled_applies_profile(self):
+        ci = ComputeIntensity.scaled(2.0, {CLASS_DEPTHWISE: 10.0})
+        assert ci.conv == 2.0
+        assert ci.depthwise == 20.0
+
+    def test_for_class(self):
+        ci = ComputeIntensity.scaled(1.0, GPU_PROFILE)
+        for cls in LAYER_CLASSES:
+            assert ci.for_class(cls) > 0
+
+    def test_unknown_class_rejected(self):
+        ci = ComputeIntensity.scaled(1.0, {})
+        with pytest.raises(KeyError):
+            ci.for_class("attention")
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeIntensity(conv=0, depthwise=1, dense=1, pool=1, elementwise=1)
+
+
+class TestProcessor:
+    def test_cycle_rate(self):
+        assert _gpu().cycle_rate == 256 * 1.3e9
+
+    def test_rate_uses_class_intensity(self):
+        gpu = _gpu()
+        assert gpu.rate(CLASS_CONV) > gpu.rate(CLASS_DEPTHWISE)
+        assert gpu.rate(CLASS_DEPTHWISE) == pytest.approx(
+            gpu.rate(CLASS_CONV) / GPU_PROFILE[CLASS_DEPTHWISE]
+        )
+
+    def test_compute_seconds_additive(self):
+        gpu = _gpu()
+        combined = gpu.compute_seconds({"conv": 10**9, "depthwise": 10**8})
+        parts = gpu.compute_seconds({"conv": 10**9}) + gpu.compute_seconds(
+            {"depthwise": 10**8}
+        )
+        assert combined == pytest.approx(parts)
+
+    def test_dispatch_cost(self):
+        gpu = _gpu(dispatch=0.001)
+        base = gpu.compute_seconds({"conv": 10**9})
+        with_ops = gpu.compute_seconds({"conv": 10**9}, num_ops=10)
+        assert with_ops == pytest.approx(base + 0.01)
+
+    def test_unpinned_penalty(self):
+        gpu = _gpu(penalty=2.0)
+        pinned = gpu.compute_seconds({"conv": 10**9}, pinned=True)
+        unpinned = gpu.compute_seconds({"conv": 10**9}, pinned=False)
+        assert unpinned == pytest.approx(2.0 * pinned)
+
+    def test_task_seconds_adds_setup(self):
+        gpu = _gpu()
+        assert gpu.task_seconds({"conv": 0}) == pytest.approx(gpu.setup_time_s)
+
+    def test_effective_rate_between_class_rates(self):
+        gpu = _gpu()
+        rate = gpu.effective_rate({"conv": 10**9, "depthwise": 10**9})
+        assert gpu.rate(CLASS_DEPTHWISE) < rate < gpu.rate(CLASS_CONV)
+
+    def test_effective_rate_empty_workload(self):
+        gpu = _gpu()
+        assert gpu.effective_rate({}) == gpu.rate(CLASS_CONV)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            _gpu().compute_seconds({"conv": -1})
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(
+                name="x",
+                kind="tpu",
+                cores=1,
+                frequency_hz=1e9,
+                intensity=ComputeIntensity.scaled(1.0, {}),
+                power=PowerModel(0, 1),
+            )
+
+    def test_penalty_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            _gpu(penalty=0.5)
+
+    def test_cpu_degrades_less_on_depthwise(self):
+        assert CPU_PROFILE[CLASS_DEPTHWISE] < GPU_PROFILE[CLASS_DEPTHWISE]

@@ -1,0 +1,74 @@
+"""Table II catalogue validation."""
+
+import pytest
+
+from repro.platform.processor import KIND_CPU, KIND_GPU
+from repro.platform.specs import DEVICE_NAMES, build_device, table2_rows
+
+#: Table II of the paper.
+EXPECTED = {
+    "jetson_orin_nx": {"cpu_cores": 8, "gpu_cores": 1024, "dram_gb": 8},
+    "jetson_tx2": {"cpu_cores": 6, "gpu_cores": 256, "dram_gb": 8},
+    "jetson_nano": {"cpu_cores": 4, "gpu_cores": 128, "dram_gb": 4},
+    "raspberry_pi5": {"cpu_cores": 2, "gpu_cores": 12, "dram_gb": 4},
+    "raspberry_pi4": {"cpu_cores": 2, "gpu_cores": 8, "dram_gb": 4},
+}
+
+
+class TestCatalogue:
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_table2_core_counts(self, name):
+        device = build_device(name)
+        cpu_cores = sum(p.cores for p in device.processors if p.kind == KIND_CPU)
+        gpu_cores = sum(p.cores for p in device.processors if p.kind == KIND_GPU)
+        assert cpu_cores == EXPECTED[name]["cpu_cores"]
+        assert gpu_cores == EXPECTED[name]["gpu_cores"]
+        assert device.dram_bytes == EXPECTED[name]["dram_gb"] * 1024**3
+
+    def test_tx2_has_two_cpu_clusters(self):
+        tx2 = build_device("jetson_tx2")
+        cpus = [p for p in tx2.processors if p.kind == KIND_CPU]
+        assert {p.name for p in cpus} == {"cpu_denver2", "cpu_a57"}
+
+    def test_orin_fastest_gpu(self):
+        rates = {
+            name: max(p.rate("conv") for p in build_device(name).processors)
+            for name in DEVICE_NAMES
+        }
+        assert max(rates, key=rates.get) == "jetson_orin_nx"
+
+    def test_rpi_cpu_beats_gpu(self):
+        """Paper: platforms where CPUs perform better than GPUs."""
+        for name in ("raspberry_pi5", "raspberry_pi4"):
+            device = build_device(name)
+            cpu = next(p for p in device.processors if p.kind == KIND_CPU)
+            gpu = next(p for p in device.processors if p.kind == KIND_GPU)
+            assert cpu.rate("conv") > gpu.rate("conv")
+
+    def test_jetson_gpu_beats_cpu(self):
+        for name in ("jetson_orin_nx", "jetson_tx2", "jetson_nano"):
+            device = build_device(name)
+            gpu = next(p for p in device.processors if p.kind == KIND_GPU)
+            cpu_total = sum(p.rate("conv") for p in device.processors if p.kind == KIND_CPU)
+            assert gpu.rate("conv") > cpu_total
+
+    def test_tx2_gpu_cpu_ratio_near_80_20(self):
+        """The capacity split behind Fig. 1's P7 optimum."""
+        tx2 = build_device("jetson_tx2")
+        gpu = next(p for p in tx2.processors if p.kind == KIND_GPU).rate("conv")
+        total = tx2.compute_rate()
+        assert 0.7 < gpu / total < 0.9
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            build_device("jetson_xavier")
+
+    def test_fresh_instances(self):
+        assert build_device("jetson_tx2") is not build_device("jetson_tx2")
+
+    def test_table2_rows_render(self):
+        rows = table2_rows()
+        assert len(rows) == 5
+        assert rows[0]["Device"] == "jetson_tx2"
+        for row in rows:
+            assert row["CPU"] and row["GPU"] and row["DRAM"]

@@ -1,0 +1,216 @@
+"""Discrete-event engine unit tests."""
+
+import pytest
+
+from repro.sim.engine import AllOf, Environment, Event, SimulationError, Timeout
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.5)
+            yield env.timeout(2.5)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(4.0)
+
+    def test_zero_timeout(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0.0)
+            return env.now
+
+        assert env.run_process(proc()) == 0.0
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_timeout_value(self):
+        env = Environment()
+
+        def proc():
+            value = yield env.timeout(1.0, value="payload")
+            return value
+
+        assert env.run_process(proc()) == "payload"
+
+
+class TestOrdering:
+    def test_fifo_at_same_time(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.process(proc("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_earlier_events_first(self):
+        env = Environment()
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc("late", 2.0))
+        env.process(proc("early", 1.0))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_run_until(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+                seen.append(env.now)
+
+        env.process(proc())
+        env.run(until=2.5)
+        assert seen == [1.0, 2.0]
+        assert env.now == 2.5
+        env.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_run_until_past_all_events(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        env.process(quick())
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        assert env.run_process(proc()) == 42
+
+    def test_nested_yield_from(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return "inner"
+
+        def outer():
+            value = yield from inner()
+            yield env.timeout(1.0)
+            return value + "+outer"
+
+        assert env.run_process(outer()) == "inner+outer"
+
+    def test_waiting_on_process(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(3.0)
+            return "done"
+
+        def boss():
+            result = yield env.process(worker())
+            return (env.now, result)
+
+        assert env.run_process(boss()) == (3.0, "done")
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_deadlock_detected(self):
+        env = Environment()
+
+        def stuck():
+            yield env.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run_process(stuck())
+
+
+class TestEvents:
+    def test_succeed_once(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_late_callback_still_fires(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("v")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["v"]
+
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def worker(delay, tag):
+            yield env.timeout(delay)
+            return tag
+
+        def boss():
+            procs = [env.process(worker(d, t)) for d, t in ((3, "a"), (1, "b"), (2, "c"))]
+            values = yield env.all_of(procs)
+            return (env.now, values)
+
+        now, values = env.run_process(boss())
+        assert now == 3.0
+        assert values == ["a", "b", "c"]  # original order preserved
+
+    def test_all_of_empty(self):
+        env = Environment()
+
+        def boss():
+            values = yield env.all_of([])
+            return values
+
+        assert env.run_process(boss()) == []
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def proc(tag, delay):
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+
+            for idx in range(10):
+                env.process(proc(idx, 0.1 * (idx % 3 + 1)))
+            env.run()
+            return log
+
+        assert build_and_run() == build_and_run()

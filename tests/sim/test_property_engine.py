@@ -1,0 +1,89 @@
+"""Property-based tests for the discrete-event engine and resources."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_completion_order_matches_delay_order(self, delays):
+        env = Environment()
+        finished = []
+
+        def proc(idx, delay):
+            yield env.timeout(delay)
+            finished.append(idx)
+
+        for idx, delay in enumerate(delays):
+            env.process(proc(idx, delay))
+        env.run()
+        assert len(finished) == len(delays)
+        finish_delays = [delays[idx] for idx in finished]
+        assert finish_delays == sorted(finish_delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resource_conserves_work(self, delays, capacity):
+        """Total busy time equals the sum of service times, and the
+        makespan is bounded by [total/capacity, total]."""
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+        busy = []
+
+        def proc(delay):
+            req = resource.request()
+            yield req
+            start = env.now
+            yield env.timeout(delay)
+            busy.append(env.now - start)
+            resource.release(req)
+
+        for delay in delays:
+            env.process(proc(delay))
+        env.run()
+        total = sum(delays)
+        assert sum(busy) == pytest.approx(total)
+        assert env.now <= total + 1e-9
+        assert env.now >= total / capacity - 1e-9
+
+    @given(
+        seeds=st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=10)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_at_most_capacity_in_service(self, seeds):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        in_service = [0]
+        peak = [0]
+
+        def proc(delay):
+            req = resource.request()
+            yield req
+            in_service[0] += 1
+            peak[0] = max(peak[0], in_service[0])
+            yield env.timeout(0.1 + delay * 0.01)
+            in_service[0] -= 1
+            resource.release(req)
+
+        for seed in seeds:
+            env.process(proc(seed))
+        env.run()
+        assert peak[0] <= 2
+

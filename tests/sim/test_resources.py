@@ -1,0 +1,129 @@
+"""Resource and store tests."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_serialises_unit_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        finish = []
+
+        def user(tag):
+            req = resource.request()
+            yield req
+            yield env.timeout(1.0)
+            resource.release(req)
+            finish.append((env.now, tag))
+
+        for tag in "abc":
+            env.process(user(tag))
+        env.run()
+        assert finish == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_capacity_two_runs_pairs(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        finish = []
+
+        def user(tag):
+            req = resource.request()
+            yield req
+            yield env.timeout(1.0)
+            resource.release(req)
+            finish.append((env.now, tag))
+
+        for tag in "abcd":
+            env.process(user(tag))
+        env.run()
+        assert [t for t, _ in finish] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_queue_length(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered
+        assert not second.triggered
+        assert resource.in_use == 1
+        assert resource.queue_length == 1
+        resource.release(first)
+        assert second.triggered
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        resource.release(second)  # cancel while waiting
+        assert resource.queue_length == 0
+        resource.release(first)
+        assert resource.in_use == 0
+
+    def test_release_foreign_request_rejected(self):
+        env = Environment()
+        r1 = Resource(env, capacity=1)
+        r2 = Resource(env, capacity=1)
+        req = r1.request()
+        with pytest.raises(SimulationError):
+            r2.release(req)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def getter():
+            value = yield store.get()
+            return value
+
+        assert env.run_process(getter()) == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def getter():
+            value = yield store.get()
+            out.append((env.now, value))
+
+        def putter():
+            yield env.timeout(2.0)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert out == [(2.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        out = []
+
+        def getter():
+            out.append((yield store.get()))
+            out.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert out == [1, 2]
+
+    def test_size(self):
+        env = Environment()
+        store = Store(env)
+        assert store.size == 0
+        store.put("a")
+        assert store.size == 1

@@ -1,0 +1,155 @@
+"""Simulation runtime tests: stations, contention, network channel."""
+
+import pytest
+
+from repro.platform.cluster import build_cluster
+from repro.sim.runtime import SimRuntime
+
+
+@pytest.fixture()
+def runtime():
+    return SimRuntime(build_cluster(["jetson_tx2", "jetson_nano"]))
+
+
+class TestStations:
+    def test_station_lookup(self, runtime):
+        station = runtime.station("jetson_tx2", "gpu_pascal")
+        assert station.processor.name == "gpu_pascal"
+        with pytest.raises(KeyError):
+            runtime.station("jetson_tx2", "npu")
+
+    def test_stations_of(self, runtime):
+        names = {s.processor.name for s in runtime.stations_of("jetson_tx2")}
+        assert names == {"cpu_denver2", "cpu_a57", "gpu_pascal"}
+
+    def test_task_records_busy_and_flops(self, runtime):
+        station = runtime.station("jetson_tx2", "gpu_pascal")
+
+        def proc():
+            yield from station.run_task({"conv": 10**9}, label="t")
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        assert runtime.busy.busy_seconds(station.key) > 0
+        assert runtime.flops_log.total_flops == 10**9
+
+    def test_contention_serialises(self, runtime):
+        station = runtime.station("jetson_tx2", "gpu_pascal")
+        ends = []
+
+        def proc():
+            end = yield from station.run_task({"conv": 10**9})
+            ends.append(end)
+
+        runtime.env.process(proc())
+        runtime.env.process(proc())
+        runtime.env.run()
+        single = station.processor.task_seconds({"conv": 10**9})
+        assert ends[0] == pytest.approx(single)
+        assert ends[1] == pytest.approx(2 * single)
+
+    def test_parallel_stations_overlap(self, runtime):
+        gpu = runtime.station("jetson_tx2", "gpu_pascal")
+        cpu = runtime.station("jetson_tx2", "cpu_denver2")
+        ends = []
+
+        def proc(station):
+            end = yield from station.run_task({"conv": 10**9})
+            ends.append(end)
+
+        runtime.env.process(proc(gpu))
+        runtime.env.process(proc(cpu))
+        runtime.env.run()
+        assert max(ends) < (
+            gpu.processor.task_seconds({"conv": 10**9})
+            + cpu.processor.task_seconds({"conv": 10**9})
+        )
+
+    def test_backlog_tracking(self, runtime):
+        station = runtime.station("jetson_tx2", "gpu_pascal")
+        assert station.backlog_seconds == 0.0
+
+        def proc():
+            yield from station.run_task({"conv": 10**10})
+
+        runtime.env.process(proc())
+        runtime.env.process(proc())
+        runtime.env.run(until=0.01)
+        assert station.backlog_seconds > 0
+        runtime.env.run()
+        assert station.backlog_seconds == 0.0
+
+    def test_device_backlog_uses_least_loaded(self, runtime):
+        gpu = runtime.station("jetson_tx2", "gpu_pascal")
+
+        def proc():
+            yield from gpu.run_task({"conv": 10**10})
+
+        runtime.env.process(proc())
+        runtime.env.run(until=0.01)
+        # CPUs are idle, so the device-level backlog is zero.
+        assert runtime.device_backlog("jetson_tx2") == 0.0
+        snapshot = runtime.load_snapshot()
+        assert set(snapshot) == {"jetson_tx2", "jetson_nano"}
+
+
+class TestNetworkChannel:
+    def test_transfer_time(self, runtime):
+        done = []
+
+        def proc():
+            yield from runtime.network.transmit("jetson_tx2", "jetson_nano", 10**6, tag="x")
+            done.append(runtime.env.now)
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        net = runtime.cluster.network
+        expected = 10**6 / net.bandwidth_bytes_s + net.latency_s
+        assert done[0] == pytest.approx(expected)
+        assert runtime.transfer_log.total_bytes == 10**6
+
+    def test_self_transfer_free(self, runtime):
+        def proc():
+            yield from runtime.network.transmit("jetson_tx2", "jetson_tx2", 10**9)
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        assert runtime.env.now == 0.0
+        assert runtime.transfer_log.total_bytes == 0
+
+    def test_channel_contention(self, runtime):
+        ends = []
+
+        def proc():
+            yield from runtime.network.transmit("jetson_tx2", "jetson_nano", 10**7)
+            ends.append(runtime.env.now)
+
+        runtime.env.process(proc())
+        runtime.env.process(proc())
+        runtime.env.run()
+        serialisation = 10**7 / runtime.cluster.network.bandwidth_bytes_s
+        # second transfer had to wait for the first's serialisation
+        assert ends[1] - ends[0] == pytest.approx(serialisation)
+
+    def test_latency_does_not_hold_channel(self, runtime):
+        """Small probes must pipeline through the medium."""
+        ends = []
+
+        def proc():
+            yield from runtime.network.transmit("jetson_tx2", "jetson_nano", 256)
+            ends.append(runtime.env.now)
+
+        for _ in range(4):
+            runtime.env.process(proc())
+        runtime.env.run()
+        # With latency held on the channel this would be ~4*latency.
+        assert max(ends) < 2.5 * runtime.cluster.network.latency_s
+
+    def test_local_transfer(self, runtime):
+        def proc():
+            yield from runtime.local_transfer("jetson_tx2", 10**6)
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        device = runtime.cluster.device("jetson_tx2")
+        assert runtime.env.now == pytest.approx(device.transfer_seconds(10**6))

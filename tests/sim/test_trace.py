@@ -1,0 +1,76 @@
+"""Trace recorder tests."""
+
+import pytest
+
+from repro.sim.trace import BusyRecorder, FlopsLog, Interval, TransferLog
+
+
+class TestInterval:
+    def test_clipping(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.clipped_seconds(0.0, 10.0) == 2.0
+        assert interval.clipped_seconds(2.0, 10.0) == 1.0
+        assert interval.clipped_seconds(0.0, 1.5) == 0.5
+        assert interval.clipped_seconds(5.0, 10.0) == 0.0
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestBusyRecorder:
+    def test_busy_seconds(self):
+        rec = BusyRecorder()
+        key = BusyRecorder.key("dev", "gpu")
+        rec.record(key, 0.0, 1.0)
+        rec.record(key, 2.0, 4.0)
+        assert rec.busy_seconds(key) == pytest.approx(3.0)
+        assert rec.busy_seconds(key, window=(0.5, 2.5)) == pytest.approx(1.0)
+
+    def test_unknown_key_is_zero(self):
+        assert BusyRecorder().busy_seconds("dev/gpu") == 0.0
+
+    def test_makespan(self):
+        rec = BusyRecorder()
+        rec.record("a/p", 0.0, 1.0)
+        rec.record("b/q", 0.5, 7.5)
+        assert rec.makespan == 7.5
+        assert BusyRecorder().makespan == 0.0
+
+
+class TestFlopsLog:
+    def test_total(self):
+        log = FlopsLog()
+        log.record(1.0, 100, "dev", "gpu")
+        log.record(2.0, 200, "dev", "cpu")
+        assert log.total_flops == 300
+
+    def test_gflops_series_bins(self):
+        log = FlopsLog()
+        log.record(0.1, 10**9, "d", "p")
+        log.record(0.9, 10**9, "d", "p")
+        log.record(1.5, 2 * 10**9, "d", "p")
+        series = log.gflops_series(bin_seconds=1.0, end_time=2.0)
+        assert len(series) == 2
+        assert series[0] == (0.5, pytest.approx(2.0))
+        assert series[1] == (1.5, pytest.approx(2.0))
+
+    def test_gflops_series_invalid_bin(self):
+        with pytest.raises(ValueError):
+            FlopsLog().gflops_series(0.0, 1.0)
+
+    def test_entries_after_end_go_to_last_bin(self):
+        log = FlopsLog()
+        log.record(5.0, 10**9, "d", "p")
+        series = log.gflops_series(1.0, 2.0)
+        assert series[-1][1] > 0
+
+
+class TestTransferLog:
+    def test_totals(self):
+        log = TransferLog()
+        log.record(0.0, 1.0, 1000, "a", "b")
+        log.record(1.0, 1.5, 500, "b", "a")
+        assert log.total_bytes == 1500
+        assert log.busy_seconds() == pytest.approx(1.5)
+        assert len(log.entries) == 2
