@@ -57,16 +57,14 @@ class MoDNNStrategy(Strategy):
         devices = list(cluster.available_devices())
         models = device_executor_models(cluster, devices, AGGREGATE_DEFAULT)
         segments = graph.segments()
+        table = graph.segment_table()
         full_range = (0, len(segments) - 1)
         prefix_lo, prefix_hi = spatial_prefix(graph, segments, full_range)
         if prefix_hi < prefix_lo or len(devices) == 1:
             return self._local_fallback(graph, cluster)
 
-        prefix_flops = {}
-        prefix_ops = sum(seg.num_ops for seg in segments[prefix_lo : prefix_hi + 1])
-        for seg in segments[prefix_lo : prefix_hi + 1]:
-            for cls, value in seg.flops_by_class.items():
-                prefix_flops[cls] = prefix_flops.get(cls, 0) + value
+        prefix_flops = table.range_flops(prefix_lo, prefix_hi)
+        prefix_ops = table.range_ops(prefix_lo, prefix_hi)
         share_plan = data_shares_greedy(prefix_flops, 0, models)
         shares = [max(share, 0.0) for share in share_plan.shares]
         shares = [share if share >= self.min_share else 0.0 for share in shares]
@@ -137,14 +135,11 @@ class MoDNNStrategy(Strategy):
         )
 
     def _tail_exec(self, graph, cluster, prefix_hi, segments):
-        tail_segs = segments[prefix_hi + 1 :]
-        if not tail_segs:
+        if prefix_hi + 1 >= len(segments):
             return None
-        tail_flops = {}
-        tail_ops = sum(seg.num_ops for seg in tail_segs)
-        for seg in tail_segs:
-            for cls, value in seg.flops_by_class.items():
-                tail_flops[cls] = tail_flops.get(cls, 0) + value
+        table = graph.segment_table()
+        tail_flops = table.range_flops(prefix_hi + 1, len(segments) - 1)
+        tail_ops = table.range_ops(prefix_hi + 1, len(segments) - 1)
         leader = cluster.leader
         proc = leader.default_processor
         task = UnitTask(

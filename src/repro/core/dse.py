@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
-from repro.core.dp import ExecutorModel, data_shares_dp
+from repro.core.dp import ExecutorModel, data_shares_dp_batch
 from repro.dnn.graph import DNNGraph, Segment
 from repro.dnn.layers import LAYER_CLASSES
 from repro.dnn.partition import (
@@ -36,6 +37,7 @@ from repro.dnn.partition import (
     make_data_partition_from_shares,
     spatial_prefix,
 )
+from repro.dnn.segment_table import SegmentTable
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,7 @@ def candidate_cuts(
     segments: Sequence[Segment],
     seg_range: Tuple[int, int],
     max_cuts: int = 10,
+    table: Optional[SegmentTable] = None,
 ) -> List[int]:
     """Candidate depth cuts: spatial-prefix segment ends, thinned to at
     most ``max_cuts`` positions evenly spaced by cumulative FLOPs."""
@@ -68,7 +71,10 @@ def candidate_cuts(
     positions = list(range(prefix_lo, prefix_hi + 1))
     if len(positions) <= max_cuts:
         return positions
-    total = sum(segments[idx].flops for idx in positions)
+    if table is not None:
+        total = table.range_flops_total(prefix_lo, prefix_hi)
+    else:
+        total = sum(segments[idx].flops for idx in positions)
     if total == 0:
         step = max(1, len(positions) // max_cuts)
         return positions[::step][:max_cuts]
@@ -85,16 +91,22 @@ def candidate_cuts(
     return chosen
 
 
-def _range_flops(segments: Sequence[Segment], lo: int, hi: int) -> Dict[str, int]:
-    flops = {cls: 0 for cls in LAYER_CLASSES}
-    for seg in segments[lo : hi + 1]:
-        for cls, value in seg.flops_by_class.items():
-            flops[cls] += value
-    return flops
+def _range_flops(
+    segments: Sequence[Segment], lo: int, hi: int, table: Optional[SegmentTable] = None
+) -> Dict[str, int]:
+    """FLOPs-by-class of segments ``[lo..hi]`` via prefix sums."""
+    if table is None:
+        table = SegmentTable(segments)
+    return table.range_flops(lo, hi)
 
 
-def _range_ops(segments: Sequence[Segment], lo: int, hi: int) -> int:
-    return sum(seg.num_ops for seg in segments[lo : hi + 1])
+def _range_ops(
+    segments: Sequence[Segment], lo: int, hi: int, table: Optional[SegmentTable] = None
+) -> int:
+    """Operator count of segments ``[lo..hi]`` via prefix sums."""
+    if table is None:
+        table = SegmentTable(segments)
+    return table.range_ops(lo, hi)
 
 
 def explore_data(
@@ -106,6 +118,7 @@ def explore_data(
     tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
     max_cuts: int = 10,
     min_sigma: int = 1,
+    table: Optional[SegmentTable] = None,
 ) -> Optional[DataModeDecision]:
     """Best data-partitioning decision over depth cuts and share splits.
 
@@ -114,34 +127,40 @@ def explore_data(
     share DP activates fewer than ``min_sigma`` executors are skipped
     (``min_sigma=2`` forces a genuinely distributed decision and leaves
     the sigma=1 case to the caller).
+
+    ``table`` supplies O(1) range costs over ``segments``; pass the
+    caller's table (e.g. ``graph.segment_table()``) to avoid rebuilding
+    prefix sums per call.
     """
     lo, hi = seg_range
-    cuts = candidate_cuts(graph, segments, seg_range, max_cuts)
+    if table is None:
+        table = SegmentTable(segments)
+    cuts = candidate_cuts(graph, segments, seg_range, max_cuts, table=table)
     if not cuts:
         return None
     if tail_seconds is None:
 
         def tail_seconds(tail_range: Tuple[int, int]) -> float:
             return executors[0].compute_seconds(
-                _range_flops(segments, tail_range[0], tail_range[1]),
-                _range_ops(segments, tail_range[0], tail_range[1]),
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
             )
 
-    best: Optional[DataModeDecision] = None
-    for cut in cuts:
-        tile_flops = _range_flops(segments, lo, cut)
-        if sum(tile_flops.values()) == 0:
-            continue
-        tile_ops = _range_ops(segments, lo, cut)
-        entry_bytes = segments[lo].in_spec.size_bytes
-        boundary_bytes = segments[cut].out_spec.size_bytes
-        share_plan = data_shares_dp(
-            tile_flops,
-            entry_bytes + boundary_bytes,
-            executors,
-            quanta=quanta,
-            num_ops=tile_ops,
+    # One batched share-DP sweep prices every candidate cut at once.
+    valid_cuts = [cut for cut in cuts if table.range_flops_total(lo, cut) != 0]
+    entry_bytes = segments[lo].in_spec.size_bytes
+    items = [
+        (
+            table.range_flops(lo, cut),
+            entry_bytes + segments[cut].out_spec.size_bytes,
+            table.range_ops(lo, cut),
         )
+        for cut in valid_cuts
+    ]
+    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+
+    best: Optional[DataModeDecision] = None
+    for cut, (tile_flops, _, tile_ops), share_plan in zip(valid_cuts, items, share_plans):
         active = [(idx, share) for idx, share in enumerate(share_plan.shares) if share > 0]
         if len(active) < max(min_sigma, 1):
             continue
@@ -208,6 +227,39 @@ class ExchangeDecision:
         return len(self.active)
 
 
+#: Per-graph memo of each segment's halo contribution (bytes, events);
+#: keyed weakly so throwaway graphs do not pin cache entries.
+_HALO_CACHE: "WeakKeyDictionary[DNNGraph, Dict[Tuple[str, ...], Tuple[int, int]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _segment_halo(graph: DNNGraph, seg: Segment) -> Tuple[int, int]:
+    """(halo bytes, exchange events) contributed by one segment's layers."""
+    per_graph = _HALO_CACHE.setdefault(graph, {})
+    entry = per_graph.get(seg.layer_names)
+    if entry is None:
+        halo_bytes = 0
+        events = 0
+        for name in seg.layer_names:
+            layer = graph.layer(name)
+            if not layer.is_spatial or layer.kernel <= 1 or not layer.inputs:
+                continue
+            producer_spec = graph.spec(layer.inputs[0])
+            halo_bytes += producer_spec.rows_bytes(layer.kernel - 1)
+            events += 1
+        entry = (halo_bytes, events)
+        per_graph[seg.layer_names] = entry
+    return entry
+
+
+#: Per-graph memo of whole-range equivalent bytes, valid only for the
+#: graph's memoised segment chain (identity-checked by the caller).
+_EQUIV_CACHE: "WeakKeyDictionary[DNNGraph, Dict[Tuple[int, int, float, float], int]]" = (
+    WeakKeyDictionary()
+)
+
+
 def exchange_equiv_bytes(
     graph: DNNGraph,
     segments: Sequence[Segment],
@@ -216,18 +268,40 @@ def exchange_equiv_bytes(
     bandwidth_bytes_s: float,
 ) -> int:
     """Per-boundary halo traffic of a range, with per-layer sync latency
-    folded in as equivalent bytes (so a single transfer charge prices it)."""
+    folded in as equivalent bytes (so a single transfer charge prices it).
+
+    Range results are memoised when ``segments`` is the graph's own
+    memoised chain (the common case: the local DSE re-prices the same
+    ranges every stage and every plan).
+    """
     lo, hi = seg_range
+    if segments is graph.segments():
+        cache = _EQUIV_CACHE.setdefault(graph, {})
+        key = (lo, hi, latency_s, bandwidth_bytes_s)
+        value = cache.get(key)
+        if value is None:
+            value = _exchange_equiv_bytes_walk(
+                graph, segments, lo, hi, latency_s, bandwidth_bytes_s
+            )
+            cache[key] = value
+        return value
+    return _exchange_equiv_bytes_walk(graph, segments, lo, hi, latency_s, bandwidth_bytes_s)
+
+
+def _exchange_equiv_bytes_walk(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    lo: int,
+    hi: int,
+    latency_s: float,
+    bandwidth_bytes_s: float,
+) -> int:
     halo_bytes = 0
     events = 0
     for seg in segments[lo : hi + 1]:
-        for name in seg.layer_names:
-            layer = graph.layer(name)
-            if not layer.is_spatial or layer.kernel <= 1 or not layer.inputs:
-                continue
-            producer_spec = graph.spec(layer.inputs[0])
-            halo_bytes += producer_spec.rows_bytes(layer.kernel - 1)
-            events += 1
+        seg_bytes, seg_events = _segment_halo(graph, seg)
+        halo_bytes += seg_bytes
+        events += seg_events
     return halo_bytes + int(2 * events * latency_s * bandwidth_bytes_s)
 
 
@@ -242,6 +316,7 @@ def explore_data_exchange(
     tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
     max_cuts: int = 10,
     min_sigma: int = 2,
+    table: Optional[SegmentTable] = None,
 ) -> Optional[ExchangeDecision]:
     """Best intra-device data split with per-layer halo exchange.
 
@@ -251,27 +326,34 @@ def explore_data_exchange(
     makes thin CPU tiles viable on small feature maps.
     """
     lo, hi = seg_range
-    cuts = candidate_cuts(graph, segments, seg_range, max_cuts)
+    if table is None:
+        table = SegmentTable(segments)
+    cuts = candidate_cuts(graph, segments, seg_range, max_cuts, table=table)
     if not cuts:
         return None
     if tail_seconds is None:
 
         def tail_seconds(tail_range: Tuple[int, int]) -> float:
             return executors[0].compute_seconds(
-                _range_flops(segments, tail_range[0], tail_range[1]),
-                _range_ops(segments, tail_range[0], tail_range[1]),
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
             )
 
-    best: Optional[ExchangeDecision] = None
-    for cut in cuts:
-        chunk_flops = _range_flops(segments, lo, cut)
-        if sum(chunk_flops.values()) == 0:
-            continue
-        chunk_ops = _range_ops(segments, lo, cut)
-        wire = segments[lo].in_spec.size_bytes + segments[cut].out_spec.size_bytes
-        share_plan = data_shares_dp(
-            chunk_flops, wire, executors, quanta=quanta, num_ops=chunk_ops
+    # One batched share-DP sweep prices every candidate cut at once.
+    valid_cuts = [cut for cut in cuts if table.range_flops_total(lo, cut) != 0]
+    entry_bytes = segments[lo].in_spec.size_bytes
+    items = [
+        (
+            table.range_flops(lo, cut),
+            entry_bytes + segments[cut].out_spec.size_bytes,
+            table.range_ops(lo, cut),
         )
+        for cut in valid_cuts
+    ]
+    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+
+    best: Optional[ExchangeDecision] = None
+    for cut, (chunk_flops, wire, chunk_ops), share_plan in zip(valid_cuts, items, share_plans):
         active = [(idx, share) for idx, share in enumerate(share_plan.shares) if share > 0]
         if len(active) < max(min_sigma, 1):
             continue
@@ -359,14 +441,9 @@ def exchange_costs(
     halo_bytes = 0
     halo_events = 0
     for seg in segments[prefix_lo : prefix_hi + 1]:
-        for name in seg.layer_names:
-            layer = graph.layer(name)
-            if not layer.is_spatial or layer.kernel <= 1 or not layer.inputs:
-                continue
-            producer_spec = graph.spec(layer.inputs[0])
-            halo_rows = layer.kernel - 1
-            halo_bytes += producer_spec.rows_bytes(halo_rows)
-            halo_events += 1
+        seg_bytes, seg_events = _segment_halo(graph, seg)
+        halo_bytes += seg_bytes
+        halo_events += seg_events
     return ExchangeCost(
         per_tile_flops=tuple(per_tile),
         exchange_bytes_per_boundary=halo_bytes,

@@ -43,26 +43,14 @@ from repro.core.strategy import (
     device_executor_models,
 )
 from repro.dnn.graph import DNNGraph, Segment
-from repro.dnn.layers import LAYER_CLASSES
 from repro.dnn.partition import (
     PartitionError,
     make_data_partition_from_shares,
     spatial_prefix,
 )
+from repro.dnn.segment_table import SegmentTable
 from repro.platform.cluster import Cluster
 from repro.platform.device import Device
-
-
-def _sum_flops(segments: Sequence[Segment]) -> Dict[str, int]:
-    total = {cls: 0 for cls in LAYER_CLASSES}
-    for seg in segments:
-        for cls, flops in seg.flops_by_class.items():
-            total[cls] += flops
-    return total
-
-
-def _sum_ops(segments: Sequence[Segment]) -> int:
-    return sum(seg.num_ops for seg in segments)
 
 
 @dataclass(frozen=True)
@@ -210,15 +198,18 @@ class HiDPStrategy(Strategy):
         seg_range: Tuple[int, int],
         band: Optional[Tuple[int, int]],
         label: str,
+        table: Optional[SegmentTable] = None,
     ) -> LocalDecision:
         """Local-tier decision for one piece (ablation-aware)."""
+        if table is None:
+            table = SegmentTable(segments)
         if self.local_data or self.local_pipeline:
             return self._local_partitioner(device).plan_piece(
-                graph, seg_range, band=band, segments=segments, label=label
+                graph, seg_range, band=band, segments=segments, label=label, table=table
             )
         lo, hi = seg_range
-        flops = _sum_flops(segments[lo : hi + 1])
-        num_ops = _sum_ops(segments[lo : hi + 1])
+        flops = table.range_flops(lo, hi)
+        num_ops = table.range_ops(lo, hi)
         in_bytes = segments[lo].in_spec.size_bytes
         out_bytes = segments[hi].out_spec.size_bytes
         if band is not None:
@@ -239,8 +230,11 @@ class HiDPStrategy(Strategy):
         devices: Sequence[Device],
         models: Sequence[ExecutorModel],
         cluster: Cluster,
+        table: Optional[SegmentTable] = None,
     ) -> Optional[ModeCandidate]:
         full_range = (0, len(segments) - 1)
+        if table is None:
+            table = SegmentTable(segments)
         decision = explore_data(
             graph,
             segments,
@@ -250,11 +244,12 @@ class HiDPStrategy(Strategy):
             # Search-time tail estimate: leader at full-node rate; the
             # chosen tail is re-planned exactly by the local tier below.
             tail_seconds=lambda tail_range: models[0].compute_seconds(
-                _sum_flops(segments[tail_range[0] : tail_range[1] + 1]),
-                _sum_ops(segments[tail_range[0] : tail_range[1] + 1]),
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
             ),
             max_cuts=self.max_cuts,
             min_sigma=2,
+            table=table,
         )
         if decision is None:
             return None
@@ -271,6 +266,7 @@ class HiDPStrategy(Strategy):
                 (0, cut),
                 (tile.out_lo, tile.out_hi),
                 f"{graph.name}/tile{tile.index}",
+                table=table,
             )
             is_leader = device.name == leader_name
             send = 0 if is_leader else tile.input_bytes
@@ -299,6 +295,7 @@ class HiDPStrategy(Strategy):
                 decision.tail_range,
                 None,
                 f"{graph.name}/tail",
+                table=table,
             )
             merge_exec = tail_decision.execution
             predicted += tail_decision.predicted_s
@@ -323,7 +320,10 @@ class HiDPStrategy(Strategy):
         devices: Sequence[Device],
         models: Sequence[ExecutorModel],
         cluster: Cluster,
+        table: Optional[SegmentTable] = None,
     ) -> Optional[ModeCandidate]:
+        if table is None:
+            table = SegmentTable(segments)
         pipe = pipeline_cuts_dp(
             segments, models, source_executor=0, max_segments=self.max_pipeline_segments
         )
@@ -332,7 +332,7 @@ class HiDPStrategy(Strategy):
             seg_lo, seg_hi, executor_idx = pipe.blocks[0]
             device = devices[executor_idx]
             decision = self._plan_piece(
-                device, graph, segments, (seg_lo, seg_hi), None, f"{graph.name}/local"
+                device, graph, segments, (seg_lo, seg_hi), None, f"{graph.name}/local", table=table
             )
             assignment = NodeAssignment(
                 device=device.name, local=decision.execution, label="local"
@@ -356,6 +356,7 @@ class HiDPStrategy(Strategy):
                 (seg_lo, seg_hi),
                 None,
                 f"{graph.name}/blk{block_idx}",
+                table=table,
             )
             send = segments[seg_lo].in_spec.size_bytes if device.name != previous else 0
             is_last = block_idx == len(pipe.blocks) - 1
@@ -396,19 +397,20 @@ class HiDPStrategy(Strategy):
             raise RuntimeError("leader node must be available to plan")
         models = device_executor_models(cluster, devices, self.aggregation, load=load)
         segments = graph.segments()
+        table = graph.segment_table()
         candidates: List[ModeCandidate] = []
         if MODE_DATA in self.allowed_modes:
-            candidate = self._candidate_data(graph, segments, devices, models, cluster)
+            candidate = self._candidate_data(graph, segments, devices, models, cluster, table)
             if candidate is not None:
                 candidates.append(candidate)
         if MODE_MODEL in self.allowed_modes:
-            candidate = self._candidate_model(graph, segments, devices, models, cluster)
+            candidate = self._candidate_model(graph, segments, devices, models, cluster, table)
             if candidate is not None:
                 candidates.append(candidate)
         if not candidates:
             # Degenerate fall-back: everything on the leader.
             decision = self._plan_piece(
-                devices[0], graph, segments, (0, len(segments) - 1), None, graph.name
+                devices[0], graph, segments, (0, len(segments) - 1), None, graph.name, table=table
             )
             candidates.append(
                 ModeCandidate(

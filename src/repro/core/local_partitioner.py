@@ -36,16 +36,9 @@ from repro.dnn.partition import (
     make_data_partition_from_shares,
     spatial_prefix,
 )
+from repro.dnn.segment_table import SegmentTable
 from repro.platform.device import Device
 from repro.platform.processor import Processor
-
-
-def _sum_range_flops(segments: Sequence[Segment]) -> dict:
-    flops = {cls: 0 for cls in LAYER_CLASSES}
-    for seg in segments:
-        for cls, value in seg.flops_by_class.items():
-            flops[cls] += value
-    return flops
 
 
 @dataclass(frozen=True)
@@ -102,6 +95,11 @@ class LocalPartitioner:
         else:
             self._procs = tuple(device.processor(name) for name in processors)
         self._models = processor_executor_models(device, self._procs)
+        # Hoisted aggregates for the (hot) staged-search tail estimate.
+        self._aggregate_rates = {
+            cls: sum(proc.rate(cls) for proc in self._procs) for cls in LAYER_CLASSES
+        }
+        self._min_dispatch_s = min(proc.dispatch_time_s for proc in self._procs)
 
     # Candidate generators -------------------------------------------------
 
@@ -136,12 +134,13 @@ class LocalPartitioner:
         seg_range: Tuple[int, int],
         band: Optional[Tuple[int, int]],
         label: str,
+        table: SegmentTable,
     ) -> Optional[LocalDecision]:
         if len(self._procs) < 2:
             return None
         if band is not None:
-            return self._data_banded(graph, segments, seg_range, band, label)
-        return self._staged(graph, segments, seg_range, label)
+            return self._data_banded(graph, segments, seg_range, band, label, table)
+        return self._staged(graph, segments, seg_range, label, table)
 
     def _staged(
         self,
@@ -149,6 +148,7 @@ class LocalPartitioner:
         segments: Sequence[Segment],
         seg_range: Tuple[int, int],
         label: str,
+        table: SegmentTable,
     ) -> Optional[LocalDecision]:
         """Chunk-wise data partitioning (the paper's Fig. 3 local split).
 
@@ -173,16 +173,16 @@ class LocalPartitioner:
                 intra_bw_bytes_s=self.device.intra_bw_bytes_s,
                 quanta=self.quanta,
                 tail_seconds=lambda tail_range: self._parallel_tail_estimate(
-                    segments, tail_range
+                    table, tail_range
                 ),
                 min_sigma=2,
+                table=table,
             )
             if decision is None:
                 break
             cut = decision.cut_segment
-            chunk_segs = segments[current : cut + 1]
-            chunk_ops = sum(seg.num_ops for seg in chunk_segs)
-            chunk_flops = _sum_range_flops(chunk_segs)
+            chunk_ops = table.range_ops(current, cut)
+            chunk_flops = table.range_flops(current, cut)
             chunk_in = segments[current].in_spec.size_bytes
             chunk_out = segments[cut].out_spec.size_bytes
             stage_tasks = []
@@ -228,15 +228,14 @@ class LocalPartitioner:
         if not stages:
             return None
         if current <= hi:
-            remainder = segments[current : hi + 1]
-            rem_flops = _sum_range_flops(remainder)
-            rem_ops = sum(seg.num_ops for seg in remainder)
+            rem_flops = table.range_flops(current, hi)
+            rem_ops = table.range_ops(current, hi)
             proc = self._fastest(rem_flops, rem_ops)
             task = UnitTask(
                 processor=proc.name,
                 flops_by_class=rem_flops,
-                input_bytes=remainder[0].in_spec.size_bytes,
-                output_bytes=remainder[-1].out_spec.size_bytes,
+                input_bytes=segments[current].in_spec.size_bytes,
+                output_bytes=segments[hi].out_spec.size_bytes,
                 label=f"{label}/rest",
                 num_ops=rem_ops,
             )
@@ -249,20 +248,17 @@ class LocalPartitioner:
         )
 
     def _parallel_tail_estimate(
-        self, segments: Sequence[Segment], tail_range: Tuple[int, int]
+        self, table: SegmentTable, tail_range: Tuple[int, int]
     ) -> float:
         """Optimistic tail price for the staged search: the remainder
         will itself be parallelised, so charge the aggregate rate."""
-        tail_flops = {cls: 0 for cls in LAYER_CLASSES}
-        tail_ops = sum(seg.num_ops for seg in segments[tail_range[0] : tail_range[1] + 1])
-        for seg in segments[tail_range[0] : tail_range[1] + 1]:
-            for cls, value in seg.flops_by_class.items():
-                tail_flops[cls] += value
+        tail_flops = table.range_flops(tail_range[0], tail_range[1])
+        tail_ops = table.range_ops(tail_range[0], tail_range[1])
         aggregate = 0.0
         for cls, flops in tail_flops.items():
             if flops:
-                aggregate += flops / sum(proc.rate(cls) for proc in self._procs)
-        dispatch = tail_ops * min(proc.dispatch_time_s for proc in self._procs)
+                aggregate += flops / self._aggregate_rates[cls]
+        dispatch = tail_ops * self._min_dispatch_s
         return aggregate + dispatch
 
     def _data_banded(
@@ -272,6 +268,7 @@ class LocalPartitioner:
         seg_range: Tuple[int, int],
         band: Tuple[int, int],
         label: str,
+        table: SegmentTable,
     ) -> Optional[LocalDecision]:
         """Sub-split a received tile band across local processors.
 
@@ -282,14 +279,11 @@ class LocalPartitioner:
         prefix_lo, prefix_hi = spatial_prefix(graph, segments, seg_range)
         if prefix_hi < prefix_lo:
             return None
-        prefix_flops = {cls: 0 for cls in LAYER_CLASSES}
-        for seg in segments[prefix_lo : prefix_hi + 1]:
-            for cls, flops in seg.flops_by_class.items():
-                prefix_flops[cls] += flops
+        prefix_flops = table.range_flops(prefix_lo, prefix_hi)
         height = graph.spec(segments[prefix_hi].layer_names[-1]).height
         fraction = (band[1] - band[0]) / height
         band_flops = scale_flops(prefix_flops, fraction)
-        prefix_ops = sum(seg.num_ops for seg in segments[prefix_lo : prefix_hi + 1])
+        prefix_ops = table.range_ops(prefix_lo, prefix_hi)
         entry_bytes = int(segments[prefix_lo].in_spec.size_bytes * fraction)
         plan = data_shares_dp(
             band_flops, entry_bytes, self._models, quanta=self.quanta, num_ops=prefix_ops
@@ -336,29 +330,27 @@ class LocalPartitioner:
         segments: Sequence[Segment],
         seg_range: Tuple[int, int],
         label: str,
+        table: SegmentTable,
     ) -> Optional[LocalDecision]:
         lo, hi = seg_range
         if len(self._procs) < 2 or hi - lo < 1:
             return None
-        segs = list(segments[lo : hi + 1])
+        # Memoised slice: a stable tuple identity lets the coarsening
+        # memo in pipeline_cuts_dp hit across repeated plans.
+        segs = table.chain_slice(lo, hi)
         plan = pipeline_cuts_dp(segs, self._models, source_executor=0)
         if plan.num_blocks < 2:
             return None
         tasks = []
         for seg_lo, seg_hi, executor_idx in plan.blocks:
-            members = segments[seg_lo : seg_hi + 1]
-            flops = {cls: 0 for cls in LAYER_CLASSES}
-            for seg in members:
-                for cls, value in seg.flops_by_class.items():
-                    flops[cls] += value
             tasks.append(
                 UnitTask(
                     processor=self._procs[executor_idx].name,
-                    flops_by_class=flops,
-                    input_bytes=members[0].in_spec.size_bytes,
-                    output_bytes=members[-1].out_spec.size_bytes,
+                    flops_by_class=table.range_flops(seg_lo, seg_hi),
+                    input_bytes=segments[seg_lo].in_spec.size_bytes,
+                    output_bytes=segments[seg_hi].out_spec.size_bytes,
                     label=f"{label}/stage{len(tasks)}",
-                    num_ops=sum(seg.num_ops for seg in members),
+                    num_ops=table.range_ops(seg_lo, seg_hi),
                 )
             )
         return LocalDecision(
@@ -379,18 +371,27 @@ class LocalPartitioner:
         band: Optional[Tuple[int, int]] = None,
         segments: Optional[Sequence[Segment]] = None,
         label: str = "",
+        table: Optional[SegmentTable] = None,
     ) -> LocalDecision:
         """Pick the best local mode for a segment range (optionally a band).
 
         ``theta = min(theta_omega, theta_sigma)`` -- Algorithm 1 line 10.
+
+        ``table`` supplies O(1) range costs over the segment chain;
+        when omitted it is taken from the graph (full chain) or built
+        from ``segments``.
         """
-        segs = list(segments) if segments is not None else graph.segments()
+        if table is not None:
+            segs = table.segments
+        elif segments is not None:
+            segs = segments
+            table = SegmentTable(segs)
+        else:
+            table = graph.segment_table()
+            segs = table.segments
         lo, hi = seg_range
-        flops = {cls: 0 for cls in LAYER_CLASSES}
-        num_ops = sum(seg.num_ops for seg in segs[lo : hi + 1])
-        for seg in segs[lo : hi + 1]:
-            for cls, value in seg.flops_by_class.items():
-                flops[cls] += value
+        flops = table.range_flops(lo, hi)
+        num_ops = table.range_ops(lo, hi)
         in_bytes = segs[lo].in_spec.size_bytes
         out_bytes = segs[hi].out_spec.size_bytes
         if band is not None:
@@ -402,11 +403,11 @@ class LocalPartitioner:
             out_bytes = int(out_bytes * fraction)
         candidates = [self._single(flops, num_ops, in_bytes, out_bytes, label)]
         if self.enable_data:
-            data_candidate = self._data(graph, segs, seg_range, band, label)
+            data_candidate = self._data(graph, segs, seg_range, band, label, table)
             if data_candidate is not None:
                 candidates.append(data_candidate)
         if self.enable_pipeline and band is None:
-            pipe_candidate = self._pipeline(segs, seg_range, label)
+            pipe_candidate = self._pipeline(segs, seg_range, label, table)
             if pipe_candidate is not None:
                 candidates.append(pipe_candidate)
         return min(candidates, key=lambda decision: decision.predicted_s)

@@ -15,6 +15,7 @@ the "heterogeneous block size" property of Table I for free.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -91,6 +92,16 @@ class DNNGraph:
         for layer in self.layers:
             for producer in layer.inputs:
                 self._consumers[producer].append(layer.name)
+        # Plan-level caches: the graph is immutable, so segment
+        # extraction, the prefix-sum cost table and demand walks are
+        # computed once and shared by every planning pass.  The demand
+        # memo is LRU-bounded: long-lived serving processes replan the
+        # same graph under ever-changing loads/bands.
+        self._segments_cache: Optional[Tuple[Segment, ...]] = None
+        self._segment_table = None
+        self._demand_cache: "OrderedDict[Tuple[str, int, int, Optional[str]], Dict[str, Tuple[int, int]]]" = (
+            OrderedDict()
+        )
 
     # Construction helpers ---------------------------------------------
 
@@ -190,8 +201,15 @@ class DNNGraph:
         cuts.append(len(self.layers) - 1)
         return cuts
 
-    def segments(self) -> List[Segment]:
-        """Partition candidates: maximal layer runs between cut points."""
+    def segments(self) -> Tuple[Segment, ...]:
+        """Partition candidates: maximal layer runs between cut points.
+
+        The chain is computed once and memoised (the graph is
+        immutable); callers receive the shared tuple, so repeated
+        planning passes pay for segment extraction only once.
+        """
+        if self._segments_cache is not None:
+            return self._segments_cache
         cuts = self.cut_points()
         segments: List[Segment] = []
         for seg_idx in range(len(cuts) - 1):
@@ -220,7 +238,17 @@ class DNNGraph:
                     spatial=spatial,
                 )
             )
-        return segments
+        self._segments_cache = tuple(segments)
+        return self._segments_cache
+
+    def segment_table(self):
+        """Memoised :class:`~repro.dnn.segment_table.SegmentTable` over
+        the full segment chain (O(1) range cost queries)."""
+        if self._segment_table is None:
+            from repro.dnn.segment_table import SegmentTable
+
+            self._segment_table = SegmentTable(self.segments())
+        return self._segment_table
 
     # Halo (receptive field) computation ----------------------------------
 
@@ -244,7 +272,16 @@ class DNNGraph:
         ``stop_layer`` bounds the walk: its demand is recorded but its
         producers are not visited.  Pass the cut-tensor layer feeding a
         segment range to keep the walk inside the range.
+
+        Walks are memoised on the immutable graph (the DSE re-prices the
+        same tile bands across candidate cuts and repeated plans); a
+        fresh dict is returned each call so callers may mutate it.
         """
+        key = (end_layer, out_lo, out_hi, stop_layer)
+        cached = self._demand_cache.get(key)
+        if cached is not None:
+            self._demand_cache.move_to_end(key)
+            return dict(cached)
         if end_layer not in self._by_name:
             raise GraphError(f"unknown layer {end_layer!r}")
         needed: Dict[str, Tuple[int, int]] = {end_layer: (out_lo, out_hi)}
@@ -270,7 +307,13 @@ class DNNGraph:
                     needed[producer] = (p_lo, p_hi)
                 else:
                     needed[producer] = (min(prev[0], p_lo), max(prev[1], p_hi))
-        return needed
+        self._demand_cache[key] = needed
+        if len(self._demand_cache) > self._DEMAND_CACHE_MAX:
+            self._demand_cache.popitem(last=False)
+        return dict(needed)
+
+    #: Bound on memoised demand walks per graph.
+    _DEMAND_CACHE_MAX = 4096
 
     def clamp_rows(self, layer_name: str, rows: Tuple[int, int]) -> Tuple[int, int]:
         """Clamp a demand range to the layer's physical output height."""

@@ -35,10 +35,17 @@ _REGISTRY: Dict[str, Callable[[], DNNGraph]] = {
 _CACHE: Dict[str, DNNGraph] = {}
 
 
-def build_model(name: str) -> DNNGraph:
-    """Build (and memoise) a model from the zoo by name."""
+def build_model(name: str, fresh: bool = False) -> DNNGraph:
+    """Build (and memoise) a model from the zoo by name.
+
+    ``fresh=True`` bypasses the memo and returns a brand-new graph with
+    cold plan-level caches -- what benchmarks use to measure cold-start
+    planning.
+    """
     if name not in _REGISTRY:
         raise KeyError(f"unknown model {name!r}; known: {sorted(_REGISTRY)}")
+    if fresh:
+        return _REGISTRY[name]()
     if name not in _CACHE:
         _CACHE[name] = _REGISTRY[name]()
     return _CACHE[name]

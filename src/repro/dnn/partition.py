@@ -16,12 +16,15 @@ FLOPs; the inflation is computed exactly from the demand walk.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.dnn.graph import DNNGraph, Segment
 from repro.dnn.layers import LAYER_CLASSES
 from repro.dnn.tensors import TensorSpec
+from repro.fastpath import fastpath_enabled, np
 
 
 class PartitionError(ValueError):
@@ -205,8 +208,10 @@ def spatial_prefix(
     Returns ``(lo, p)``; ``p < lo`` means the range starts non-spatial
     and cannot be data partitioned.
     """
-    segs = list(segments) if segments is not None else graph.segments()
+    segs = segments if segments is not None else graph.segments()
     lo, hi = seg_range if seg_range is not None else (0, len(segs) - 1)
+    if hi >= lo and segs is graph.segments():
+        return lo, graph.segment_table().spatial_prefix_end(lo, hi)
     p = lo - 1
     for idx in range(lo, hi + 1):
         if not segs[idx].spatial:
@@ -271,7 +276,7 @@ def make_data_partition_from_shares(
     merge owns it).  Raises :class:`PartitionError` if the range has no
     spatial prefix.
     """
-    segs = list(segments) if segments is not None else graph.segments()
+    segs = segments if segments is not None else graph.segments()
     lo, hi = seg_range if seg_range is not None else (0, len(segs) - 1)
     prefix_lo, prefix_hi = spatial_prefix(graph, segs, (lo, hi))
     if prefix_hi < prefix_lo:
@@ -289,30 +294,40 @@ def make_data_partition_from_shares(
         (band_lo_limit + b_lo, band_lo_limit + b_hi)
         for b_lo, b_hi in rows_from_shares(band_hi_limit - band_lo_limit, shares)
     ]
-    prefix_layer_names = [name for seg in prefix_segs for name in seg.layer_names]
-    layer_set = set(prefix_layer_names) | {entry_layer}
+    # The vectorized tile pricing caches per-layer arrays and per-band
+    # results on the graph; range indices are only meaningful against
+    # the graph's own memoised chain, hence the identity check.
+    use_fast = fastpath_enabled() and segs is graph.segments()
+    if not use_fast:
+        prefix_layer_names = [name for seg in prefix_segs for name in seg.layer_names]
+        layer_set = set(prefix_layer_names) | {entry_layer}
 
     tiles: List[TileSpec] = []
     for index, (band_lo, band_hi) in enumerate(bands):
-        demands = graph.demand_rows(prefix_end, band_lo, band_hi, stop_layer=entry_layer)
-        flops = 0
-        by_class = {cls: 0 for cls in LAYER_CLASSES}
-        for name in prefix_layer_names:
-            if name not in demands:
-                continue
-            rows_lo, rows_hi = graph.clamp_rows(name, demands[name])
-            height = graph.spec(name).height
-            share = (rows_hi - rows_lo) / height
-            layer_flops = int(round(graph.layer_flops(name) * share))
-            flops += layer_flops
-            cls = graph.layer(name).layer_class
-            by_class[cls] = by_class.get(cls, 0) + layer_flops
-        missing = [n for n in demands if n not in layer_set]
-        if missing:
-            raise PartitionError(
-                f"{graph.name}: demand walk escaped the segment range via {missing[:3]}"
+        if use_fast:
+            flops, by_class, in_lo, in_hi = _tile_costs_fast(
+                graph, segs, prefix_lo, prefix_hi, prefix_end, entry_layer, band_lo, band_hi
             )
-        in_lo, in_hi = graph.clamp_rows(entry_layer, demands[entry_layer])
+        else:
+            demands = graph.demand_rows(prefix_end, band_lo, band_hi, stop_layer=entry_layer)
+            flops = 0
+            by_class = {cls: 0 for cls in LAYER_CLASSES}
+            for name in prefix_layer_names:
+                if name not in demands:
+                    continue
+                rows_lo, rows_hi = graph.clamp_rows(name, demands[name])
+                height = graph.spec(name).height
+                share = (rows_hi - rows_lo) / height
+                layer_flops = int(round(graph.layer_flops(name) * share))
+                flops += layer_flops
+                cls = graph.layer(name).layer_class
+                by_class[cls] = by_class.get(cls, 0) + layer_flops
+            missing = [n for n in demands if n not in layer_set]
+            if missing:
+                raise PartitionError(
+                    f"{graph.name}: demand walk escaped the segment range via {missing[:3]}"
+                )
+            in_lo, in_hi = graph.clamp_rows(entry_layer, demands[entry_layer])
         entry_spec = graph.spec(entry_layer)
         tiles.append(
             TileSpec(
@@ -361,6 +376,102 @@ def make_data_partition(
     return make_data_partition_from_shares(
         graph, even_shares(num_tiles), segments=segments, seg_range=seg_range
     )
+
+
+#: Per-graph caches for the vectorized tile pricing.  Keys are ranges
+#: into the graph's memoised segment chain, so entries stay valid for
+#: the graph's lifetime; weak keys let throwaway graphs be collected
+#: and the per-graph LRU bounds keep long-lived serving processes from
+#: accumulating bands indefinitely.
+_PREFIX_ARRAYS: "WeakKeyDictionary[DNNGraph, OrderedDict]" = WeakKeyDictionary()
+_PREFIX_ARRAYS_MAX = 128
+_TILE_COSTS: "WeakKeyDictionary[DNNGraph, OrderedDict]" = WeakKeyDictionary()
+_TILE_COSTS_MAX = 4096
+
+
+def _lru_lookup(per_graph: "OrderedDict", key):
+    entry = per_graph.get(key)
+    if entry is not None:
+        per_graph.move_to_end(key)
+    return entry
+
+
+def _lru_store(per_graph: "OrderedDict", key, entry, max_entries: int) -> None:
+    per_graph[key] = entry
+    if len(per_graph) > max_entries:
+        per_graph.popitem(last=False)
+
+
+def _prefix_arrays(graph: DNNGraph, segs: Sequence[Segment], prefix_lo: int, prefix_hi: int):
+    """Cached per-layer (names, heights, flops, class codes) arrays for
+    the layers of segments ``[prefix_lo..prefix_hi]``."""
+    per_graph = _PREFIX_ARRAYS.setdefault(graph, OrderedDict())
+    key = (prefix_lo, prefix_hi)
+    entry = _lru_lookup(per_graph, key)
+    if entry is None:
+        names = tuple(
+            name for seg in segs[prefix_lo : prefix_hi + 1] for name in seg.layer_names
+        )
+        heights = np.array([graph.spec(name).height for name in names], dtype=np.int64)
+        layer_flops = np.array([graph.layer_flops(name) for name in names], dtype=np.float64)
+        class_code = {cls: code for code, cls in enumerate(LAYER_CLASSES)}
+        codes = np.array(
+            [class_code[graph.layer(name).layer_class] for name in names], dtype=np.int64
+        )
+        entry = (names, frozenset(names), heights, layer_flops, codes)
+        _lru_store(per_graph, key, entry, _PREFIX_ARRAYS_MAX)
+    return entry
+
+
+def _tile_costs_fast(
+    graph: DNNGraph,
+    segs: Sequence[Segment],
+    prefix_lo: int,
+    prefix_hi: int,
+    prefix_end: str,
+    entry_layer: str,
+    band_lo: int,
+    band_hi: int,
+) -> Tuple[int, Dict[str, int], int, int]:
+    """Vectorized halo-inflated tile pricing: (flops, by_class, in_lo, in_hi).
+
+    Numerically identical to the per-layer Python loop: the same clamp
+    / ``share = rows / height`` / round-half-even arithmetic runs on
+    float64 arrays, and all accumulations are exact integer sums.
+    Results are memoised per (range, band) on the graph.
+    """
+    cache = _TILE_COSTS.setdefault(graph, OrderedDict())
+    key = (prefix_lo, prefix_hi, entry_layer, band_lo, band_hi)
+    hit = _lru_lookup(cache, key)
+    if hit is not None:
+        flops, by_class, in_lo, in_hi = hit
+        return flops, dict(by_class), in_lo, in_hi
+    names, names_set, heights, layer_flops, codes = _prefix_arrays(
+        graph, segs, prefix_lo, prefix_hi
+    )
+    demands = graph.demand_rows(prefix_end, band_lo, band_hi, stop_layer=entry_layer)
+    rows_lo = np.zeros(len(names), dtype=np.int64)
+    rows_hi = np.zeros(len(names), dtype=np.int64)
+    for idx, name in enumerate(names):
+        demand = demands.get(name)
+        if demand is not None:  # absent layers keep a zero-row (no-op) range
+            rows_lo[idx] = demand[0]
+            rows_hi[idx] = demand[1]
+    missing = [n for n in demands if n not in names_set and n != entry_layer]
+    if missing:
+        raise PartitionError(
+            f"{graph.name}: demand walk escaped the segment range via {missing[:3]}"
+        )
+    clamped_lo = np.maximum(rows_lo, 0)
+    clamped_hi = np.minimum(rows_hi, heights)
+    share = (clamped_hi - clamped_lo) / heights
+    tile_flops = np.rint(layer_flops * share).astype(np.int64)
+    flops = int(tile_flops.sum())
+    per_class = np.bincount(codes, weights=tile_flops, minlength=len(LAYER_CLASSES))
+    by_class = {cls: int(per_class[code]) for code, cls in enumerate(LAYER_CLASSES)}
+    in_lo, in_hi = graph.clamp_rows(entry_layer, demands[entry_layer])
+    _lru_store(cache, key, (flops, by_class, in_lo, in_hi), _TILE_COSTS_MAX)
+    return flops, dict(by_class), in_lo, in_hi
 
 
 def _entry_layer(graph: DNNGraph, segments: Sequence[Segment], seg_lo: int) -> str:

@@ -1,0 +1,124 @@
+"""Prefix-sum cost tables over segment chains.
+
+Every DSE kernel repeatedly prices contiguous segment ranges
+``[lo..hi]``: per-layer-class FLOPs, operator counts, boundary tensor
+sizes.  The seed implementation rescanned the segment list for every
+candidate cut, making ``explore_data`` O(cuts * segments) before the
+share DP even ran.  A :class:`SegmentTable` precomputes the prefix sums
+once -- all sums are exact Python ints, so range queries are
+byte-identical to the rescans they replace -- and answers any range
+query in O(num_layer_classes).
+
+Tables are cheap to build (one pass over the chain) and immutable;
+:meth:`repro.dnn.graph.DNNGraph.segment_table` memoises the full-graph
+table on the (immutable) graph so repeated planning passes share it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dnn.graph import Segment
+from repro.dnn.layers import LAYER_CLASSES
+
+
+class SegmentTable:
+    """O(1) range cost queries over a fixed segment chain.
+
+    Ranges are inclusive ``[lo, hi]`` indices into ``segments`` (the
+    same convention every DSE helper uses); an empty range (``hi < lo``)
+    prices to zero.
+    """
+
+    __slots__ = (
+        "segments",
+        "_flops_prefix",
+        "_total_prefix",
+        "_ops_prefix",
+        "_next_nonspatial",
+        "_slices",
+    )
+
+    def __init__(self, segments: Sequence[Segment]):
+        self.segments: Tuple[Segment, ...] = tuple(segments)
+        n = len(self.segments)
+        flops_prefix: Dict[str, List[int]] = {cls: [0] * (n + 1) for cls in LAYER_CLASSES}
+        total_prefix = [0] * (n + 1)
+        ops_prefix = [0] * (n + 1)
+        for idx, seg in enumerate(self.segments):
+            for cls in LAYER_CLASSES:
+                flops_prefix[cls][idx + 1] = flops_prefix[cls][idx] + seg.flops_by_class.get(
+                    cls, 0
+                )
+            total_prefix[idx + 1] = total_prefix[idx] + seg.flops
+            ops_prefix[idx + 1] = ops_prefix[idx] + seg.num_ops
+        self._flops_prefix = flops_prefix
+        self._total_prefix = total_prefix
+        self._ops_prefix = ops_prefix
+        # _next_nonspatial[i]: smallest j >= i with a non-spatial segment
+        # (n when the rest of the chain is spatial) -- O(1) spatial-prefix.
+        next_nonspatial = [n] * (n + 1)
+        for idx in range(n - 1, -1, -1):
+            next_nonspatial[idx] = idx if not self.segments[idx].spatial else next_nonspatial[idx + 1]
+        self._next_nonspatial = next_nonspatial
+        self._slices: Dict[Tuple[int, int], Tuple[Segment, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def _check(self, lo: int, hi: int) -> None:
+        if lo < 0 or hi >= len(self.segments):
+            raise IndexError(
+                f"segment range [{lo}, {hi}] outside chain of {len(self.segments)}"
+            )
+
+    def range_flops(self, lo: int, hi: int) -> Dict[str, int]:
+        """FLOPs of ``[lo..hi]`` broken down by layer class (zeros kept,
+        :data:`LAYER_CLASSES` order -- the exact dict the rescans built)."""
+        if hi < lo:
+            return {cls: 0 for cls in LAYER_CLASSES}
+        self._check(lo, hi)
+        return {cls: self._flops_prefix[cls][hi + 1] - self._flops_prefix[cls][lo]
+                for cls in LAYER_CLASSES}
+
+    def range_flops_total(self, lo: int, hi: int) -> int:
+        """Total FLOPs of ``[lo..hi]`` across all classes."""
+        if hi < lo:
+            return 0
+        self._check(lo, hi)
+        return self._total_prefix[hi + 1] - self._total_prefix[lo]
+
+    def range_ops(self, lo: int, hi: int) -> int:
+        """Operator count of ``[lo..hi]`` (drives dispatch cost)."""
+        if hi < lo:
+            return 0
+        self._check(lo, hi)
+        return self._ops_prefix[hi + 1] - self._ops_prefix[lo]
+
+    def in_bytes(self, idx: int) -> int:
+        """Bytes of the tensor entering segment ``idx``."""
+        return self.segments[idx].in_spec.size_bytes
+
+    def out_bytes(self, idx: int) -> int:
+        """Bytes of the tensor leaving segment ``idx``."""
+        return self.segments[idx].out_spec.size_bytes
+
+    def spatial_prefix_end(self, lo: int, hi: int) -> int:
+        """Last index ``p`` of the spatial run starting at ``lo`` within
+        ``[lo..hi]``; ``p < lo`` means segment ``lo`` is non-spatial."""
+        self._check(lo, hi if hi >= lo else lo)
+        return min(self._next_nonspatial[lo], hi + 1) - 1
+
+    def chain_slice(self, lo: int, hi: int) -> Tuple[Segment, ...]:
+        """Memoised sub-chain ``segments[lo..hi]``.
+
+        Returning the same tuple object per range lets identity-keyed
+        memos downstream (e.g. span coarsening) hit across plans.
+        """
+        self._check(lo, hi)
+        key = (lo, hi)
+        cached = self._slices.get(key)
+        if cached is None:
+            cached = self.segments[lo : hi + 1]
+            self._slices[key] = cached
+        return cached

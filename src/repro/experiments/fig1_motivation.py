@@ -34,7 +34,6 @@ from repro.core.plans import (
 )
 from repro.core.strategy import Strategy
 from repro.dnn.graph import DNNGraph
-from repro.dnn.layers import LAYER_CLASSES
 from repro.dnn.models import MODEL_NAMES, build_model
 from repro.dnn.partition import spatial_prefix
 from repro.experiments.common import run_strategy
@@ -110,14 +109,6 @@ class FixedConfigStrategy(Strategy):
         )
 
 
-def _sum_flops(segments, lo: int, hi: int) -> Dict[str, int]:
-    flops = {cls: 0 for cls in LAYER_CLASSES}
-    for seg in segments[lo : hi + 1]:
-        for cls, value in seg.flops_by_class.items():
-            flops[cls] += value
-    return flops
-
-
 #: Segments per barrier-synchronised chunk.
 CHUNK_SPAN = 6
 #: Finer chunking used by the 4-partition configurations.
@@ -150,6 +141,7 @@ def _config_shares(config: PartitionConfig, gpu, cpus) -> List[Tuple[str, float]
 def build_config_exec(graph: DNNGraph, device, config: PartitionConfig) -> LocalExec:
     """Materialise a P-configuration as a LocalExec on ``device``."""
     segments = graph.segments()
+    table = graph.segment_table()
     full_range = (0, len(segments) - 1)
     gpu = next(p for p in device.processors if p.kind == KIND_GPU)
     cpus = [p for p in device.processors if p.kind == KIND_CPU]
@@ -176,8 +168,8 @@ def build_config_exec(graph: DNNGraph, device, config: PartitionConfig) -> Local
     stage_idx = 0
     while chunk_lo <= prefix_hi:
         cut = min(chunk_lo + span - 1, prefix_hi)
-        chunk_ops = sum(seg.num_ops for seg in segments[chunk_lo : cut + 1])
-        chunk_flops = _sum_flops(segments, chunk_lo, cut)
+        chunk_ops = table.range_ops(chunk_lo, cut)
+        chunk_flops = table.range_flops(chunk_lo, cut)
         chunk_in = segments[chunk_lo].in_spec.size_bytes
         chunk_out = segments[cut].out_spec.size_bytes
         out_height = graph.spec(segments[cut].layer_names[-1]).height
@@ -221,8 +213,8 @@ def build_config_exec(graph: DNNGraph, device, config: PartitionConfig) -> Local
         stage_idx += 1
 
     if prefix_hi < len(segments) - 1:
-        tail_flops = _sum_flops(segments, prefix_hi + 1, len(segments) - 1)
-        tail_ops = sum(seg.num_ops for seg in segments[prefix_hi + 1 :])
+        tail_flops = table.range_flops(prefix_hi + 1, len(segments) - 1)
+        tail_ops = table.range_ops(prefix_hi + 1, len(segments) - 1)
         stages.append(
             (
                 UnitTask(

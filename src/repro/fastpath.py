@@ -1,0 +1,26 @@
+"""Shared switch for the vectorized DSE fast path.
+
+The numpy kernels in :mod:`repro.core.dp` and the vectorized tile
+pricing in :mod:`repro.dnn.partition` are byte-identical to their
+pure-Python references; this module centralises the (optional) numpy
+import and the ``REPRO_DSE_FASTPATH`` escape hatch so every layer gates
+on the same condition.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # numpy is optional: every fast path has a pure-Python reference
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via REPRO_DSE_FASTPATH=0
+    np = None
+
+
+def fastpath_enabled() -> bool:
+    """Whether the vectorized kernels are active.
+
+    Requires numpy; disable explicitly with ``REPRO_DSE_FASTPATH=0``
+    (checked per call so tests and benches can toggle at runtime).
+    """
+    return np is not None and os.environ.get("REPRO_DSE_FASTPATH", "1") != "0"

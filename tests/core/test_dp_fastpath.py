@@ -1,0 +1,181 @@
+"""Equivalence tests: the vectorized DSE fast path must reproduce the
+pure-Python reference implementations *exactly* -- same floats, same
+tie-breaks, same plans -- across randomized executors, quanta, and
+coarsening levels.  ``REPRO_DSE_FASTPATH=0`` must route the public API
+to the reference code."""
+
+import random
+
+import pytest
+
+from repro.core.dp import (
+    ExecutorModel,
+    _coarsen,
+    _coarsen_reference,
+    _data_shares_dp_numpy,
+    _pipeline_cuts_dp_numpy,
+    data_shares_dp,
+    data_shares_dp_batch,
+    data_shares_dp_reference,
+    fastpath_enabled,
+    pipeline_cuts_dp,
+    pipeline_cuts_dp_reference,
+)
+from repro.core.hidp import HiDPStrategy
+from repro.dnn.layers import LAYER_CLASSES
+from repro.dnn.models import build_model
+from repro.platform.cluster import build_cluster
+
+
+def _random_executor(rng, ident):
+    rates = {cls: rng.uniform(0.5, 50.0) * 1e9 for cls in LAYER_CLASSES}
+    return ExecutorModel(
+        ident=ident,
+        rates=rates,
+        comm_bytes_s=rng.choice([1e6, 1e7, 1e8, 1e18]),
+        fixed_s=rng.choice([0.0, 0.0005, 0.001, 0.01]),
+        dispatch_s=rng.choice([0.0, 1e-5, 1e-4]),
+    )
+
+
+def _random_flops(rng):
+    classes = rng.sample(LAYER_CLASSES, rng.randint(1, len(LAYER_CLASSES)))
+    return {cls: rng.randint(0, 10**10) for cls in classes}
+
+
+class TestDataSharesEquivalence:
+    def test_randomized_exact_match(self):
+        rng = random.Random(1234)
+        for trial in range(200):
+            executors = [
+                _random_executor(rng, f"e{i}") for i in range(rng.randint(1, 6))
+            ]
+            flops = _random_flops(rng)
+            quanta = rng.choice([1, 2, 5, 10, 20, 40])
+            num_ops = rng.randint(0, 300)
+            input_bytes = rng.randint(0, 10**7)
+            inflation = (
+                (lambda share: 1.0)
+                if trial % 2 == 0
+                else (lambda share: 1.0 + 0.3 * share)
+            )
+            reference = data_shares_dp_reference(
+                flops, input_bytes, executors, quanta, num_ops, inflation
+            )
+            fast = _data_shares_dp_numpy(
+                flops, input_bytes, executors, quanta, num_ops, inflation
+            )
+            assert fast == reference  # exact: shares tuple and makespan float
+
+    def test_batch_matches_per_item_calls(self):
+        rng = random.Random(77)
+        executors = [_random_executor(rng, f"e{i}") for i in range(4)]
+        items = [
+            (_random_flops(rng), rng.randint(0, 10**7), rng.randint(0, 100))
+            for _ in range(12)
+        ]
+        batched = data_shares_dp_batch(items, executors, quanta=15)
+        singles = [
+            data_shares_dp(flops, in_bytes, executors, quanta=15, num_ops=num_ops)
+            for flops, in_bytes, num_ops in items
+        ]
+        assert batched == singles
+
+    def test_batch_empty(self):
+        assert data_shares_dp_batch([], [], quanta=10) == []
+
+    def test_validation_matches_reference(self):
+        executor = _random_executor(random.Random(0), "e")
+        with pytest.raises(ValueError):
+            _data_shares_dp_numpy({"conv": 1}, 0, [], 10, 0, lambda s: 1.0)
+        with pytest.raises(ValueError):
+            _data_shares_dp_numpy({"conv": 1}, 0, [executor], 0, 0, lambda s: 1.0)
+
+
+class TestPipelineCutsEquivalence:
+    @pytest.fixture(scope="class")
+    def model_segments(self):
+        return {
+            name: build_model(name).segments()
+            for name in ("tiny_cnn", "tiny_branchy", "mobilenet_v2", "resnet152")
+        }
+
+    def test_randomized_exact_match(self, model_segments):
+        rng = random.Random(4321)
+        for _ in range(80):
+            segments = model_segments[rng.choice(list(model_segments))]
+            executors = [
+                _random_executor(rng, f"e{i}") for i in range(rng.randint(1, 5))
+            ]
+            source = rng.randrange(len(executors))
+            max_segments = rng.choice([4, 8, 16, 48])
+            weight = rng.choice([0.0, 0.5, 1.0])
+            reference = pipeline_cuts_dp_reference(
+                segments, executors, source, weight, max_segments
+            )
+            fast = _pipeline_cuts_dp_numpy(
+                segments, executors, source, weight, max_segments
+            )
+            assert fast == reference  # exact: blocks, latency, bottleneck
+
+    def test_validation_matches_reference(self, model_segments):
+        executor = _random_executor(random.Random(0), "e")
+        with pytest.raises(ValueError):
+            _pipeline_cuts_dp_numpy([], [executor], 0, 1.0, 48)
+        with pytest.raises(ValueError):
+            _pipeline_cuts_dp_numpy(model_segments["tiny_cnn"], [], 0, 1.0, 48)
+        with pytest.raises(ValueError):
+            _pipeline_cuts_dp_numpy(model_segments["tiny_cnn"], [executor], 3, 1.0, 48)
+
+
+class TestCoarsenEquivalence:
+    def test_heap_matches_reference_scan(self):
+        segments = build_model("resnet152").segments()
+        for max_segments in (1, 2, 5, 10, 24, 47, 48, len(segments), len(segments) + 9):
+            reference = _coarsen_reference(segments, max_segments)
+            fast = _coarsen(segments, max_segments)
+            assert fast == reference
+            # downstream kernels iterate the dicts, so key order matters too
+            assert [list(span[0].items()) for span in fast] == [
+                list(span[0].items()) for span in reference
+            ]
+
+    def test_cache_returns_same_spans_for_same_chain(self):
+        segments = build_model("mobilenet_v2").segments()
+        assert _coarsen(segments, 10) is _coarsen(segments, 10)
+        assert _coarsen(segments, 10) is not _coarsen(segments, 12)
+
+
+class TestFastpathSwitch:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "0")
+        assert not fastpath_enabled()
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+        assert fastpath_enabled()
+        monkeypatch.delenv("REPRO_DSE_FASTPATH")
+        assert fastpath_enabled()
+
+    def test_public_api_identical_either_way(self, monkeypatch):
+        rng = random.Random(9)
+        executors = [_random_executor(rng, f"e{i}") for i in range(3)]
+        segments = build_model("tiny_cnn").segments()
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+        fast_shares = data_shares_dp({"conv": 10**9}, 10**5, executors, quanta=12)
+        fast_pipe = pipeline_cuts_dp(segments, executors)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "0")
+        ref_shares = data_shares_dp({"conv": 10**9}, 10**5, executors, quanta=12)
+        ref_pipe = pipeline_cuts_dp(segments, executors)
+        assert fast_shares == ref_shares
+        assert fast_pipe == ref_pipe
+
+
+class TestEndToEndPlans:
+    @pytest.mark.parametrize("model", ["tiny_cnn", "mobilenet_v2", "efficientnet_b0"])
+    def test_hidp_plans_byte_identical(self, model, monkeypatch):
+        graph = build_model(model)
+        cluster = build_cluster()
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+        fast = HiDPStrategy().plan(graph, cluster)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", "0")
+        reference = HiDPStrategy().plan(graph, cluster)
+        assert fast == reference
