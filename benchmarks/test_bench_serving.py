@@ -1,0 +1,132 @@
+"""Bench: online serving + the batched co-planning gate.
+
+Two measurements, one artifact (``BENCH_serving.json``):
+
+1. **Co-planning gate.**  A 16-request backlog (round-robin over the
+   four evaluation models) is planned two ways: sequentially -- a fresh
+   planner pass per request, the naive per-request scheduler -- and
+   through one ``plan_batch`` co-planning pass, which dedups duplicate
+   models and prices every distinct model's candidate cuts in a single
+   batched share-DP sweep.  The gate asserts the batched pass is
+   faster; plan equality between the two paths is asserted outright.
+
+2. **Sustained-load serving.**  The Fig. 9 seeded Poisson stream (120
+   requests) runs through the online scheduler; p50/p95/p99, SLO
+   attainment and scheduler counters are recorded for trend tracking,
+   and the capacity-1 no-overlap invariant is asserted on every
+   station.
+
+The result memos in ``repro.core.dp`` are cleared before every timed
+pass so neither path is subsidised by the other's warm cache.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.dp import clear_result_memos
+from repro.core.hidp import HiDPStrategy
+from repro.dnn.models import MODEL_NAMES, build_model
+from repro.experiments.fig9_serving import SLO_S, build_arrivals
+from repro.platform.cluster import build_cluster
+from repro.serving import OnlineScheduler
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+BACKLOG_SIZE = 16
+REPEATS = 5
+
+
+def _backlog_graphs():
+    return [build_model(MODEL_NAMES[i % len(MODEL_NAMES)]) for i in range(BACKLOG_SIZE)]
+
+
+def _time_sequential(graphs, cluster, repeats=REPEATS):
+    """Naive per-request planning: one fresh planner pass per request."""
+    times = []
+    for _ in range(repeats):
+        clear_result_memos()
+        start = time.perf_counter()
+        plans = [HiDPStrategy().plan(graph, cluster) for graph in graphs]
+        times.append(time.perf_counter() - start)
+    return times, plans
+
+
+def _time_batched(graphs, cluster, repeats=REPEATS):
+    """One co-planning pass over the whole backlog."""
+    times = []
+    for _ in range(repeats):
+        clear_result_memos()
+        start = time.perf_counter()
+        plans = HiDPStrategy().plan_batch(graphs, cluster)
+        times.append(time.perf_counter() - start)
+    return times, plans
+
+
+def test_bench_serving_coplan_and_sustained_load(cluster):
+    graphs = _backlog_graphs()
+    for graph in graphs:
+        graph.segments()  # segment extraction is cached on the graph
+
+    sequential, plans_seq = _time_sequential(graphs, cluster)
+    batched, plans_batch = _time_batched(graphs, cluster)
+    assert plans_seq == plans_batch, "co-planned backlog diverged from sequential plans"
+
+    seq_min, batch_min = min(sequential), min(batched)
+    coplan = {
+        "backlog": BACKLOG_SIZE,
+        "models": list(MODEL_NAMES),
+        "sequential_min_s": seq_min,
+        "sequential_mean_s": sum(sequential) / len(sequential),
+        "batched_min_s": batch_min,
+        "batched_mean_s": sum(batched) / len(batched),
+        "speedup_min": seq_min / batch_min,
+    }
+    print(
+        f"co-plan {BACKLOG_SIZE}-request backlog: sequential {seq_min * 1e3:.2f} ms, "
+        f"batched {batch_min * 1e3:.2f} ms ({coplan['speedup_min']:.1f}x)"
+    )
+
+    scheduler = OnlineScheduler(cluster=build_cluster())
+    result = scheduler.run(build_arrivals("poisson"))
+    assert result.count == 120
+    result.busy.assert_no_overlaps()
+    percentiles = result.percentiles()
+    serving = {
+        "arrivals": "poisson",
+        "requests": result.count,
+        "makespan_s": result.makespan_s,
+        "throughput_rps": result.throughput_rps(),
+        "latency_percentiles_s": percentiles,
+        "slo_s": SLO_S,
+        "slo_attainment": result.slo_attainment(SLO_S),
+        "batches": result.batches,
+        "mean_batch_size": result.mean_batch_size,
+        "replans": result.replans,
+        "energy_j": result.energy_j,
+    }
+    print(
+        f"serving poisson x{result.count}: "
+        f"p50 {percentiles['p50'] * 1e3:.0f} ms, p95 {percentiles['p95'] * 1e3:.0f} ms, "
+        f"p99 {percentiles['p99'] * 1e3:.0f} ms, "
+        f"SLO<{SLO_S:g}s {100 * serving['slo_attainment']:.0f}%, "
+        f"{result.replans} replans over {result.batches} batches"
+    )
+
+    artifact = {
+        "bench": "serving",
+        "description": (
+            "Batched backlog co-planning vs naive per-request planning, plus "
+            "sustained-load serving quality of the online scheduler on the "
+            "seeded Fig. 9 Poisson stream."
+        ),
+        "gate": {"min_speedup": 1.0},
+        "coplan": coplan,
+        "serving": serving,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    # The gate: co-planning a backlog must beat planning it sequentially.
+    assert batch_min < seq_min, (
+        f"batched co-planning regressed: {batch_min * 1e3:.2f} ms for a "
+        f"{BACKLOG_SIZE}-request backlog vs {seq_min * 1e3:.2f} ms sequential"
+    )

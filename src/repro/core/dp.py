@@ -285,6 +285,15 @@ _SHARES_RESULTS: "OrderedDict[Tuple, SharePlan]" = OrderedDict()
 _SHARES_RESULTS_MAX = 8192
 
 
+def clear_result_memos() -> None:
+    """Drop the module-level result memos (share plans, pipeline plans,
+    coarsened spans).  Benchmarks call this between measurements so a
+    warmed memo from one configuration cannot subsidise another."""
+    _SHARES_RESULTS.clear()
+    _PIPELINE_RESULTS.clear()
+    _COARSEN_CACHE.clear()
+
+
 #: Per-quanta cache of the (r, q) index geometry shared by every sweep.
 _SHARES_GEOMETRY: Dict[int, Tuple] = {}
 

@@ -109,46 +109,23 @@ def _range_ops(
     return table.range_ops(lo, hi)
 
 
-def explore_data(
+def _data_share_items(
     graph: DNNGraph,
     segments: Sequence[Segment],
     seg_range: Tuple[int, int],
-    executors: Sequence[ExecutorModel],
-    quanta: int = 20,
-    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
-    max_cuts: int = 10,
-    min_sigma: int = 1,
-    table: Optional[SegmentTable] = None,
-) -> Optional[DataModeDecision]:
-    """Best data-partitioning decision over depth cuts and share splits.
+    max_cuts: int,
+    table: SegmentTable,
+) -> Tuple[List[int], List[Tuple[Dict[str, int], int, int]]]:
+    """The (valid cuts, share-DP workload items) of one data search.
 
-    ``tail_seconds`` prices the unpartitioned remainder (defaults to
-    executor 0 -- the data holder -- computing it).  Decisions whose
-    share DP activates fewer than ``min_sigma`` executors are skipped
-    (``min_sigma=2`` forces a genuinely distributed decision and leaves
-    the sigma=1 case to the caller).
-
-    ``table`` supplies O(1) range costs over ``segments``; pass the
-    caller's table (e.g. ``graph.segment_table()``) to avoid rebuilding
-    prefix sums per call.
+    Separated from :func:`explore_data` so batched callers can gather
+    the items of *many* searches and price them in a single
+    :func:`data_shares_dp_batch` sweep.
     """
-    lo, hi = seg_range
-    if table is None:
-        table = SegmentTable(segments)
+    lo, _ = seg_range
     cuts = candidate_cuts(graph, segments, seg_range, max_cuts, table=table)
-    if not cuts:
-        return None
-    if tail_seconds is None:
-
-        def tail_seconds(tail_range: Tuple[int, int]) -> float:
-            return executors[0].compute_seconds(
-                table.range_flops(tail_range[0], tail_range[1]),
-                table.range_ops(tail_range[0], tail_range[1]),
-            )
-
-    # One batched share-DP sweep prices every candidate cut at once.
     valid_cuts = [cut for cut in cuts if table.range_flops_total(lo, cut) != 0]
-    entry_bytes = segments[lo].in_spec.size_bytes
+    entry_bytes = segments[lo].in_spec.size_bytes if segments else 0
     items = [
         (
             table.range_flops(lo, cut),
@@ -157,7 +134,30 @@ def explore_data(
         )
         for cut in valid_cuts
     ]
-    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+    return valid_cuts, items
+
+
+def _select_data_decision(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    valid_cuts: Sequence[int],
+    items: Sequence[Tuple[Dict[str, int], int, int]],
+    share_plans: Sequence["SharePlan"],
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]],
+    min_sigma: int,
+    table: SegmentTable,
+) -> Optional[DataModeDecision]:
+    """Pick the best decision from priced candidate cuts (exact tiles)."""
+    lo, hi = seg_range
+    if tail_seconds is None:
+
+        def tail_seconds(tail_range: Tuple[int, int]) -> float:
+            return executors[0].compute_seconds(
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
+            )
 
     best: Optional[DataModeDecision] = None
     for cut, (tile_flops, _, tile_ops), share_plan in zip(valid_cuts, items, share_plans):
@@ -203,6 +203,90 @@ def explore_data(
                 tail_range=tail_range,
             )
     return best
+
+
+def explore_data(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    quanta: int = 20,
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
+    max_cuts: int = 10,
+    min_sigma: int = 1,
+    table: Optional[SegmentTable] = None,
+) -> Optional[DataModeDecision]:
+    """Best data-partitioning decision over depth cuts and share splits.
+
+    ``tail_seconds`` prices the unpartitioned remainder (defaults to
+    executor 0 -- the data holder -- computing it).  Decisions whose
+    share DP activates fewer than ``min_sigma`` executors are skipped
+    (``min_sigma=2`` forces a genuinely distributed decision and leaves
+    the sigma=1 case to the caller).
+
+    ``table`` supplies O(1) range costs over ``segments``; pass the
+    caller's table (e.g. ``graph.segment_table()``) to avoid rebuilding
+    prefix sums per call.
+    """
+    if table is None:
+        table = SegmentTable(segments)
+    valid_cuts, items = _data_share_items(graph, segments, seg_range, max_cuts, table)
+    # One batched share-DP sweep prices every candidate cut at once.
+    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+    return _select_data_decision(
+        graph, segments, seg_range, executors, valid_cuts, items, share_plans,
+        tail_seconds, min_sigma, table,
+    )
+
+
+@dataclass(frozen=True)
+class DataSearchSpec:
+    """One (graph, segment range) data-partitioning search, for
+    :func:`explore_data_batch`.  Field semantics match the keyword
+    arguments of :func:`explore_data`."""
+
+    graph: DNNGraph
+    segments: Sequence[Segment]
+    seg_range: Tuple[int, int]
+    table: SegmentTable
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None
+    min_sigma: int = 1
+    max_cuts: int = 10
+
+
+def explore_data_batch(
+    specs: Sequence[DataSearchSpec],
+    executors: Sequence[ExecutorModel],
+    quanta: int = 20,
+) -> List[Optional[DataModeDecision]]:
+    """Run :func:`explore_data` for many searches against the same
+    executor set in one batched share-DP sweep.
+
+    This is the serving co-planner's kernel: a backlog of concurrent
+    requests (one spec per distinct model) prices *all* of its candidate
+    depth cuts in a single :func:`data_shares_dp_batch` call, paying the
+    numpy dispatch overhead once per backlog instead of once per
+    request.  Results are identical to per-spec :func:`explore_data`
+    calls (each item's DP is independent of its batch neighbours).
+    """
+    gathered = [
+        _data_share_items(spec.graph, spec.segments, spec.seg_range, spec.max_cuts, spec.table)
+        for spec in specs
+    ]
+    all_items = [item for _, items in gathered for item in items]
+    share_plans = data_shares_dp_batch(all_items, executors, quanta=quanta)
+    decisions: List[Optional[DataModeDecision]] = []
+    offset = 0
+    for spec, (valid_cuts, items) in zip(specs, gathered):
+        plans = share_plans[offset : offset + len(items)]
+        offset += len(items)
+        decisions.append(
+            _select_data_decision(
+                spec.graph, spec.segments, spec.seg_range, executors,
+                valid_cuts, items, plans, spec.tail_seconds, spec.min_sigma, spec.table,
+            )
+        )
+    return decisions
 
 
 @dataclass(frozen=True)

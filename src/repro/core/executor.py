@@ -72,17 +72,17 @@ class PlanExecutor:
         return self.runtime.station(device_name, device.processors[0].name)
 
     def _busy(self, device_name: str, seconds: float, label: str) -> Generator[Event, None, None]:
-        """Charge controller overhead as busy time on the scheduler CPU."""
+        """Charge controller overhead as busy time on the scheduler CPU.
+
+        The CPU resource is held for the full overhead (an overhead
+        shorter than the processor's setup time charges exactly the
+        overhead, never the setup floor), so concurrent requests
+        serialise on the controller instead of overlapping.
+        """
         if seconds <= 0:
             return
         station = self._scheduler_station(device_name)
-        yield from station.run_task({"elementwise": 0}, label=label)
-        # run_task charges setup only for zero flops; add the remainder
-        remainder = seconds - station.processor.setup_time_s
-        if remainder > 0:
-            start = self.runtime.env.now
-            yield self.runtime.env.timeout(remainder)
-            self.runtime.busy.record(station.key, start, self.runtime.env.now, label)
+        yield from station.run_overhead(seconds, label=label)
 
     def _probe(self, leader: str) -> Generator[Event, None, None]:
         """Availability status round trips (Eq. 4) to every other node."""

@@ -67,6 +67,7 @@ class DistributedInferenceFramework:
             gflops_series=runtime.flops_log.gflops_series(gflops_bin_s, makespan),
             network_bytes=runtime.transfer_log.total_bytes,
             total_flops=runtime.flops_log.total_flops,
+            busy=runtime.busy,
         )
 
 

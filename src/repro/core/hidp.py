@@ -20,11 +20,12 @@ partitioning modules).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.dp import ExecutorModel, pipeline_cuts_dp, scale_flops
-from repro.core.dse import explore_data
+from repro.core.dse import DataModeDecision, DataSearchSpec, explore_data_batch
 from repro.core.local_partitioner import LocalDecision, LocalPartitioner
 from repro.core.plans import (
     ExecutionPlan,
@@ -105,6 +106,50 @@ def estimate_candidate_energy(cluster: Cluster, candidate: ModeCandidate) -> flo
     return energy
 
 
+def device_local_signature(device: Device) -> Tuple:
+    """Hardware identity of a device's local tier.
+
+    Local-tier decisions depend only on the processor set and the
+    memory fabric -- not on the device's *name* -- so two boards of the
+    same type (or one board across planning passes) can share one local
+    search.  ``Processor`` is a frozen value dataclass, so the tuple is
+    hashable and compares by spec.
+    """
+    return (device.intra_bw_bytes_s, device.intra_latency_s, device.processors)
+
+
+def _relabel_task(task: UnitTask, old: str, new: str) -> UnitTask:
+    if task.label.startswith(old):
+        return replace(task, label=new + task.label[len(old):])
+    return replace(task, label=new)
+
+
+def relabel_decision(decision: LocalDecision, old: str, new: str) -> LocalDecision:
+    """A shared local decision re-labelled for a new piece.
+
+    Task labels embed the piece label as a prefix (``tile3``,
+    ``blk1/s0t2``, ...); everything else about the decision -- the
+    mode, the processors, the predicted time -- is label-independent.
+    """
+    if old == new:
+        return decision
+    execution = decision.execution
+    if execution.stages is not None:
+        stages = tuple(
+            tuple(_relabel_task(task, old, new) for task in stage)
+            for stage in execution.stages
+        )
+        tasks = tuple(task for stage in stages for task in stage)
+    else:
+        stages = None
+        tasks = tuple(_relabel_task(task, old, new) for task in execution.tasks)
+    tail = _relabel_task(execution.tail, old, new) if execution.tail is not None else None
+    return LocalDecision(
+        LocalExec(mode=execution.mode, tasks=tasks, tail=tail, stages=stages),
+        decision.predicted_s,
+    )
+
+
 def candidate_score(cluster: Cluster, candidate: ModeCandidate, objective: str) -> float:
     """Objective value of a candidate (lower is better)."""
     if objective == OBJECTIVE_LATENCY:
@@ -155,6 +200,20 @@ class HiDPStrategy(Strategy):
         self.max_pipeline_segments = max_pipeline_segments
         self.max_cuts = max_cuts
         self.objective = objective
+        # Local-tier decision memo, shared across identical processors
+        # (and across planning passes: the local tier never sees the
+        # load vector, so a replan under a drifted load bucket reuses
+        # every local search verbatim).  Values pin a strong graph ref
+        # so the id() in the key stays unambiguous.
+        self._local_memo: "OrderedDict[Tuple, Tuple[DNNGraph, str, LocalDecision]]" = (
+            OrderedDict()
+        )
+        #: Observability counters for the serving bench / tests.
+        self.local_searches = 0
+        self.local_shared = 0
+
+    #: Bound on the shared local-decision memo.
+    LOCAL_MEMO_MAX = 4096
 
     # Local tier -----------------------------------------------------------
 
@@ -200,6 +259,48 @@ class HiDPStrategy(Strategy):
         label: str,
         table: Optional[SegmentTable] = None,
     ) -> LocalDecision:
+        """Local-tier decision for one piece, shared across identical
+        processors.
+
+        The decision depends on the device *hardware* (processor set +
+        memory fabric), the graph and the piece -- not on the device
+        name, the cluster load or the planning pass -- so it is memoised
+        on that signature.  Twin boards share one search, and replans
+        triggered by load-bucket drift reuse every local decision from
+        the previous pass (only labels are rewritten).
+        """
+        memo_key = (
+            device_local_signature(device),
+            id(graph),
+            seg_range,
+            band,
+            segments is graph.segments(),
+        )
+        entry = self._local_memo.get(memo_key)
+        if entry is not None and entry[0] is graph:
+            self._local_memo.move_to_end(memo_key)
+            self.local_shared += 1
+            return relabel_decision(entry[2], entry[1], label)
+        decision = self._plan_piece_uncached(device, graph, segments, seg_range, band, label, table)
+        self.local_searches += 1
+        # Memoise only pieces of the graph's own memoised chain: for ad
+        # hoc segment lists the range indices alone are ambiguous.
+        if memo_key[-1]:
+            self._local_memo[memo_key] = (graph, label, decision)
+            while len(self._local_memo) > self.LOCAL_MEMO_MAX:
+                self._local_memo.popitem(last=False)
+        return decision
+
+    def _plan_piece_uncached(
+        self,
+        device: Device,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        seg_range: Tuple[int, int],
+        band: Optional[Tuple[int, int]],
+        label: str,
+        table: Optional[SegmentTable] = None,
+    ) -> LocalDecision:
         """Local-tier decision for one piece (ablation-aware)."""
         if table is None:
             table = SegmentTable(segments)
@@ -223,34 +324,47 @@ class HiDPStrategy(Strategy):
 
     # Global tier: data mode -------------------------------------------------
 
-    def _candidate_data(
+    @staticmethod
+    def _data_tail_seconds(models: Sequence[ExecutorModel], table: SegmentTable):
+        """Search-time tail estimate: leader at full-node rate; the
+        chosen tail is re-planned exactly by the local tier."""
+
+        def tail_seconds(tail_range: Tuple[int, int]) -> float:
+            return models[0].compute_seconds(
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
+            )
+
+        return tail_seconds
+
+    def _data_search_spec(
+        self, graph: DNNGraph, models: Sequence[ExecutorModel]
+    ) -> DataSearchSpec:
+        """The global-tier data search of one graph, batchable across a
+        backlog via :func:`explore_data_batch`."""
+        segments = graph.segments()
+        table = graph.segment_table()
+        return DataSearchSpec(
+            graph=graph,
+            segments=segments,
+            seg_range=(0, len(segments) - 1),
+            table=table,
+            tail_seconds=self._data_tail_seconds(models, table),
+            min_sigma=2,
+            max_cuts=self.max_cuts,
+        )
+
+    def _candidate_data_from_decision(
         self,
         graph: DNNGraph,
         segments: Sequence[Segment],
         devices: Sequence[Device],
-        models: Sequence[ExecutorModel],
         cluster: Cluster,
-        table: Optional[SegmentTable] = None,
+        decision: Optional[DataModeDecision],
+        table: SegmentTable,
     ) -> Optional[ModeCandidate]:
-        full_range = (0, len(segments) - 1)
-        if table is None:
-            table = SegmentTable(segments)
-        decision = explore_data(
-            graph,
-            segments,
-            full_range,
-            models,
-            quanta=self.quanta,
-            # Search-time tail estimate: leader at full-node rate; the
-            # chosen tail is re-planned exactly by the local tier below.
-            tail_seconds=lambda tail_range: models[0].compute_seconds(
-                table.range_flops(tail_range[0], tail_range[1]),
-                table.range_ops(tail_range[0], tail_range[1]),
-            ),
-            max_cuts=self.max_cuts,
-            min_sigma=2,
-            table=table,
-        )
+        """Assemble the data-mode candidate from a DSE decision (the
+        local tier plans every tile; shared across identical boards)."""
         if decision is None:
             return None
         cut = decision.cut_segment
@@ -386,21 +500,93 @@ class HiDPStrategy(Strategy):
 
     # Entry point -----------------------------------------------------------------
 
+    def _planning_context(
+        self, cluster: Cluster, load: Optional[Mapping[str, float]]
+    ) -> Tuple[List[Device], List[ExecutorModel]]:
+        devices = list(cluster.available_devices())
+        if not devices or devices[0].name != cluster.leader.name:
+            raise RuntimeError("leader node must be available to plan")
+        models = device_executor_models(cluster, devices, self.aggregation, load=load)
+        return devices, models
+
     def _plan(
         self,
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
     ) -> ExecutionPlan:
-        devices = list(cluster.available_devices())
-        if not devices or devices[0].name != cluster.leader.name:
-            raise RuntimeError("leader node must be available to plan")
-        models = device_executor_models(cluster, devices, self.aggregation, load=load)
+        devices, models = self._planning_context(cluster, load)
+        data_decision: Optional[DataModeDecision] = None
+        if MODE_DATA in self.allowed_modes:
+            spec = self._data_search_spec(graph, models)
+            data_decision = explore_data_batch([spec], models, quanta=self.quanta)[0]
+        return self._assemble_plan(graph, cluster, devices, models, data_decision)
+
+    def plan_batch(
+        self,
+        graphs: Sequence[DNNGraph],
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> List[ExecutionPlan]:
+        """Co-plan a backlog of concurrent requests in one pass.
+
+        Distinct models in the backlog run their global-tier data DSE
+        through a single batched share-DP sweep
+        (:func:`~repro.core.dse.explore_data_batch`); duplicate models
+        and already-cached (model, load bucket) pairs are planned once.
+        Plans are identical to per-request :meth:`plan` calls and land
+        in the same cache, so later ``plan()`` calls hit.
+        """
+        effective = self.effective_load(load)
+        keys = [self.cache_key(graph, cluster, effective) for graph in graphs]
+        # Resolve against the cache up front: re-reading after the
+        # inserts below could KeyError if this very batch's new plans
+        # evicted a pre-existing key from the LRU.
+        plans_by_key: Dict[Tuple, ExecutionPlan] = {}
+        missing: "OrderedDict[Tuple, DNNGraph]" = OrderedDict()
+        for key, graph in zip(keys, graphs):
+            if key in plans_by_key or key in missing:
+                continue
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                plans_by_key[key] = cached
+            else:
+                missing[key] = graph
+        if missing:
+            devices, models = self._planning_context(cluster, effective)
+            decisions: Dict[Tuple, Optional[DataModeDecision]] = {}
+            if MODE_DATA in self.allowed_modes:
+                specs = [
+                    self._data_search_spec(graph, models) for graph in missing.values()
+                ]
+                batch = explore_data_batch(specs, models, quanta=self.quanta)
+                decisions = dict(zip(missing.keys(), batch))
+            for key, graph in missing.items():
+                plan = self._assemble_plan(
+                    graph, cluster, devices, models, decisions.get(key)
+                )
+                self._cache_put(key, plan)
+                plans_by_key[key] = plan
+        return [plans_by_key[key] for key in keys]
+
+    def _assemble_plan(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        devices: Sequence[Device],
+        models: Sequence[ExecutorModel],
+        data_decision: Optional[DataModeDecision],
+    ) -> ExecutionPlan:
+        """Mode selection + plan assembly from a (possibly batched) DSE
+        decision; the local tier runs here."""
         segments = graph.segments()
         table = graph.segment_table()
         candidates: List[ModeCandidate] = []
         if MODE_DATA in self.allowed_modes:
-            candidate = self._candidate_data(graph, segments, devices, models, cluster, table)
+            candidate = self._candidate_data_from_decision(
+                graph, segments, devices, cluster, data_decision, table
+            )
             if candidate is not None:
                 candidates.append(candidate)
         if MODE_MODEL in self.allowed_modes:

@@ -9,6 +9,8 @@ treat them interchangeably.
 from __future__ import annotations
 
 import abc
+import math
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.dp import ExecutorModel
@@ -90,7 +92,7 @@ class Strategy(abc.ABC):
     dse_overhead_s: float = 0.0
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple, ExecutionPlan] = {}
+        self._cache: "OrderedDict[Tuple, ExecutionPlan]" = OrderedDict()
 
     #: Strategies that consult cluster load when planning override
     #: this; load-unaware baselines (MoDNN's static proportional rule)
@@ -106,6 +108,53 @@ class Strategy(abc.ABC):
     ) -> ExecutionPlan:
         """Compute a fresh plan (no caching)."""
 
+    def effective_load(
+        self, load: Optional[Mapping[str, float]]
+    ) -> Optional[Mapping[str, float]]:
+        """The load snapshot this strategy actually consults (None if
+        load-unaware)."""
+        return load if (load is not None and self.load_aware) else None
+
+    def load_bucket(self, backlog_s: float) -> int:
+        """Quantise a backlog into its load bucket (floor semantics).
+
+        Floor bucketing keeps bucket edges monotonic: a growing backlog
+        can only move to a higher bucket, never oscillate the way
+        ``round()``'s banker's rounding does at ``.5`` edges.
+        """
+        return math.floor(backlog_s / self.LOAD_BUCKET_S)
+
+    def load_key(self, load: Optional[Mapping[str, float]]) -> Tuple:
+        """Quantised identity of a load snapshot.
+
+        Shared by the plan-cache key and the serving scheduler's drift
+        detection, so "this plan's bucket" always means the same thing
+        in both places.  ``load`` must already be the effective
+        (strategy-filtered) load.
+        """
+        if load is None:
+            return ()
+        return tuple(
+            (name, self.load_bucket(backlog)) for name, backlog in sorted(load.items())
+        )
+
+    def cache_key(
+        self,
+        graph: DNNGraph,
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> Tuple:
+        """Plan-cache key: (model, cluster, availability, load buckets).
+
+        ``load`` must already be the effective (strategy-filtered) load.
+        """
+        return (
+            graph.name,
+            cluster.name,
+            tuple(sorted(cluster.availability_vector().items())),
+            self.load_key(load),
+        )
+
     def plan(
         self,
         graph: DNNGraph,
@@ -118,27 +167,47 @@ class Strategy(abc.ABC):
         vector and the (quantised) load snapshot, so repeated requests
         for the same model under similar conditions reuse the decision
         -- mirroring how the paper's middleware caches DSE results for
-        known workloads.
+        known workloads.  The cache is LRU-bounded: a long open-loop
+        request stream visits unboundedly many load buckets, and an
+        unbounded dict would leak plans for buckets never seen again.
         """
-        effective_load = load if (load is not None and self.load_aware) else None
-        load_key = ()
-        if effective_load is not None:
-            load_key = tuple(
-                (name, round(backlog / self.LOAD_BUCKET_S))
-                for name, backlog in sorted(effective_load.items())
-            )
-        key = (
-            graph.name,
-            cluster.name,
-            tuple(sorted(cluster.availability_vector().items())),
-            load_key,
-        )
-        if key not in self._cache:
-            self._cache[key] = self._plan(graph, cluster, load=effective_load)
-        return self._cache[key]
+        effective = self.effective_load(load)
+        key = self.cache_key(graph, cluster, effective)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        plan = self._plan(graph, cluster, load=effective)
+        self._cache_put(key, plan)
+        return plan
+
+    def plan_batch(
+        self,
+        graphs: Sequence[DNNGraph],
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> List[ExecutionPlan]:
+        """Co-plan a backlog of requests under one load snapshot.
+
+        The base implementation plans sequentially (sharing the plan
+        cache, so duplicate models in the backlog are planned once);
+        strategies with batched DSE kernels override this to price the
+        whole backlog in shared array sweeps.
+        """
+        return [self.plan(graph, cluster, load=load) for graph in graphs]
+
+    def _cache_put(self, key: Tuple, plan: ExecutionPlan) -> None:
+        self._cache[key] = plan
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.PLAN_CACHE_MAX:
+            self._cache.popitem(last=False)
 
     #: Load quantisation bucket for plan caching.
     LOAD_BUCKET_S = 0.05
+
+    #: Plan-cache LRU bound (like the DNNGraph memos, the cache must not
+    #: grow without bound under a sustained request stream).
+    PLAN_CACHE_MAX = 512
 
     def clear_cache(self) -> None:
         self._cache.clear()

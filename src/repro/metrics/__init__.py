@@ -2,6 +2,7 @@
 
 from repro.metrics.energy import cluster_energy_j, device_energy_j
 from repro.metrics.results import InferenceResult, RunResult
+from repro.metrics.serving import latency_percentiles, percentile, slo_attainment
 from repro.metrics.timeline import render_timeline, utilisation
 
 __all__ = [
@@ -11,4 +12,7 @@ __all__ = [
     "device_energy_j",
     "render_timeline",
     "utilisation",
+    "percentile",
+    "latency_percentiles",
+    "slo_attainment",
 ]

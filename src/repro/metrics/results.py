@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.fsm import FSMTrace
 from repro.core.plans import ExecutionPlan
+from repro.sim.trace import BusyRecorder
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,9 @@ class RunResult:
     gflops_series: List[Tuple[float, float]] = field(default_factory=list)
     network_bytes: int = 0
     total_flops: int = 0
+    #: The run's busy-interval recorder, for utilisation analysis and
+    #: the capacity-1 no-overlap invariant checks.
+    busy: Optional[BusyRecorder] = None
 
     @property
     def count(self) -> int:

@@ -1,0 +1,63 @@
+"""Serving-quality metrics: latency percentiles and SLO attainment.
+
+An online serving system is judged by its tail, not its mean: the
+paper's latency/energy tables (Fig. 5) average over closed-loop runs,
+but the sustained-load serving experiment reports p50/p95/p99 and the
+fraction of requests that met their service-level objective.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+#: Default percentile set reported by the serving harness.
+SERVING_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile with linear interpolation.
+
+    Deterministic (no numpy dependency): sorts the values and
+    interpolates between the two nearest ranks, matching
+    ``numpy.percentile``'s default "linear" method.
+    """
+    if not values:
+        raise ValueError("no values to take a percentile of")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def latency_percentiles(
+    latencies: Sequence[float], pcts: Iterable[float] = SERVING_PERCENTILES
+) -> Dict[str, float]:
+    """``{"p50": .., "p95": .., "p99": ..}`` over a latency sample.
+
+    Keys render integer percentiles without a trailing ``.0`` so the
+    common ones read naturally (``p50``, ``p99``, ``p99.9``).
+    """
+    out = {}
+    for pct in pcts:
+        name = f"p{int(pct)}" if float(pct).is_integer() else f"p{pct}"
+        out[name] = percentile(latencies, pct)
+    return out
+
+
+def slo_attainment(latencies: Sequence[float], slo_s: float) -> float:
+    """Fraction of requests finishing within the latency SLO."""
+    if slo_s <= 0:
+        raise ValueError(f"SLO must be positive, got {slo_s}")
+    if not latencies:
+        raise ValueError("no latencies to judge against the SLO")
+    met = sum(1 for latency in latencies if latency <= slo_s)
+    return met / len(latencies)

@@ -1,0 +1,32 @@
+"""Online serving: the paper's Fig. 3 middleware under sustained load.
+
+The paper's middleware stack (Fig. 3) puts a *run-time scheduler*
+between the application module (where inference requests arrive) and
+the execution engines: it monitors cluster status, runs the DSE agent,
+and hands distribution decisions to the communication module.  The
+evaluation scenarios only ever exercise it with four-model staircases
+(Fig. 6) and fixed-interval streams (Fig. 7); this package is that
+middleware grown into an *online* scheduler for open-loop concurrent
+traffic:
+
+- an **admission queue** buffers arrivals while the cluster is busy
+  (application module -> scheduler hand-off in Fig. 3);
+- backlogs are **co-planned in one pass**
+  (:meth:`~repro.core.hidp.HiDPStrategy.plan_batch`): every distinct
+  model in the backlog prices its candidate depth cuts through a single
+  batched share-DP sweep, and local-tier decisions are shared across
+  identical processors;
+- each request **replans when the backlog snapshot has drifted** past
+  the load bucket its plan assumed (the Fig. 4 leader FSM re-entering
+  ``explore`` when cluster status changes);
+- a bounded **in-flight window** applies backpressure, so the admission
+  queue -- not the simulated hardware -- absorbs overload.
+
+:class:`~repro.serving.scheduler.OnlineScheduler` is the entry point;
+it returns a :class:`~repro.serving.scheduler.ServingResult` with
+latency percentiles, SLO attainment and scheduler counters.
+"""
+
+from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult
+
+__all__ = ["OnlineScheduler", "ServedRequest", "ServingResult"]

@@ -1,0 +1,246 @@
+"""The online scheduler: admission queue, batch co-planning, drift
+replanning.
+
+One :class:`OnlineScheduler` drives one open-loop request stream
+through one cluster under one strategy.  The control loop is:
+
+1. A source process feeds arrivals into the admission queue at their
+   scheduled times.
+2. The dispatcher drains the queue into a backlog batch (up to
+   ``max_batch`` requests) and co-plans it in one pass against the
+   current load snapshot (`Strategy.plan_batch`).
+3. Each request then waits for an in-flight slot (backpressure: at most
+   ``max_inflight`` requests execute concurrently).  If the quantised
+   load snapshot at dispatch time differs from the bucket its plan
+   assumed -- the backlog drifted while it waited -- the request is
+   replanned against the fresh snapshot before launch.
+4. A child process executes the plan through
+   :class:`~repro.core.executor.PlanExecutor` and releases the slot.
+
+End-to-end latency is measured from the request's *arrival*, so time
+spent queued for admission counts against the SLO -- the scheduler
+cannot hide overload by delaying admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.executor import PlanExecutor
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import Strategy
+from repro.dnn.models import build_model
+from repro.metrics.energy import cluster_energy_j
+from repro.metrics.results import InferenceResult
+from repro.metrics.serving import latency_percentiles, slo_attainment
+from repro.platform.cluster import Cluster, build_cluster
+from repro.sim.resources import Resource, Store
+from repro.sim.runtime import SimRuntime
+from repro.sim.trace import BusyRecorder
+from repro.workloads.requests import InferenceRequest
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's serving record: queueing + execution timeline."""
+
+    request: InferenceRequest
+    result: InferenceResult
+    #: True if the plan was recomputed at dispatch because the load
+    #: snapshot had drifted past the bucket the batch plan assumed.
+    replanned: bool = False
+
+    @property
+    def arrival_s(self) -> float:
+        return self.request.arrival_s
+
+    @property
+    def dispatched_s(self) -> float:
+        """When the scheduler handed the request to the executor."""
+        return self.result.submitted_s
+
+    @property
+    def completed_s(self) -> float:
+        return self.result.completed_s
+
+    @property
+    def queue_s(self) -> float:
+        """Admission-queue wait (arrival until dispatch)."""
+        return self.dispatched_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency from arrival to merged prediction."""
+        return self.completed_s - self.arrival_s
+
+
+@dataclass
+class ServingResult:
+    """Everything measured during one serving run."""
+
+    strategy: str
+    served: List[ServedRequest] = field(default_factory=list)
+    makespan_s: float = 0.0
+    energy_j: float = 0.0
+    energy_by_device: Dict[str, float] = field(default_factory=dict)
+    network_bytes: int = 0
+    total_flops: int = 0
+    busy: Optional[BusyRecorder] = None
+    #: Scheduler counters.
+    batches: int = 0
+    replans: int = 0
+    max_batch_observed: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.served)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [record.latency_s for record in self.served]
+
+    @property
+    def queue_delays(self) -> List[float]:
+        return [record.queue_s for record in self.served]
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.count / self.batches
+
+    def percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 end-to-end latency."""
+        return latency_percentiles(self.latencies)
+
+    def slo_attainment(self, slo_s: float) -> float:
+        """Fraction of requests with end-to-end latency within the SLO."""
+        return slo_attainment(self.latencies, slo_s)
+
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.count / self.makespan_s
+
+
+class OnlineScheduler:
+    """Serves an open-loop request stream on one cluster.
+
+    ``max_batch`` bounds how much backlog one co-planning pass absorbs;
+    ``max_inflight`` bounds concurrent executions (the backpressure
+    window).  Both default to values that keep the five-board cluster
+    busy without thrashing the admission queue.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        strategy: Optional[Strategy] = None,
+        max_batch: int = 16,
+        max_inflight: int = 4,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        self.cluster = cluster if cluster is not None else build_cluster()
+        self.strategy = strategy if strategy is not None else HiDPStrategy()
+        self.max_batch = max_batch
+        self.max_inflight = max_inflight
+
+    # Internals --------------------------------------------------------------
+
+    def _bucket_key(self, load: Optional[Dict[str, float]]) -> Optional[Tuple]:
+        """Quantised snapshot identity (None for load-unaware strategies).
+
+        Delegates to :meth:`Strategy.load_key` -- the same quantisation
+        the plan cache keys on -- so "drifted past the load bucket"
+        means exactly "a fresh plan() would miss the cache".
+        """
+        effective = self.strategy.effective_load(load)
+        if effective is None:
+            return None
+        return self.strategy.load_key(effective)
+
+    # Entry point -------------------------------------------------------------
+
+    def run(self, requests: Sequence[InferenceRequest]) -> ServingResult:
+        """Serve the full stream; returns aggregated serving metrics."""
+        if not requests:
+            raise ValueError("no requests to serve")
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        runtime = SimRuntime(self.cluster)
+        executor = PlanExecutor(runtime)
+        env = runtime.env
+        queue = Store(env)
+        inflight = Resource(env, capacity=self.max_inflight)
+        served: List[ServedRequest] = []
+        counters = {"batches": 0, "replans": 0, "max_batch": 0}
+
+        def source():
+            for request in ordered:
+                if request.arrival_s > env.now:
+                    yield env.timeout(request.arrival_s - env.now)
+                queue.put(request)
+
+        def serve(request: InferenceRequest, plan, slot, replanned: bool):
+            try:
+                result = yield from executor.execute(request, plan)
+                served.append(ServedRequest(request=request, result=result, replanned=replanned))
+            finally:
+                inflight.release(slot)
+
+        def dispatcher():
+            remaining = len(ordered)
+            while remaining:
+                first = yield queue.get()
+                batch = [first]
+                while queue.size > 0 and len(batch) < self.max_batch:
+                    item = yield queue.get()
+                    batch.append(item)
+                counters["batches"] += 1
+                counters["max_batch"] = max(counters["max_batch"], len(batch))
+                load = runtime.load_snapshot()
+                batch_bucket = self._bucket_key(load)
+                graphs = [build_model(request.model) for request in batch]
+                plans = self.strategy.plan_batch(graphs, self.cluster, load=load)
+                for request, graph, plan in zip(batch, graphs, plans):
+                    slot = inflight.request()
+                    yield slot  # backpressure: wait for an in-flight slot
+                    replanned = False
+                    current = runtime.load_snapshot()
+                    if self._bucket_key(current) != batch_bucket:
+                        # The backlog drifted past the load bucket this
+                        # plan assumed; re-explore against the fresh
+                        # snapshot (plan cache absorbs repeat buckets).
+                        plan = self.strategy.plan(graph, self.cluster, load=current)
+                        counters["replans"] += 1
+                        replanned = True
+                    env.process(serve(request, plan, slot, replanned))
+                    remaining -= 1
+
+        env.process(source())
+        env.process(dispatcher())
+        env.run()
+
+        if len(served) != len(ordered):
+            raise RuntimeError(
+                f"{len(ordered) - len(served)} requests never completed (deadlock?)"
+            )
+        served.sort(key=lambda record: record.request.request_id)
+        makespan = max(record.completed_s for record in served)
+        energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
+        return ServingResult(
+            strategy=self.strategy.name,
+            served=served,
+            makespan_s=makespan,
+            energy_j=sum(energy_by_device.values()),
+            energy_by_device=energy_by_device,
+            network_bytes=runtime.transfer_log.total_bytes,
+            total_flops=runtime.flops_log.total_flops,
+            busy=runtime.busy,
+            batches=counters["batches"],
+            replans=counters["replans"],
+            max_batch_observed=counters["max_batch"],
+        )

@@ -46,16 +46,11 @@ class ProcessorStation:
         """Outstanding committed work on this processor."""
         return max(0.0, self.committed_until - self.env.now)
 
-    def run_task(
-        self,
-        flops_by_class: Mapping[str, int],
-        label: str = "",
-        pinned: bool = True,
-        num_ops: int = 0,
-    ) -> Generator[Event, None, float]:
-        """Process: queue for the processor, compute, record.  Returns
-        the completion time."""
-        duration = self.processor.task_seconds(flops_by_class, num_ops=num_ops, pinned=pinned)
+    def _hold(self, duration: float, label: str) -> Generator[Event, None, float]:
+        """Process: the capacity-1 hold protocol every charge uses --
+        commit the backlog, queue for the resource, stay busy for
+        ``duration``, record the interval, release.  Returns the
+        completion time."""
         self.committed_until = max(self.committed_until, self.env.now) + duration
         request = self._resource.request()
         yield request
@@ -66,10 +61,36 @@ class ProcessorStation:
             end = self.env.now
             self._busy.record(self.key, start, end, label)
             self._resource.release(request)
+        return end
+
+    def run_task(
+        self,
+        flops_by_class: Mapping[str, int],
+        label: str = "",
+        pinned: bool = True,
+        num_ops: int = 0,
+    ) -> Generator[Event, None, float]:
+        """Process: queue for the processor, compute, record.  Returns
+        the completion time."""
+        duration = self.processor.task_seconds(flops_by_class, num_ops=num_ops, pinned=pinned)
+        end = yield from self._hold(duration, label)
         self._flops_log.record(
             end, sum(flops_by_class.values()), self.device.name, self.processor.name, label
         )
         return end
+
+    def run_overhead(self, seconds: float, label: str = "") -> Generator[Event, None, float]:
+        """Process: hold the processor busy for a fixed overhead.
+
+        Controller work (DSE, result merge) occupies the scheduler CPU
+        for exactly ``seconds``: the resource is held for the full
+        duration (so concurrent requests queue rather than overlap) and
+        ``committed_until`` sees it like any compute task.  Returns the
+        completion time.
+        """
+        if seconds <= 0:
+            return self.env.now
+        return (yield from self._hold(seconds, label))
 
     @property
     def queue_length(self) -> int:
@@ -101,8 +122,9 @@ class NetworkChannel:
             yield self.env.timeout(serialisation)
         finally:
             self._resource.release(request)
+        hold_end = self.env.now
         yield self.env.timeout(self.cluster.network.latency_s)
-        self._log.record(start, self.env.now, size_bytes, src, dst, tag)
+        self._log.record(start, self.env.now, size_bytes, src, dst, tag, hold_end=hold_end)
 
 
 class SimRuntime:

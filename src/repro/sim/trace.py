@@ -8,8 +8,9 @@ FLOPs log (Fig. 6).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,40 @@ class BusyRecorder:
         ends = [iv.end for ivs in self._intervals.values() for iv in ivs]
         return max(ends, default=0.0)
 
+    def overlapping(self, key: str, tol: float = 1e-9) -> List[Tuple[Interval, Interval]]:
+        """Pairs of busy intervals on ``key`` that overlap in time.
+
+        Stations are capacity-1 resources, so two busy intervals on the
+        same processor must never overlap by more than ``tol`` -- an
+        overlap means the simulator double-booked the hardware and every
+        energy/utilisation number derived from the recorder is suspect.
+        Zero-width touches (one interval ending exactly where the next
+        starts) are not overlaps.
+        """
+        intervals = sorted(self._intervals.get(key, []), key=lambda iv: (iv.start, iv.end))
+        violations = []
+        active: List[Interval] = []  # earlier intervals still open at the sweep point
+        for current in intervals:
+            active = [earlier for earlier in active if earlier.end - tol > current.start]
+            violations.extend((earlier, current) for earlier in active)
+            active.append(current)
+        return violations
+
+    def assert_no_overlaps(self, keys: Optional[Sequence[str]] = None, tol: float = 1e-9) -> None:
+        """Assert the capacity-1 invariant on every (or the given) key."""
+        problems = []
+        for key in keys if keys is not None else self.keys():
+            for previous, current in self.overlapping(key, tol=tol):
+                problems.append(
+                    f"{key}: [{previous.start:.6f}, {previous.end:.6f}] "
+                    f"({previous.label or 'task'}) overlaps "
+                    f"[{current.start:.6f}, {current.end:.6f}] ({current.label or 'task'})"
+                )
+        if problems:
+            raise AssertionError(
+                "overlapping busy intervals on capacity-1 stations:\n  " + "\n  ".join(problems)
+            )
+
 
 @dataclass(frozen=True)
 class FlopsEntry:
@@ -89,12 +124,22 @@ class FlopsLog:
         return sum(entry.flops for entry in self._entries)
 
     def gflops_series(self, bin_seconds: float, end_time: float) -> List[Tuple[float, float]]:
-        """(bin centre time, achieved GFLOPs/s) series, paper Fig. 6 style."""
+        """(bin centre time, achieved GFLOPs/s) series, paper Fig. 6 style.
+
+        Bins are half-open ``[k*bin, (k+1)*bin)``; the last bin closes at
+        ``ceil(end_time / bin_seconds) * bin_seconds`` so a completion at
+        exactly ``end_time`` is still counted.  Entries beyond that span
+        are dropped -- folding them into the final bin would inflate its
+        GFLOPs/s with work that finished outside the series window.
+        """
         if bin_seconds <= 0:
             raise ValueError(f"bin width must be positive, got {bin_seconds}")
-        num_bins = max(1, int(end_time / bin_seconds + 0.999999))
+        num_bins = max(1, math.ceil(end_time / bin_seconds))
+        span = num_bins * bin_seconds
         bins = [0.0] * num_bins
         for entry in self._entries:
+            if entry.time > span:
+                continue
             index = min(int(entry.time / bin_seconds), num_bins - 1)
             bins[index] += entry.flops
         return [
@@ -105,12 +150,36 @@ class FlopsLog:
 
 @dataclass(frozen=True)
 class TransferEntry:
+    """One network transfer.
+
+    ``start``..``end`` is the end-to-end delivery interval (including
+    propagation latency); ``hold_end`` marks when the shared medium was
+    released (serialisation done).  When ``hold_end`` is omitted the
+    whole interval counts as channel occupancy.
+    """
+
     start: float
     end: float
     size_bytes: int
     src: str
     dst: str
     tag: str = ""
+    hold_end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.hold_end is not None and not self.start <= self.hold_end <= self.end:
+            raise ValueError(f"hold interval outside delivery interval: {self}")
+
+    @property
+    def hold_seconds(self) -> float:
+        """Time the transfer occupied the shared medium."""
+        end = self.hold_end if self.hold_end is not None else self.end
+        return end - self.start
+
+    @property
+    def delivery_seconds(self) -> float:
+        """End-to-end time until the payload reached the destination."""
+        return self.end - self.start
 
 
 class TransferLog:
@@ -120,9 +189,16 @@ class TransferLog:
         self._entries: List[TransferEntry] = []
 
     def record(
-        self, start: float, end: float, size_bytes: int, src: str, dst: str, tag: str = ""
+        self,
+        start: float,
+        end: float,
+        size_bytes: int,
+        src: str,
+        dst: str,
+        tag: str = "",
+        hold_end: Optional[float] = None,
     ) -> None:
-        self._entries.append(TransferEntry(start, end, size_bytes, src, dst, tag))
+        self._entries.append(TransferEntry(start, end, size_bytes, src, dst, tag, hold_end))
 
     @property
     def entries(self) -> Tuple[TransferEntry, ...]:
@@ -133,4 +209,9 @@ class TransferLog:
         return sum(entry.size_bytes for entry in self._entries)
 
     def busy_seconds(self) -> float:
-        return sum(entry.end - entry.start for entry in self._entries)
+        """Total channel occupancy (serialisation holds, not propagation)."""
+        return sum(entry.hold_seconds for entry in self._entries)
+
+    def delivery_seconds(self) -> float:
+        """Total end-to-end delivery time across transfers."""
+        return sum(entry.delivery_seconds for entry in self._entries)

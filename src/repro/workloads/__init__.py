@@ -1,5 +1,11 @@
-"""Workload generators: single requests, streams, mixes, scenarios."""
+"""Workload generators: single requests, streams, mixes, scenarios,
+seeded stochastic arrival processes."""
 
+from repro.workloads.arrivals import (
+    bursty_stream,
+    heavy_tailed_stream,
+    poisson_stream,
+)
 from repro.workloads.mixes import MIXES, MIX_NAMES, mix_requests
 from repro.workloads.requests import (
     InferenceRequest,
@@ -19,4 +25,7 @@ __all__ = [
     "mix_requests",
     "progressive_workload",
     "FIG6_INTERVAL_S",
+    "poisson_stream",
+    "bursty_stream",
+    "heavy_tailed_stream",
 ]

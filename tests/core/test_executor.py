@@ -160,6 +160,65 @@ class TestModelMode:
         assert "result" in tags
 
 
+class TestControllerContention:
+    """Regressions for the seed's `_busy` bug: the overhead remainder
+    was a bare timeout after the station resource was released, so
+    concurrent requests overlapped on the capacity-1 scheduler CPU."""
+
+    def _run_concurrent(self, count, dse_overhead_s=0.05):
+        cluster = build_cluster(["jetson_tx2", "jetson_orin_nx"])
+        runtime = SimRuntime(cluster)
+        executor = PlanExecutor(runtime)
+        plan = _single_plan(dse_overhead_s=dse_overhead_s)
+        for idx in range(count):
+            request = InferenceRequest(request_id=idx, model=plan.model)
+            runtime.env.process(executor.execute(request, plan))
+        runtime.env.run()
+        return runtime
+
+    def test_two_concurrent_requests_serialise_on_scheduler_cpu(self):
+        runtime = self._run_concurrent(2)
+        key = "jetson_tx2/cpu_denver2"  # the leader's scheduler CPU
+        assert runtime.busy.overlapping(key) == []
+        # the two DSE charges must be back to back, not overlapping
+        dse = [iv for iv in runtime.busy.intervals(key) if iv.label == "global_dse"]
+        assert len(dse) == 2
+        assert dse[1].start >= dse[0].end
+
+    def test_no_overlap_invariant_under_concurrency(self):
+        runtime = self._run_concurrent(4)
+        runtime.busy.assert_no_overlaps()
+
+    def test_overhead_shorter_than_setup_not_inflated(self):
+        """The seed charged at least the CPU's setup time for any
+        overhead; a 0.2 ms merge on a 1 ms-setup CPU must record 0.2 ms."""
+        cluster = build_cluster(["jetson_tx2", "jetson_orin_nx"])
+        runtime = SimRuntime(cluster)
+        executor = PlanExecutor(runtime)
+        station = runtime.station("jetson_tx2", "cpu_denver2")
+        overhead = station.processor.setup_time_s / 5
+
+        def proc():
+            yield from executor._busy("jetson_tx2", overhead, "tiny")
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        assert runtime.busy.busy_seconds(station.key) == pytest.approx(overhead)
+
+    def test_overhead_counts_into_backlog(self):
+        cluster = build_cluster(["jetson_tx2", "jetson_orin_nx"])
+        runtime = SimRuntime(cluster)
+        executor = PlanExecutor(runtime)
+
+        def proc():
+            yield from executor._busy("jetson_tx2", 0.5, "global_dse")
+
+        runtime.env.process(proc())
+        runtime.env.run(until=0.01)
+        station = runtime.station("jetson_tx2", "cpu_denver2")
+        assert station.backlog_seconds == pytest.approx(0.49)
+
+
 class TestLocalExecModes:
     def _wrap(self, local):
         return ExecutionPlan(

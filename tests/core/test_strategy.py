@@ -2,12 +2,99 @@
 
 import pytest
 
+from repro.core.plans import (
+    ExecutionPlan,
+    LOCAL_SINGLE,
+    LocalExec,
+    MODE_LOCAL,
+    NodeAssignment,
+    UnitTask,
+)
 from repro.core.strategy import (
     AGGREGATE_ALL,
     AGGREGATE_DEFAULT,
     LOCAL_COMM_RATE,
+    Strategy,
     device_executor_models,
 )
+
+
+class _CountingStrategy(Strategy):
+    """Trivial strategy that counts fresh `_plan` invocations."""
+
+    name = "counting"
+    load_aware = True
+
+    def __init__(self):
+        super().__init__()
+        self.fresh_plans = 0
+
+    def _plan(self, graph, cluster, load=None):
+        self.fresh_plans += 1
+        task = UnitTask(processor="cpu_denver2", flops_by_class={"conv": 1000})
+        return ExecutionPlan(
+            strategy=self.name,
+            model=graph.name,
+            mode=MODE_LOCAL,
+            assignments=(
+                NodeAssignment(
+                    device=cluster.leader.name,
+                    local=LocalExec(mode=LOCAL_SINGLE, tasks=(task,)),
+                ),
+            ),
+        )
+
+
+class TestPlanCache:
+    def test_cache_hit_on_same_bucket(self, cluster, tiny_cnn):
+        strategy = _CountingStrategy()
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 0.01})
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 0.02})
+        assert strategy.fresh_plans == 1
+
+    def test_floor_bucketing_is_monotonic(self):
+        """Regression: round() (banker's rounding) made bucket edges
+        non-monotonic -- 0.025/0.05 rounds to 0 while 0.075/0.05 rounds
+        to 2, skipping bucket 1 entirely."""
+        strategy = _CountingStrategy()
+        backlogs = [i * 0.005 for i in range(100)]
+        buckets = [strategy.load_bucket(b) for b in backlogs]
+        assert buckets == sorted(buckets)
+        # every bucket edge is hit exactly at a multiple of the bucket
+        assert strategy.load_bucket(0.049) == 0
+        assert strategy.load_bucket(0.05) == 1
+        assert strategy.load_bucket(0.099) == 1
+        assert strategy.load_bucket(0.1) == 2
+
+    def test_cache_is_lru_bounded(self, cluster, tiny_cnn):
+        strategy = _CountingStrategy()
+        for idx in range(strategy.PLAN_CACHE_MAX + 50):
+            # mid-bucket loads: immune to float noise at bucket edges
+            backlog = (idx + 0.5) * strategy.LOAD_BUCKET_S
+            strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": backlog})
+        assert len(strategy._cache) == strategy.PLAN_CACHE_MAX
+        assert strategy.fresh_plans == strategy.PLAN_CACHE_MAX + 50
+
+    def test_lru_evicts_oldest_first(self, cluster, tiny_cnn):
+        strategy = _CountingStrategy()
+        strategy.PLAN_CACHE_MAX = 2
+        for bucket in (0, 1):
+            strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": bucket * 0.05})
+        # touch bucket 0 so bucket 1 is the LRU victim
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 0.0})
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 2 * 0.05})
+        assert strategy.fresh_plans == 3
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 0.0})  # still cached
+        assert strategy.fresh_plans == 3
+        strategy.plan(tiny_cnn, cluster, load={"jetson_tx2": 0.05})  # evicted
+        assert strategy.fresh_plans == 4
+
+    def test_plan_batch_dedups_duplicates(self, cluster, tiny_cnn):
+        strategy = _CountingStrategy()
+        plans = strategy.plan_batch([tiny_cnn] * 5, cluster, load={"jetson_tx2": 0.0})
+        assert len(plans) == 5
+        assert all(plan is plans[0] for plan in plans)
+        assert strategy.fresh_plans == 1
 
 
 class TestDeviceExecutorModels:

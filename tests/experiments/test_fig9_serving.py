@@ -1,0 +1,70 @@
+"""Fig. 9 serving experiment tests (the ISSUE 2 acceptance scenario)."""
+
+import pytest
+
+from repro.dnn.models import MODEL_NAMES
+from repro.experiments.fig9_serving import (
+    ARRIVAL_PROCESSES,
+    NUM_REQUESTS,
+    SLO_S,
+    build_arrivals,
+    report_fig9,
+    run_fig9,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig9()
+
+
+class TestPoissonAcceptance:
+    """A seeded Poisson stream of >= 100 requests across all four models
+    runs to completion with percentiles, SLO attainment and the
+    no-overlap invariant."""
+
+    def test_at_least_100_requests_all_served(self, results):
+        assert NUM_REQUESTS >= 100
+        assert results["poisson"].count == NUM_REQUESTS
+
+    def test_all_four_models_requested(self):
+        requests = build_arrivals("poisson")
+        assert {request.model for request in requests} == set(MODEL_NAMES)
+
+    def test_percentiles_and_slo_reported(self, results):
+        pct = results["poisson"].percentiles()
+        assert 0 < pct["p50"] <= pct["p95"] <= pct["p99"]
+        attainment = results["poisson"].slo_attainment(SLO_S)
+        assert 0.5 <= attainment <= 1.0
+
+    def test_no_overlap_invariant_on_every_station(self, results):
+        for result in results.values():
+            result.busy.assert_no_overlaps()
+
+
+class TestOtherArrivals:
+    def test_all_processes_complete(self, results):
+        assert set(results) == set(ARRIVAL_PROCESSES)
+        for result in results.values():
+            assert result.count == NUM_REQUESTS
+
+    def test_bursty_exercises_batching(self, results):
+        assert results["bursty"].max_batch_observed > 1
+        assert results["bursty"].mean_batch_size > 1.0
+
+    def test_streams_are_seeded_deterministic(self):
+        for process in ARRIVAL_PROCESSES:
+            assert build_arrivals(process) == build_arrivals(process)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(KeyError):
+            build_arrivals("adversarial")
+
+
+class TestReport:
+    def test_report_renders(self, results):
+        text = report_fig9(results)
+        assert "Fig. 9" in text
+        for process in ARRIVAL_PROCESSES:
+            assert process in text
+        assert "p99" in text and "SLO" in text

@@ -36,6 +36,7 @@ class TestRunner:
             "fig6",
             "fig7",
             "fig8",
+            "fig9",
             "accuracy",
             "sensitivity",
         }

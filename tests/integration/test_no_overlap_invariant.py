@@ -1,0 +1,44 @@
+"""The capacity-1 no-overlap invariant across the paper scenarios.
+
+Every processor station is a capacity-1 resource, so its recorded busy
+intervals must never overlap -- under the single-shot Fig. 5 runs, the
+progressive Fig. 6 staircase, the saturating Fig. 7 streams, and the
+Fig. 9 serving load.  The seed violated this under concurrency (the
+scheduler-CPU overhead remainder was charged without holding the
+resource); these tests pin the fix at experiment scope.
+"""
+
+import pytest
+
+from repro.experiments.common import STRATEGY_ORDER, run_strategy
+from repro.experiments.fig9_serving import build_arrivals
+from repro.serving import OnlineScheduler
+from repro.workloads.mixes import mix_requests
+from repro.workloads.requests import single_request
+from repro.workloads.streaming import progressive_workload
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_ORDER)
+def test_fig5_single_requests_hold_invariant(strategy):
+    result = run_strategy(strategy, single_request("vgg19"))
+    result.busy.assert_no_overlaps()
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_ORDER)
+def test_fig6_progressive_workload_holds_invariant(strategy):
+    result = run_strategy(strategy, progressive_workload())
+    assert result.count == 4
+    result.busy.assert_no_overlaps()
+
+
+@pytest.mark.parametrize("strategy", ("hidp", "modnn"))
+def test_fig7_saturating_mix_holds_invariant(strategy):
+    result = run_strategy(strategy, mix_requests("mix2", interval_s=0.12, duration_s=6.0))
+    assert result.count > 0
+    result.busy.assert_no_overlaps()
+
+
+def test_fig9_serving_stream_holds_invariant():
+    result = OnlineScheduler().run(build_arrivals("poisson", num_requests=60))
+    assert result.count == 60
+    result.busy.assert_no_overlaps()

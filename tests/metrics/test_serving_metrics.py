@@ -1,0 +1,65 @@
+"""Serving metric tests: percentile interpolation and SLO attainment."""
+
+import pytest
+
+from repro.metrics.serving import latency_percentiles, percentile, slo_attainment
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+        assert percentile(values, 50) == 2.0
+
+    def test_linear_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 25) == pytest.approx(2.5)
+        assert percentile(values, 95) == pytest.approx(9.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_matches_numpy_linear_method(self):
+        np = pytest.importorskip("numpy")
+        values = [0.3, 1.7, 0.2, 5.5, 2.1, 0.9, 4.4]
+        for pct in (0, 10, 50, 90, 95, 99, 100):
+            assert percentile(values, pct) == pytest.approx(
+                float(np.percentile(values, pct))
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestLatencyPercentiles:
+    def test_default_keys(self):
+        out = latency_percentiles([float(i) for i in range(1, 101)])
+        assert set(out) == {"p50", "p95", "p99"}
+        assert out["p50"] <= out["p95"] <= out["p99"]
+
+    def test_fractional_percentile_key(self):
+        out = latency_percentiles([1.0, 2.0], pcts=(99.9,))
+        assert "p99.9" in out
+
+
+class TestSloAttainment:
+    def test_fraction_within(self):
+        latencies = [0.1, 0.2, 0.5, 1.5]
+        assert slo_attainment(latencies, 0.5) == pytest.approx(0.75)
+        assert slo_attainment(latencies, 2.0) == 1.0
+        assert slo_attainment(latencies, 0.05) == 0.0
+
+    def test_boundary_counts_as_met(self):
+        assert slo_attainment([1.0], 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slo_attainment([1.0], 0.0)
+        with pytest.raises(ValueError):
+            slo_attainment([], 1.0)

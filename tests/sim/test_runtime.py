@@ -79,6 +79,46 @@ class TestStations:
         runtime.env.run()
         assert station.backlog_seconds == 0.0
 
+    def test_run_overhead_holds_resource(self, runtime):
+        """Overheads must hold the capacity-1 station: two concurrent
+        overheads serialise and their busy intervals never overlap."""
+        station = runtime.station("jetson_tx2", "cpu_denver2")
+        ends = []
+
+        def proc():
+            end = yield from station.run_overhead(0.25, label="dse")
+            ends.append(end)
+
+        runtime.env.process(proc())
+        runtime.env.process(proc())
+        runtime.env.run()
+        assert ends == [pytest.approx(0.25), pytest.approx(0.5)]
+        assert runtime.busy.overlapping(station.key) == []
+        assert runtime.busy.busy_seconds(station.key) == pytest.approx(0.5)
+
+    def test_run_overhead_updates_committed_until(self, runtime):
+        station = runtime.station("jetson_tx2", "cpu_denver2")
+
+        def proc():
+            yield from station.run_overhead(0.4)
+
+        runtime.env.process(proc())
+        runtime.env.run(until=0.1)
+        assert station.backlog_seconds == pytest.approx(0.3)
+        runtime.env.run()
+        assert station.backlog_seconds == 0.0
+
+    def test_run_overhead_zero_is_free(self, runtime):
+        station = runtime.station("jetson_tx2", "cpu_denver2")
+
+        def proc():
+            yield from station.run_overhead(0.0)
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        assert runtime.env.now == 0.0
+        assert runtime.busy.busy_seconds(station.key) == 0.0
+
     def test_device_backlog_uses_least_loaded(self, runtime):
         gpu = runtime.station("jetson_tx2", "gpu_pascal")
 
@@ -144,6 +184,23 @@ class TestNetworkChannel:
         runtime.env.run()
         # With latency held on the channel this would be ~4*latency.
         assert max(ends) < 2.5 * runtime.cluster.network.latency_s
+
+    def test_busy_seconds_excludes_propagation_latency(self, runtime):
+        """Regression: the seed logged (start, now) after the latency
+        timeout, so busy_seconds() overstated channel occupancy by
+        latency_s per transfer even though the channel was released
+        before propagation."""
+        def proc():
+            yield from runtime.network.transmit("jetson_tx2", "jetson_nano", 10**6, tag="x")
+
+        runtime.env.process(proc())
+        runtime.env.run()
+        net = runtime.cluster.network
+        serialisation = 10**6 / net.bandwidth_bytes_s
+        assert runtime.transfer_log.busy_seconds() == pytest.approx(serialisation)
+        entry = runtime.transfer_log.entries[0]
+        assert entry.hold_seconds == pytest.approx(serialisation)
+        assert entry.delivery_seconds == pytest.approx(serialisation + net.latency_s)
 
     def test_local_transfer(self, runtime):
         def proc():

@@ -37,6 +37,34 @@ class TestBusyRecorder:
         assert rec.makespan == 7.5
         assert BusyRecorder().makespan == 0.0
 
+    def test_overlapping_detects_double_booking(self):
+        rec = BusyRecorder()
+        rec.record("d/p", 0.0, 1.0, "a")
+        rec.record("d/p", 0.5, 1.5, "b")
+        rec.record("d/p", 2.0, 3.0, "c")
+        violations = rec.overlapping("d/p")
+        assert len(violations) == 1
+        assert violations[0][0].label == "a" and violations[0][1].label == "b"
+        with pytest.raises(AssertionError, match="d/p"):
+            rec.assert_no_overlaps()
+
+    def test_long_interval_overlapping_several_reports_every_pair(self):
+        rec = BusyRecorder()
+        rec.record("d/p", 0.0, 10.0, "long")
+        rec.record("d/p", 1.0, 2.0, "b")
+        rec.record("d/p", 3.0, 4.0, "c")
+        labels = [(a.label, b.label) for a, b in rec.overlapping("d/p")]
+        assert labels == [("long", "b"), ("long", "c")]
+
+    def test_touching_intervals_are_not_overlaps(self):
+        rec = BusyRecorder()
+        rec.record("d/p", 0.0, 1.0)
+        rec.record("d/p", 1.0, 2.0)
+        rec.record("d/q", 0.5, 1.5)  # different station may overlap d/p
+        assert rec.overlapping("d/p") == []
+        rec.assert_no_overlaps()
+        rec.assert_no_overlaps(keys=("d/p", "d/q", "unknown/key"))
+
 
 class TestFlopsLog:
     def test_total(self):
@@ -59,11 +87,27 @@ class TestFlopsLog:
         with pytest.raises(ValueError):
             FlopsLog().gflops_series(0.0, 1.0)
 
-    def test_entries_after_end_go_to_last_bin(self):
+    def test_entries_beyond_window_are_dropped(self):
+        """Completions past the series window must not inflate the last
+        bin (the seed clamped them in, overstating final-bin GFLOPs/s)."""
         log = FlopsLog()
+        log.record(1.5, 10**9, "d", "p")
         log.record(5.0, 10**9, "d", "p")
         series = log.gflops_series(1.0, 2.0)
-        assert series[-1][1] > 0
+        assert series[-1][1] == pytest.approx(1.0)
+
+    def test_entry_at_exact_end_time_is_counted(self):
+        log = FlopsLog()
+        log.record(2.0, 10**9, "d", "p")
+        series = log.gflops_series(1.0, 2.0)
+        assert series[-1][1] == pytest.approx(1.0)
+
+    def test_fractional_end_time_uses_ceil_bins(self):
+        log = FlopsLog()
+        log.record(2.05, 10**9, "d", "p")
+        series = log.gflops_series(1.0, 2.1)
+        assert len(series) == 3
+        assert series[-1][1] == pytest.approx(1.0)
 
 
 class TestTransferLog:
@@ -74,3 +118,17 @@ class TestTransferLog:
         assert log.total_bytes == 1500
         assert log.busy_seconds() == pytest.approx(1.5)
         assert len(log.entries) == 2
+
+    def test_hold_separated_from_delivery(self):
+        log = TransferLog()
+        log.record(0.0, 1.2, 1000, "a", "b", hold_end=1.0)
+        entry = log.entries[0]
+        assert entry.hold_seconds == pytest.approx(1.0)
+        assert entry.delivery_seconds == pytest.approx(1.2)
+        assert log.busy_seconds() == pytest.approx(1.0)
+        assert log.delivery_seconds() == pytest.approx(1.2)
+
+    def test_hold_outside_delivery_rejected(self):
+        log = TransferLog()
+        with pytest.raises(ValueError):
+            log.record(0.0, 1.0, 10, "a", "b", hold_end=1.5)

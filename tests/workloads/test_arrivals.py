@@ -1,0 +1,132 @@
+"""Seeded arrival-process tests: determinism, structure, validation."""
+
+import pytest
+
+from repro.workloads.arrivals import bursty_stream, heavy_tailed_stream, poisson_stream
+
+MODELS = ("a", "b", "c")
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        one = poisson_stream(MODELS, 2.0, 50, seed=7)
+        two = poisson_stream(MODELS, 2.0, 50, seed=7)
+        assert one == two
+
+    def test_seeds_differ(self):
+        assert poisson_stream(MODELS, 2.0, 50, seed=1) != poisson_stream(
+            MODELS, 2.0, 50, seed=2
+        )
+
+    def test_count_and_monotone_arrivals(self):
+        requests = poisson_stream(MODELS, 2.0, 200, seed=0)
+        assert len(requests) == 200
+        arrivals = [request.arrival_s for request in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+        assert [request.request_id for request in requests] == list(range(200))
+
+    def test_mean_interarrival_near_rate(self):
+        requests = poisson_stream(MODELS, 4.0, 2000, seed=3)
+        mean_gap = requests[-1].arrival_s / len(requests)
+        assert mean_gap == pytest.approx(1 / 4.0, rel=0.15)
+
+    def test_round_robin_models(self):
+        requests = poisson_stream(MODELS, 1.0, 6, seed=0)
+        assert [request.model for request in requests] == list(MODELS) * 2
+
+    def test_shuffled_models_are_seeded(self):
+        one = poisson_stream(MODELS, 1.0, 30, seed=5, shuffle_models=True)
+        two = poisson_stream(MODELS, 1.0, 30, seed=5, shuffle_models=True)
+        assert one == two
+        assert {request.model for request in one} <= set(MODELS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_stream(MODELS, 0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_stream(MODELS, 1.0, 0)
+        with pytest.raises(ValueError):
+            poisson_stream((), 1.0, 10)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        requests = bursty_stream(MODELS, burst_size=4, num_bursts=3, mean_gap_s=2.0, seed=0)
+        assert len(requests) == 12
+        arrivals = [request.arrival_s for request in requests]
+        # zero intra-burst spacing: each burst arrives simultaneously
+        for burst in range(3):
+            group = arrivals[burst * 4 : (burst + 1) * 4]
+            assert len(set(group)) == 1
+
+    def test_intra_burst_spacing(self):
+        requests = bursty_stream(
+            MODELS, burst_size=3, num_bursts=1, mean_gap_s=1.0, intra_burst_s=0.01, seed=0
+        )
+        gaps = [
+            requests[i + 1].arrival_s - requests[i].arrival_s for i in range(2)
+        ]
+        assert gaps == [pytest.approx(0.01), pytest.approx(0.01)]
+
+    def test_deterministic(self):
+        kwargs = dict(burst_size=5, num_bursts=4, mean_gap_s=1.5, seed=11)
+        assert bursty_stream(MODELS, **kwargs) == bursty_stream(MODELS, **kwargs)
+
+    def test_bursts_never_overlap(self):
+        """Regression: gaps are measured from the end of the previous
+        burst, so even slow bursts with short gaps stay monotone."""
+        for seed in range(5):
+            requests = bursty_stream(
+                MODELS,
+                burst_size=8,
+                num_bursts=4,
+                mean_gap_s=0.5,
+                intra_burst_s=0.2,
+                seed=seed,
+            )
+            arrivals = [request.arrival_s for request in requests]
+            assert arrivals == sorted(arrivals)
+            # the quiet gap exists: burst boundaries are strictly apart
+            for burst in range(3):
+                assert arrivals[(burst + 1) * 8] > arrivals[(burst + 1) * 8 - 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_stream(MODELS, burst_size=0, num_bursts=1, mean_gap_s=1.0)
+        with pytest.raises(ValueError):
+            bursty_stream(MODELS, burst_size=1, num_bursts=1, mean_gap_s=0.0)
+        with pytest.raises(ValueError):
+            bursty_stream(MODELS, burst_size=1, num_bursts=1, mean_gap_s=1.0, intra_burst_s=-1)
+
+
+class TestHeavyTailed:
+    def test_deterministic(self):
+        kwargs = dict(scale_s=0.2, num_requests=40, alpha=1.5, seed=4)
+        assert heavy_tailed_stream(MODELS, **kwargs) == heavy_tailed_stream(MODELS, **kwargs)
+
+    def test_max_gap_truncates(self):
+        requests = heavy_tailed_stream(
+            MODELS, scale_s=0.1, num_requests=500, alpha=1.1, max_gap_s=1.0, seed=2
+        )
+        gaps = [
+            requests[i + 1].arrival_s - requests[i].arrival_s
+            for i in range(len(requests) - 1)
+        ]
+        assert max(gaps) <= 1.0 + 1e-9
+
+    def test_gaps_exceed_scale(self):
+        """Pareto gaps are bounded below by the scale."""
+        requests = heavy_tailed_stream(MODELS, scale_s=0.5, num_requests=50, seed=6)
+        previous = 0.0
+        for request in requests:
+            assert request.arrival_s - previous >= 0.5
+            previous = request.arrival_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_stream(MODELS, scale_s=0.0, num_requests=5)
+        with pytest.raises(ValueError):
+            heavy_tailed_stream(MODELS, scale_s=0.1, num_requests=5, alpha=1.0)
+        with pytest.raises(ValueError):
+            heavy_tailed_stream(MODELS, scale_s=0.1, num_requests=0)
