@@ -19,7 +19,7 @@ Timeline of one request (leader FSM):
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Callable, Generator, List, Optional
 
 from repro.comm.network import STATUS_PACKET_BYTES
 from repro.core.fsm import (
@@ -53,13 +53,33 @@ LOCAL_MAP_OVERHEAD_S = 0.002
 #: Result merge overhead on the leader.
 MERGE_OVERHEAD_S = 0.001
 
+#: A cooperative-preemption checkpoint: a generator function yielded
+#: from at plan-segment boundaries.  It yields nothing when execution
+#: may continue, or waits on whatever events (slot re-grants...) must
+#: resolve before the next segment starts.
+Checkpoint = Callable[[], Generator[Event, None, None]]
+
 
 class PlanExecutor:
-    """Executes plans on a :class:`~repro.sim.runtime.SimRuntime`."""
+    """Executes plans on a :class:`~repro.sim.runtime.SimRuntime`.
 
-    def __init__(self, runtime: SimRuntime, charge_local_map: bool = True):
+    ``charge_explore`` controls whether each request's global DSE
+    overhead (``plan.dse_overhead_s``) is charged on the leader's
+    scheduler CPU inside :meth:`execute`.  Serving schedulers that
+    charge batched planning time at the dispatcher instead (one sweep
+    amortised over the whole backlog) disable it to avoid paying the
+    explore cost twice.
+    """
+
+    def __init__(
+        self,
+        runtime: SimRuntime,
+        charge_local_map: bool = True,
+        charge_explore: bool = True,
+    ):
         self.runtime = runtime
         self.charge_local_map = charge_local_map
+        self.charge_explore = charge_explore
 
     # Helpers ----------------------------------------------------------------
 
@@ -83,6 +103,26 @@ class PlanExecutor:
             return
         station = self._scheduler_station(device_name)
         yield from station.run_overhead(seconds, label=label)
+
+    def charge_overhead(
+        self, device_name: str, seconds: float, label: str
+    ) -> Generator[Event, None, None]:
+        """Process: charge controller time on a device's scheduler CPU.
+
+        Public entry point for schedulers that account planning work
+        outside :meth:`execute` (e.g. batched co-planning charged once
+        per backlog at the dispatcher).
+        """
+        yield from self._busy(device_name, seconds, label)
+
+    def _pause_point(self, checkpoint: Optional[Checkpoint]) -> Generator[Event, None, None]:
+        """Yield to the preemption checkpoint at a segment boundary.
+
+        With no checkpoint installed this adds no events at all, so
+        legacy runs stay byte-identical.
+        """
+        if checkpoint is not None:
+            yield from checkpoint()
 
     def _probe(self, leader: str) -> Generator[Event, None, None]:
         """Availability status round trips (Eq. 4) to every other node."""
@@ -223,11 +263,18 @@ class PlanExecutor:
         yield env.all_of(children)
 
     def _execute_model(
-        self, leader: str, plan: ExecutionPlan, traces: List[FSMTrace]
+        self,
+        leader: str,
+        plan: ExecutionPlan,
+        traces: List[FSMTrace],
+        checkpoint: Optional[Checkpoint] = None,
     ) -> Generator[Event, None, None]:
         env = self.runtime.env
         previous = leader
-        for assignment in plan.assignments:
+        for index, assignment in enumerate(plan.assignments):
+            if index > 0:
+                # Pipeline-stage hand-off: a natural segment boundary.
+                yield from self._pause_point(checkpoint)
             if assignment.device != previous:
                 yield from self.runtime.network.transmit(
                     previous, assignment.device, assignment.send_bytes, tag="block"
@@ -253,9 +300,20 @@ class PlanExecutor:
     # Entry point -------------------------------------------------------------
 
     def execute(
-        self, request: InferenceRequest, plan: ExecutionPlan
+        self,
+        request: InferenceRequest,
+        plan: ExecutionPlan,
+        checkpoint: Optional[Checkpoint] = None,
     ) -> Generator[Event, None, InferenceResult]:
-        """Process: run one request's plan; returns its result record."""
+        """Process: run one request's plan; returns its result record.
+
+        ``checkpoint`` installs a cooperative-preemption hook yielded
+        from at segment boundaries (after the availability probe, after
+        explore, between model-parallel pipeline stages, and before the
+        final merge).  Data-parallel tile fan-outs run to completion --
+        their children execute concurrently, so there is no coherent
+        mid-flight boundary to pause at.
+        """
         env = self.runtime.env
         leader = self.runtime.cluster.leader.name
         submitted = env.now
@@ -264,9 +322,12 @@ class PlanExecutor:
         trace.enter(env.now, STATE_ANALYZE)
         yield from self._probe(leader)
         started = env.now
+        yield from self._pause_point(checkpoint)
 
         trace.enter(env.now, STATE_EXPLORE)
-        yield from self._busy(leader, plan.dse_overhead_s, "global_dse")
+        if self.charge_explore:
+            yield from self._busy(leader, plan.dse_overhead_s, "global_dse")
+        yield from self._pause_point(checkpoint)
 
         trace.enter(env.now, STATE_OFFLOAD)
         if plan.mode == MODE_DATA:
@@ -276,7 +337,7 @@ class PlanExecutor:
         elif plan.mode == MODE_MODEL:
             trace.enter(env.now, STATE_MAP)
             trace.enter(env.now, STATE_EXECUTE)
-            yield from self._execute_model(leader, plan, traces)
+            yield from self._execute_model(leader, plan, traces, checkpoint)
         else:  # MODE_LOCAL
             assignment = plan.assignments[0]
             trace.enter(env.now, STATE_MAP)
@@ -284,6 +345,7 @@ class PlanExecutor:
             trace.enter(env.now, STATE_EXECUTE)
             yield from self._run_local(leader, assignment.local, assignment.label)
 
+        yield from self._pause_point(checkpoint)
         trace.enter(env.now, STATE_OFFLOAD)  # gather & merge
         if plan.merge_exec is not None:
             yield from self._run_local(leader, plan.merge_exec, "merge")

@@ -196,6 +196,26 @@ class Strategy(abc.ABC):
         """
         return [self.plan(graph, cluster, load=load) for graph in graphs]
 
+    def uncached_plans(
+        self,
+        graphs: Sequence[DNNGraph],
+        cluster: Cluster,
+        load: Optional[Mapping[str, float]] = None,
+    ) -> int:
+        """Distinct plans a pass over ``graphs`` would compute fresh.
+
+        Counts the distinct plan-cache keys (model x availability x
+        load bucket) not currently cached.  Serving schedulers use this
+        to charge *measured-bucket* planning overhead: a fresh
+        (model, bucket) combination pays the DSE cost on the scheduler
+        CPU, while a decision the middleware already cached is free --
+        mirroring how the paper's run-time scheduler reuses DSE results
+        for known workloads.
+        """
+        effective = self.effective_load(load)
+        keys = {self.cache_key(graph, cluster, effective) for graph in graphs}
+        return sum(1 for key in keys if key not in self._cache)
+
     def _cache_put(self, key: Tuple, plan: ExecutionPlan) -> None:
         self._cache[key] = plan
         self._cache.move_to_end(key)

@@ -93,6 +93,7 @@ def report_fig9(results: Optional[Dict[str, ServingResult]] = None) -> str:
                 "p99 [ms]": pct["p99"] * 1000.0,
                 f"SLO<{SLO_S:g}s": f"{100.0 * result.slo_attainment(SLO_S):.0f}%",
                 "thr [r/s]": result.throughput_rps(),
+                "steady [r/s]": result.steady_state_rps(),
                 "batches": result.batches,
                 "mean batch": result.mean_batch_size,
                 "replans": result.replans,

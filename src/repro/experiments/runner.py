@@ -20,6 +20,7 @@ from repro.experiments.fig6_performance import report_fig6
 from repro.experiments.fig7_throughput import report_fig7
 from repro.experiments.fig8_scaling import report_fig8
 from repro.experiments.fig9_serving import report_fig9
+from repro.experiments.fig10_scaleout import report_fig10
 from repro.experiments.sensitivity import report_bandwidth_sweep
 from repro.experiments.tables import report_accuracy, report_table1, report_table2
 
@@ -32,6 +33,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig7": report_fig7,
     "fig8": report_fig8,
     "fig9": report_fig9,
+    "fig10": report_fig10,
     "accuracy": report_accuracy,
     "sensitivity": report_bandwidth_sweep,
 }

@@ -6,8 +6,11 @@ the execution engines: it monitors cluster status, runs the DSE agent,
 and hands distribution decisions to the communication module.  The
 evaluation scenarios only ever exercise it with four-model staircases
 (Fig. 6) and fixed-interval streams (Fig. 7); this package is that
-middleware grown into an *online* scheduler for open-loop concurrent
-traffic:
+middleware grown into an online serving layer for open-loop concurrent
+traffic, in two tiers:
+
+:class:`~repro.serving.scheduler.OnlineScheduler` -- the single-leader
+control loop (one dispatcher, one admission queue):
 
 - an **admission queue** buffers arrivals while the cluster is busy
   (application module -> scheduler hand-off in Fig. 3);
@@ -16,17 +19,49 @@ traffic:
   model in the backlog prices its candidate depth cuts through a single
   batched share-DP sweep, and local-tier decisions are shared across
   identical processors;
-- each request **replans when the backlog snapshot has drifted** past
-  the load bucket its plan assumed (the Fig. 4 leader FSM re-entering
+- when the backlog snapshot **drifts** past the load bucket a batch
+  plan assumed, the remaining tail of the batch is re-co-planned in one
+  pass under the fresh snapshot (the Fig. 4 leader FSM re-entering
   ``explore`` when cluster status changes);
 - a bounded **in-flight window** applies backpressure, so the admission
   queue -- not the simulated hardware -- absorbs overload.
 
-:class:`~repro.serving.scheduler.OnlineScheduler` is the entry point;
-it returns a :class:`~repro.serving.scheduler.ServingResult` with
-latency percentiles, SLO attainment and scheduler counters.
+:class:`~repro.serving.sharded.ShardedScheduler` -- the scale-out tier:
+the same control loop sharded across ``num_shards`` leader dispatchers
+with per-shard admission queues (hash or model-affinity partitioning,
+idle shards woken by work stealing), priority-aware in-flight slots
+(:class:`~repro.sim.resources.PriorityResource`: urgent-first grants,
+FIFO within a class, cooperative preemption of in-flight work at plan
+segment boundaries), per-station *weighted* load snapshots
+(``load_view="weighted"``) so drift detection sees congestion even
+while a minor core idles, and measured-bucket **planning overhead**
+charged on the leader's scheduler CPU, making DSE cost visible to
+serving latency (the paper's ~15 ms bound) instead of planning for
+free.  Configured down to one shard with charging off and the ``min``
+load view, it reproduces the single-leader scheduler's event schedule
+exactly.
+
+Both return a :class:`~repro.serving.scheduler.ServingResult` with
+latency percentiles (overall and per priority class), SLO attainment,
+wall + steady-state throughput, and scheduler counters.
 """
 
 from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult
+from repro.serving.sharded import (
+    ASSIGN_HASH,
+    ASSIGN_MODEL,
+    PLANNING_BUCKET,
+    PLANNING_OFF,
+    ShardedScheduler,
+)
 
-__all__ = ["OnlineScheduler", "ServedRequest", "ServingResult"]
+__all__ = [
+    "OnlineScheduler",
+    "ServedRequest",
+    "ServingResult",
+    "ShardedScheduler",
+    "ASSIGN_HASH",
+    "ASSIGN_MODEL",
+    "PLANNING_BUCKET",
+    "PLANNING_OFF",
+]

@@ -12,14 +12,24 @@ through one cluster under one strategy.  The control loop is:
 3. Each request then waits for an in-flight slot (backpressure: at most
    ``max_inflight`` requests execute concurrently).  If the quantised
    load snapshot at dispatch time differs from the bucket its plan
-   assumed -- the backlog drifted while it waited -- the request is
-   replanned against the fresh snapshot before launch.
+   assumed -- the backlog drifted while it waited -- the whole
+   remaining tail of the batch is re-co-planned in one pass against the
+   fresh snapshot (whose bucket then becomes the batch's reference), so
+   a single drift never degrades the rest of the batch to per-request
+   planning.
 4. A child process executes the plan through
    :class:`~repro.core.executor.PlanExecutor` and releases the slot.
 
 End-to-end latency is measured from the request's *arrival*, so time
 spent queued for admission counts against the SLO -- the scheduler
 cannot hide overload by delaying admission.
+
+This single-leader loop doubles as the executable spec for
+:class:`~repro.serving.sharded.ShardedScheduler`'s legacy
+configuration (1 shard, planning charging off, ``min`` load view): the
+two dispatcher loops are deliberately independent implementations, and
+the equivalence tests in ``tests/serving/test_sharded.py`` pin them to
+the same event schedule.  Dispatcher bugfixes must land in both.
 """
 
 from __future__ import annotations
@@ -47,8 +57,9 @@ class ServedRequest:
 
     request: InferenceRequest
     result: InferenceResult
-    #: True if the plan was recomputed at dispatch because the load
-    #: snapshot had drifted past the bucket the batch plan assumed.
+    #: True if the plan this request dispatched with came from a drift
+    #: re-co-plan pass rather than the original batch plan (the load
+    #: snapshot moved past the bucket the batch assumed).
     replanned: bool = False
 
     @property
@@ -91,6 +102,14 @@ class ServingResult:
     batches: int = 0
     replans: int = 0
     max_batch_observed: int = 0
+    #: Sharded-scheduler counters (left at their defaults by the
+    #: single-leader scheduler).
+    shards: int = 1
+    steals: int = 0
+    preemptions: int = 0
+    #: Simulated seconds of planning overhead charged on the scheduler
+    #: CPU before dispatch (0 when charging is gated off).
+    planning_charged_s: float = 0.0
 
     @property
     def count(self) -> int:
@@ -118,10 +137,55 @@ class ServingResult:
         """Fraction of requests with end-to-end latency within the SLO."""
         return slo_attainment(self.latencies, slo_s)
 
-    def throughput_rps(self) -> float:
-        if self.makespan_s <= 0:
+    @property
+    def span_s(self) -> float:
+        """The serving window: first arrival to last completion."""
+        if not self.served:
             return 0.0
-        return self.count / self.makespan_s
+        return max(r.completed_s for r in self.served) - min(r.arrival_s for r in self.served)
+
+    def throughput_rps(self) -> float:
+        """Wall throughput over the serving window.
+
+        Measured from the *first arrival* to the last completion, not
+        from t=0: a stream whose first request arrives late would
+        otherwise book the idle lead-in against the scheduler and
+        deflate the reported rate.
+        """
+        span = self.span_s
+        if span <= 0:
+            return 0.0
+        return self.count / span
+
+    def steady_state_rps(self) -> float:
+        """Completion rate once the pipeline is warm.
+
+        The ``count - 1`` completion intervals between the first and the
+        last completion: excludes the fill time of the first request, so
+        it converges to the cluster's sustainable service rate on long
+        streams.  Falls back to the wall rate for degenerate spans.
+        """
+        if self.count < 2:
+            return self.throughput_rps()
+        completions = [record.completed_s for record in self.served]
+        span = max(completions) - min(completions)
+        if span <= 0:
+            return self.throughput_rps()
+        return (self.count - 1) / span
+
+    def latencies_by_priority(self) -> Dict[int, List[float]]:
+        """End-to-end latencies grouped by request priority class."""
+        grouped: Dict[int, List[float]] = {}
+        for record in self.served:
+            grouped.setdefault(record.request.priority, []).append(record.latency_s)
+        return grouped
+
+    def percentiles_by_priority(self) -> Dict[int, Dict[str, float]]:
+        """p50/p95/p99 end-to-end latency per priority class."""
+        return {
+            priority: latency_percentiles(latencies)
+            for priority, latencies in sorted(self.latencies_by_priority().items())
+        }
 
 
 class OnlineScheduler:
@@ -205,19 +269,28 @@ class OnlineScheduler:
                 batch_bucket = self._bucket_key(load)
                 graphs = [build_model(request.model) for request in batch]
                 plans = self.strategy.plan_batch(graphs, self.cluster, load=load)
-                for request, graph, plan in zip(batch, graphs, plans):
+                fresh = [False] * len(batch)
+                for index, request in enumerate(batch):
                     slot = inflight.request()
                     yield slot  # backpressure: wait for an in-flight slot
-                    replanned = False
                     current = runtime.load_snapshot()
-                    if self._bucket_key(current) != batch_bucket:
-                        # The backlog drifted past the load bucket this
-                        # plan assumed; re-explore against the fresh
-                        # snapshot (plan cache absorbs repeat buckets).
-                        plan = self.strategy.plan(graph, self.cluster, load=current)
+                    current_bucket = self._bucket_key(current)
+                    if current_bucket != batch_bucket:
+                        # The backlog drifted past the load bucket the
+                        # batch plan assumed; re-co-plan the whole
+                        # remaining tail in one pass against the fresh
+                        # snapshot and adopt its bucket, so one drift
+                        # does not degrade the rest of the batch to
+                        # per-request planning (the plan cache absorbs
+                        # repeat buckets).
+                        plans[index:] = self.strategy.plan_batch(
+                            graphs[index:], self.cluster, load=current
+                        )
+                        for tail in range(index, len(batch)):
+                            fresh[tail] = True
+                        batch_bucket = current_bucket
                         counters["replans"] += 1
-                        replanned = True
-                    env.process(serve(request, plan, slot, replanned))
+                    env.process(serve(request, plans[index], slot, fresh[index]))
                     remaining -= 1
 
         env.process(source())

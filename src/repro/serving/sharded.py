@@ -1,0 +1,322 @@
+"""Sharded multi-leader serving: priorities, preemption, work stealing.
+
+:class:`ShardedScheduler` scales the single-leader
+:class:`~repro.serving.scheduler.OnlineScheduler` control loop out to
+``num_shards`` leader dispatchers.  Arrivals are partitioned across
+per-shard admission queues (``hash`` spreads request ids round-robin;
+``model`` pins each model to one shard so a shard's plan cache and
+batched DSE sweeps stay hot for its models).  Every dispatcher runs the
+same loop -- drain a backlog batch, charge planning overhead on the
+leader's scheduler CPU, co-plan in one pass, dispatch through the
+shared in-flight window -- so shards pipeline planning against each
+other's execution instead of serialising the whole stream behind one
+dispatcher.
+
+Scheduling policy on top of the sharding:
+
+- **Priorities.**  The in-flight window is a
+  :class:`~repro.sim.resources.PriorityResource`: slot claims are
+  granted most-urgent-first (FIFO within a priority class), so a
+  high-priority request admitted late still overtakes queued
+  low-priority work at the slot boundary.  Within a shard batch,
+  dispatch order is priority-sorted (stable, so FIFO per class).
+- **Preemption.**  Slot holders are preemptible: an urgent claim that
+  cannot be granted marks the least urgent in-flight holder, which
+  hands its slot back cooperatively at the next plan-segment boundary
+  (:class:`~repro.core.executor.PlanExecutor` checkpoints) and
+  re-queues at its own priority to resume.
+- **Work stealing.**  A dispatcher whose queue still holds work after
+  draining a batch donates half of the remainder to shards parked on
+  empty queues, so an idle leader wakes immediately instead of waiting
+  for its own hash bucket to fill.
+- **Planning overhead.**  ``planning_overhead="bucket"`` charges the
+  strategy's DSE overhead on the leader's scheduler CPU for every
+  *fresh* (model, load-bucket) plan a pass computes
+  (:meth:`~repro.core.strategy.Strategy.uncached_plans`); cached
+  decisions are free, mirroring the paper's middleware reusing DSE
+  results.  ``"off"`` restores the legacy zero-cost planning;  a float
+  charges that many seconds per planning pass.
+
+With ``num_shards=1``, no priority spread in the stream,
+``planning_overhead="off"`` and ``load_view="min"``, the event schedule
+degenerates to exactly the single-leader scheduler's.  The dispatcher
+loop here deliberately does *not* share code with
+:class:`~repro.serving.scheduler.OnlineScheduler`: like the ``*_reference``
+DP kernels, the single-leader scheduler is kept as an independent
+executable spec, and the equivalence tests in
+``tests/serving/test_sharded.py`` only have teeth because the two
+implementations are independent.  A dispatcher bugfix must land in
+both loops (the drift tail re-co-plan fix below is one such).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.executor import PlanExecutor
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import Strategy
+from repro.dnn.graph import DNNGraph
+from repro.dnn.models import build_model
+from repro.metrics.energy import cluster_energy_j
+from repro.platform.cluster import Cluster, build_cluster
+from repro.serving.scheduler import ServedRequest, ServingResult
+from repro.sim.resources import PriorityResource, Store
+from repro.sim.runtime import LOAD_VIEW_WEIGHTED, LOAD_VIEWS, SimRuntime
+from repro.workloads.requests import InferenceRequest
+
+#: Shard-assignment policies.
+ASSIGN_HASH = "hash"
+ASSIGN_MODEL = "model"
+ASSIGNMENTS = (ASSIGN_HASH, ASSIGN_MODEL)
+
+#: Planning-overhead charging modes (besides a fixed float of seconds).
+PLANNING_OFF = "off"
+PLANNING_BUCKET = "bucket"
+
+
+class ShardedScheduler:
+    """Serves an open-loop stream through ``num_shards`` leader dispatchers.
+
+    One instance drives one request stream on one cluster.  All shards
+    share the strategy (and therefore its plan cache), the in-flight
+    window and the simulated hardware; what is sharded is the *control
+    loop* -- admission queues and dispatchers -- so backlog batches
+    form, plan and dispatch concurrently.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        strategy: Optional[Strategy] = None,
+        num_shards: int = 2,
+        max_batch: int = 16,
+        max_inflight: int = 4,
+        assignment: str = ASSIGN_HASH,
+        load_view: str = LOAD_VIEW_WEIGHTED,
+        planning_overhead=PLANNING_BUCKET,
+        preemption: bool = True,
+        steal_threshold: int = 2,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if assignment not in ASSIGNMENTS:
+            raise ValueError(f"unknown assignment {assignment!r}; known: {ASSIGNMENTS}")
+        if load_view not in LOAD_VIEWS:
+            raise ValueError(f"unknown load view {load_view!r}; known: {LOAD_VIEWS}")
+        if isinstance(planning_overhead, str):
+            if planning_overhead not in (PLANNING_OFF, PLANNING_BUCKET):
+                raise ValueError(
+                    f"unknown planning overhead mode {planning_overhead!r}; "
+                    f"known: {PLANNING_OFF!r}, {PLANNING_BUCKET!r} or seconds"
+                )
+        elif not planning_overhead >= 0:
+            raise ValueError(f"negative planning overhead: {planning_overhead}")
+        if steal_threshold < 1:
+            raise ValueError(f"steal_threshold must be positive, got {steal_threshold}")
+        self.cluster = cluster if cluster is not None else build_cluster()
+        self.strategy = strategy if strategy is not None else HiDPStrategy()
+        self.num_shards = num_shards
+        self.max_batch = max_batch
+        self.max_inflight = max_inflight
+        self.assignment = assignment
+        self.load_view = load_view
+        self.planning_overhead = planning_overhead
+        self.preemption = preemption
+        self.steal_threshold = steal_threshold
+
+    # Internals --------------------------------------------------------------
+
+    @property
+    def charges_planning(self) -> bool:
+        return self.planning_overhead != PLANNING_OFF
+
+    def _bucket_key(self, load):
+        """Quantised snapshot identity, shared with the plan cache."""
+        effective = self.strategy.effective_load(load)
+        if effective is None:
+            return None
+        return self.strategy.load_key(effective)
+
+    def _shard_of(self, ordered: Sequence[InferenceRequest]) -> Callable[[InferenceRequest], int]:
+        if self.assignment == ASSIGN_HASH:
+            return lambda request: request.request_id % self.num_shards
+        # Model affinity: distinct models, in first-arrival order, are
+        # dealt round-robin across shards -- deterministic and balanced
+        # for the round-robin evaluation mixes.
+        affinity: Dict[str, int] = {}
+        for request in ordered:
+            if request.model not in affinity:
+                affinity[request.model] = len(affinity) % self.num_shards
+        return lambda request: affinity[request.model]
+
+    def _planning_charge_s(
+        self, graphs: Sequence[DNNGraph], load: Optional[Dict[str, float]]
+    ) -> float:
+        """Simulated seconds one planning pass costs the scheduler CPU."""
+        if self.planning_overhead == PLANNING_OFF:
+            return 0.0
+        if self.planning_overhead == PLANNING_BUCKET:
+            fresh = self.strategy.uncached_plans(graphs, self.cluster, load=load)
+            return self.strategy.dse_overhead_s * fresh
+        return float(self.planning_overhead)
+
+    # Entry point -------------------------------------------------------------
+
+    def run(self, requests: Sequence[InferenceRequest]) -> ServingResult:
+        """Serve the full stream; returns aggregated serving metrics."""
+        if not requests:
+            raise ValueError("no requests to serve")
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        runtime = SimRuntime(self.cluster)
+        executor = PlanExecutor(runtime, charge_explore=not self.charges_planning)
+        env = runtime.env
+        leader = self.cluster.leader.name
+        queues = [Store(env) for _ in range(self.num_shards)]
+        inflight = PriorityResource(env, capacity=self.max_inflight)
+        shard_of = self._shard_of(ordered)
+        served: List[ServedRequest] = []
+        idle = [False] * self.num_shards
+        counters = {
+            "batches": 0,
+            "replans": 0,
+            "max_batch": 0,
+            "steals": 0,
+            "preemptions": 0,
+            "planning_s": 0.0,
+        }
+
+        def source():
+            for request in ordered:
+                if request.arrival_s > env.now:
+                    yield env.timeout(request.arrival_s - env.now)
+                queues[shard_of(request)].put(request)
+
+        def serve(request: InferenceRequest, plan, slot, replanned: bool):
+            holder = {"slot": slot}
+
+            def checkpoint():
+                if holder["slot"].preempt_requested:
+                    # Segment boundary: hand the slot to the urgent
+                    # waiter and re-queue at our own priority to resume.
+                    counters["preemptions"] += 1
+                    inflight.release(holder["slot"])
+                    resumed = inflight.request(
+                        priority=request.priority, preemptible=True
+                    )
+                    holder["slot"] = resumed
+                    yield resumed
+
+            try:
+                result = yield from executor.execute(
+                    request, plan, checkpoint=checkpoint if self.preemption else None
+                )
+                served.append(
+                    ServedRequest(request=request, result=result, replanned=replanned)
+                )
+            finally:
+                inflight.release(holder["slot"])
+
+        def donate(shard: int) -> None:
+            """Shed half the leftover backlog to shards parked idle."""
+            queue = queues[shard]
+            if queue.size < self.steal_threshold:
+                return
+            takers = [other for other in range(self.num_shards) if idle[other]]
+            if not takers:
+                return
+            movable = queue.size // 2
+            for moved in range(movable):
+                taker = takers[moved % len(takers)]
+                queues[taker].put(queue.get_nowait())
+                idle[taker] = False  # its parked getter wakes with this item
+                counters["steals"] += 1
+
+        def dispatcher(shard: int):
+            queue = queues[shard]
+            while True:
+                if queue.size == 0:
+                    idle[shard] = True
+                first = yield queue.get()
+                idle[shard] = False
+                batch = [first]
+                while queue.size > 0 and len(batch) < self.max_batch:
+                    item = yield queue.get()
+                    batch.append(item)
+                counters["batches"] += 1
+                counters["max_batch"] = max(counters["max_batch"], len(batch))
+                donate(shard)
+                # Urgent-first dispatch order; stable, so FIFO per class.
+                batch.sort(key=lambda request: request.priority)
+                load = runtime.load_snapshot(view=self.load_view)
+                batch_bucket = self._bucket_key(load)
+                graphs = [build_model(request.model) for request in batch]
+                charge = self._planning_charge_s(graphs, load)
+                if charge > 0:
+                    counters["planning_s"] += charge
+                    yield from executor.charge_overhead(leader, charge, "batch_dse")
+                plans = self.strategy.plan_batch(graphs, self.cluster, load=load)
+                fresh = [False] * len(batch)
+                for index, request in enumerate(batch):
+                    slot = inflight.request(
+                        priority=request.priority,
+                        preemptible=self.preemption,
+                        preempt=self.preemption,
+                    )
+                    yield slot  # backpressure: wait for an in-flight slot
+                    current = runtime.load_snapshot(view=self.load_view)
+                    current_bucket = self._bucket_key(current)
+                    if current_bucket != batch_bucket:
+                        # Drifted past the batch's bucket: re-co-plan
+                        # the remaining tail in one pass and adopt the
+                        # fresh bucket (same fix as the single-leader
+                        # dispatcher).
+                        tail = graphs[index:]
+                        recharge = self._planning_charge_s(tail, current)
+                        if recharge > 0:
+                            counters["planning_s"] += recharge
+                            yield from executor.charge_overhead(
+                                leader, recharge, "replan_dse"
+                            )
+                        plans[index:] = self.strategy.plan_batch(
+                            tail, self.cluster, load=current
+                        )
+                        for late in range(index, len(batch)):
+                            fresh[late] = True
+                        batch_bucket = current_bucket
+                        counters["replans"] += 1
+                    env.process(serve(request, plans[index], slot, fresh[index]))
+
+        env.process(source())
+        for shard in range(self.num_shards):
+            env.process(dispatcher(shard))
+        env.run()
+
+        if len(served) != len(ordered):
+            raise RuntimeError(
+                f"{len(ordered) - len(served)} requests never completed (deadlock?)"
+            )
+        served.sort(key=lambda record: record.request.request_id)
+        makespan = max(record.completed_s for record in served)
+        energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
+        return ServingResult(
+            strategy=self.strategy.name,
+            served=served,
+            makespan_s=makespan,
+            energy_j=sum(energy_by_device.values()),
+            energy_by_device=energy_by_device,
+            network_bytes=runtime.transfer_log.total_bytes,
+            total_flops=runtime.flops_log.total_flops,
+            busy=runtime.busy,
+            batches=counters["batches"],
+            replans=counters["replans"],
+            max_batch_observed=counters["max_batch"],
+            shards=self.num_shards,
+            steals=counters["steals"],
+            preemptions=counters["preemptions"],
+            planning_charged_s=counters["planning_s"],
+        )

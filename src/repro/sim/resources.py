@@ -1,9 +1,10 @@
-"""FIFO resources and stores on top of the event engine."""
+"""FIFO and priority resources and stores on top of the event engine."""
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Deque, List, Tuple
 
 from repro.sim.engine import Environment, Event, SimulationError
 
@@ -70,6 +71,113 @@ class Resource:
             nxt.succeed()
 
 
+class PriorityRequest(Event):
+    """A pending claim on a :class:`PriorityResource` slot.
+
+    ``priority`` orders grants (lower value = more urgent).  A granted
+    ``preemptible`` request may later have ``preempt_requested`` set by
+    a more urgent arrival; the holder is expected to poll the flag at
+    its own safe points and hand the slot back cooperatively -- the
+    engine has no interrupt machinery, so preemption is always
+    cooperative.
+    """
+
+    __slots__ = ("resource", "priority", "preemptible", "preempt_requested")
+
+    def __init__(
+        self, env: Environment, resource: "PriorityResource", priority: int, preemptible: bool
+    ):
+        super().__init__(env)
+        self.resource = resource
+        self.priority = priority
+        self.preemptible = preemptible
+        #: Set when a more urgent waiter asked for this holder's slot.
+        self.preempt_requested = False
+
+
+class PriorityResource:
+    """A capacity-limited resource granting slots by priority.
+
+    Waiting claims are granted in ``(priority, arrival)`` order: the
+    most urgent waiter wins, and claims of equal priority are FIFO --
+    with a single priority level this degenerates to exactly
+    :class:`Resource`'s behaviour (same grant times, same order).
+
+    Preemption is cooperative: ``request(..., preempt=True)`` that
+    cannot be granted immediately marks the least urgent *preemptible*
+    holder whose priority is strictly worse than the claim's.  The
+    holder observes ``preempt_requested`` at its next safe point (e.g.
+    a plan-segment boundary), releases the slot -- waking the urgent
+    waiter -- and re-requests at its own priority to resume.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[PriorityRequest] = []
+        self._waiting: List[Tuple[int, int, PriorityRequest]] = []
+        self._seq = 0
+        #: Cooperative-preemption counter (marks issued, not completions).
+        self.preempt_marks = 0
+
+    @property
+    def in_use(self) -> int:
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def users(self) -> Tuple[PriorityRequest, ...]:
+        return tuple(self._users)
+
+    def request(
+        self, priority: int = 0, preemptible: bool = False, preempt: bool = False
+    ) -> PriorityRequest:
+        req = PriorityRequest(self.env, self, priority, preemptible)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+            return req
+        heapq.heappush(self._waiting, (priority, self._seq, req))
+        self._seq += 1
+        if preempt:
+            self._mark_for_preemption(priority)
+        return req
+
+    def _mark_for_preemption(self, priority: int) -> None:
+        """Flag the least urgent preemptible holder worse than ``priority``."""
+        victim = None
+        for holder in self._users:
+            if not holder.preemptible or holder.preempt_requested:
+                continue
+            if holder.priority <= priority:
+                continue
+            if victim is None or holder.priority > victim.priority:
+                victim = holder
+        if victim is not None:
+            victim.preempt_requested = True
+            self.preempt_marks += 1
+
+    def release(self, request: PriorityRequest) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            for entry in self._waiting:
+                if entry[2] is request:
+                    self._waiting.remove(entry)
+                    heapq.heapify(self._waiting)
+                    return
+            raise SimulationError("releasing a request this resource never granted")
+        while self._waiting and len(self._users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._waiting)
+            self._users.append(nxt)
+            nxt.succeed()
+
+
 class Store:
     """An unbounded FIFO queue of items with blocking ``get``."""
 
@@ -91,6 +199,18 @@ class Store:
         else:
             self._getters.append(event)
         return event
+
+    def get_nowait(self) -> Any:
+        """Pop the oldest queued item without blocking.
+
+        Only items actually sitting in the queue can be popped; raises
+        :class:`SimulationError` when empty (callers check ``size``).
+        Used by the sharded scheduler's work redistribution, which moves
+        queued-but-undispatched items between shard queues.
+        """
+        if not self._items:
+            raise SimulationError("get_nowait on an empty store")
+        return self._items.popleft()
 
     @property
     def size(self) -> int:

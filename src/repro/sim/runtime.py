@@ -11,12 +11,18 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Mapping, Tuple
 
+from repro.dnn.layers import LAYER_CLASSES
 from repro.platform.cluster import Cluster
 from repro.platform.device import Device
 from repro.platform.processor import Processor
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.sim.trace import BusyRecorder, FlopsLog, TransferLog
+
+#: Load-snapshot reductions over a device's stations.
+LOAD_VIEW_MIN = "min"
+LOAD_VIEW_WEIGHTED = "weighted"
+LOAD_VIEWS = (LOAD_VIEW_MIN, LOAD_VIEW_WEIGHTED)
 
 
 class ProcessorStation:
@@ -164,19 +170,51 @@ class SimRuntime:
         device = self.cluster.device(device_name)
         yield self.env.timeout(device.transfer_seconds(size_bytes))
 
-    def device_backlog(self, device_name: str) -> float:
-        """Committed work outstanding on a device's least-loaded processor.
+    def station_backlogs(self, device_name: str) -> Dict[str, float]:
+        """Per-station committed backlog on one device, keyed by processor."""
+        return {
+            station.processor.name: station.backlog_seconds
+            for station in self.stations_of(device_name)
+        }
 
-        The planner uses this as the earliest-start delay new work on
-        the node would see (the node can route a new piece to its
-        freest processor).
+    def device_backlog(self, device_name: str, view: str = LOAD_VIEW_MIN) -> float:
+        """Outstanding committed work on a device, reduced per ``view``.
+
+        - ``"min"`` -- the least-loaded processor's backlog: the
+          earliest-start delay new work would see if the node routed it
+          to its freest core.  Optimistic: a single idle weak CPU makes
+          a device with a saturated GPU look free.
+        - ``"weighted"`` -- station backlogs averaged with each
+          processor's aggregate compute rate as weight, so congestion on
+          the cores that do the work dominates the snapshot even while a
+          minor core idles.
         """
         stations = self.stations_of(device_name)
-        return min(station.backlog_seconds for station in stations)
+        if view == LOAD_VIEW_MIN:
+            return min(station.backlog_seconds for station in stations)
+        if view == LOAD_VIEW_WEIGHTED:
+            total_weight = 0.0
+            weighted = 0.0
+            for station in stations:
+                weight = sum(station.processor.rate(cls) for cls in LAYER_CLASSES)
+                total_weight += weight
+                weighted += weight * station.backlog_seconds
+            if total_weight <= 0:
+                return min(station.backlog_seconds for station in stations)
+            return weighted / total_weight
+        raise ValueError(f"unknown load view {view!r}; known: {LOAD_VIEWS}")
 
-    def load_snapshot(self) -> Dict[str, float]:
-        """Per-device backlog, consumed by load-aware strategies."""
-        return {device.name: self.device_backlog(device.name) for device in self.cluster.devices}
+    def load_snapshot(self, view: str = LOAD_VIEW_MIN) -> Dict[str, float]:
+        """Per-device backlog, consumed by load-aware strategies.
+
+        ``view`` selects the per-station reduction (see
+        :meth:`device_backlog`); the default ``"min"`` preserves the
+        historical optimistic snapshot for legacy callers.
+        """
+        return {
+            device.name: self.device_backlog(device.name, view=view)
+            for device in self.cluster.devices
+        }
 
     @property
     def now(self) -> float:

@@ -17,14 +17,19 @@ All generators draw from a private ``random.Random(seed)``, so a given
 (seed, parameters) pair always produces the identical request list.
 Models are assigned round-robin by default or drawn from the same seeded
 generator (``shuffle_models=True``).
+
+Every generator accepts ``priority_weights``, a ``{priority: weight}``
+mapping tagging each request with a scheduling urgency drawn from the
+same seeded generator (lower priority value = more urgent).  Leaving it
+``None`` performs no extra draws, so legacy streams stay byte-identical.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
-from repro.workloads.requests import InferenceRequest
+from repro.workloads.requests import InferenceRequest, PRIORITY_NORMAL
 
 
 def _build_requests(
@@ -32,13 +37,29 @@ def _build_requests(
     arrivals: Sequence[float],
     rng: random.Random,
     shuffle_models: bool,
+    priority_weights: Optional[Mapping[int, float]] = None,
 ) -> List[InferenceRequest]:
     if not models:
         raise ValueError("no models to draw requests from")
+    priorities: Optional[List[int]] = None
+    weights: Optional[List[float]] = None
+    if priority_weights is not None:
+        priorities = sorted(priority_weights)
+        weights = [priority_weights[priority] for priority in priorities]
+        if not priorities or min(weights) < 0 or sum(weights) <= 0:
+            raise ValueError(f"invalid priority weights: {priority_weights}")
     requests = []
     for idx, arrival in enumerate(arrivals):
         model = rng.choice(models) if shuffle_models else models[idx % len(models)]
-        requests.append(InferenceRequest(request_id=idx, model=model, arrival_s=arrival))
+        if priorities is None:
+            priority = PRIORITY_NORMAL
+        else:
+            priority = rng.choices(priorities, weights=weights)[0]
+        requests.append(
+            InferenceRequest(
+                request_id=idx, model=model, arrival_s=arrival, priority=priority
+            )
+        )
     return requests
 
 
@@ -48,6 +69,7 @@ def poisson_stream(
     num_requests: int,
     seed: int = 0,
     shuffle_models: bool = False,
+    priority_weights: Optional[Mapping[int, float]] = None,
 ) -> List[InferenceRequest]:
     """``num_requests`` Poisson arrivals at ``rate_rps`` requests/s."""
     if rate_rps <= 0:
@@ -60,7 +82,7 @@ def poisson_stream(
     for _ in range(num_requests):
         now += rng.expovariate(rate_rps)
         arrivals.append(now)
-    return _build_requests(models, arrivals, rng, shuffle_models)
+    return _build_requests(models, arrivals, rng, shuffle_models, priority_weights)
 
 
 def bursty_stream(
@@ -71,6 +93,7 @@ def bursty_stream(
     intra_burst_s: float = 0.0,
     seed: int = 0,
     shuffle_models: bool = False,
+    priority_weights: Optional[Mapping[int, float]] = None,
 ) -> List[InferenceRequest]:
     """On/off bursts: ``num_bursts`` groups of ``burst_size`` requests.
 
@@ -94,7 +117,7 @@ def bursty_stream(
         for position in range(burst_size):
             arrivals.append(start + position * intra_burst_s)
         now = arrivals[-1]
-    return _build_requests(models, arrivals, rng, shuffle_models)
+    return _build_requests(models, arrivals, rng, shuffle_models, priority_weights)
 
 
 def heavy_tailed_stream(
@@ -105,6 +128,7 @@ def heavy_tailed_stream(
     max_gap_s: Optional[float] = None,
     seed: int = 0,
     shuffle_models: bool = False,
+    priority_weights: Optional[Mapping[int, float]] = None,
 ) -> List[InferenceRequest]:
     """Pareto inter-arrival times: ``gap = scale_s * pareto(alpha)``.
 
@@ -127,4 +151,4 @@ def heavy_tailed_stream(
             gap = min(gap, max_gap_s)
         now += gap
         arrivals.append(now)
-    return _build_requests(models, arrivals, rng, shuffle_models)
+    return _build_requests(models, arrivals, rng, shuffle_models, priority_weights)

@@ -6,23 +6,33 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
 
+#: Priority of requests that never asked for one (lowest urgency class
+#: number in use by default; smaller numbers are more urgent).
+PRIORITY_NORMAL = 0
+
+
 @dataclass(frozen=True)
 class InferenceRequest:
     """One DNN inference request.
 
     ``arrival_s`` is the simulated time the request reaches the leader
     node's application module; ``model`` names a zoo entry.
+    ``priority`` orders scheduling urgency -- lower values are more
+    urgent, ``PRIORITY_NORMAL`` (0) is the default single-class traffic.
     """
 
     request_id: int
     model: str
     arrival_s: float = 0.0
+    priority: int = PRIORITY_NORMAL
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError(f"negative arrival time: {self.arrival_s}")
         if self.request_id < 0:
             raise ValueError(f"negative request id: {self.request_id}")
+        if self.priority < 0:
+            raise ValueError(f"negative priority: {self.priority}")
 
 
 def single_request(model: str) -> List[InferenceRequest]:

@@ -1,0 +1,76 @@
+"""Fig. 10 scale-out experiment tests (the ISSUE 3 acceptance sweep).
+
+The full sweep (2 processes x 2 mixes x 3 leader counts x 120 requests)
+is exercised end-to-end by ``hidp-experiments fig10``; here a reduced
+grid pins the sweep structure, the priority tagging and the report.
+"""
+
+import pytest
+
+from repro.experiments.fig10_scaleout import (
+    ARRIVAL_PROCESSES,
+    LEADER_COUNTS,
+    PRIORITY_MIXES,
+    build_arrivals,
+    report_fig10,
+    run_fig10,
+)
+from repro.platform.cluster import build_cluster
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig10(
+        processes=("bursty",),
+        mixes=("uniform", "mixed"),
+        leader_counts=(1, 2),
+        num_requests=24,
+        cluster=build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"]),
+    )
+
+
+class TestSweep:
+    def test_full_grid_defaults(self):
+        assert set(ARRIVAL_PROCESSES) == {"bursty", "heavy_tailed"}
+        assert set(PRIORITY_MIXES) == {"uniform", "mixed"}
+        assert LEADER_COUNTS == (1, 2, 4)
+
+    def test_every_cell_serves_every_request(self, results):
+        assert set(results) == {
+            ("bursty", mix, leaders)
+            for mix in ("uniform", "mixed")
+            for leaders in (1, 2)
+        }
+        for (_, _, leaders), result in results.items():
+            assert result.count == 24
+            assert result.shards == leaders
+            result.busy.assert_no_overlaps()
+
+    def test_mixed_cells_tag_priorities(self, results):
+        uniform = results[("bursty", "uniform", 1)]
+        mixed = results[("bursty", "mixed", 1)]
+        assert set(uniform.latencies_by_priority()) == {0}
+        assert set(mixed.latencies_by_priority()) == {0, 2}
+
+    def test_planning_overhead_charged(self, results):
+        for result in results.values():
+            assert result.planning_charged_s > 0
+
+    def test_streams_are_seeded_deterministic(self):
+        for mix in PRIORITY_MIXES:
+            assert build_arrivals("bursty", mix) == build_arrivals("bursty", mix)
+
+    def test_unknown_cells_rejected(self):
+        with pytest.raises(KeyError):
+            build_arrivals("adversarial", "uniform")
+        with pytest.raises(KeyError):
+            build_arrivals("bursty", "adversarial")
+
+
+class TestReport:
+    def test_report_renders(self, results):
+        text = report_fig10(results)
+        assert "Fig. 10" in text
+        assert "bursty" in text
+        assert "leaders" in text
+        assert "p99" in text and "preempt" in text

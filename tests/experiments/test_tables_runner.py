@@ -37,6 +37,7 @@ class TestRunner:
             "fig7",
             "fig8",
             "fig9",
+            "fig10",
             "accuracy",
             "sensitivity",
         }

@@ -119,7 +119,13 @@ class TestReplanning:
     def test_drift_triggers_replans(self):
         """A simultaneous burst through a narrow in-flight window: by
         the time late requests dispatch, the backlog snapshot has moved
-        past the bucket their batch plan assumed."""
+        past the bucket their batch plan assumed.
+
+        Regression (ISSUE 3): one drift used to leave ``batch_bucket``
+        stale, so every remaining request replanned individually (2
+        replans here).  The fixed dispatcher re-co-plans the whole
+        remaining tail in one pass and adopts the fresh bucket: a
+        single replanning pass now covers both tail requests."""
         requests = [
             InferenceRequest(request_id=idx, model="resnet152", arrival_s=0.0)
             for idx in range(4)
@@ -128,7 +134,7 @@ class TestReplanning:
             cluster=self._single_proc_cluster(), max_batch=16, max_inflight=2
         ).run(requests)
         assert result.count == 4
-        assert result.replans == 2
+        assert result.replans == 1
         assert [record.replanned for record in result.served] == [False, False, True, True]
         result.busy.assert_no_overlaps()
 
@@ -142,6 +148,37 @@ class TestReplanning:
         ).run(requests)
         assert result.count == 6
         assert result.replans == 0
+
+
+class TestThroughputAccounting:
+    """Regression (ISSUE 3): throughput used to divide by the makespan
+    measured from t=0, so idle lead-in before the first arrival
+    deflated the reported rate."""
+
+    def test_idle_lead_in_does_not_deflate_throughput(self):
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=10.0 + 0.05 * idx)
+            for idx in range(4)
+        ]
+        result = OnlineScheduler(cluster=_small_cluster()).run(requests)
+        # The serving window starts at the first arrival (t=10), not t=0.
+        assert result.makespan_s > 10.0
+        assert result.span_s < result.makespan_s - 9.0
+        assert result.throughput_rps() == pytest.approx(result.count / result.span_s)
+        # The old accounting (count / makespan-from-0) was well below that.
+        assert result.throughput_rps() > 2.0 * (result.count / result.makespan_s)
+
+    def test_steady_state_rate_excludes_fill_time(self):
+        requests = request_sequence(["tiny_cnn"] * 8, interval_s=0.05)
+        result = OnlineScheduler(cluster=_small_cluster()).run(requests)
+        completions = sorted(record.completed_s for record in result.served)
+        expected = (result.count - 1) / (completions[-1] - completions[0])
+        assert result.steady_state_rps() == pytest.approx(expected)
+
+    def test_single_request_rates_degenerate_gracefully(self):
+        result = OnlineScheduler(cluster=_small_cluster()).run(single_request("tiny_cnn"))
+        assert result.throughput_rps() > 0
+        assert result.steady_state_rps() == result.throughput_rps()
 
 
 class TestDeterminism:

@@ -1,0 +1,277 @@
+"""Sharded scheduler tests: legacy equivalence, shard partitioning,
+work stealing, priorities, preemption, planning-overhead charging."""
+
+import pytest
+
+from repro.core.hidp import HiDPStrategy
+from repro.dnn.models import MODEL_NAMES
+from repro.platform.cluster import build_cluster
+from repro.serving import (
+    ASSIGN_MODEL,
+    PLANNING_OFF,
+    OnlineScheduler,
+    ShardedScheduler,
+)
+from repro.workloads.arrivals import bursty_stream, poisson_stream
+from repro.workloads.requests import InferenceRequest
+
+
+def _small_cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+def _timeline(result):
+    return [
+        (record.request.request_id, record.dispatched_s, record.completed_s, record.replanned)
+        for record in result.served
+    ]
+
+
+class TestLegacyEquivalence:
+    """The ISSUE 3 acceptance bar: one shard, no priorities, planning
+    charging off and the min load view reproduce the single-leader
+    scheduler's event schedule exactly."""
+
+    def _legacy(self, **kwargs):
+        return ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=1,
+            planning_overhead=PLANNING_OFF,
+            load_view="min",
+            **kwargs,
+        )
+
+    def test_poisson_stream_byte_identical(self):
+        requests = poisson_stream(MODEL_NAMES[:2], 4.0, 15, seed=42)
+        base = OnlineScheduler(cluster=_small_cluster()).run(requests)
+        sharded = self._legacy().run(requests)
+        assert _timeline(base) == _timeline(sharded)
+        assert base.batches == sharded.batches
+        assert base.replans == sharded.replans
+        assert base.max_batch_observed == sharded.max_batch_observed
+
+    def test_simultaneous_burst_byte_identical(self):
+        requests = [
+            InferenceRequest(request_id=idx, model="resnet152", arrival_s=0.0)
+            for idx in range(5)
+        ]
+        base = OnlineScheduler(cluster=_small_cluster(), max_inflight=2).run(requests)
+        sharded = self._legacy(max_inflight=2).run(requests)
+        assert _timeline(base) == _timeline(sharded)
+
+    def test_legacy_mode_charges_nothing(self):
+        requests = poisson_stream(("tiny_cnn",), 5.0, 6, seed=1)
+        result = self._legacy().run(requests)
+        assert result.planning_charged_s == 0.0
+        assert result.steals == 0
+        assert result.preemptions == 0
+
+
+class TestSharding:
+    def test_all_served_across_shards(self):
+        requests = poisson_stream(MODEL_NAMES, 5.0, 24, seed=5)
+        result = ShardedScheduler(cluster=_small_cluster(), num_shards=3).run(requests)
+        assert result.count == 24
+        assert result.shards == 3
+        assert [record.request.request_id for record in result.served] == list(range(24))
+        result.busy.assert_no_overlaps()
+
+    def test_shards_dispatch_concurrently(self):
+        """A simultaneous burst split over two shards forms two batches
+        in the same instant -- one dispatcher would form one."""
+        requests = [
+            InferenceRequest(request_id=idx, model=MODEL_NAMES[idx % 2], arrival_s=0.0)
+            for idx in range(8)
+        ]
+        single = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, planning_overhead=PLANNING_OFF
+        ).run(requests)
+        sharded = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, planning_overhead=PLANNING_OFF
+        ).run(requests)
+        assert sharded.count == single.count == 8
+        assert sharded.batches > single.batches
+        assert sharded.max_batch_observed < single.max_batch_observed
+
+    def test_model_affinity_pins_models_to_shards(self):
+        """With model affinity and a two-model stream over two shards,
+        each shard's batches are single-model."""
+        requests = [
+            InferenceRequest(request_id=idx, model=MODEL_NAMES[idx % 2], arrival_s=0.0)
+            for idx in range(8)
+        ]
+        scheduler = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, assignment=ASSIGN_MODEL
+        )
+        shard_of = scheduler._shard_of(requests)
+        shards_by_model = {}
+        for request in requests:
+            shards_by_model.setdefault(request.model, set()).add(shard_of(request))
+        assert all(len(shards) == 1 for shards in shards_by_model.values())
+        assert len({next(iter(s)) for s in shards_by_model.values()}) == 2
+        result = scheduler.run(requests)
+        assert result.count == 8
+
+    def test_work_stealing_wakes_idle_shards(self):
+        """A deep single-model pileup lands on one shard under model
+        affinity; the overloaded dispatcher donates its leftover to the
+        shard parked on an empty queue."""
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=0.0)
+            for idx in range(12)
+        ]
+        result = ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=2,
+            max_batch=4,
+            assignment=ASSIGN_MODEL,
+        ).run(requests)
+        assert result.count == 12
+        assert result.steals > 0
+        result.busy.assert_no_overlaps()
+
+    def test_determinism(self):
+        requests = bursty_stream(
+            MODEL_NAMES, burst_size=6, num_bursts=3, mean_gap_s=2.0, seed=11,
+            priority_weights={0: 0.3, 1: 0.7},
+        )
+        def once():
+            return _timeline(
+                ShardedScheduler(cluster=_small_cluster(), num_shards=2).run(requests)
+            )
+        assert once() == once()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedScheduler(assignment="round-robin")
+        with pytest.raises(ValueError):
+            ShardedScheduler(load_view="median")
+        with pytest.raises(ValueError):
+            ShardedScheduler(planning_overhead="free")
+        with pytest.raises(ValueError):
+            ShardedScheduler(planning_overhead=-0.01)
+        with pytest.raises(ValueError):
+            ShardedScheduler(steal_threshold=0)
+        with pytest.raises(ValueError):
+            ShardedScheduler().run([])
+
+
+def _contended_stream():
+    """Three slow low-priority requests grab both slots at t=0; an
+    urgent request arrives mid-flight."""
+    return [
+        InferenceRequest(request_id=0, model="resnet152", arrival_s=0.0, priority=2),
+        InferenceRequest(request_id=1, model="resnet152", arrival_s=0.0, priority=2),
+        InferenceRequest(request_id=2, model="resnet152", arrival_s=0.0, priority=2),
+        InferenceRequest(request_id=3, model="tiny_cnn", arrival_s=0.05, priority=0),
+    ]
+
+
+class TestPriorities:
+    def test_preemption_fires_under_contention(self):
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, max_inflight=2
+        ).run(_contended_stream())
+        assert result.count == 4
+        assert result.preemptions >= 1
+        result.busy.assert_no_overlaps()
+
+    def test_preemption_never_loses_requests(self):
+        """Preempted work resumes and completes: bounded priority
+        spread cannot starve the background class."""
+        requests = bursty_stream(
+            ("tiny_cnn", "tiny_residual"), burst_size=6, num_bursts=3,
+            mean_gap_s=1.0, seed=7, priority_weights={0: 0.4, 1: 0.3, 3: 0.3},
+        )
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, max_inflight=2
+        ).run(requests)
+        assert result.count == len(requests)
+        served_priorities = {record.request.priority for record in result.served}
+        assert served_priorities == {0, 1, 3}
+        result.busy.assert_no_overlaps()
+
+    def test_urgent_request_no_slower_with_preemption(self):
+        def urgent_latency(preemption):
+            result = ShardedScheduler(
+                cluster=_small_cluster(),
+                num_shards=1,
+                max_inflight=2,
+                preemption=preemption,
+            ).run(_contended_stream())
+            (record,) = [r for r in result.served if r.request.priority == 0]
+            return record.latency_s
+
+        assert urgent_latency(True) <= urgent_latency(False)
+
+    def test_priority_percentiles_reported_per_class(self):
+        requests = bursty_stream(
+            ("tiny_cnn",), burst_size=5, num_bursts=2, mean_gap_s=1.0, seed=3,
+            priority_weights={0: 0.5, 2: 0.5},
+        )
+        result = ShardedScheduler(cluster=_small_cluster(), num_shards=2).run(requests)
+        by_priority = result.percentiles_by_priority()
+        assert set(by_priority) == {0, 2}
+        for classes in by_priority.values():
+            assert 0 < classes["p50"] <= classes["p99"]
+
+
+class TestPlanningCharge:
+    @staticmethod
+    def _labels(result):
+        labels = set()
+        for key in result.busy.keys():
+            for interval in result.busy.intervals(key):
+                labels.add(interval.label)
+        return labels
+
+    def test_bucket_mode_charges_fresh_plans_only(self):
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=0.2 * idx)
+            for idx in range(6)
+        ]
+        strategy = HiDPStrategy()
+        result = ShardedScheduler(
+            cluster=_small_cluster(), strategy=strategy, num_shards=1
+        ).run(requests)
+        # One model, one load bucket: a single fresh plan is charged no
+        # matter how many requests reuse the cached decision.
+        assert result.planning_charged_s == pytest.approx(strategy.dse_overhead_s)
+        assert "batch_dse" in self._labels(result)
+
+    def test_charging_replaces_per_request_explore(self):
+        requests = [InferenceRequest(request_id=0, model="tiny_cnn", arrival_s=0.0)]
+        charged = ShardedScheduler(cluster=_small_cluster(), num_shards=1).run(requests)
+        legacy = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, planning_overhead=PLANNING_OFF
+        ).run(requests)
+        assert "batch_dse" in self._labels(charged)
+        assert "global_dse" not in self._labels(charged)
+        assert "global_dse" in self._labels(legacy)
+        assert "batch_dse" not in self._labels(legacy)
+
+    def test_fixed_overhead_mode(self):
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=0.0)
+            for idx in range(4)
+        ]
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, planning_overhead=0.02
+        ).run(requests)
+        # One batch, no drift replans expected for an idle cluster start;
+        # every planning pass charges the fixed 20 ms.
+        assert result.planning_charged_s == pytest.approx(0.02 * (1 + result.replans))
+
+    def test_planning_charge_delays_dispatch(self):
+        requests = [InferenceRequest(request_id=0, model="tiny_cnn", arrival_s=0.0)]
+        charged = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, planning_overhead=0.05
+        ).run(requests)
+        free = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, planning_overhead=PLANNING_OFF
+        ).run(requests)
+        # DSE time is now visible to serving latency (>= the charge,
+        # minus the per-request explore the charged mode no longer pays).
+        assert charged.served[0].latency_s > free.served[0].latency_s

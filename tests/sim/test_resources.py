@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.engine import Environment, SimulationError
-from repro.sim.resources import Resource, Store
+from repro.sim.resources import PriorityResource, Resource, Store
 
 
 class TestResource:
@@ -76,6 +76,147 @@ class TestResource:
             Resource(Environment(), capacity=0)
 
 
+class TestPriorityResource:
+    def _user(self, env, resource, finish, tag, priority, hold=1.0):
+        def process():
+            req = resource.request(priority=priority)
+            yield req
+            yield env.timeout(hold)
+            resource.release(req)
+            finish.append((env.now, tag))
+
+        return process
+
+    def test_urgent_waiter_overtakes(self):
+        """Slots free most-urgent-first, regardless of arrival order."""
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        finish = []
+        env.process(self._user(env, resource, finish, "first", priority=1)())
+        env.process(self._user(env, resource, finish, "background", priority=2)())
+        env.process(self._user(env, resource, finish, "urgent", priority=0)())
+        env.run()
+        assert [tag for _, tag in finish] == ["first", "urgent", "background"]
+
+    def test_fifo_within_priority(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        finish = []
+        for tag in "abcd":
+            env.process(self._user(env, resource, finish, tag, priority=3)())
+        env.run()
+        assert finish == [(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "d")]
+
+    def test_single_priority_matches_fifo_resource(self):
+        """With one priority class the grant schedule is exactly
+        :class:`Resource`'s -- the sharded scheduler's legacy-equivalence
+        guarantee rests on this."""
+
+        def timeline(make_resource, request):
+            env = Environment()
+            resource = make_resource(env)
+            finish = []
+
+            def user(tag, hold):
+                req = request(resource)
+                yield req
+                yield env.timeout(hold)
+                resource.release(req)
+                finish.append((env.now, tag))
+
+            for idx, tag in enumerate("abcde"):
+                env.process(user(tag, 1.0 + 0.25 * idx))
+            env.run()
+            return finish
+
+        fifo = timeline(lambda env: Resource(env, capacity=2), lambda r: r.request())
+        prio = timeline(
+            lambda env: PriorityResource(env, capacity=2),
+            lambda r: r.request(priority=0, preemptible=True),
+        )
+        assert fifo == prio
+
+    def test_preempt_marks_least_urgent_preemptible_holder(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=2)
+        background = resource.request(priority=3, preemptible=True)
+        normal = resource.request(priority=1, preemptible=True)
+        urgent = resource.request(priority=0, preempt=True)
+        assert not urgent.triggered
+        assert background.preempt_requested
+        assert not normal.preempt_requested
+        assert resource.preempt_marks == 1
+        # The holder cooperates: releases and re-queues at its priority.
+        resource.release(background)
+        assert urgent.triggered
+        resumed = resource.request(priority=3, preemptible=True)
+        assert not resumed.triggered  # capacity full again: normal + urgent
+        resource.release(normal)
+        assert resumed.triggered
+
+    def test_no_preempt_mark_for_equal_priority(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        holder = resource.request(priority=1, preemptible=True)
+        resource.request(priority=1, preempt=True)
+        assert not holder.preempt_requested
+        assert resource.preempt_marks == 0
+
+    def test_non_preemptible_holders_never_marked(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        holder = resource.request(priority=5, preemptible=False)
+        resource.request(priority=0, preempt=True)
+        assert not holder.preempt_requested
+
+    def test_marks_spread_over_distinct_victims(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=2)
+        first = resource.request(priority=2, preemptible=True)
+        second = resource.request(priority=3, preemptible=True)
+        resource.request(priority=0, preempt=True)
+        resource.request(priority=0, preempt=True)
+        assert second.preempt_requested  # least urgent marked first
+        assert first.preempt_requested  # second mark moves to the next victim
+        assert resource.preempt_marks == 2
+
+    def test_no_starvation_under_bounded_priority_spread(self):
+        """A finite mixed-priority workload all completes: urgent work
+        overtakes but never cancels queued background requests."""
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        finish = []
+        for idx in range(12):
+            priority = idx % 3
+            env.process(
+                self._user(env, resource, finish, f"r{idx}", priority=priority, hold=0.5)()
+            )
+        env.run()
+        assert len(finish) == 12
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        first = resource.request(priority=0)
+        second = resource.request(priority=1)
+        resource.release(second)  # cancel while waiting
+        assert resource.queue_length == 0
+        resource.release(first)
+        assert resource.in_use == 0
+
+    def test_release_foreign_request_rejected(self):
+        env = Environment()
+        r1 = PriorityResource(env, capacity=1)
+        r2 = PriorityResource(env, capacity=1)
+        req = r1.request()
+        with pytest.raises(SimulationError):
+            r2.release(req)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            PriorityResource(Environment(), capacity=0)
+
+
 class TestStore:
     def test_put_then_get(self):
         env = Environment()
@@ -127,3 +268,15 @@ class TestStore:
         assert store.size == 0
         store.put("a")
         assert store.size == 1
+
+    def test_get_nowait_pops_oldest(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert store.get_nowait() == "a"
+        assert store.size == 1
+
+    def test_get_nowait_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Environment()).get_nowait()

@@ -133,6 +133,51 @@ class TestStations:
         assert set(snapshot) == {"jetson_tx2", "jetson_nano"}
 
 
+class TestLoadViews:
+    """Per-station weighted snapshots (ISSUE 3): the min view
+    under-reports congestion whenever any processor idles."""
+
+    def _load_gpu(self, runtime):
+        gpu = runtime.station("jetson_tx2", "gpu_pascal")
+
+        def proc():
+            yield from gpu.run_task({"conv": 10**10})
+
+        runtime.env.process(proc())
+        runtime.env.run(until=0.01)
+        return gpu
+
+    def test_station_backlogs_keyed_by_processor(self, runtime):
+        self._load_gpu(runtime)
+        backlogs = runtime.station_backlogs("jetson_tx2")
+        assert set(backlogs) == {"cpu_denver2", "cpu_a57", "gpu_pascal"}
+        assert backlogs["gpu_pascal"] > 0
+        assert backlogs["cpu_denver2"] == 0.0
+
+    def test_weighted_view_sees_busy_gpu_through_idle_cpus(self, runtime):
+        gpu = self._load_gpu(runtime)
+        assert runtime.device_backlog("jetson_tx2", view="min") == 0.0
+        weighted = runtime.device_backlog("jetson_tx2", view="weighted")
+        # Strictly positive, dominated by the (fast, heavily weighted)
+        # GPU station, but averaged down by the idle CPU stations.
+        assert 0.0 < weighted < gpu.backlog_seconds
+
+    def test_weighted_snapshot_covers_all_devices(self, runtime):
+        self._load_gpu(runtime)
+        snapshot = runtime.load_snapshot(view="weighted")
+        assert set(snapshot) == {"jetson_tx2", "jetson_nano"}
+        assert snapshot["jetson_tx2"] > 0.0
+        assert snapshot["jetson_nano"] == 0.0
+
+    def test_views_agree_when_all_stations_equally_idle(self, runtime):
+        assert runtime.device_backlog("jetson_tx2", view="min") == 0.0
+        assert runtime.device_backlog("jetson_tx2", view="weighted") == 0.0
+
+    def test_unknown_view_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.load_snapshot(view="median")
+
+
 class TestNetworkChannel:
     def test_transfer_time(self, runtime):
         done = []

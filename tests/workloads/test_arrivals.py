@@ -130,3 +130,52 @@ class TestHeavyTailed:
             heavy_tailed_stream(MODELS, scale_s=0.1, num_requests=5, alpha=1.0)
         with pytest.raises(ValueError):
             heavy_tailed_stream(MODELS, scale_s=0.1, num_requests=0)
+
+
+class TestPriorityTagging:
+    """Priority threading (ISSUE 3): every generator tags requests with
+    seeded priorities; leaving priorities off changes nothing."""
+
+    def test_default_streams_untouched_by_priority_plumbing(self):
+        """``priority_weights=None`` performs no extra rng draws, so the
+        stream (arrivals, models, ids) is byte-identical to the legacy
+        generator and every request carries the default priority."""
+        plain = poisson_stream(MODELS, 4.0, 30, seed=9)
+        tagged = poisson_stream(MODELS, 4.0, 30, seed=9, priority_weights=None)
+        assert plain == tagged
+        assert all(request.priority == 0 for request in plain)
+
+    def test_single_class_weights_leave_arrivals_unchanged(self):
+        plain = bursty_stream(MODELS, burst_size=4, num_bursts=3, mean_gap_s=1.0, seed=5)
+        tagged = bursty_stream(
+            MODELS, burst_size=4, num_bursts=3, mean_gap_s=1.0, seed=5,
+            priority_weights={0: 1.0},
+        )
+        assert [r.arrival_s for r in plain] == [r.arrival_s for r in tagged]
+        assert [r.model for r in plain] == [r.model for r in tagged]
+        assert all(request.priority == 0 for request in tagged)
+
+    def test_priorities_drawn_from_weights(self):
+        requests = heavy_tailed_stream(
+            MODELS, scale_s=0.1, num_requests=200, seed=3,
+            priority_weights={0: 0.3, 2: 0.7},
+        )
+        drawn = {request.priority for request in requests}
+        assert drawn == {0, 2}
+        urgent = sum(1 for request in requests if request.priority == 0)
+        assert 0.15 < urgent / len(requests) < 0.45
+
+    def test_priority_draws_are_seeded_deterministic(self):
+        kwargs = dict(rate_rps=5.0, num_requests=50, seed=12,
+                      priority_weights={0: 0.5, 1: 0.5})
+        first = poisson_stream(MODELS, **kwargs)
+        second = poisson_stream(MODELS, **kwargs)
+        assert first == second
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_stream(MODELS, 4.0, 5, priority_weights={})
+        with pytest.raises(ValueError):
+            poisson_stream(MODELS, 4.0, 5, priority_weights={0: 0.0})
+        with pytest.raises(ValueError):
+            poisson_stream(MODELS, 4.0, 5, priority_weights={0: -1.0, 1: 2.0})

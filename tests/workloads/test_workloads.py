@@ -38,6 +38,15 @@ class TestRequests:
             InferenceRequest(0, "m", -1.0)
         with pytest.raises(ValueError):
             InferenceRequest(-1, "m", 0.0)
+        with pytest.raises(ValueError):
+            InferenceRequest(0, "m", 0.0, priority=-1)
+
+    def test_priority_defaults_to_normal(self):
+        request = InferenceRequest(0, "m", 0.0)
+        assert request.priority == 0
+        urgent = InferenceRequest(1, "m", 0.0, priority=0)
+        background = InferenceRequest(2, "m", 0.0, priority=3)
+        assert urgent.priority < background.priority
 
 
 class TestMixes:
