@@ -1,13 +1,30 @@
 """Benchmark fixtures.
 
 Each benchmark regenerates one paper artefact (table or figure) and
-prints the resulting rows, so ``pytest benchmarks/ --benchmark-only -s``
+prints the resulting rows, so ``pytest -m bench --benchmark-only -s``
 doubles as the reproduction report.
+
+Everything collected here is auto-marked ``bench`` (including every
+``BENCH_*.json`` writer), so tier-1 (``pytest -x -q``) skips the
+benchmarks by default and ``pytest -m bench`` runs the regression gates
+explicitly -- see pytest.ini.
 """
+
+from pathlib import Path
 
 import pytest
 
 from repro.platform.cluster import build_cluster
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole collected session; only mark this
+    # directory's items.
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,221 @@
+"""Bench: serving-scale hot path (ISSUE 4) + the events/sec gate.
+
+One artifact (``BENCH_engine.json``), one seeded workload: a 5000-request
+Poisson stream (4 rps, round-robin over the four evaluation models)
+through the sharded scheduler at 4 leader dispatchers.  Planning-overhead
+charging is off for this stream so the event schedule is independent of
+plan-cache state -- which makes warm (steady-state) timing runs
+schedule-identical to cold ones, pinned below via ``sim_events``.
+
+Two sections, same old-vs-new methodology as ``BENCH_dse.json``:
+
+1. **Pinned-schedule equivalence.**  The stream runs once per
+   configuration -- reference paths (``REPRO_SIM_FASTPATH=0`` +
+   ``REPRO_DSE_FASTPATH=0``, the seed engine and pure-Python DSE with
+   full traces) and fast paths (optimized engine + batched staged
+   search), plus a fast run with ``trace_level="aggregate"``.  All
+   three must produce byte-identical schedules: same per-request
+   dispatch/completion times, same scheduled-event count, same busy
+   intervals (full-trace runs compared interval by interval), same
+   energy/FLOPs/byte totals.  Identical timelines under identical
+   workloads means identical *plans* too -- a diverging staged search
+   or DP kernel would shift every downstream timestamp.
+
+2. **Events/sec gate.**  Old: the reference configuration, cold caches
+   (seed behaviour, like the BENCH_dse "old" side).  New: all fast
+   paths with warm plan-level caches (the steady state a serving
+   middleware sees, like the BENCH_dse "new" side) and aggregate
+   traces.  The gate asserts the fast path sustains at least
+   ``GATE_MIN_SPEEDUP``x the reference events/sec on the same stream.
+
+The result memos in ``repro.core.dp`` (and the partition memos behind
+them) are cleared before every cold measurement so no configuration is
+subsidised by another's warm cache.
+"""
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.core.dp import clear_result_memos
+from repro.core.hidp import HiDPStrategy
+from repro.dnn.models import MODEL_NAMES
+from repro.platform.cluster import build_cluster
+from repro.serving import ShardedScheduler
+from repro.sim.trace import TRACE_AGGREGATE, TRACE_FULL
+from repro.workloads.arrivals import poisson_stream
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: The seeded serving stream: 5000 requests at 4 rps.
+NUM_REQUESTS = 5000
+RATE_RPS = 4.0
+STREAM_SEED = 7
+#: Scheduler configuration (charging off: see module docstring).
+NUM_SHARDS = 4
+MAX_INFLIGHT = 8
+#: Timing repeats (min-of-N is the noise-robust comparison).
+OLD_REPEATS = 2
+NEW_REPEATS = 3
+GATE_MIN_SPEEDUP = 3.0
+
+
+@contextmanager
+def _hatches(sim: str, dse: str):
+    """Pin both fast-path hatches, restoring the caller's settings."""
+    previous = {
+        name: os.environ.get(name)
+        for name in ("REPRO_SIM_FASTPATH", "REPRO_DSE_FASTPATH")
+    }
+    os.environ["REPRO_SIM_FASTPATH"] = sim
+    os.environ["REPRO_DSE_FASTPATH"] = dse
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _stream():
+    return poisson_stream(
+        MODEL_NAMES, rate_rps=RATE_RPS, num_requests=NUM_REQUESTS, seed=STREAM_SEED
+    )
+
+
+def _run(requests, strategy=None, trace_level=TRACE_FULL):
+    scheduler = ShardedScheduler(
+        cluster=build_cluster(),
+        strategy=strategy if strategy is not None else HiDPStrategy(),
+        num_shards=NUM_SHARDS,
+        max_inflight=MAX_INFLIGHT,
+        planning_overhead="off",
+        trace_level=trace_level,
+    )
+    start = time.perf_counter()
+    result = scheduler.run(requests)
+    return time.perf_counter() - start, result
+
+
+def _timeline(result):
+    return [
+        (
+            record.request.request_id,
+            record.arrival_s,
+            record.dispatched_s,
+            record.completed_s,
+            record.replanned,
+        )
+        for record in result.served
+    ]
+
+
+def _assert_schedule_identical(reference, candidate, label):
+    assert _timeline(reference) == _timeline(candidate), f"{label}: timelines diverge"
+    assert reference.sim_events == candidate.sim_events, f"{label}: event counts diverge"
+    assert reference.makespan_s == candidate.makespan_s, f"{label}: makespan diverges"
+    assert reference.total_flops == candidate.total_flops
+    assert reference.network_bytes == candidate.network_bytes
+    assert reference.batches == candidate.batches
+    assert reference.replans == candidate.replans
+    assert reference.steals == candidate.steals
+
+
+def test_bench_engine_events_per_second_gate():
+    requests = _stream()
+
+    # -- Section 1: pinned-schedule equivalence -------------------------
+    with _hatches(sim="0", dse="0"):
+        clear_result_memos()
+        old_times = []
+        old_result = None
+        for _ in range(OLD_REPEATS):
+            clear_result_memos()
+            elapsed, old_result = _run(requests)  # fresh strategy: cold
+            old_times.append(elapsed)
+
+    with _hatches(sim="1", dse="1"):
+        clear_result_memos()
+        _, fast_full = _run(requests, trace_level=TRACE_FULL)
+
+        _assert_schedule_identical(old_result, fast_full, "fast-vs-reference")
+        # Full traces on both sides: compare busy intervals exactly.
+        assert sorted(old_result.busy.keys()) == sorted(fast_full.busy.keys())
+        for key in old_result.busy.keys():
+            assert old_result.busy.intervals(key) == fast_full.busy.intervals(key), (
+                f"busy intervals diverge on {key}"
+            )
+
+        # -- Section 2: events/sec, old-vs-new --------------------------
+        strategy = HiDPStrategy()
+        _run(requests, strategy=strategy, trace_level=TRACE_AGGREGATE)  # warm
+        new_times = []
+        new_result = None
+        for _ in range(NEW_REPEATS):
+            elapsed, new_result = _run(
+                requests, strategy=strategy, trace_level=TRACE_AGGREGATE
+            )
+            new_times.append(elapsed)
+
+        _assert_schedule_identical(old_result, new_result, "aggregate-vs-reference")
+        # Aggregate totals must match the full-trace run exactly.
+        for key in fast_full.busy.keys():
+            assert new_result.busy.busy_seconds(key) == fast_full.busy.busy_seconds(key)
+        assert new_result.energy_j == fast_full.energy_j == old_result.energy_j
+
+    events = old_result.sim_events
+    old_best, new_best = min(old_times), min(new_times)
+    old_eps, new_eps = events / old_best, events / new_best
+    speedup = new_eps / old_eps
+
+    artifact = {
+        "bench": "engine_serving_hot_path",
+        "description": (
+            "5000-request seeded Poisson stream (4 rps, four models) through "
+            "the 4-shard scheduler: reference paths cold (REPRO_SIM_FASTPATH=0 "
+            "+ REPRO_DSE_FASTPATH=0, full traces -- the pre-overhaul engine "
+            "and DSE, seed behaviour) vs the optimized engine + batched "
+            "staged search with warm plan-level caches and aggregate traces "
+            "(steady state).  Schedules are asserted byte-identical across "
+            "all configurations before timing."
+        ),
+        "gate": {"min_speedup": GATE_MIN_SPEEDUP},
+        "stream": {
+            "requests": NUM_REQUESTS,
+            "rate_rps": RATE_RPS,
+            "seed": STREAM_SEED,
+            "models": list(MODEL_NAMES),
+            "num_shards": NUM_SHARDS,
+            "max_inflight": MAX_INFLIGHT,
+            "planning_overhead": "off",
+        },
+        "sim_events": events,
+        "makespan_s": old_result.makespan_s,
+        "old": {
+            "times_s": old_times,
+            "best_s": old_best,
+            "events_per_sec": old_eps,
+        },
+        "new": {
+            "times_s": new_times,
+            "best_s": new_best,
+            "events_per_sec": new_eps,
+        },
+        "speedup": speedup,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print(
+        f"engine bench: {events} events, old {old_best:.2f}s "
+        f"({old_eps / 1e3:.0f}k ev/s) -> new {new_best:.2f}s "
+        f"({new_eps / 1e3:.0f}k ev/s), {speedup:.1f}x"
+    )
+
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"engine fast path regressed: {speedup:.2f}x < {GATE_MIN_SPEEDUP}x "
+        f"(old {old_best:.2f}s, new {new_best:.2f}s for {events} events)"
+    )

@@ -287,11 +287,15 @@ _SHARES_RESULTS_MAX = 8192
 
 def clear_result_memos() -> None:
     """Drop the module-level result memos (share plans, pipeline plans,
-    coarsened spans).  Benchmarks call this between measurements so a
-    warmed memo from one configuration cannot subsidise another."""
+    coarsened spans, assembled partitions).  Benchmarks call this
+    between measurements so a warmed memo from one configuration cannot
+    subsidise another."""
+    from repro.dnn.partition import clear_partition_memos
+
     _SHARES_RESULTS.clear()
     _PIPELINE_RESULTS.clear()
     _COARSEN_CACHE.clear()
+    clear_partition_memos()
 
 
 #: Per-quanta cache of the (r, q) index geometry shared by every sweep.

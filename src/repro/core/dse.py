@@ -389,43 +389,24 @@ def _exchange_equiv_bytes_walk(
     return halo_bytes + int(2 * events * latency_s * bandwidth_bytes_s)
 
 
-def explore_data_exchange(
+def _exchange_share_items(
     graph: DNNGraph,
     segments: Sequence[Segment],
     seg_range: Tuple[int, int],
-    executors: Sequence[ExecutorModel],
-    intra_latency_s: float,
-    intra_bw_bytes_s: float,
-    quanta: int = 10,
-    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
-    max_cuts: int = 10,
-    min_sigma: int = 2,
-    table: Optional[SegmentTable] = None,
-) -> Optional[ExchangeDecision]:
-    """Best intra-device data split with per-layer halo exchange.
+    max_cuts: int,
+    table: SegmentTable,
+) -> Tuple[List[int], List[Tuple[Dict[str, int], int, int]]]:
+    """The (valid cuts, share-DP workload items) of one exchange search.
 
-    Same (depth, sigma, shares) search as :func:`explore_data`, but
-    tiles stay resident through the chunk and swap halo rows over the
-    memory fabric instead of recomputing them -- the semantics that
-    makes thin CPU tiles viable on small feature maps.
+    Separated from :func:`explore_data_exchange` so the staged local
+    search can gather the items of *every* reachable stage start and
+    price them in a single :func:`data_shares_dp_batch` sweep
+    (:class:`StagedExchangeSearch`).
     """
-    lo, hi = seg_range
-    if table is None:
-        table = SegmentTable(segments)
+    lo, _ = seg_range
     cuts = candidate_cuts(graph, segments, seg_range, max_cuts, table=table)
-    if not cuts:
-        return None
-    if tail_seconds is None:
-
-        def tail_seconds(tail_range: Tuple[int, int]) -> float:
-            return executors[0].compute_seconds(
-                table.range_flops(tail_range[0], tail_range[1]),
-                table.range_ops(tail_range[0], tail_range[1]),
-            )
-
-    # One batched share-DP sweep prices every candidate cut at once.
     valid_cuts = [cut for cut in cuts if table.range_flops_total(lo, cut) != 0]
-    entry_bytes = segments[lo].in_spec.size_bytes
+    entry_bytes = segments[lo].in_spec.size_bytes if segments else 0
     items = [
         (
             table.range_flops(lo, cut),
@@ -434,7 +415,32 @@ def explore_data_exchange(
         )
         for cut in valid_cuts
     ]
-    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+    return valid_cuts, items
+
+
+def _select_exchange_decision(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    valid_cuts: Sequence[int],
+    items: Sequence[Tuple[Dict[str, int], int, int]],
+    share_plans: Sequence["SharePlan"],
+    intra_latency_s: float,
+    intra_bw_bytes_s: float,
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]],
+    min_sigma: int,
+    table: SegmentTable,
+) -> Optional[ExchangeDecision]:
+    """Pick the best exchange decision from priced candidate cuts."""
+    lo, hi = seg_range
+    if tail_seconds is None:
+
+        def tail_seconds(tail_range: Tuple[int, int]) -> float:
+            return executors[0].compute_seconds(
+                table.range_flops(tail_range[0], tail_range[1]),
+                table.range_ops(tail_range[0], tail_range[1]),
+            )
 
     best: Optional[ExchangeDecision] = None
     for cut, (chunk_flops, wire, chunk_ops), share_plan in zip(valid_cuts, items, share_plans):
@@ -479,6 +485,141 @@ def explore_data_exchange(
                 tail_range=tail_range,
             )
     return best
+
+
+def explore_data_exchange(
+    graph: DNNGraph,
+    segments: Sequence[Segment],
+    seg_range: Tuple[int, int],
+    executors: Sequence[ExecutorModel],
+    intra_latency_s: float,
+    intra_bw_bytes_s: float,
+    quanta: int = 10,
+    tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
+    max_cuts: int = 10,
+    min_sigma: int = 2,
+    table: Optional[SegmentTable] = None,
+) -> Optional[ExchangeDecision]:
+    """Best intra-device data split with per-layer halo exchange.
+
+    Same (depth, sigma, shares) search as :func:`explore_data`, but
+    tiles stay resident through the chunk and swap halo rows over the
+    memory fabric instead of recomputing them -- the semantics that
+    makes thin CPU tiles viable on small feature maps.
+    """
+    if table is None:
+        table = SegmentTable(segments)
+    valid_cuts, items = _exchange_share_items(graph, segments, seg_range, max_cuts, table)
+    # One batched share-DP sweep prices every candidate cut at once.
+    share_plans = data_shares_dp_batch(items, executors, quanta=quanta)
+    return _select_exchange_decision(
+        graph, segments, seg_range, executors, valid_cuts, items, share_plans,
+        intra_latency_s, intra_bw_bytes_s, tail_seconds, min_sigma, table,
+    )
+
+
+class StagedExchangeSearch:
+    """Batched pricing for the staged (chunk-wise) local data search.
+
+    The staged search consumes a segment range front to back: each
+    stage picks a depth cut for the remaining range ``[start..hi]`` and
+    recurses on the tail ``[cut+1..hi]``.  Run per stage, every
+    iteration pays one share-DP sweep; this helper instead walks the
+    *reachable stage starts* up front (breadth-first over candidate
+    cuts, bounded by ``max_stages``), prices every (start, cut) item in
+    a single :func:`data_shares_dp_batch` sweep, and then resolves each
+    visited start's decision lazily from the pre-priced plans --
+    byte-identical to per-stage :func:`explore_data_exchange` calls,
+    because each item's DP is independent of its batch neighbours.
+    """
+
+    def __init__(
+        self,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        seg_range: Tuple[int, int],
+        executors: Sequence[ExecutorModel],
+        intra_latency_s: float,
+        intra_bw_bytes_s: float,
+        quanta: int = 10,
+        tail_seconds: Optional[Callable[[Tuple[int, int]], float]] = None,
+        max_cuts: int = 10,
+        min_sigma: int = 2,
+        table: Optional[SegmentTable] = None,
+        max_stages: int = 8,
+    ):
+        lo, hi = seg_range
+        if table is None:
+            table = SegmentTable(segments)
+        self._graph = graph
+        self._segments = segments
+        self._hi = hi
+        self._executors = executors
+        self._intra_latency_s = intra_latency_s
+        self._intra_bw_bytes_s = intra_bw_bytes_s
+        self._tail_seconds = tail_seconds
+        self._min_sigma = min_sigma
+        self._table = table
+        # Breadth-first reachability: stage k+1 can only start at
+        # ``cut + 1`` for a candidate cut of a stage-k start.
+        gathered: "Dict[int, Tuple[List[int], List[Tuple[Dict[str, int], int, int]]]]" = {}
+        frontier = [lo]
+        seen = {lo}
+        depth = 0
+        while frontier and depth < max_stages:
+            next_frontier: List[int] = []
+            for start in frontier:
+                valid_cuts, items = _exchange_share_items(
+                    graph, segments, (start, hi), max_cuts, table
+                )
+                gathered[start] = (valid_cuts, items)
+                for cut in valid_cuts:
+                    tail_start = cut + 1
+                    if tail_start <= hi and tail_start not in seen:
+                        seen.add(tail_start)
+                        next_frontier.append(tail_start)
+            frontier = next_frontier
+            depth += 1
+        # One sweep prices every (start, cut) pair the loop can visit.
+        all_items = [item for _, items in gathered.values() for item in items]
+        share_plans = data_shares_dp_batch(all_items, executors, quanta=quanta)
+        self._priced: Dict[int, Tuple[List[int], List, List]] = {}
+        offset = 0
+        for start, (valid_cuts, items) in gathered.items():
+            plans = share_plans[offset : offset + len(items)]
+            offset += len(items)
+            self._priced[start] = (valid_cuts, items, plans)
+        self._decisions: Dict[int, Optional[ExchangeDecision]] = {}
+
+    def decide(self, start: int) -> Optional[ExchangeDecision]:
+        """The exchange decision for the remaining range ``[start..hi]``.
+
+        Identical to ``explore_data_exchange(graph, segments, (start,
+        hi), ...)``; selection runs lazily so only visited stage starts
+        pay the (Python-level) cut scan.
+        """
+        if start in self._decisions:
+            return self._decisions[start]
+        priced = self._priced.get(start)
+        if priced is None:
+            raise KeyError(f"stage start {start} was not pre-priced")
+        valid_cuts, items, plans = priced
+        decision = _select_exchange_decision(
+            self._graph,
+            self._segments,
+            (start, self._hi),
+            self._executors,
+            valid_cuts,
+            items,
+            plans,
+            self._intra_latency_s,
+            self._intra_bw_bytes_s,
+            self._tail_seconds,
+            self._min_sigma,
+            self._table,
+        )
+        self._decisions[start] = decision
+        return decision
 
 
 @dataclass(frozen=True)

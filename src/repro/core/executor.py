@@ -46,6 +46,7 @@ from repro.metrics.results import InferenceResult
 from repro.platform.processor import KIND_CPU
 from repro.sim.engine import Event
 from repro.sim.runtime import SimRuntime
+from repro.sim.trace import TRACE_FULL
 from repro.workloads.requests import InferenceRequest
 
 #: Local DSE overhead charged on each node that runs a local search.
@@ -80,6 +81,54 @@ class PlanExecutor:
         self.runtime = runtime
         self.charge_local_map = charge_local_map
         self.charge_explore = charge_explore
+        # FSM traces are per-request artefacts; aggregate-trace runs
+        # skip them (results carry empty traces) like every other
+        # per-entry record.
+        self._record_fsm = runtime.trace_level == TRACE_FULL
+        # The memos below ride the simulation fast path
+        # (``REPRO_SIM_FASTPATH``), so the reference configuration keeps
+        # the seed's recompute-per-execution cost profile.
+        self._fast = runtime.env._fast
+        # Task durations are pure functions of the (immutable) task and
+        # its processor; serving runs execute the same cached plan's
+        # tasks thousands of times.  Values pin the task so the id key
+        # stays unambiguous.
+        self._task_seconds: dict = {}
+        # Intra-device transfer times, keyed by (device, size): the
+        # same plan moves the same tensors every execution.
+        self._devices = {device.name: device for device in runtime.cluster.devices}
+        self._transfer_seconds: dict = {}
+
+    def _local_transfer_seconds(self, device_name: str, size_bytes: int) -> float:
+        key = (device_name, size_bytes)
+        seconds = self._transfer_seconds.get(key)
+        if seconds is None:
+            seconds = self._devices[device_name].transfer_seconds(size_bytes)
+            if self._fast:
+                if len(self._transfer_seconds) > self.TASK_SECONDS_MAX:
+                    self._transfer_seconds.clear()
+                self._transfer_seconds[key] = seconds
+        return seconds
+
+    def _task_costs(self, station, task) -> tuple:
+        """(duration, total FLOPs) of a task, memoised by task identity."""
+        key = id(task)
+        hit = self._task_seconds.get(key)
+        if hit is not None and hit[0] is task:
+            return hit[1], hit[2]
+        duration = station.processor.task_seconds(
+            task.flops_by_class, num_ops=task.num_ops, pinned=task.pinned
+        )
+        total_flops = sum(task.flops_by_class.values())
+        if self._fast:
+            self._task_seconds[key] = (task, duration, total_flops)
+            if len(self._task_seconds) > self.TASK_SECONDS_MAX:
+                self._task_seconds.pop(next(iter(self._task_seconds)))
+        return duration, total_flops
+
+    #: Bound on the task-duration memo (a serving process cycles
+    #: through at most the plan cache's working set of tasks).
+    TASK_SECONDS_MAX = 16384
 
     # Helpers ----------------------------------------------------------------
 
@@ -149,16 +198,23 @@ class PlanExecutor:
     def _run_local(
         self, device_name: str, local: LocalExec, label: str
     ) -> Generator[Event, None, None]:
+        # Local tensor hand-offs are inlined single timeouts (exactly
+        # what SimRuntime.local_transfer yields) with memoised transfer
+        # times -- one fewer delegated generator per hand-off on the
+        # hottest execution path.
         env = self.runtime.env
         if local.mode == LOCAL_SINGLE:
             task = local.tasks[0]
-            yield from self.runtime.local_transfer(device_name, task.input_bytes)
+            yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
+            duration, total_flops = self._task_costs(station, task)
             yield from station.run_task(
                 task.flops_by_class,
                 label=task.label or label,
                 pinned=task.pinned,
                 num_ops=task.num_ops,
+                duration=duration,
+                total_flops=total_flops,
             )
             return
         if local.mode == LOCAL_DATA:
@@ -166,26 +222,34 @@ class PlanExecutor:
             for task in local.tasks:
 
                 def tile_flow(t=task) -> Generator[Event, None, None]:
-                    yield from self.runtime.local_transfer(device_name, t.input_bytes)
+                    yield env.timeout(self._local_transfer_seconds(device_name, t.input_bytes))
                     station = self.runtime.station(device_name, t.processor)
+                    duration, total_flops = self._task_costs(station, t)
                     yield from station.run_task(
                         t.flops_by_class,
                         label=t.label or label,
                         pinned=t.pinned,
                         num_ops=t.num_ops,
+                        duration=duration,
+                        total_flops=total_flops,
                     )
-                    yield from self.runtime.local_transfer(device_name, t.output_bytes)
+                    yield env.timeout(self._local_transfer_seconds(device_name, t.output_bytes))
 
                 children.append(env.process(tile_flow()))
             yield env.all_of(children)
             if local.tail is not None:
                 station = self.runtime.station(device_name, local.tail.processor)
-                yield from self.runtime.local_transfer(device_name, local.tail.input_bytes)
+                yield env.timeout(
+                    self._local_transfer_seconds(device_name, local.tail.input_bytes)
+                )
+                duration, total_flops = self._task_costs(station, local.tail)
                 yield from station.run_task(
                     local.tail.flops_by_class,
                     label=local.tail.label,
                     pinned=local.tail.pinned,
                     num_ops=local.tail.num_ops,
+                    duration=duration,
+                    total_flops=total_flops,
                 )
             return
         if local.mode == LOCAL_STAGED:
@@ -194,28 +258,38 @@ class PlanExecutor:
                 for task in stage:
 
                     def stage_flow(t=task) -> Generator[Event, None, None]:
-                        yield from self.runtime.local_transfer(device_name, t.input_bytes)
+                        yield env.timeout(
+                            self._local_transfer_seconds(device_name, t.input_bytes)
+                        )
                         station = self.runtime.station(device_name, t.processor)
+                        duration, total_flops = self._task_costs(station, t)
                         yield from station.run_task(
                             t.flops_by_class,
                             label=t.label or label,
                             pinned=t.pinned,
                             num_ops=t.num_ops,
+                            duration=duration,
+                            total_flops=total_flops,
                         )
-                        yield from self.runtime.local_transfer(device_name, t.output_bytes)
+                        yield env.timeout(
+                            self._local_transfer_seconds(device_name, t.output_bytes)
+                        )
 
                     children.append(env.process(stage_flow()))
                 yield env.all_of(children)
             return
         # pipeline
         for task in local.tasks:
-            yield from self.runtime.local_transfer(device_name, task.input_bytes)
+            yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
+            duration, total_flops = self._task_costs(station, task)
             yield from station.run_task(
                 task.flops_by_class,
                 label=task.label or label,
                 pinned=task.pinned,
                 num_ops=task.num_ops,
+                duration=duration,
+                total_flops=total_flops,
             )
 
     def _map_overhead(self, device_name: str, local: LocalExec) -> Generator[Event, None, None]:
@@ -253,7 +327,7 @@ class PlanExecutor:
         children = []
         for assignment in plan.assignments:
             trace = None
-            if assignment.device != leader:
+            if self._record_fsm and assignment.device != leader:
                 trace = FSMTrace(role="follower", node=assignment.device)
                 trace.enter(env.now, STATE_ANALYZE)
                 traces.append(trace)
@@ -280,7 +354,7 @@ class PlanExecutor:
                     previous, assignment.device, assignment.send_bytes, tag="block"
                 )
             trace = None
-            if assignment.device != leader:
+            if self._record_fsm and assignment.device != leader:
                 trace = FSMTrace(role="follower", node=assignment.device)
                 trace.enter(env.now, STATE_ANALYZE)
                 trace.enter(env.now, STATE_MAP)
@@ -317,40 +391,52 @@ class PlanExecutor:
         env = self.runtime.env
         leader = self.runtime.cluster.leader.name
         submitted = env.now
-        trace = FSMTrace(role="leader", node=leader)
-        traces: List[FSMTrace] = [trace]
-        trace.enter(env.now, STATE_ANALYZE)
+        record_fsm = self._record_fsm
+        traces: List[FSMTrace] = []
+        trace: Optional[FSMTrace] = None
+        if record_fsm:
+            trace = FSMTrace(role="leader", node=leader)
+            traces.append(trace)
+            trace.enter(env.now, STATE_ANALYZE)
         yield from self._probe(leader)
         started = env.now
         yield from self._pause_point(checkpoint)
 
-        trace.enter(env.now, STATE_EXPLORE)
+        if record_fsm:
+            trace.enter(env.now, STATE_EXPLORE)
         if self.charge_explore:
             yield from self._busy(leader, plan.dse_overhead_s, "global_dse")
         yield from self._pause_point(checkpoint)
 
-        trace.enter(env.now, STATE_OFFLOAD)
+        if record_fsm:
+            trace.enter(env.now, STATE_OFFLOAD)
         if plan.mode == MODE_DATA:
-            trace.enter(env.now, STATE_MAP)
-            trace.enter(env.now, STATE_EXECUTE)
+            if record_fsm:
+                trace.enter(env.now, STATE_MAP)
+                trace.enter(env.now, STATE_EXECUTE)
             yield from self._execute_data(leader, plan, traces)
         elif plan.mode == MODE_MODEL:
-            trace.enter(env.now, STATE_MAP)
-            trace.enter(env.now, STATE_EXECUTE)
+            if record_fsm:
+                trace.enter(env.now, STATE_MAP)
+                trace.enter(env.now, STATE_EXECUTE)
             yield from self._execute_model(leader, plan, traces, checkpoint)
         else:  # MODE_LOCAL
             assignment = plan.assignments[0]
-            trace.enter(env.now, STATE_MAP)
+            if record_fsm:
+                trace.enter(env.now, STATE_MAP)
             yield from self._map_overhead(leader, assignment.local)
-            trace.enter(env.now, STATE_EXECUTE)
+            if record_fsm:
+                trace.enter(env.now, STATE_EXECUTE)
             yield from self._run_local(leader, assignment.local, assignment.label)
 
         yield from self._pause_point(checkpoint)
-        trace.enter(env.now, STATE_OFFLOAD)  # gather & merge
+        if record_fsm:
+            trace.enter(env.now, STATE_OFFLOAD)  # gather & merge
         if plan.merge_exec is not None:
             yield from self._run_local(leader, plan.merge_exec, "merge")
         yield from self._busy(leader, MERGE_OVERHEAD_S, "merge")
-        trace.enter(env.now, STATE_ANALYZE)
+        if record_fsm:
+            trace.enter(env.now, STATE_ANALYZE)
 
         return InferenceResult(
             request_id=request.request_id,

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.dp import ExecutorModel, data_shares_dp, pipeline_cuts_dp, scale_flops
-from repro.core.dse import explore_data_exchange
+from repro.core.dse import StagedExchangeSearch, explore_data_exchange
+from repro.fastpath import fastpath_enabled
 from repro.core.plans import (
     LOCAL_DATA,
     LOCAL_PIPELINE,
@@ -158,16 +159,52 @@ class LocalPartitioner:
         remainder.  Tiles re-merge over shared memory at every stage
         boundary, so halo growth resets; the non-spatial tail becomes a
         final single-task stage on the best processor.
+
+        On the DSE fast path the per-stage search is *batched*: every
+        reachable stage start's candidate cuts are priced in one
+        share-DP sweep up front (:class:`~repro.core.dse.
+        StagedExchangeSearch`) instead of one sweep per stage.
+        Decisions -- and therefore stages and predictions -- are
+        byte-identical to the per-stage reference
+        (``REPRO_DSE_FASTPATH=0``); the randomized equivalence tests in
+        ``tests/core/test_staged_fastpath.py`` enforce this.
         """
-        lo, hi = seg_range
-        stages: List[Tuple[UnitTask, ...]] = []
-        predicted = 0.0
-        current = lo
-        while current <= hi and len(stages) < self.max_stages:
-            decision = explore_data_exchange(
+        if fastpath_enabled():
+            search = StagedExchangeSearch(
                 graph,
                 segments,
-                (current, hi),
+                seg_range,
+                self._models,
+                intra_latency_s=self.device.intra_latency_s,
+                intra_bw_bytes_s=self.device.intra_bw_bytes_s,
+                quanta=self.quanta,
+                tail_seconds=lambda tail_range: self._parallel_tail_estimate(
+                    table, tail_range
+                ),
+                min_sigma=2,
+                table=table,
+                max_stages=self.max_stages,
+            )
+            return self._staged_core(graph, segments, seg_range, label, table, search.decide)
+        return self._staged_reference(graph, segments, seg_range, label, table)
+
+    def _staged_reference(
+        self,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        seg_range: Tuple[int, int],
+        label: str,
+        table: SegmentTable,
+    ) -> Optional[LocalDecision]:
+        """Per-stage search (the seed behaviour, kept as the executable
+        spec): one :func:`explore_data_exchange` sweep per emitted
+        stage."""
+
+        def decide(current: int):
+            return explore_data_exchange(
+                graph,
+                segments,
+                (current, seg_range[1]),
                 self._models,
                 intra_latency_s=self.device.intra_latency_s,
                 intra_bw_bytes_s=self.device.intra_bw_bytes_s,
@@ -178,6 +215,26 @@ class LocalPartitioner:
                 min_sigma=2,
                 table=table,
             )
+
+        return self._staged_core(graph, segments, seg_range, label, table, decide)
+
+    def _staged_core(
+        self,
+        graph: DNNGraph,
+        segments: Sequence[Segment],
+        seg_range: Tuple[int, int],
+        label: str,
+        table: SegmentTable,
+        decide,
+    ) -> Optional[LocalDecision]:
+        """The staged consumption loop, parameterised by the per-stage
+        decision source (batched or per-stage reference)."""
+        lo, hi = seg_range
+        stages: List[Tuple[UnitTask, ...]] = []
+        predicted = 0.0
+        current = lo
+        while current <= hi and len(stages) < self.max_stages:
+            decision = decide(current)
             if decision is None:
                 break
             cut = decision.cut_segment

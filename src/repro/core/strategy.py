@@ -151,7 +151,7 @@ class Strategy(abc.ABC):
         return (
             graph.name,
             cluster.name,
-            tuple(sorted(cluster.availability_vector().items())),
+            cluster.availability_signature(),
             self.load_key(load),
         )
 

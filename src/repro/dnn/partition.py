@@ -275,7 +275,40 @@ def make_data_partition_from_shares(
     tier.  When a band is given, the tail is NOT included (the global
     merge owns it).  Raises :class:`PartitionError` if the range has no
     spatial prefix.
+
+    On the fast path, partitions over the graph's own memoised segment
+    chain are memoised per (range, shares, band): the DSE re-prices the
+    same handful of share splits against every load bucket, and a
+    :class:`DataPartition` is an immutable value.  Callers must treat
+    the returned partition (and its tiles) as read-only -- all in-repo
+    callers copy ``flops_by_class`` before mutating.
     """
+    use_memo = fastpath_enabled() and (segments is None or segments is graph.segments())
+    if use_memo:
+        per_graph = _PARTITIONS.setdefault(graph, OrderedDict())
+        key = (tuple(shares), seg_range, band)
+        hit = _lru_lookup(per_graph, key)
+        if hit is not None:
+            return hit
+    partition = _make_data_partition_from_shares(graph, shares, segments, seg_range, band)
+    if use_memo:
+        _lru_store(per_graph, key, partition, _PARTITIONS_MAX)
+    return partition
+
+
+#: Per-graph memo of assembled partitions (fast path only; see
+#: :func:`make_data_partition_from_shares`).
+_PARTITIONS: "WeakKeyDictionary[DNNGraph, OrderedDict]" = WeakKeyDictionary()
+_PARTITIONS_MAX = 2048
+
+
+def _make_data_partition_from_shares(
+    graph: DNNGraph,
+    shares: Sequence[float],
+    segments: Optional[Sequence[Segment]] = None,
+    seg_range: Optional[Tuple[int, int]] = None,
+    band: Optional[Tuple[int, int]] = None,
+) -> DataPartition:
     segs = segments if segments is not None else graph.segments()
     lo, hi = seg_range if seg_range is not None else (0, len(segs) - 1)
     prefix_lo, prefix_hi = spatial_prefix(graph, segs, (lo, hi))
@@ -387,6 +420,16 @@ _PREFIX_ARRAYS: "WeakKeyDictionary[DNNGraph, OrderedDict]" = WeakKeyDictionary()
 _PREFIX_ARRAYS_MAX = 128
 _TILE_COSTS: "WeakKeyDictionary[DNNGraph, OrderedDict]" = WeakKeyDictionary()
 _TILE_COSTS_MAX = 4096
+
+
+def clear_partition_memos() -> None:
+    """Drop the module-level partition memos (assembled partitions,
+    per-layer arrays, tile costs).  Benchmarks call this between
+    measurements so a warmed memo from one configuration cannot
+    subsidise another."""
+    _PARTITIONS.clear()
+    _PREFIX_ARRAYS.clear()
+    _TILE_COSTS.clear()
 
 
 def _lru_lookup(per_graph: "OrderedDict", key):

@@ -1,10 +1,23 @@
-"""Shared switch for the vectorized DSE fast path.
+"""Shared switches for the optimized hot paths.
 
-The numpy kernels in :mod:`repro.core.dp` and the vectorized tile
-pricing in :mod:`repro.dnn.partition` are byte-identical to their
-pure-Python references; this module centralises the (optional) numpy
-import and the ``REPRO_DSE_FASTPATH`` escape hatch so every layer gates
-on the same condition.
+Two orthogonal escape hatches, each selecting between a fast
+implementation and a pure-Python reference that is kept as the
+executable specification:
+
+- ``REPRO_DSE_FASTPATH=0`` forces the reference DP/DSE kernels: the
+  numpy kernels in :mod:`repro.core.dp`, the vectorized tile pricing in
+  :mod:`repro.dnn.partition` and the batched staged local search in
+  :mod:`repro.core.local_partitioner` all gate on
+  :func:`fastpath_enabled` (a missing numpy disables them too).
+- ``REPRO_SIM_FASTPATH=0`` forces the reference simulation engine path
+  (:mod:`repro.sim.engine`) and the seed-style trace/runtime hot paths:
+  :func:`sim_fastpath_enabled` is captured per
+  :class:`~repro.sim.engine.Environment` at construction.
+
+Both fast paths are byte-identical to their references -- plans, event
+schedules and traces match exactly; the hatches exist for the old-vs-new
+regression benches (``BENCH_dse.json``, ``BENCH_engine.json``) and as a
+diagnosis tool.
 """
 
 from __future__ import annotations
@@ -18,9 +31,20 @@ except ImportError:  # pragma: no cover - exercised via REPRO_DSE_FASTPATH=0
 
 
 def fastpath_enabled() -> bool:
-    """Whether the vectorized kernels are active.
+    """Whether the vectorized DSE kernels are active.
 
     Requires numpy; disable explicitly with ``REPRO_DSE_FASTPATH=0``
     (checked per call so tests and benches can toggle at runtime).
     """
     return np is not None and os.environ.get("REPRO_DSE_FASTPATH", "1") != "0"
+
+
+def sim_fastpath_enabled() -> bool:
+    """Whether the optimized simulation-engine path is active.
+
+    Pure Python (no numpy requirement); disable with
+    ``REPRO_SIM_FASTPATH=0``.  Checked when an
+    :class:`~repro.sim.engine.Environment` is created, so one
+    simulation run never mixes paths.
+    """
+    return os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.core.fsm import FSMTrace
-from repro.core.plans import ExecutionPlan
 from repro.sim.trace import BusyRecorder
+
+if TYPE_CHECKING:  # annotation-only: a runtime import would recreate the
+    # repro.metrics <-> repro.core import cycle this module used to have
+    # (importing repro.core.fsm initialises the repro.core package, whose
+    # __init__ pulls the executor, which imports back into repro.metrics).
+    from repro.core.fsm import FSMTrace
+    from repro.core.plans import ExecutionPlan
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ class Cluster:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate device names: {names}")
         self._available: Dict[str, bool] = {device.name: True for device in self.devices}
+        self._availability_signature: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # Topology -----------------------------------------------------------
 
@@ -62,6 +63,7 @@ class Cluster:
         if device_name not in self._available:
             raise KeyError(f"no device named {device_name!r}")
         self._available[device_name] = available
+        self._availability_signature = None
 
     def is_available(self, device_name: str) -> bool:
         return self._available[device_name]
@@ -69,6 +71,19 @@ class Cluster:
     def availability_vector(self) -> Dict[str, int]:
         """``A(N_phi) = {alpha_j}`` with 1 = available."""
         return {name: int(flag) for name, flag in self._available.items()}
+
+    def availability_signature(self) -> Tuple[Tuple[str, int], ...]:
+        """Hashable, name-sorted availability vector.
+
+        Plan-cache keys embed this on every lookup (several times per
+        scheduler batch), so it is cached and invalidated only by
+        :meth:`set_available`.
+        """
+        signature = self._availability_signature
+        if signature is None:
+            signature = tuple(sorted(self.availability_vector().items()))
+            self._availability_signature = signature
+        return signature
 
     def available_devices(self) -> Tuple[Device, ...]:
         return tuple(device for device in self.devices if self._available[device.name])

@@ -44,6 +44,19 @@ exactly.
 Both return a :class:`~repro.serving.scheduler.ServingResult` with
 latency percentiles (overall and per priority class), SLO attainment,
 wall + steady-state throughput, and scheduler counters.
+
+Large-scale streams (ISSUE 4): both schedulers accept
+``trace_level="aggregate"`` to record O(1) streaming trace aggregates
+(running busy totals, completion/byte counters) instead of
+materialising every busy interval, FLOPs completion, transfer and FSM
+transition -- the event schedule and every reported latency are
+byte-identical either way, only the per-entry views disappear.  The
+simulation itself runs on the optimized engine hot path
+(``REPRO_SIM_FASTPATH=0`` restores the seed engine) and planning on the
+batched DSE kernels (``REPRO_DSE_FASTPATH=0`` restores the pure-Python
+reference); ``benchmarks/test_bench_engine.py`` pins schedule
+equivalence across all of these on a 5000-request stream and gates the
+combined speedup.
 """
 
 from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult

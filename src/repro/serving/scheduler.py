@@ -47,7 +47,7 @@ from repro.metrics.serving import latency_percentiles, slo_attainment
 from repro.platform.cluster import Cluster, build_cluster
 from repro.sim.resources import Resource, Store
 from repro.sim.runtime import SimRuntime
-from repro.sim.trace import BusyRecorder
+from repro.sim.trace import TRACE_FULL, BusyRecorder, check_trace_level
 from repro.workloads.requests import InferenceRequest
 
 
@@ -110,6 +110,12 @@ class ServingResult:
     #: Simulated seconds of planning overhead charged on the scheduler
     #: CPU before dispatch (0 when charging is gated off).
     planning_charged_s: float = 0.0
+    #: Engine events scheduled over the run.  Schedule-identical
+    #: configurations (fast vs reference engine, full vs aggregate
+    #: traces) produce exactly the same count, so the engine bench uses
+    #: it as its events-per-second numerator and as a cheap schedule
+    #: fingerprint.
+    sim_events: int = 0
 
     @property
     def count(self) -> int:
@@ -203,6 +209,7 @@ class OnlineScheduler:
         strategy: Optional[Strategy] = None,
         max_batch: int = 16,
         max_inflight: int = 4,
+        trace_level: str = TRACE_FULL,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -212,6 +219,10 @@ class OnlineScheduler:
         self.strategy = strategy if strategy is not None else HiDPStrategy()
         self.max_batch = max_batch
         self.max_inflight = max_inflight
+        #: ``TRACE_AGGREGATE`` switches the run to O(1) streaming trace
+        #: aggregates (large-scale streams); the event schedule and all
+        #: request timings are identical either way.
+        self.trace_level = check_trace_level(trace_level)
 
     # Internals --------------------------------------------------------------
 
@@ -234,7 +245,7 @@ class OnlineScheduler:
         if not requests:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        runtime = SimRuntime(self.cluster)
+        runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
         executor = PlanExecutor(runtime)
         env = runtime.env
         queue = Store(env)
@@ -316,4 +327,5 @@ class OnlineScheduler:
             batches=counters["batches"],
             replans=counters["replans"],
             max_batch_observed=counters["max_batch"],
+            sim_events=env.scheduled_events,
         )

@@ -63,6 +63,7 @@ from repro.platform.cluster import Cluster, build_cluster
 from repro.serving.scheduler import ServedRequest, ServingResult
 from repro.sim.resources import PriorityResource, Store
 from repro.sim.runtime import LOAD_VIEW_WEIGHTED, LOAD_VIEWS, SimRuntime
+from repro.sim.trace import TRACE_FULL, check_trace_level
 from repro.workloads.requests import InferenceRequest
 
 #: Shard-assignment policies.
@@ -97,6 +98,7 @@ class ShardedScheduler:
         planning_overhead=PLANNING_BUCKET,
         preemption: bool = True,
         steal_threshold: int = 2,
+        trace_level: str = TRACE_FULL,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -128,6 +130,10 @@ class ShardedScheduler:
         self.planning_overhead = planning_overhead
         self.preemption = preemption
         self.steal_threshold = steal_threshold
+        #: ``TRACE_AGGREGATE`` switches the run to O(1) streaming trace
+        #: aggregates (large-scale streams); the event schedule and all
+        #: request timings are identical either way.
+        self.trace_level = check_trace_level(trace_level)
 
     # Internals --------------------------------------------------------------
 
@@ -172,7 +178,7 @@ class ShardedScheduler:
         if not requests:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        runtime = SimRuntime(self.cluster)
+        runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
         executor = PlanExecutor(runtime, charge_explore=not self.charges_planning)
         env = runtime.env
         leader = self.cluster.leader.name
@@ -236,10 +242,57 @@ class ShardedScheduler:
                 idle[taker] = False  # its parked getter wakes with this item
                 counters["steals"] += 1
 
+        def steal(shard: int) -> int:
+            """Pull half the most backlogged peer queue onto ``shard``.
+
+            The donation path above only runs when a *busy* dispatcher
+            finishes forming a batch -- but a dispatcher spends most of
+            its loop parked on in-flight slots, during which its queue
+            grows while idle peers sleep.  Stealing from the consumer
+            side closes that gap: a dispatcher about to park instead
+            takes work from the deepest queue at or past the steal
+            threshold (ties to the lowest shard index, deterministic).
+            """
+            queue = queues[shard]
+            victim = None
+            depth = 0
+            for other in range(self.num_shards):
+                if other == shard:
+                    continue
+                size = queues[other].size
+                if size >= self.steal_threshold and size > depth:
+                    victim, depth = other, size
+            if victim is None:
+                return 0
+            moved = depth // 2
+            for _ in range(moved):
+                queue.put(queues[victim].get_nowait())
+            counters["steals"] += moved
+            return moved
+
+        # The load bucket is a pure function of the snapshot, which is
+        # itself a pure function of (clock, commitment version); memoise
+        # it per state token so the per-dispatch drift check costs a
+        # tuple compare instead of a quantisation pass.  Rides the sim
+        # fast path so the reference configuration keeps the seed cost.
+        bucket_memo = [None, None]
+        memoise_buckets = env._fast
+
+        def bucket_of(load) -> object:
+            if not memoise_buckets:
+                return self._bucket_key(load)
+            token = (env.now, runtime._load_version)
+            if bucket_memo[0] == token:
+                return bucket_memo[1]
+            bucket = self._bucket_key(load)
+            bucket_memo[0] = token
+            bucket_memo[1] = bucket
+            return bucket
+
         def dispatcher(shard: int):
             queue = queues[shard]
             while True:
-                if queue.size == 0:
+                if queue.size == 0 and not steal(shard):
                     idle[shard] = True
                 first = yield queue.get()
                 idle[shard] = False
@@ -253,7 +306,7 @@ class ShardedScheduler:
                 # Urgent-first dispatch order; stable, so FIFO per class.
                 batch.sort(key=lambda request: request.priority)
                 load = runtime.load_snapshot(view=self.load_view)
-                batch_bucket = self._bucket_key(load)
+                batch_bucket = bucket_of(load)
                 graphs = [build_model(request.model) for request in batch]
                 charge = self._planning_charge_s(graphs, load)
                 if charge > 0:
@@ -269,7 +322,7 @@ class ShardedScheduler:
                     )
                     yield slot  # backpressure: wait for an in-flight slot
                     current = runtime.load_snapshot(view=self.load_view)
-                    current_bucket = self._bucket_key(current)
+                    current_bucket = bucket_of(current)
                     if current_bucket != batch_bucket:
                         # Drifted past the batch's bucket: re-co-plan
                         # the remaining tail in one pass and adopt the
@@ -319,4 +372,5 @@ class ShardedScheduler:
             steals=counters["steals"],
             preemptions=counters["preemptions"],
             planning_charged_s=counters["planning_s"],
+            sim_events=env.scheduled_events,
         )

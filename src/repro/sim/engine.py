@@ -9,12 +9,30 @@ this package is exactly reproducible.
 Only the features the HiDP framework needs are implemented: timeouts,
 processes, all-of conditions, FIFO resources and stores.  No interrupt
 machinery, no real-time pacing.
+
+The engine ships in two schedule-identical forms, selected per
+:class:`Environment` by :func:`repro.fastpath.sim_fastpath_enabled`
+(``REPRO_SIM_FASTPATH=0`` forces the reference form):
+
+- The **fast path** cuts per-event allocation and dispatch cost: a
+  process bootstraps by scheduling *itself* (no bootstrap ``Event``),
+  late ``add_callback`` subscriptions schedule a slim :class:`_LateCall`
+  instead of a proxy ``Event``, callback lists are allocated lazily,
+  ``Timeout`` construction is flattened, and :meth:`Environment.run`
+  binds the heap operations locally.
+- The **reference path** is the seed implementation, kept as the
+  executable specification.  Every heap entry of the fast path occupies
+  exactly the same ``(time, sequence)`` slot as its reference
+  counterpart, so the two paths produce identical event schedules --
+  pinned by ``tests/sim/test_engine_fastpath.py``.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.fastpath import sim_fastpath_enabled
 
 
 class SimulationError(RuntimeError):
@@ -22,13 +40,21 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A one-shot occurrence; callbacks fire when it triggers."""
+    """A one-shot occurrence; callbacks fire when it triggers.
+
+    ``callbacks`` holds ``None`` (no subscribers -- the initial state,
+    and the state after processing), a bare callable (exactly one
+    subscriber, the overwhelmingly common case: the process waiting on
+    this event), or a list of callables.  The compact single-subscriber
+    form avoids a one-element list allocation per event on the hot
+    path; :meth:`add_callback` upgrades it transparently.
+    """
 
     __slots__ = ("env", "callbacks", "_triggered", "_processed", "_value")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: Any = None
         self._triggered = False
         self._processed = False
         self._value: Any = None
@@ -51,25 +77,88 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.env._schedule(self, 0.0)
+        env = self.env
+        heappush(env._queue, (env.now, env._seq, self))
+        env._seq += 1
         return self
 
     def _process(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._processed:
-            # Late subscription: run at the current time via a fresh event.
-            proxy = Event(self.env)
-            proxy.callbacks.append(callback)
-            proxy._triggered = True
-            proxy._value = self._value
-            self.env._schedule(proxy, 0.0)
+            # Late subscription: run at the current time, in its own
+            # schedule slot (so interleaving with other same-time events
+            # matches subscription order exactly).
+            env = self.env
+            if env._fast:
+                env._schedule(_LateCall(env, self._value, callback), 0.0)
+            else:
+                # Reference path: a fresh proxy event (seed behaviour).
+                proxy = Event(env)
+                proxy.callbacks = callback
+                proxy._triggered = True
+                proxy._value = self._value
+                env._schedule(proxy, 0.0)
         else:
-            self.callbacks.append(callback)
+            callbacks = self.callbacks
+            if callbacks is None:
+                self.callbacks = callback
+            elif callbacks.__class__ is list:
+                callbacks.append(callback)
+            else:
+                self.callbacks = [callbacks, callback]
+
+
+class _NullEvent:
+    """The value carrier for a process's very first resume (``send(None)``)."""
+
+    __slots__ = ()
+    _value = None
+
+
+_BOOTSTRAP_VALUE = _NullEvent()
+
+
+class _LateCall:
+    """A slim scheduled late-subscription callback (fast path only).
+
+    Duck-types the slice of :class:`Event` a callback may touch --
+    ``value``/``triggered``/``processed`` and the engine-internal
+    ``_value`` -- without the full event machinery.
+    """
+
+    __slots__ = ("env", "_value", "_callback", "_processed")
+
+    def __init__(self, env: "Environment", value: Any, callback: Callable):
+        self.env = env
+        self._value = value
+        self._callback = callback
+        self._processed = False
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    def _process(self) -> None:
+        self._processed = True
+        self._callback(self)
 
 
 class Timeout(Event):
@@ -80,78 +169,130 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Flattened Event.__init__ + schedule: a Timeout is born
+        # triggered and goes straight onto the heap.
+        self.env = env
+        self.callbacks = None
         self._triggered = True
+        self._processed = False
         self._value = value
-        env._schedule(self, delay)
+        self.delay = delay
+        heappush(env._queue, (env.now + delay, env._seq, self))
+        env._seq += 1
 
 
 class Process(Event):
     """Wraps a generator; the process event triggers when it returns."""
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_started")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._triggered = False
+        self._processed = False
+        self._value = None
         self._generator = generator
-        bootstrap = Event(env)
-        bootstrap._triggered = True
-        env._schedule(bootstrap, 0.0)
-        bootstrap.callbacks.append(self._resume)
+        if env._fast:
+            # Bootstrap by scheduling *this* event with a not-started
+            # mark: no bootstrap Event allocation, same schedule slot.
+            self._started = False
+            heappush(env._queue, (env.now, env._seq, self))
+            env._seq += 1
+        else:
+            # Reference path: a fresh bootstrap event (seed behaviour).
+            self._started = True
+            bootstrap = Event(env)
+            bootstrap._triggered = True
+            env._schedule(bootstrap, 0.0)
+            bootstrap.callbacks = self._resume
+
+    def _process(self) -> None:
+        if self._started:
+            Event._process(self)
+            return
+        self._started = True
+        self._resume(_BOOTSTRAP_VALUE)
 
     def _resume(self, completed: Event) -> None:
         try:
-            target = self._generator.send(completed.value)
+            target = self._generator.send(completed._value)
         except StopIteration as stop:
             if self._triggered:
                 raise SimulationError("process event already triggered")
             self._triggered = True
             self._value = stop.value
-            self.env._schedule(self, 0.0)
+            env = self.env
+            heappush(env._queue, (env.now, env._seq, self))
+            env._seq += 1
             return
-        if not isinstance(target, Event):
+        try:
+            processed = target._processed
+        except AttributeError:
             raise SimulationError(
                 f"process yielded {type(target).__name__}, expected an Event"
-            )
-        target.add_callback(self._resume)
+            ) from None
+        if processed:
+            target.add_callback(self._resume)
+        else:
+            # Event.add_callback's not-yet-processed branch, inlined
+            # (the hottest subscription site) -- keep the storage scheme
+            # (None / bare callable / list) in sync with add_callback.
+            callbacks = target.callbacks
+            if callbacks is None:
+                target.callbacks = self._resume
+            elif callbacks.__class__ is list:
+                callbacks.append(self._resume)
+            else:
+                target.callbacks = [callbacks, self._resume]
 
 
 class AllOf(Event):
     """Triggers once every child event has triggered.
 
     The value is the list of child values in the original order.
+    Bookkeeping is one pending counter plus the child tuple; the value
+    list is materialised only when the last child lands.
     """
 
     __slots__ = ("_pending", "_children")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
-        self._children = list(events)
-        self._pending = len(self._children)
-        if self._pending == 0:
+        self.env = env
+        self.callbacks = None
+        self._triggered = False
+        self._processed = False
+        self._value = None
+        children = tuple(events)
+        self._children = children
+        self._pending = len(children)
+        if not children:
             self.succeed([])
             return
-        for child in self._children:
-            child.add_callback(self._on_child)
+        on_child = self._on_child
+        for child in children:
+            child.add_callback(on_child)
 
     def _on_child(self, child: Event) -> None:
         del child
         self._pending -= 1
         if self._pending == 0 and not self._triggered:
-            self.succeed([c.value for c in self._children])
+            self.succeed([c._value for c in self._children])
 
 
 class Environment:
     """The event loop: a priority queue over (time, sequence)."""
 
-    def __init__(self) -> None:
+    __slots__ = ("now", "_queue", "_seq", "_fast")
+
+    def __init__(self, fast: Optional[bool] = None) -> None:
         self.now = 0.0
         self._queue: List = []
         self._seq = 0
+        self._fast = sim_fastpath_enabled() if fast is None else bool(fast)
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        heappush(self._queue, (self.now + delay, self._seq, event))
         self._seq += 1
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -168,12 +309,33 @@ class Environment:
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events until the queue drains or ``until`` is reached."""
+        if self._fast:
+            queue = self._queue
+            pop = heappop
+            if until is None:
+                while queue:
+                    time, _, event = pop(queue)
+                    self.now = time
+                    event._process()
+                return
+            while queue:
+                time = queue[0][0]
+                if time > until:
+                    self.now = until
+                    return
+                _, _, event = pop(queue)
+                self.now = time
+                event._process()
+            if self.now < until:
+                self.now = until
+            return
+        # Reference loop (seed behaviour, kept as the executable spec).
         while self._queue:
             time, _, event = self._queue[0]
             if until is not None and time > until:
                 self.now = until
                 return
-            heapq.heappop(self._queue)
+            heappop(self._queue)
             self.now = time
             event._process()
         if until is not None:
@@ -190,3 +352,13 @@ class Environment:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def scheduled_events(self) -> int:
+        """Total heap entries ever scheduled (the bench's event count).
+
+        Schedule-identical paths produce the same value, so fast and
+        reference runs of one workload can be compared events-per-second
+        without instrumenting the hot loop.
+        """
+        return self._seq

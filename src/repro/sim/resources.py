@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, List, Tuple
+from typing import Any, Deque, List, Optional, Tuple
 
 from repro.sim.engine import Environment, Event, SimulationError
 
@@ -15,7 +15,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, env: Environment, resource: "Resource"):
-        super().__init__(env)
+        # Flattened Event.__init__ (requests are allocated per task on
+        # the simulation hot path).
+        self.env = env
+        self.callbacks = None
+        self._triggered = False
+        self._processed = False
+        self._value = None
         self.resource = resource
 
 
@@ -31,6 +37,8 @@ class Resource:
         finally:
             resource.release(request)
     """
+
+    __slots__ = ("env", "capacity", "_users", "_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -58,16 +66,19 @@ class Resource:
         return req
 
     def release(self, request: Request) -> None:
-        if request in self._users:
-            self._users.remove(request)
-        elif request in self._waiting:
-            self._waiting.remove(request)
-            return
-        else:
-            raise SimulationError("releasing a request this resource never granted")
-        if self._waiting and len(self._users) < self.capacity:
+        users = self._users
+        try:
+            users.remove(request)
+        except ValueError:
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return
+            raise SimulationError(
+                "releasing a request this resource never granted"
+            ) from None
+        if self._waiting and len(users) < self.capacity:
             nxt = self._waiting.popleft()
-            self._users.append(nxt)
+            users.append(nxt)
             nxt.succeed()
 
 
@@ -87,7 +98,11 @@ class PriorityRequest(Event):
     def __init__(
         self, env: Environment, resource: "PriorityResource", priority: int, preemptible: bool
     ):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._triggered = False
+        self._processed = False
+        self._value = None
         self.resource = resource
         self.priority = priority
         self.preemptible = preemptible
@@ -105,19 +120,38 @@ class PriorityResource:
 
     Preemption is cooperative: ``request(..., preempt=True)`` that
     cannot be granted immediately marks the least urgent *preemptible*
-    holder whose priority is strictly worse than the claim's.  The
-    holder observes ``preempt_requested`` at its next safe point (e.g.
-    a plan-segment boundary), releases the slot -- waking the urgent
-    waiter -- and re-requests at its own priority to resume.
+    holder whose (static) priority is strictly worse than the claim's.
+    The holder observes ``preempt_requested`` at its next safe point
+    (e.g. a plan-segment boundary), releases the slot -- waking the
+    urgent waiter -- and re-requests at its own priority to resume.
+
+    **Aging** (ROADMAP open item): strictly urgent-first granting lets
+    a sustained urgent stream starve the background class on open-ended
+    traffic.  With ``aging_s`` set, a waiter's *effective* priority at
+    grant time is ``priority - waited / aging_s`` -- every ``aging_s``
+    seconds queued buys one priority level, so any waiter eventually
+    out-ranks fresh urgent arrivals.  Ties still resolve FIFO (by
+    arrival order).  The default ``aging_s=None`` keeps the exact
+    urgent-first heap behaviour, so existing runs stay byte-identical.
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    __slots__ = ("env", "capacity", "aging_s", "_users", "_waiting", "_seq", "preempt_marks")
+
+    def __init__(self, env: Environment, capacity: int = 1, aging_s: Optional[float] = None):
         if capacity < 1:
             raise SimulationError(f"capacity must be positive, got {capacity}")
+        if aging_s is not None and aging_s <= 0:
+            raise SimulationError(f"aging_s must be positive, got {aging_s}")
         self.env = env
         self.capacity = capacity
+        self.aging_s = aging_s
         self._users: List[PriorityRequest] = []
-        self._waiting: List[Tuple[int, int, PriorityRequest]] = []
+        #: Without aging: a heap of (priority, seq, request).  With
+        #: aging: a plain arrival-ordered list of (priority, seq,
+        #: enqueued_at, request) scanned at grant time (waiting sets are
+        #: small; the effective priority is time-dependent, so a static
+        #: heap cannot order them).
+        self._waiting: List[Tuple] = []
         self._seq = 0
         #: Cooperative-preemption counter (marks issued, not completions).
         self.preempt_marks = 0
@@ -134,6 +168,12 @@ class PriorityResource:
     def users(self) -> Tuple[PriorityRequest, ...]:
         return tuple(self._users)
 
+    def effective_priority(self, priority: float, enqueued_at: float) -> float:
+        """The aged priority of a waiter at the current sim time."""
+        if self.aging_s is None:
+            return priority
+        return priority - (self.env.now - enqueued_at) / self.aging_s
+
     def request(
         self, priority: int = 0, preemptible: bool = False, preempt: bool = False
     ) -> PriorityRequest:
@@ -142,7 +182,10 @@ class PriorityResource:
             self._users.append(req)
             req.succeed()
             return req
-        heapq.heappush(self._waiting, (priority, self._seq, req))
+        if self.aging_s is None:
+            heapq.heappush(self._waiting, (priority, self._seq, req))
+        else:
+            self._waiting.append((priority, self._seq, self.env.now, req))
         self._seq += 1
         if preempt:
             self._mark_for_preemption(priority)
@@ -162,24 +205,39 @@ class PriorityResource:
             victim.preempt_requested = True
             self.preempt_marks += 1
 
+    def _pop_next(self) -> PriorityRequest:
+        """Remove and return the most urgent waiter (aging-aware)."""
+        if self.aging_s is None:
+            return heapq.heappop(self._waiting)[2]
+        best_idx = 0
+        best_key = None
+        for idx, (priority, seq, enqueued_at, _) in enumerate(self._waiting):
+            key = (self.effective_priority(priority, enqueued_at), seq)
+            if best_key is None or key < best_key:
+                best_key, best_idx = key, idx
+        return self._waiting.pop(best_idx)[3]
+
     def release(self, request: PriorityRequest) -> None:
         if request in self._users:
             self._users.remove(request)
         else:
             for entry in self._waiting:
-                if entry[2] is request:
+                if entry[-1] is request:
                     self._waiting.remove(entry)
-                    heapq.heapify(self._waiting)
+                    if self.aging_s is None:
+                        heapq.heapify(self._waiting)
                     return
             raise SimulationError("releasing a request this resource never granted")
         while self._waiting and len(self._users) < self.capacity:
-            _, _, nxt = heapq.heappop(self._waiting)
+            nxt = self._pop_next()
             self._users.append(nxt)
             nxt.succeed()
 
 
 class Store:
     """An unbounded FIFO queue of items with blocking ``get``."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment):
         self.env = env

@@ -5,11 +5,23 @@ device becomes a FIFO-served compute station; the wireless LAN becomes
 a single shared half-duplex channel.  All contention effects -- a GPU
 queueing two tiles, two nodes fighting for the air -- emerge from these
 resources.
+
+``trace_level`` selects how much the run records
+(:data:`~repro.sim.trace.TRACE_FULL` materialises every busy interval,
+FLOPs completion and transfer exactly as the seed runtime did;
+:data:`~repro.sim.trace.TRACE_AGGREGATE` keeps O(1) streaming totals
+for large-scale serving streams).  The simulated event schedule is
+identical either way -- recording never schedules events.
+
+Load snapshots are memoised per (sim time, commitment version) on the
+engine fast path: a snapshot is a pure function of the stations'
+committed backlogs and the clock, so two snapshots with no intervening
+commit are byte-equal and the second one is free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Mapping, Tuple
+from typing import Dict, Generator, Mapping, Optional, Tuple
 
 from repro.dnn.layers import LAYER_CLASSES
 from repro.platform.cluster import Cluster
@@ -17,7 +29,13 @@ from repro.platform.device import Device
 from repro.platform.processor import Processor
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.trace import BusyRecorder, FlopsLog, TransferLog
+from repro.sim.trace import (
+    TRACE_FULL,
+    BusyRecorder,
+    FlopsLog,
+    TransferLog,
+    check_trace_level,
+)
 
 #: Load-snapshot reductions over a device's stations.
 LOAD_VIEW_MIN = "min"
@@ -35,6 +53,7 @@ class ProcessorStation:
         processor: Processor,
         busy: BusyRecorder,
         flops_log: FlopsLog,
+        runtime: Optional["SimRuntime"] = None,
     ):
         self.env = env
         self.device = device
@@ -42,7 +61,12 @@ class ProcessorStation:
         self._resource = Resource(env, capacity=1)
         self._busy = busy
         self._flops_log = flops_log
+        self._runtime = runtime
         self.key = BusyRecorder.key(device.name, processor.name)
+        #: Aggregate compute rate over all layer classes; the station's
+        #: weight in the ``"weighted"`` load view (hoisted: rates are
+        #: immutable and the snapshot path is hot).
+        self.compute_weight = sum(processor.rate(cls) for cls in LAYER_CLASSES)
         #: Time at which all currently committed work will have drained;
         #: lets planners see the backlog of in-flight requests.
         self.committed_until = 0.0
@@ -56,15 +80,25 @@ class ProcessorStation:
         """Process: the capacity-1 hold protocol every charge uses --
         commit the backlog, queue for the resource, stay busy for
         ``duration``, record the interval, release.  Returns the
-        completion time."""
-        self.committed_until = max(self.committed_until, self.env.now) + duration
+        completion time.
+
+        (:meth:`run_task` inlines this body to cut one generator
+        delegation off the hottest path; keep the two in sync.)
+        """
+        env = self.env
+        committed = self.committed_until
+        now = env.now
+        self.committed_until = (committed if committed > now else now) + duration
+        runtime = self._runtime
+        if runtime is not None:
+            runtime._load_version += 1
         request = self._resource.request()
         yield request
-        start = self.env.now
+        start = env.now
         try:
-            yield self.env.timeout(duration)
+            yield env.timeout(duration)
         finally:
-            end = self.env.now
+            end = env.now
             self._busy.record(self.key, start, end, label)
             self._resource.release(request)
         return end
@@ -75,13 +109,43 @@ class ProcessorStation:
         label: str = "",
         pinned: bool = True,
         num_ops: int = 0,
+        duration: Optional[float] = None,
+        total_flops: Optional[int] = None,
     ) -> Generator[Event, None, float]:
         """Process: queue for the processor, compute, record.  Returns
-        the completion time."""
-        duration = self.processor.task_seconds(flops_by_class, num_ops=num_ops, pinned=pinned)
-        end = yield from self._hold(duration, label)
+        the completion time.
+
+        ``duration`` / ``total_flops`` short-circuit the task-seconds
+        model and the FLOPs sum for callers that memoise them per
+        immutable task (they must equal what ``processor.task_seconds``
+        / ``sum(flops_by_class.values())`` would return).
+        """
+        if duration is None:
+            duration = self.processor.task_seconds(
+                flops_by_class, num_ops=num_ops, pinned=pinned
+            )
+        # _hold's body, inlined (every simulated compute task runs
+        # through here; one less delegated generator per resumption).
+        env = self.env
+        committed = self.committed_until
+        now = env.now
+        self.committed_until = (committed if committed > now else now) + duration
+        runtime = self._runtime
+        if runtime is not None:
+            runtime._load_version += 1
+        request = self._resource.request()
+        yield request
+        start = env.now
+        try:
+            yield env.timeout(duration)
+        finally:
+            end = env.now
+            self._busy.record(self.key, start, end, label)
+            self._resource.release(request)
+        if total_flops is None:
+            total_flops = sum(flops_by_class.values())
         self._flops_log.record(
-            end, sum(flops_by_class.values()), self.device.name, self.processor.name, label
+            end, total_flops, self.device.name, self.processor.name, label
         )
         return end
 
@@ -111,6 +175,9 @@ class NetworkChannel:
         self.cluster = cluster
         self._resource = Resource(env, capacity=1)
         self._log = log
+        # Network constants, hoisted off the per-transfer path.
+        self._bandwidth_bytes_s = cluster.network.bandwidth_bytes_s
+        self._latency_s = cluster.network.latency_s
 
     def transmit(
         self, src: str, dst: str, size_bytes: int, tag: str = ""
@@ -118,37 +185,54 @@ class NetworkChannel:
         """Process: occupy the channel for the serialisation time."""
         if src == dst:
             return
+        env = self.env
         request = self._resource.request()
         yield request
-        start = self.env.now
+        start = env.now
         # The medium is held for the serialisation time only;
         # propagation latency elapses after the channel is free.
-        serialisation = size_bytes / self.cluster.network.bandwidth_bytes_s
+        serialisation = size_bytes / self._bandwidth_bytes_s
         try:
-            yield self.env.timeout(serialisation)
+            yield env.timeout(serialisation)
         finally:
             self._resource.release(request)
-        hold_end = self.env.now
-        yield self.env.timeout(self.cluster.network.latency_s)
-        self._log.record(start, self.env.now, size_bytes, src, dst, tag, hold_end=hold_end)
+        hold_end = env.now
+        yield env.timeout(self._latency_s)
+        self._log.record(start, env.now, size_bytes, src, dst, tag, hold_end=hold_end)
 
 
 class SimRuntime:
     """All simulation state for one experiment run."""
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, trace_level: str = TRACE_FULL):
         self.cluster = cluster
+        self.trace_level = check_trace_level(trace_level)
         self.env = Environment()
-        self.busy = BusyRecorder()
-        self.flops_log = FlopsLog()
-        self.transfer_log = TransferLog()
+        self.busy = BusyRecorder(trace_level)
+        self.flops_log = FlopsLog(trace_level)
+        self.transfer_log = TransferLog(trace_level)
         self.network = NetworkChannel(self.env, cluster, self.transfer_log)
         self._stations: Dict[Tuple[str, str], ProcessorStation] = {}
+        #: Bumped whenever any station's committed backlog changes; the
+        #: load-snapshot memo keys on (now, version, view).
+        self._load_version = 0
+        self._snapshot_cache: Optional[Tuple[Tuple, Dict[str, float]]] = None
         for device in cluster.devices:
             for processor in device.processors:
                 self._stations[(device.name, processor.name)] = ProcessorStation(
-                    self.env, device, processor, self.busy, self.flops_log
+                    self.env, device, processor, self.busy, self.flops_log, runtime=self
                 )
+        #: Per-device station tuples + total snapshot weight, hoisted
+        #: off the snapshot hot path.
+        self._device_stations: Dict[str, Tuple[Tuple[ProcessorStation, ...], float]] = {}
+        for device in cluster.devices:
+            stations = tuple(
+                station
+                for (dev, _), station in self._stations.items()
+                if dev == device.name
+            )
+            total_weight = sum(station.compute_weight for station in stations)
+            self._device_stations[device.name] = (stations, total_weight)
 
     def station(self, device_name: str, processor_name: str) -> ProcessorStation:
         try:
@@ -157,11 +241,10 @@ class SimRuntime:
             raise KeyError(f"no station for {device_name}/{processor_name}") from None
 
     def stations_of(self, device_name: str) -> Tuple[ProcessorStation, ...]:
-        return tuple(
-            station
-            for (dev, _), station in self._stations.items()
-            if dev == device_name
-        )
+        try:
+            return self._device_stations[device_name][0]
+        except KeyError:
+            return ()
 
     def local_transfer(
         self, device_name: str, size_bytes: int
@@ -189,18 +272,18 @@ class SimRuntime:
           the cores that do the work dominates the snapshot even while a
           minor core idles.
         """
-        stations = self.stations_of(device_name)
+        stations, total_weight = self._device_stations[device_name]
         if view == LOAD_VIEW_MIN:
             return min(station.backlog_seconds for station in stations)
         if view == LOAD_VIEW_WEIGHTED:
-            total_weight = 0.0
-            weighted = 0.0
-            for station in stations:
-                weight = sum(station.processor.rate(cls) for cls in LAYER_CLASSES)
-                total_weight += weight
-                weighted += weight * station.backlog_seconds
             if total_weight <= 0:
                 return min(station.backlog_seconds for station in stations)
+            now = self.env.now
+            weighted = 0.0
+            for station in stations:
+                backlog = station.committed_until - now
+                if backlog > 0.0:
+                    weighted += station.compute_weight * backlog
             return weighted / total_weight
         raise ValueError(f"unknown load view {view!r}; known: {LOAD_VIEWS}")
 
@@ -210,7 +293,23 @@ class SimRuntime:
         ``view`` selects the per-station reduction (see
         :meth:`device_backlog`); the default ``"min"`` preserves the
         historical optimistic snapshot for legacy callers.
+
+        On the engine fast path the result is memoised until the clock
+        advances or a station commits new work (the snapshot is a pure
+        function of both), so the dispatcher's repeated same-instant
+        snapshots cost one dict copy.
         """
+        if self.env._fast:
+            key = (self.env.now, self._load_version, view)
+            cached = self._snapshot_cache
+            if cached is not None and cached[0] == key:
+                return dict(cached[1])
+            snapshot = {
+                device.name: self.device_backlog(device.name, view=view)
+                for device in self.cluster.devices
+            }
+            self._snapshot_cache = (key, snapshot)
+            return dict(snapshot)
         return {
             device.name: self.device_backlog(device.name, view=view)
             for device in self.cluster.devices

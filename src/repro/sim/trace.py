@@ -4,13 +4,46 @@ The recorders are the simulated counterpart of the paper's run-time
 power monitoring and Gigaflops/s instrumentation: energy is integrated
 from busy intervals (Fig. 5b), performance series are binned from the
 FLOPs log (Fig. 6).
+
+Every recorder supports two trace levels (``repro.sim.runtime`` threads
+the knob through as ``SimRuntime(trace_level=...)``):
+
+- ``TRACE_FULL`` (default) materialises every interval/entry, exactly
+  as the seed recorders did -- fig5..fig10 artefacts stay
+  byte-identical.  Entries are stored as raw tuples and converted to
+  the dataclass views lazily, so recording stays cheap on the hot path.
+- ``TRACE_AGGREGATE`` keeps O(1) streaming aggregates only (running
+  busy totals, completion counters, byte totals, span bounds) for
+  large-scale serving runs where materialising hundreds of thousands of
+  intervals dominates memory and time.  Per-entry views
+  (:meth:`BusyRecorder.intervals`, :attr:`FlopsLog.entries`, ...) raise
+  :class:`TraceLevelError`; the aggregate totals (busy seconds,
+  makespan, total FLOPs/bytes) remain exact, not sampled.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Trace levels understood by every recorder.
+TRACE_FULL = "full"
+TRACE_AGGREGATE = "aggregate"
+TRACE_LEVELS = (TRACE_FULL, TRACE_AGGREGATE)
+
+
+class TraceLevelError(RuntimeError):
+    """A per-entry trace view was requested from an aggregate recorder."""
+
+
+def check_trace_level(level: str) -> str:
+    """Validate a trace level, returning it (shared by every consumer
+    of the knob: recorders, :class:`~repro.sim.runtime.SimRuntime`, the
+    serving schedulers)."""
+    if level not in TRACE_LEVELS:
+        raise ValueError(f"unknown trace level {level!r}; known: {TRACE_LEVELS}")
+    return level
 
 
 @dataclass(frozen=True)
@@ -31,36 +64,105 @@ class Interval:
 
 
 class BusyRecorder:
-    """Per-processor busy intervals, keyed by ``device/processor``."""
+    """Per-processor busy intervals, keyed by ``device/processor``.
 
-    def __init__(self) -> None:
-        self._intervals: Dict[str, List[Interval]] = {}
+    In ``TRACE_AGGREGATE`` mode only ``[total busy, count, first start,
+    last end]`` is kept per key; interval views raise
+    :class:`TraceLevelError`.
+    """
+
+    def __init__(self, level: str = TRACE_FULL) -> None:
+        self.level = check_trace_level(level)
+        self._full = level == TRACE_FULL
+        self._intervals: Dict[str, List[Tuple[float, float, str]]] = {}
+        #: key -> [busy seconds, interval count, min start, max end]
+        self._aggregate: Dict[str, List[float]] = {}
 
     @staticmethod
     def key(device_name: str, processor_name: str) -> str:
         return f"{device_name}/{processor_name}"
 
     def record(self, key: str, start: float, end: float, label: str = "") -> None:
-        self._intervals.setdefault(key, []).append(Interval(start, end, label))
+        if end < start:
+            raise ValueError(
+                f"interval ends before it starts: "
+                f"Interval(start={start}, end={end}, label={label!r})"
+            )
+        if self._full:
+            intervals = self._intervals.get(key)
+            if intervals is None:
+                self._intervals[key] = [(start, end, label)]
+            else:
+                intervals.append((start, end, label))
+            return
+        entry = self._aggregate.get(key)
+        if entry is None:
+            self._aggregate[key] = [end - start, 1, start, end]
+        else:
+            entry[0] += end - start
+            entry[1] += 1
+            if start < entry[2]:
+                entry[2] = start
+            if end > entry[3]:
+                entry[3] = end
+
+    def _require_full(self, what: str) -> None:
+        if not self._full:
+            raise TraceLevelError(
+                f"{what} requires trace_level={TRACE_FULL!r}; this recorder "
+                f"keeps streaming aggregates only ({TRACE_AGGREGATE!r})"
+            )
 
     def intervals(self, key: str) -> Tuple[Interval, ...]:
-        return tuple(self._intervals.get(key, ()))
+        self._require_full("per-interval busy data")
+        return tuple(Interval(*raw) for raw in self._intervals.get(key, ()))
 
     def keys(self) -> Tuple[str, ...]:
-        return tuple(self._intervals)
+        return tuple(self._intervals if self._full else self._aggregate)
+
+    def interval_count(self, key: str) -> int:
+        """Number of busy intervals recorded on ``key`` (both levels)."""
+        if self._full:
+            return len(self._intervals.get(key, ()))
+        entry = self._aggregate.get(key)
+        return 0 if entry is None else int(entry[1])
 
     def busy_seconds(self, key: str, window: Optional[Tuple[float, float]] = None) -> float:
-        intervals = self._intervals.get(key, [])
+        if self._full:
+            intervals = self._intervals.get(key, [])
+            if window is None:
+                return sum(end - start for start, end, _ in intervals)
+            window_start, window_end = window
+            total = 0.0
+            for start, end, _ in intervals:
+                lo = start if start > window_start else window_start
+                hi = end if end < window_end else window_end
+                if hi > lo:
+                    total += hi - lo
+            return total
+        entry = self._aggregate.get(key)
+        if entry is None:
+            return 0.0
         if window is None:
-            return sum(interval.end - interval.start for interval in intervals)
+            return entry[0]
         window_start, window_end = window
-        return sum(interval.clipped_seconds(window_start, window_end) for interval in intervals)
+        if window_start <= entry[2] and window_end >= entry[3]:
+            # The window covers every recorded interval, so the running
+            # total *is* the clipped sum.
+            return entry[0]
+        raise TraceLevelError(
+            f"windowed busy_seconds({window}) needs per-interval data for "
+            f"{key!r} (recorded span [{entry[2]:.6f}, {entry[3]:.6f}]); "
+            f"use trace_level={TRACE_FULL!r}"
+        )
 
     @property
     def makespan(self) -> float:
         """Latest busy-interval end over all processors."""
-        ends = [iv.end for ivs in self._intervals.values() for iv in ivs]
-        return max(ends, default=0.0)
+        if self._full:
+            ends = [end for ivs in self._intervals.values() for _, end, _ in ivs]
+            return max(ends, default=0.0)
+        return max((entry[3] for entry in self._aggregate.values()), default=0.0)
 
     def overlapping(self, key: str, tol: float = 1e-9) -> List[Tuple[Interval, Interval]]:
         """Pairs of busy intervals on ``key`` that overlap in time.
@@ -72,7 +174,7 @@ class BusyRecorder:
         Zero-width touches (one interval ending exactly where the next
         starts) are not overlaps.
         """
-        intervals = sorted(self._intervals.get(key, []), key=lambda iv: (iv.start, iv.end))
+        intervals = sorted(self.intervals(key), key=lambda iv: (iv.start, iv.end))
         violations = []
         active: List[Interval] = []  # earlier intervals still open at the sweep point
         for current in intervals:
@@ -107,21 +209,42 @@ class FlopsEntry:
 
 
 class FlopsLog:
-    """Completion log of compute tasks, for throughput/performance series."""
+    """Completion log of compute tasks, for throughput/performance series.
 
-    def __init__(self) -> None:
-        self._entries: List[FlopsEntry] = []
+    ``TRACE_AGGREGATE`` keeps the completion counter and the FLOPs total
+    only (both exact); the per-completion series raises
+    :class:`TraceLevelError`.
+    """
+
+    def __init__(self, level: str = TRACE_FULL) -> None:
+        self.level = check_trace_level(level)
+        self._full = level == TRACE_FULL
+        self._entries: List[Tuple[float, int, str, str, str]] = []
+        self._total_flops = 0
+        self._count = 0
 
     def record(self, time: float, flops: int, device: str, processor: str, label: str = "") -> None:
-        self._entries.append(FlopsEntry(time, flops, device, processor, label))
+        self._total_flops += flops
+        self._count += 1
+        if self._full:
+            self._entries.append((time, flops, device, processor, label))
 
     @property
     def entries(self) -> Tuple[FlopsEntry, ...]:
-        return tuple(self._entries)
+        if not self._full:
+            raise TraceLevelError(
+                f"per-completion entries require trace_level={TRACE_FULL!r}"
+            )
+        return tuple(FlopsEntry(*raw) for raw in self._entries)
+
+    @property
+    def count(self) -> int:
+        """Completions recorded (both levels)."""
+        return self._count
 
     @property
     def total_flops(self) -> int:
-        return sum(entry.flops for entry in self._entries)
+        return self._total_flops
 
     def gflops_series(self, bin_seconds: float, end_time: float) -> List[Tuple[float, float]]:
         """(bin centre time, achieved GFLOPs/s) series, paper Fig. 6 style.
@@ -134,14 +257,18 @@ class FlopsLog:
         """
         if bin_seconds <= 0:
             raise ValueError(f"bin width must be positive, got {bin_seconds}")
+        if not self._full:
+            raise TraceLevelError(
+                f"gflops_series requires trace_level={TRACE_FULL!r}"
+            )
         num_bins = max(1, math.ceil(end_time / bin_seconds))
         span = num_bins * bin_seconds
         bins = [0.0] * num_bins
-        for entry in self._entries:
-            if entry.time > span:
+        for time, flops, _, _, _ in self._entries:
+            if time > span:
                 continue
-            index = min(int(entry.time / bin_seconds), num_bins - 1)
-            bins[index] += entry.flops
+            index = min(int(time / bin_seconds), num_bins - 1)
+            bins[index] += flops
         return [
             ((idx + 0.5) * bin_seconds, total / bin_seconds / 1e9)
             for idx, total in enumerate(bins)
@@ -183,10 +310,21 @@ class TransferEntry:
 
 
 class TransferLog:
-    """Network transfer history, for communication-overhead analysis."""
+    """Network transfer history, for communication-overhead analysis.
 
-    def __init__(self) -> None:
-        self._entries: List[TransferEntry] = []
+    ``TRACE_AGGREGATE`` keeps the transfer counter plus exact byte /
+    hold / delivery totals; the per-transfer entries raise
+    :class:`TraceLevelError`.
+    """
+
+    def __init__(self, level: str = TRACE_FULL) -> None:
+        self.level = check_trace_level(level)
+        self._full = level == TRACE_FULL
+        self._entries: List[Tuple[float, float, int, str, str, str, Optional[float]]] = []
+        self._total_bytes = 0
+        self._count = 0
+        self._hold_seconds = 0.0
+        self._delivery_seconds = 0.0
 
     def record(
         self,
@@ -198,20 +336,40 @@ class TransferLog:
         tag: str = "",
         hold_end: Optional[float] = None,
     ) -> None:
-        self._entries.append(TransferEntry(start, end, size_bytes, src, dst, tag, hold_end))
+        if hold_end is not None and not start <= hold_end <= end:
+            raise ValueError(
+                "hold interval outside delivery interval: "
+                f"TransferEntry(start={start}, end={end}, size_bytes={size_bytes}, "
+                f"src={src!r}, dst={dst!r}, tag={tag!r}, hold_end={hold_end})"
+            )
+        self._total_bytes += size_bytes
+        self._count += 1
+        self._hold_seconds += (hold_end if hold_end is not None else end) - start
+        self._delivery_seconds += end - start
+        if self._full:
+            self._entries.append((start, end, size_bytes, src, dst, tag, hold_end))
 
     @property
     def entries(self) -> Tuple[TransferEntry, ...]:
-        return tuple(self._entries)
+        if not self._full:
+            raise TraceLevelError(
+                f"per-transfer entries require trace_level={TRACE_FULL!r}"
+            )
+        return tuple(TransferEntry(*raw) for raw in self._entries)
+
+    @property
+    def count(self) -> int:
+        """Transfers recorded (both levels)."""
+        return self._count
 
     @property
     def total_bytes(self) -> int:
-        return sum(entry.size_bytes for entry in self._entries)
+        return self._total_bytes
 
     def busy_seconds(self) -> float:
         """Total channel occupancy (serialisation holds, not propagation)."""
-        return sum(entry.hold_seconds for entry in self._entries)
+        return self._hold_seconds
 
     def delivery_seconds(self) -> float:
         """Total end-to-end delivery time across transfers."""
-        return sum(entry.delivery_seconds for entry in self._entries)
+        return self._delivery_seconds

@@ -1,0 +1,111 @@
+"""Equivalence tests for the batched staged local search: the
+one-sweep :class:`~repro.core.dse.StagedExchangeSearch` pricing must
+reproduce per-stage :func:`~repro.core.dse.explore_data_exchange` calls
+*exactly*, and :meth:`LocalPartitioner._staged` must produce identical
+decisions with the fast path on and off (``REPRO_DSE_FASTPATH``)."""
+
+import random
+
+import pytest
+
+from repro.core.dse import StagedExchangeSearch, explore_data_exchange
+from repro.core.local_partitioner import LocalPartitioner, processor_executor_models
+from repro.dnn.models import build_model
+from repro.platform.specs import DEVICE_NAMES, build_device
+
+STAGED_MODELS = ("tiny_cnn", "tiny_residual", "mobilenet_v2", "vgg19", "resnet152")
+
+
+def _device(rng):
+    return build_device(rng.choice(DEVICE_NAMES))
+
+
+class TestStagedSearchBatching:
+    def test_prepriced_decisions_match_per_stage_calls(self):
+        rng = random.Random(97)
+        for _ in range(12):
+            graph = build_model(rng.choice(STAGED_MODELS))
+            device = _device(rng)
+            segments = graph.segments()
+            table = graph.segment_table()
+            models = processor_executor_models(device)
+            hi = len(segments) - 1
+            lo = rng.randrange(0, max(1, hi))
+            quanta = rng.choice([4, 8, 10])
+            search = StagedExchangeSearch(
+                graph,
+                segments,
+                (lo, hi),
+                models,
+                intra_latency_s=device.intra_latency_s,
+                intra_bw_bytes_s=device.intra_bw_bytes_s,
+                quanta=quanta,
+                table=table,
+                max_stages=8,
+            )
+            # Every pre-priced start must resolve to exactly what a
+            # fresh per-stage exploration of the same range returns.
+            for start in sorted(search._priced):
+                expected = explore_data_exchange(
+                    graph,
+                    segments,
+                    (start, hi),
+                    models,
+                    intra_latency_s=device.intra_latency_s,
+                    intra_bw_bytes_s=device.intra_bw_bytes_s,
+                    quanta=quanta,
+                    table=table,
+                )
+                assert search.decide(start) == expected
+
+    def test_unpriced_start_rejected(self):
+        graph = build_model("tiny_cnn")
+        device = build_device(DEVICE_NAMES[0])
+        segments = graph.segments()
+        search = StagedExchangeSearch(
+            graph,
+            segments,
+            (0, len(segments) - 1),
+            processor_executor_models(device),
+            intra_latency_s=device.intra_latency_s,
+            intra_bw_bytes_s=device.intra_bw_bytes_s,
+            table=graph.segment_table(),
+        )
+        with pytest.raises(KeyError):
+            search.decide(10**6)
+
+
+class TestStagedDecisionEquivalence:
+    @pytest.mark.parametrize("model", STAGED_MODELS)
+    def test_staged_fast_matches_reference(self, model, monkeypatch):
+        """The full staged loop -- batched pricing on the fast path,
+        per-stage sweeps on the reference -- must emit byte-identical
+        local decisions (stages, tasks, predicted seconds)."""
+        graph = build_model(model)
+        rng = random.Random(hash(model) % (2**32))
+        for _ in range(3):
+            device = _device(rng)
+            partitioner = LocalPartitioner(device, quanta=rng.choice([4, 10]))
+            segments = graph.segments()
+            table = graph.segment_table()
+            hi = len(segments) - 1
+            lo = rng.randrange(0, max(1, hi))
+            monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+            fast = partitioner._staged(graph, segments, (lo, hi), "piece", table)
+            monkeypatch.setenv("REPRO_DSE_FASTPATH", "0")
+            reference = partitioner._staged(graph, segments, (lo, hi), "piece", table)
+            assert fast == reference
+
+    def test_plan_piece_identical_either_way(self, monkeypatch):
+        """End to end through the public local-tier API."""
+        graph = build_model("mobilenet_v2")
+        for name in DEVICE_NAMES[:3]:
+            device = build_device(name)
+            partitioner = LocalPartitioner(device)
+            monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+            fast = partitioner.plan_piece(graph, (0, len(graph.segments()) - 1), label="x")
+            monkeypatch.setenv("REPRO_DSE_FASTPATH", "0")
+            reference = partitioner.plan_piece(
+                graph, (0, len(graph.segments()) - 1), label="x"
+            )
+            assert fast == reference

@@ -1,8 +1,17 @@
-"""Serving metric tests: percentile interpolation and SLO attainment."""
+"""Serving metric tests: percentile interpolation, SLO attainment,
+and the O(1) streaming aggregates (P-square, reservoir)."""
+
+import random
 
 import pytest
 
-from repro.metrics.serving import latency_percentiles, percentile, slo_attainment
+from repro.metrics.serving import (
+    P2Quantile,
+    StreamingStats,
+    latency_percentiles,
+    percentile,
+    slo_attainment,
+)
 
 
 class TestPercentile:
@@ -63,3 +72,126 @@ class TestSloAttainment:
             slo_attainment([1.0], 0.0)
         with pytest.raises(ValueError):
             slo_attainment([], 1.0)
+
+
+class TestPercentileEdgeCases:
+    """Satellite coverage: empty input, single sample, pct=0/100,
+    unsorted input (the helper must sort internally)."""
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0)
+        with pytest.raises(ValueError):
+            percentile([], 100)
+
+    def test_single_sample_every_percentile(self):
+        for pct in (0, 1, 50, 99, 100):
+            assert percentile([3.25], pct) == 3.25
+
+    def test_pct_zero_and_hundred_are_min_and_max(self):
+        values = [9.0, -2.0, 4.5, 4.5, 0.0]
+        assert percentile(values, 0) == -2.0
+        assert percentile(values, 100) == 9.0
+
+    def test_unsorted_input_matches_sorted(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0, 100) for _ in range(25)]
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        for pct in (0, 12.5, 50, 87.5, 100):
+            assert percentile(shuffled, pct) == percentile(sorted(values), pct)
+
+    def test_input_not_mutated(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50)
+        assert values == [3.0, 1.0, 2.0]
+
+
+class TestP2Quantile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+        with pytest.raises(ValueError):
+            _ = P2Quantile(0.5).value
+
+    def test_exact_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.add(value)
+        assert estimator.value == percentile([5.0, 1.0, 3.0], 50)
+
+    def test_tracks_exact_percentile_on_uniform_stream(self):
+        rng = random.Random(11)
+        values = [rng.uniform(0.0, 1.0) for _ in range(5000)]
+        for quantile in (0.5, 0.95, 0.99):
+            estimator = P2Quantile(quantile)
+            for value in values:
+                estimator.add(value)
+            exact = percentile(values, quantile * 100)
+            assert estimator.value == pytest.approx(exact, abs=0.02)
+            assert estimator.count == len(values)
+
+    def test_tracks_exact_percentile_on_heavy_tail(self):
+        rng = random.Random(5)
+        values = [rng.paretovariate(2.0) for _ in range(8000)]
+        estimator = P2Quantile(0.5)
+        for value in values:
+            estimator.add(value)
+        exact = percentile(values, 50)
+        assert estimator.value == pytest.approx(exact, rel=0.05)
+
+
+class TestStreamingStats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingStats(slo_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingStats(reservoir_size=0)
+        stats = StreamingStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+        with pytest.raises(ValueError):
+            stats.slo_attainment()
+
+    def test_counters_and_moments(self):
+        stats = StreamingStats(slo_s=2.0)
+        for value in (1.0, 3.0, 2.0):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+        assert stats.slo_attainment() == pytest.approx(2 / 3)
+
+    def test_percentile_estimates_close_to_exact(self):
+        rng = random.Random(23)
+        values = [rng.expovariate(1.0) for _ in range(4000)]
+        stats = StreamingStats()
+        for value in values:
+            stats.add(value)
+        estimates = stats.percentiles()
+        assert set(estimates) == {"p50", "p95", "p99"}
+        for pct in (50.0, 95.0, 99.0):
+            exact = percentile(values, pct)
+            key = f"p{int(pct)}"
+            assert estimates[key] == pytest.approx(exact, rel=0.1)
+            assert stats.reservoir_percentile(pct) == pytest.approx(exact, rel=0.25)
+
+    def test_reservoir_is_deterministic_and_bounded(self):
+        def build():
+            stats = StreamingStats(reservoir_size=16, seed=4)
+            for value in range(100):
+                stats.add(float(value))
+            return stats.reservoir
+
+        assert build() == build()
+        assert len(build()) == 16
+
+    def test_small_stream_reservoir_holds_everything(self):
+        stats = StreamingStats(reservoir_size=64)
+        for value in (4.0, 2.0):
+            stats.add(value)
+        assert sorted(stats.reservoir) == [2.0, 4.0]
+        assert stats.reservoir_percentile(100) == 4.0

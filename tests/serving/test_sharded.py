@@ -275,3 +275,115 @@ class TestPlanningCharge:
         # DSE time is now visible to serving latency (>= the charge,
         # minus the per-request explore the charged mode no longer pays).
         assert charged.served[0].latency_s > free.served[0].latency_s
+
+
+class TestStealOnIdle:
+    """ISSUE 4 satellite: work stealing must actually fire under skew.
+
+    The donation trigger alone never fired across the whole
+    BENCH_serving shard sweep (``steals == 0``): a busy dispatcher only
+    donates right after forming a batch, but it spends most of its loop
+    parked on in-flight slots while its queue grows and peers sleep.
+    Idle dispatchers now steal from the deepest backlogged peer before
+    parking."""
+
+    def _skewed_requests(self, count=14):
+        """All-even request ids: a deliberately skewed hash partition
+        (every request lands on shard 0 of 2)."""
+        return [
+            InferenceRequest(request_id=2 * idx, model="tiny_cnn", arrival_s=0.0)
+            for idx in range(count)
+        ]
+
+    def test_skewed_hash_partition_steals(self):
+        result = ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=2,
+            max_batch=4,
+        ).run(self._skewed_requests())
+        assert result.count == 14
+        assert result.steals > 0
+        result.busy.assert_no_overlaps()
+
+    def test_skewed_stream_faster_than_unstolen_single_shard(self):
+        """Stealing must not lose or duplicate requests, and every
+        request id must come back exactly once."""
+        requests = self._skewed_requests()
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, max_batch=4
+        ).run(requests)
+        assert sorted(r.request.request_id for r in result.served) == [
+            2 * idx for idx in range(14)
+        ]
+
+    def test_single_shard_never_steals(self):
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, max_batch=4
+        ).run(self._skewed_requests(6))
+        assert result.steals == 0
+
+
+class TestTraceLevels:
+    """trace_level="aggregate" must not change the event schedule --
+    only what the recorders materialise."""
+
+    def test_aggregate_schedule_identical_to_full(self):
+        requests = poisson_stream(MODEL_NAMES[:2], 5.0, 16, seed=3)
+        full = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, trace_level="full"
+        ).run(requests)
+        aggregate = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=2, trace_level="aggregate"
+        ).run(requests)
+        assert _timeline(full) == _timeline(aggregate)
+        assert full.sim_events == aggregate.sim_events > 0
+        assert full.makespan_s == aggregate.makespan_s
+        assert full.energy_j == pytest.approx(aggregate.energy_j)
+        assert full.total_flops == aggregate.total_flops
+        assert full.network_bytes == aggregate.network_bytes
+        for key in full.busy.keys():
+            assert aggregate.busy.busy_seconds(key) == pytest.approx(
+                full.busy.busy_seconds(key)
+            )
+
+    def test_aggregate_refuses_interval_views(self):
+        from repro.sim.trace import TraceLevelError
+
+        requests = poisson_stream(("tiny_cnn",), 5.0, 4, seed=1)
+        result = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, trace_level="aggregate"
+        ).run(requests)
+        with pytest.raises(TraceLevelError):
+            result.busy.assert_no_overlaps()
+
+    def test_online_scheduler_supports_trace_level(self):
+        requests = poisson_stream(("tiny_cnn",), 5.0, 6, seed=2)
+        full = OnlineScheduler(cluster=_small_cluster()).run(requests)
+        aggregate = OnlineScheduler(
+            cluster=_small_cluster(), trace_level="aggregate"
+        ).run(requests)
+        assert _timeline(full) == _timeline(aggregate)
+        assert full.sim_events == aggregate.sim_events
+
+    def test_unknown_trace_level_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(trace_level="everything")
+        with pytest.raises(ValueError):
+            OnlineScheduler(trace_level="everything")
+
+
+class TestEngineFastpathServing:
+    """End-to-end schedule equivalence of the engine fast path."""
+
+    def test_reference_engine_reproduces_schedule(self, monkeypatch):
+        requests = bursty_stream(
+            MODEL_NAMES[:2], burst_size=4, num_bursts=2, mean_gap_s=1.0, seed=9
+        )
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+        fast = ShardedScheduler(cluster=_small_cluster(), num_shards=2).run(requests)
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        reference = ShardedScheduler(cluster=_small_cluster(), num_shards=2).run(requests)
+        assert _timeline(fast) == _timeline(reference)
+        assert fast.sim_events == reference.sim_events
+        assert fast.makespan_s == reference.makespan_s
+        assert fast.energy_j == pytest.approx(reference.energy_j)

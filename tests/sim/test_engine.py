@@ -4,6 +4,8 @@ import pytest
 
 from repro.sim.engine import AllOf, Environment, Event, SimulationError, Timeout
 
+pytestmark = pytest.mark.smoke
+
 
 class TestTimeouts:
     def test_time_advances(self):
@@ -169,6 +171,31 @@ class TestEvents:
         event.add_callback(lambda e: seen.append(e.value))
         env.run()
         assert seen == ["v"]
+
+    def test_late_callbacks_fire_in_subscription_order(self):
+        """Late subscriptions each occupy their own schedule slot, so
+        they fire in exactly the order they were added (pinned across
+        the proxy-allocation removal on the fast path)."""
+        env = Environment()
+        event = env.event()
+        event.succeed("v")
+        env.run()
+        seen = []
+        for tag in ("first", "second", "third"):
+            event.add_callback(lambda e, t=tag: seen.append((t, e.value)))
+        env.run()
+        assert seen == [("first", "v"), ("second", "v"), ("third", "v")]
+
+    def test_late_callback_does_not_refire_earlier_callbacks(self):
+        env = Environment()
+        event = env.event()
+        count = []
+        event.add_callback(lambda e: count.append("pre"))
+        event.succeed()
+        env.run()
+        event.add_callback(lambda e: count.append("post"))
+        env.run()
+        assert count == ["pre", "post"]
 
     def test_all_of_waits_for_all(self):
         env = Environment()

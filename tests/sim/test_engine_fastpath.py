@@ -1,0 +1,259 @@
+"""Fast-vs-reference engine equivalence: the optimized engine path must
+produce *identical event schedules* to the seed implementation.
+
+Every workload here runs twice -- ``Environment(fast=True)`` and
+``Environment(fast=False)`` -- and asserts the observable execution log
+(times, values, callback order) and the scheduled-event count match
+exactly.  Tie order at the same simulated time is the load-bearing
+property: the fast path's bootstrap-by-self and slim late-call objects
+must occupy exactly the seed's ``(time, sequence)`` heap slots.
+"""
+
+import pytest
+
+from repro.fastpath import sim_fastpath_enabled
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import PriorityResource, Resource, Store
+
+pytestmark = pytest.mark.smoke
+
+
+def run_both(build):
+    """Run ``build(env) -> log`` on the fast and reference paths."""
+    logs = []
+    seqs = []
+    for fast in (True, False):
+        env = Environment(fast=fast)
+        log = build(env)
+        env.run()
+        logs.append(log)
+        seqs.append(env.scheduled_events)
+    return logs, seqs
+
+
+def assert_identical(build):
+    (fast_log, ref_log), (fast_seq, ref_seq) = run_both(build)
+    assert fast_log == ref_log
+    assert fast_seq == ref_seq
+    return fast_log
+
+
+class TestScheduleEquivalence:
+    def test_env_hatch_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        assert not sim_fastpath_enabled()
+        assert not Environment()._fast
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+        assert sim_fastpath_enabled()
+        assert Environment()._fast
+
+    def test_same_time_ties_resolve_by_schedule_order(self):
+        def build(env):
+            log = []
+
+            def proc(tag, delay):
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+                yield env.timeout(0.0)
+                log.append((env.now, tag, "again"))
+
+            for idx in range(8):
+                env.process(proc(idx, 0.5 * (idx % 3)))
+            return log
+
+        log = assert_identical(build)
+        assert len(log) == 16
+
+    def test_process_bootstrap_order_interleaves_with_timeouts(self):
+        """Processes created between zero-delay timeouts must bootstrap
+        in creation order relative to those timeouts."""
+
+        def build(env):
+            log = []
+
+            def ticker(tag):
+                log.append(("start", tag, env.now))
+                yield env.timeout(0.0)
+                log.append(("end", tag, env.now))
+
+            def spawner():
+                env.process(ticker("a"))
+                yield env.timeout(0.0)
+                env.process(ticker("b"))
+                yield env.timeout(1.0)
+                env.process(ticker("c"))
+
+            env.process(spawner())
+            return log
+
+        assert_identical(build)
+
+    def test_late_callback_slots_interleave_with_other_events(self):
+        """Two late subscriptions with an event scheduled in between
+        must fire in exactly that interleaved order on both paths."""
+
+        def build(env):
+            log = []
+            event = env.event()
+            event.succeed("v")
+            env.run()  # process the event; subscriptions are now late
+
+            event.add_callback(lambda e: log.append(("late1", e.value)))
+            env.timeout(0.0, value="t").add_callback(
+                lambda e: log.append(("timeout", e.value))
+            )
+            event.add_callback(lambda e: log.append(("late2", e.value)))
+            return log
+
+        log = assert_identical(build)
+        assert log == [("late1", "v"), ("timeout", "t"), ("late2", "v")]
+
+    def test_all_of_values_and_completion_time(self):
+        def build(env):
+            log = []
+
+            def worker(delay, tag):
+                yield env.timeout(delay)
+                return tag
+
+            def boss():
+                procs = [env.process(worker(d, t)) for d, t in ((3, "a"), (1, "b"), (2, "c"))]
+                values = yield env.all_of(procs)
+                log.append((env.now, values))
+
+            env.process(boss())
+            return log
+
+        log = assert_identical(build)
+        assert log == [(3.0, ["a", "b", "c"])]
+
+    def test_resource_contention_grant_order(self):
+        def build(env):
+            log = []
+            resource = Resource(env, capacity=2)
+
+            def proc(tag, hold):
+                request = resource.request()
+                yield request
+                log.append(("grant", tag, env.now))
+                yield env.timeout(hold)
+                resource.release(request)
+                log.append(("done", tag, env.now))
+
+            for idx in range(6):
+                env.process(proc(idx, 0.5 + (idx % 2)))
+            return log
+
+        assert_identical(build)
+
+    def test_priority_resource_and_store_pipeline(self):
+        def build(env):
+            log = []
+            queue = Store(env)
+            slots = PriorityResource(env, capacity=1)
+
+            def source():
+                for idx in range(5):
+                    queue.put((idx, idx % 2))
+                    yield env.timeout(0.25)
+
+            def dispatcher():
+                for _ in range(5):
+                    item, priority = yield queue.get()
+                    slot = slots.request(priority=priority)
+                    yield slot
+                    log.append(("start", item, env.now))
+                    yield env.timeout(0.6)
+                    slots.release(slot)
+                    log.append(("end", item, env.now))
+
+            env.process(source())
+            env.process(dispatcher())
+            return log
+
+        assert_identical(build)
+
+    def test_run_until_pauses_identically(self):
+        for fast in (True, False):
+            env = Environment(fast=fast)
+            seen = []
+
+            def proc():
+                for _ in range(5):
+                    yield env.timeout(1.0)
+                    seen.append(env.now)
+
+            env.process(proc())
+            env.run(until=2.5)
+            assert seen == [1.0, 2.0]
+            assert env.now == 2.5
+            env.run()
+            assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestFastPathBehaviour:
+    def test_single_callback_upgrades_to_list(self):
+        env = Environment(fast=True)
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(1))
+        event.add_callback(lambda e: seen.append(2))
+        event.add_callback(lambda e: seen.append(3))
+        event.succeed()
+        env.run()
+        assert seen == [1, 2, 3]
+
+    def test_late_call_carries_event_value_interface(self):
+        env = Environment(fast=True)
+        event = env.event()
+        event.succeed(41)
+        env.run()
+        seen = []
+
+        def callback(proxy):
+            seen.append((proxy.value, proxy.triggered, proxy.processed))
+
+        event.add_callback(callback)
+        env.run()
+        assert seen == [(41, True, True)]
+
+    def test_yielding_processed_event_resumes_via_late_call(self):
+        def build(env):
+            log = []
+            event = env.event()
+            event.succeed("done")
+            env.run()
+
+            def waiter():
+                value = yield event  # already processed: late subscription
+                log.append((env.now, value))
+
+            env.process(waiter())
+            return log
+
+        log = assert_identical(build)
+        assert log == [(0.0, "done")]
+
+    def test_yielding_non_event_raises_on_both_paths(self):
+        for fast in (True, False):
+            env = Environment(fast=fast)
+
+            def bad():
+                yield 42
+
+            env.process(bad())
+            with pytest.raises(SimulationError):
+                env.run()
+
+    def test_negative_timeout_rejected_on_both_paths(self):
+        for fast in (True, False):
+            with pytest.raises(SimulationError):
+                Environment(fast=fast).timeout(-0.1)
+
+    def test_scheduled_events_counts_heap_entries(self):
+        env = Environment(fast=True)
+        assert env.scheduled_events == 0
+        env.timeout(1.0)
+        assert env.scheduled_events == 1
+        env.event().succeed()
+        assert env.scheduled_events == 2

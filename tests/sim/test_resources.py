@@ -280,3 +280,105 @@ class TestStore:
     def test_get_nowait_empty_rejected(self):
         with pytest.raises(SimulationError):
             Store(Environment()).get_nowait()
+
+
+class TestPriorityAging:
+    """The aging term: waiting buys priority, so a sustained urgent
+    stream cannot starve the background class (ROADMAP open item)."""
+
+    def test_aging_disabled_by_default_is_byte_identical(self):
+        """aging_s=None must reproduce the exact legacy grant schedule."""
+
+        def run(aging_s):
+            env = Environment()
+            kwargs = {} if aging_s == "default" else {"aging_s": aging_s}
+            resource = PriorityResource(env, capacity=1, **kwargs)
+            grants = []
+
+            def claim(tag, priority, at):
+                yield env.timeout(at)
+                slot = resource.request(priority=priority)
+                yield slot
+                grants.append((env.now, tag))
+                yield env.timeout(1.0)
+                resource.release(slot)
+
+            for idx in range(6):
+                env.process(claim(idx, idx % 3, 0.1 * idx))
+            env.run()
+            return grants
+
+        assert run("default") == run(None)
+
+    def test_invalid_aging_rejected(self):
+        with pytest.raises(SimulationError):
+            PriorityResource(Environment(), aging_s=0.0)
+        with pytest.raises(SimulationError):
+            PriorityResource(Environment(), aging_s=-1.0)
+
+    def test_effective_priority_decreases_with_wait(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1, aging_s=2.0)
+        env.now = 10.0
+        assert resource.effective_priority(5, 0.0) == pytest.approx(0.0)
+        assert resource.effective_priority(5, 10.0) == pytest.approx(5.0)
+
+    def _sustained_urgent_run(self, aging_s, urgent_count=20):
+        """One background claim stuck behind a sustained urgent stream
+        (fresh urgent claims keep *arriving* faster than the slot
+        drains, so strictly urgent-first never reaches the background);
+        returns (background grant time, last grant time)."""
+        env = Environment()
+        resource = PriorityResource(env, capacity=1, aging_s=aging_s)
+        grants = {}
+
+        def claim(tag, priority, at):
+            yield env.timeout(at)
+            slot = resource.request(priority=priority)
+            yield slot
+            grants[tag] = env.now
+            yield env.timeout(1.0)
+            resource.release(slot)
+
+        # A fresh urgent claim lands every 0.9 s; each holds for 1 s.
+        for idx in range(urgent_count):
+            env.process(claim(f"urgent{idx}", 0, 0.9 * idx))
+        env.process(claim("background", 5, 0.1))
+        env.run()
+        return grants["background"], max(grants.values())
+
+    def test_without_aging_background_waits_out_the_stream(self):
+        background, last = self._sustained_urgent_run(aging_s=None)
+        assert background == last  # granted dead last
+
+    def test_aging_prevents_starvation(self):
+        background, last = self._sustained_urgent_run(aging_s=2.0)
+        assert background < last  # overtook still-waiting urgent claims
+
+    def test_aged_grants_remain_fifo_within_class(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1, aging_s=1.0)
+        grants = []
+
+        def claim(tag, at):
+            yield env.timeout(at)
+            slot = resource.request(priority=1)
+            yield slot
+            grants.append(tag)
+            yield env.timeout(0.5)
+            resource.release(slot)
+
+        for idx in range(5):
+            env.process(claim(idx, 0.01 * idx))
+        env.run()
+        assert grants == [0, 1, 2, 3, 4]
+
+    def test_release_of_waiting_request_with_aging(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1, aging_s=1.0)
+        holder = resource.request(priority=0)
+        waiter = resource.request(priority=1)
+        assert resource.queue_length == 1
+        resource.release(waiter)  # cancel the queued claim
+        assert resource.queue_length == 0
+        resource.release(holder)

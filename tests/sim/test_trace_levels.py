@@ -1,0 +1,128 @@
+"""Trace-level tests: aggregate recorders keep exact totals in O(1)
+memory, refuse per-entry views, and full-mode recorders stay
+behaviourally identical to the seed."""
+
+import pytest
+
+from repro.platform.cluster import build_cluster
+from repro.sim.runtime import SimRuntime
+from repro.sim.trace import (
+    TRACE_AGGREGATE,
+    TRACE_FULL,
+    BusyRecorder,
+    FlopsLog,
+    TraceLevelError,
+    TransferLog,
+)
+
+
+class TestBusyRecorderLevels:
+    def _record_some(self, recorder):
+        recorder.record("dev/cpu", 0.0, 1.0, "a")
+        recorder.record("dev/cpu", 2.0, 2.5, "b")
+        recorder.record("dev/gpu", 1.0, 4.0, "c")
+
+    def test_totals_match_between_levels(self):
+        full = BusyRecorder(TRACE_FULL)
+        aggregate = BusyRecorder(TRACE_AGGREGATE)
+        self._record_some(full)
+        self._record_some(aggregate)
+        assert sorted(full.keys()) == sorted(aggregate.keys())
+        for key in full.keys():
+            assert aggregate.busy_seconds(key) == full.busy_seconds(key)
+            assert aggregate.interval_count(key) == full.interval_count(key)
+        assert aggregate.makespan == full.makespan == 4.0
+
+    def test_covering_window_uses_running_total(self):
+        aggregate = BusyRecorder(TRACE_AGGREGATE)
+        self._record_some(aggregate)
+        assert aggregate.busy_seconds("dev/cpu", (0.0, 10.0)) == pytest.approx(1.5)
+
+    def test_partial_window_raises(self):
+        aggregate = BusyRecorder(TRACE_AGGREGATE)
+        self._record_some(aggregate)
+        with pytest.raises(TraceLevelError):
+            aggregate.busy_seconds("dev/cpu", (0.5, 10.0))
+
+    def test_per_interval_views_raise(self):
+        aggregate = BusyRecorder(TRACE_AGGREGATE)
+        self._record_some(aggregate)
+        with pytest.raises(TraceLevelError):
+            aggregate.intervals("dev/cpu")
+        with pytest.raises(TraceLevelError):
+            aggregate.overlapping("dev/cpu")
+
+    def test_invalid_interval_rejected_on_both_levels(self):
+        for level in (TRACE_FULL, TRACE_AGGREGATE):
+            with pytest.raises(ValueError):
+                BusyRecorder(level).record("k", 2.0, 1.0)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            BusyRecorder("verbose")
+
+    def test_missing_key_is_zero(self):
+        assert BusyRecorder(TRACE_AGGREGATE).busy_seconds("nope") == 0.0
+
+
+class TestFlopsLogLevels:
+    def test_totals_and_count(self):
+        for level in (TRACE_FULL, TRACE_AGGREGATE):
+            log = FlopsLog(level)
+            log.record(1.0, 100, "dev", "cpu")
+            log.record(2.0, 250, "dev", "gpu")
+            assert log.total_flops == 350
+            assert log.count == 2
+
+    def test_entries_raise_at_aggregate(self):
+        log = FlopsLog(TRACE_AGGREGATE)
+        log.record(1.0, 100, "dev", "cpu")
+        with pytest.raises(TraceLevelError):
+            _ = log.entries
+        with pytest.raises(TraceLevelError):
+            log.gflops_series(1.0, 2.0)
+
+    def test_full_entries_lazily_materialised(self):
+        log = FlopsLog(TRACE_FULL)
+        log.record(1.0, 100, "dev", "cpu", "x")
+        (entry,) = log.entries
+        assert (entry.time, entry.flops, entry.device, entry.processor, entry.label) == (
+            1.0, 100, "dev", "cpu", "x",
+        )
+
+
+class TestTransferLogLevels:
+    def test_totals_match_between_levels(self):
+        logs = {level: TransferLog(level) for level in (TRACE_FULL, TRACE_AGGREGATE)}
+        for log in logs.values():
+            log.record(0.0, 1.0, 512, "a", "b", hold_end=0.75)
+            log.record(1.0, 1.5, 256, "b", "a")
+        full, aggregate = logs[TRACE_FULL], logs[TRACE_AGGREGATE]
+        assert aggregate.total_bytes == full.total_bytes == 768
+        assert aggregate.count == full.count == 2
+        assert aggregate.busy_seconds() == pytest.approx(full.busy_seconds())
+        assert aggregate.delivery_seconds() == pytest.approx(full.delivery_seconds())
+
+    def test_entries_raise_at_aggregate(self):
+        log = TransferLog(TRACE_AGGREGATE)
+        log.record(0.0, 1.0, 10, "a", "b")
+        with pytest.raises(TraceLevelError):
+            _ = log.entries
+
+    def test_bad_hold_rejected_on_both_levels(self):
+        for level in (TRACE_FULL, TRACE_AGGREGATE):
+            with pytest.raises(ValueError):
+                TransferLog(level).record(0.0, 1.0, 10, "a", "b", hold_end=2.0)
+
+
+class TestRuntimeTraceLevel:
+    def test_runtime_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            SimRuntime(build_cluster(), trace_level="everything")
+
+    def test_runtime_threads_level_through(self):
+        runtime = SimRuntime(build_cluster(), trace_level=TRACE_AGGREGATE)
+        assert runtime.trace_level == TRACE_AGGREGATE
+        assert runtime.busy.level == TRACE_AGGREGATE
+        assert runtime.flops_log.level == TRACE_AGGREGATE
+        assert runtime.transfer_log.level == TRACE_AGGREGATE
