@@ -28,6 +28,17 @@ Three measurements, one artifact (``BENCH_serving.json``):
    (the margin at the seed config is small -- percents, not
    multiples -- because the stream saturates the cluster).
 
+4. **Leader-placement gate** (ISSUE 5).  The Fig. 10 seeded
+   light-model burst stream (120 requests whose plans are
+   leader-*local*) runs at 4 shards with the shared ``devices[0]``
+   leader and with per-shard distributed physical leaders.  Shared
+   serialises every light request on one board; distributed runs each
+   shard on its own leader, so the gate asserts the distributed
+   4-leader p99 is below the shared 4-leader p99 (at the seed config
+   the p50 drops several-fold and the p99 by ~7%).  The heavy-model
+   streams stay shared-led: fan-out from one leader is the capacity
+   frontier for big DNNs, which the sweep records for contrast.
+
 The result memos in ``repro.core.dp`` are cleared before every timed
 pass so neither path is subsidised by the other's warm cache.
 """
@@ -40,8 +51,14 @@ from repro.core.dp import clear_result_memos
 from repro.core.hidp import HiDPStrategy
 from repro.dnn.models import MODEL_NAMES, build_model
 from repro.experiments.fig9_serving import SLO_S, build_arrivals
+from repro.experiments.fig10_scaleout import build_arrivals as build_fig10_arrivals
 from repro.platform.cluster import build_cluster
-from repro.serving import OnlineScheduler, ShardedScheduler
+from repro.serving import (
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
+    OnlineScheduler,
+    ShardedScheduler,
+)
 
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 BACKLOG_SIZE = 16
@@ -52,6 +69,8 @@ SHARD_SWEEP = (1, 2, 4)
 #: dispatcher control loop -- not the slot pool -- is the varied
 #: bottleneck.
 SHARD_INFLIGHT = 8
+#: Shard count of the leader-placement comparison.
+LEADER_SHARDS = 4
 
 
 def _backlog_graphs():
@@ -158,21 +177,53 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             f"{result.replans} replans, {result.planning_charged_s * 1e3:.0f} ms planning charged"
         )
 
+    # Leader-placement sweep (ISSUE 5): the light-model burst stream at
+    # 4 shards, shared devices[0] leader vs per-shard physical leaders.
+    light = build_fig10_arrivals("bursty_light", "uniform")
+    leader_sweep = {}
+    for policy in (LEADERS_SHARED, LEADERS_DISTRIBUTED):
+        result = ShardedScheduler(
+            cluster=build_cluster(),
+            num_shards=LEADER_SHARDS,
+            max_inflight=SHARD_INFLIGHT,
+            leader_policy=policy,
+        ).run(light)
+        assert result.count == len(light)
+        result.busy.assert_no_overlaps()
+        pct = result.percentiles()
+        leader_sweep[policy] = {
+            "leaders": LEADER_SHARDS,
+            "leader_devices": list(result.leader_devices),
+            "latency_percentiles_s": pct,
+            "throughput_rps": result.throughput_rps(),
+            "steady_state_rps": result.steady_state_rps(),
+            "planning_charged_s": result.planning_charged_s,
+        }
+        print(
+            f"leader placement {policy} @ {LEADER_SHARDS} shards (light bursty "
+            f"x{result.count}): p50 {pct['p50'] * 1e3:.0f} ms, "
+            f"p99 {pct['p99'] * 1e3:.0f} ms, leaders {result.leader_devices}"
+        )
+
     artifact = {
         "bench": "serving",
         "description": (
             "Batched backlog co-planning vs naive per-request planning, "
             "sustained-load serving quality of the online scheduler on the "
-            "seeded Fig. 9 Poisson stream, and the sharded-scheduler "
-            "leader-count sweep on the seeded bursty stream."
+            "seeded Fig. 9 Poisson stream, the sharded-scheduler "
+            "leader-count sweep on the seeded bursty stream, and the "
+            "shared-vs-distributed physical-leader comparison on the seeded "
+            "light-model burst stream."
         ),
         "gate": {
             "min_speedup": 1.0,
             "sharded_p99_max_ratio": 1.0,
+            "distributed_leader_p99_max_ratio": 1.0,
         },
         "coplan": coplan,
         "serving": serving,
         "sharded": sharded,
+        "leader_placement": leader_sweep,
     }
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
@@ -189,4 +240,13 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
     assert dual_p99 <= single_p99 + 1e-9, (
         f"sharding regressed the tail: 2-leader p99 {dual_p99 * 1e3:.1f} ms vs "
         f"single-leader {single_p99 * 1e3:.1f} ms on the bursty stream"
+    )
+
+    # The leader-placement gate: per-shard physical leaders must beat
+    # the shared devices[0] leader on the leader-local light stream.
+    shared_p99 = leader_sweep[LEADERS_SHARED]["latency_percentiles_s"]["p99"]
+    distributed_p99 = leader_sweep[LEADERS_DISTRIBUTED]["latency_percentiles_s"]["p99"]
+    assert distributed_p99 < shared_p99, (
+        f"distributed leaders regressed the light-stream tail: "
+        f"{distributed_p99 * 1e3:.1f} ms vs shared {shared_p99 * 1e3:.1f} ms"
     )

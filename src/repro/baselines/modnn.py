@@ -52,16 +52,16 @@ class MoDNNStrategy(Strategy):
         #: exchange; 0.5 = half the traffic cost is exposed).
         self.exchange_overlap = exchange_overlap
 
-    def _plan(self, graph: DNNGraph, cluster: Cluster, load=None) -> ExecutionPlan:
+    def _plan(self, graph: DNNGraph, cluster: Cluster, load=None, leader=None) -> ExecutionPlan:
         del load  # MoDNN's proportional rule is static (load-unaware)
-        devices = list(cluster.available_devices())
+        devices = list(cluster.planning_devices(leader))
         models = device_executor_models(cluster, devices, AGGREGATE_DEFAULT)
         segments = graph.segments()
         table = graph.segment_table()
         full_range = (0, len(segments) - 1)
         prefix_lo, prefix_hi = spatial_prefix(graph, segments, full_range)
         if prefix_hi < prefix_lo or len(devices) == 1:
-            return self._local_fallback(graph, cluster)
+            return self._local_fallback(graph, cluster, devices[0])
 
         prefix_flops = table.range_flops(prefix_lo, prefix_hi)
         prefix_ops = table.range_ops(prefix_lo, prefix_hi)
@@ -119,7 +119,7 @@ class MoDNNStrategy(Strategy):
                     label=f"band{slot}",
                 )
             )
-        merge_exec = self._tail_exec(graph, cluster, prefix_hi, segments)
+        merge_exec = self._tail_exec(graph, devices[0], prefix_hi, segments)
         predicted = self._predict(
             cluster, devices, active, cost, input_bytes, prefix_out.size_bytes, prefix_ops
         )
@@ -132,15 +132,15 @@ class MoDNNStrategy(Strategy):
             predicted_latency_s=predicted,
             dse_overhead_s=self.dse_overhead_s,
             notes={"sigma": len(active), "exchange_bytes": cost.total_exchange_bytes(len(active))},
+            leader=devices[0].name,
         )
 
-    def _tail_exec(self, graph, cluster, prefix_hi, segments):
+    def _tail_exec(self, graph, leader, prefix_hi, segments):
         if prefix_hi + 1 >= len(segments):
             return None
         table = graph.segment_table()
         tail_flops = table.range_flops(prefix_hi + 1, len(segments) - 1)
         tail_ops = table.range_ops(prefix_hi + 1, len(segments) - 1)
-        leader = cluster.leader
         proc = leader.default_processor
         task = UnitTask(
             processor=proc.name,
@@ -177,9 +177,10 @@ class MoDNNStrategy(Strategy):
             worst = max(worst, time)
         return worst
 
-    def _local_fallback(self, graph: DNNGraph, cluster: Cluster) -> ExecutionPlan:
+    def _local_fallback(self, graph: DNNGraph, cluster: Cluster, leader=None) -> ExecutionPlan:
         """Single-node cluster: default-runtime execution on the leader."""
-        leader = cluster.leader
+        if leader is None:
+            leader = cluster.leader
         proc = leader.default_processor
         task = UnitTask(
             processor=proc.name,
@@ -203,6 +204,7 @@ class MoDNNStrategy(Strategy):
             ),
             dse_overhead_s=self.dse_overhead_s,
             notes={"fallback": True},
+            leader=leader.name,
         )
 
 

@@ -70,9 +70,9 @@ class OmniBoostStrategy(Strategy):
                 units.append((device, proc))
         return units
 
-    def _plan(self, graph: DNNGraph, cluster: Cluster, load=None) -> ExecutionPlan:
+    def _plan(self, graph: DNNGraph, cluster: Cluster, load=None, leader=None) -> ExecutionPlan:
         del load  # the throughput estimator is trained offline (load-unaware)
-        devices = list(cluster.available_devices())
+        devices = list(cluster.planning_devices(leader))
         units = self._units(devices)
         segments = graph.segments()
         spans = _coarsen(segments, self.max_blocks)
@@ -171,4 +171,5 @@ class OmniBoostStrategy(Strategy):
                 "bottleneck_s": max(times),
                 "units": [units[u][1].name for u, _ in merged],
             },
+            leader=leader,
         )

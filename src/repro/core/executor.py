@@ -5,6 +5,15 @@ The executor is strategy-agnostic: HiDP plans and baseline plans run
 through the identical machinery, so measured differences come only
 from the decisions, never from the harness.
 
+The FSM runs from the plan's own physical leader
+(:attr:`~repro.core.plans.ExecutionPlan.leader`): the probe
+round-trips, the offload fan-out, the result merge and the
+``dse_overhead_s`` scheduler-CPU charge all land on that device, so a
+sharded scheduler whose shards elect distinct leaders genuinely
+spreads controller work across boards.  Plans without a recorded
+leader (legacy) fall back to the cluster's ``devices[0]``,
+byte-identically.
+
 Timeline of one request (leader FSM):
 
 1. ``analyze``        -- availability probe round-trips to every node.
@@ -389,7 +398,7 @@ class PlanExecutor:
         mid-flight boundary to pause at.
         """
         env = self.runtime.env
-        leader = self.runtime.cluster.leader.name
+        leader = plan.leader if plan.leader is not None else self.runtime.cluster.leader.name
         submitted = env.now
         record_fsm = self._record_fsm
         traces: List[FSMTrace] = []

@@ -74,12 +74,15 @@ OBJECTIVE_EDP = "edp"
 OBJECTIVES = (OBJECTIVE_LATENCY, OBJECTIVE_ENERGY, OBJECTIVE_EDP)
 
 
-def estimate_candidate_energy(cluster: Cluster, candidate: ModeCandidate) -> float:
+def estimate_candidate_energy(
+    cluster: Cluster, candidate: ModeCandidate, leader: Optional[str] = None
+) -> float:
     """Predicted energy [J] of executing a candidate plan.
 
     Marginal (busy - idle) energy of every task on its processor, plus
     the cluster-wide idle floor over the predicted makespan -- the same
-    decomposition the measured Fig. 5b energy uses.
+    decomposition the measured Fig. 5b energy uses.  ``leader`` is the
+    device hosting the merge (default: the cluster leader).
     """
 
     def task_energy(device_name: str, tasks) -> float:
@@ -100,7 +103,8 @@ def estimate_candidate_energy(cluster: Cluster, candidate: ModeCandidate) -> flo
         if local.tail is not None:
             energy += task_energy(assignment.device, (local.tail,))
     if candidate.merge_exec is not None:
-        energy += task_energy(cluster.leader.name, candidate.merge_exec.tasks)
+        merge_host = leader if leader is not None else cluster.leader.name
+        energy += task_energy(merge_host, candidate.merge_exec.tasks)
     idle_floor_w = sum(device.idle_power_w for device in cluster.devices)
     energy += idle_floor_w * candidate.predicted_s
     return energy
@@ -150,11 +154,13 @@ def relabel_decision(decision: LocalDecision, old: str, new: str) -> LocalDecisi
     )
 
 
-def candidate_score(cluster: Cluster, candidate: ModeCandidate, objective: str) -> float:
+def candidate_score(
+    cluster: Cluster, candidate: ModeCandidate, objective: str, leader: Optional[str] = None
+) -> float:
     """Objective value of a candidate (lower is better)."""
     if objective == OBJECTIVE_LATENCY:
         return candidate.predicted_s
-    energy = estimate_candidate_energy(cluster, candidate)
+    energy = estimate_candidate_energy(cluster, candidate, leader=leader)
     if objective == OBJECTIVE_ENERGY:
         return energy
     if objective == OBJECTIVE_EDP:
@@ -501,11 +507,16 @@ class HiDPStrategy(Strategy):
     # Entry point -----------------------------------------------------------------
 
     def _planning_context(
-        self, cluster: Cluster, load: Optional[Mapping[str, float]]
+        self, cluster: Cluster, load: Optional[Mapping[str, float]], leader: Optional[str] = None
     ) -> Tuple[List[Device], List[ExecutorModel]]:
-        devices = list(cluster.available_devices())
-        if not devices or devices[0].name != cluster.leader.name:
-            raise RuntimeError("leader node must be available to plan")
+        """Available devices (leader first) and their executor models.
+
+        The planning leader heads the device list, so every index-0
+        assumption in the DP kernels (free communication, pipeline
+        source, tail host) targets the elected physical leader.  With
+        the default leader this is the historical device order.
+        """
+        devices = list(cluster.planning_devices(leader))
         models = device_executor_models(cluster, devices, self.aggregation, load=load)
         return devices, models
 
@@ -514,8 +525,9 @@ class HiDPStrategy(Strategy):
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> ExecutionPlan:
-        devices, models = self._planning_context(cluster, load)
+        devices, models = self._planning_context(cluster, load, leader=leader)
         data_decision: Optional[DataModeDecision] = None
         if MODE_DATA in self.allowed_modes:
             spec = self._data_search_spec(graph, models)
@@ -527,18 +539,24 @@ class HiDPStrategy(Strategy):
         graphs: Sequence[DNNGraph],
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> List[ExecutionPlan]:
         """Co-plan a backlog of concurrent requests in one pass.
 
         Distinct models in the backlog run their global-tier data DSE
         through a single batched share-DP sweep
         (:func:`~repro.core.dse.explore_data_batch`); duplicate models
-        and already-cached (model, load bucket) pairs are planned once.
-        Plans are identical to per-request :meth:`plan` calls and land
-        in the same cache, so later ``plan()`` calls hit.
+        and already-cached (model, leader, load bucket) tuples are
+        planned once.  Plans are identical to per-request :meth:`plan`
+        calls and land in the same cache, so later ``plan()`` calls
+        hit.  ``leader`` applies batch-wide (one dispatcher plans from
+        one physical leader).
         """
         effective = self.effective_load(load)
-        keys = [self.cache_key(graph, cluster, effective) for graph in graphs]
+        leader = self.resolve_leader(cluster, leader)
+        keys = [
+            self.cache_key(graph, cluster, effective, leader=leader) for graph in graphs
+        ]
         # Resolve against the cache up front: re-reading after the
         # inserts below could KeyError if this very batch's new plans
         # evicted a pre-existing key from the LRU.
@@ -554,7 +572,7 @@ class HiDPStrategy(Strategy):
             else:
                 missing[key] = graph
         if missing:
-            devices, models = self._planning_context(cluster, effective)
+            devices, models = self._planning_context(cluster, effective, leader=leader)
             decisions: Dict[Tuple, Optional[DataModeDecision]] = {}
             if MODE_DATA in self.allowed_modes:
                 specs = [
@@ -609,11 +627,17 @@ class HiDPStrategy(Strategy):
                     notes={"fallback": True},
                 )
             )
-        best = min(candidates, key=lambda c: candidate_score(cluster, c, self.objective))
+        leader_name = devices[0].name
+        best = min(
+            candidates,
+            key=lambda c: candidate_score(cluster, c, self.objective, leader=leader_name),
+        )
         notes = dict(best.notes, explored=[c.mode for c in candidates])
         if self.objective != OBJECTIVE_LATENCY:
             notes["objective"] = self.objective
-            notes["predicted_energy_j"] = estimate_candidate_energy(cluster, best)
+            notes["predicted_energy_j"] = estimate_candidate_energy(
+                cluster, best, leader=leader_name
+            )
         return ExecutionPlan(
             strategy=self.name,
             model=graph.name,
@@ -623,4 +647,5 @@ class HiDPStrategy(Strategy):
             predicted_latency_s=best.predicted_s,
             dse_overhead_s=self.dse_overhead_s,
             notes=notes,
+            leader=leader_name,
         )

@@ -148,6 +148,12 @@ class ExecutionPlan:
     - ``model``: assignments form a pipeline in order; the final output
       returns to the leader.
     - ``local``: single assignment on the leader, no network use.
+
+    ``leader`` names the physical device that runs the leader FSM for
+    this plan -- the probe source, the offload fan-out origin, the
+    merge host, and the scheduler CPU the DSE overhead is charged on.
+    ``None`` means the cluster's default leader (``devices[0]``), which
+    keeps legacy plans byte-identical.
     """
 
     strategy: str
@@ -158,6 +164,7 @@ class ExecutionPlan:
     predicted_latency_s: float = 0.0
     dse_overhead_s: float = 0.0
     notes: Dict[str, Any] = field(default_factory=dict)
+    leader: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in PLAN_MODES:

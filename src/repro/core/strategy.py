@@ -4,6 +4,17 @@ A strategy turns (DNN graph, cluster state) into an
 :class:`~repro.core.plans.ExecutionPlan`.  HiDP and all three baselines
 implement this interface, so the framework and the experiment harness
 treat them interchangeably.
+
+Physical leaders (ISSUE 5): every planning entry point accepts a
+``leader`` device name.  The leader is the executor with free
+communication and zero fixed cost in the global search
+(:func:`device_executor_models`), the pipeline source, the merge host,
+and the node whose scheduler CPU pays the DSE overhead; plans record it
+(:attr:`~repro.core.plans.ExecutionPlan.leader`) so the executor FSM
+runs from the same device the search assumed.  ``leader=None`` resolves
+to the cluster's default leader (``devices[0]``), reproducing every
+legacy plan and schedule byte-identically; the plan cache keys on the
+resolved leader, so per-shard leaders never collide in the cache.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ def device_executor_models(
     aggregation: str = AGGREGATE_ALL,
     leader_index: int = 0,
     load: Optional[Mapping[str, float]] = None,
+    leader: Optional[str] = None,
 ) -> List[ExecutorModel]:
     """Global-tier executor models, one per device.
 
@@ -48,9 +60,23 @@ def device_executor_models(
     ``load`` maps device names to outstanding-backlog seconds; a loaded
     node's fixed cost grows accordingly, steering new work away from
     congested nodes (the run-time scheduler's cluster monitoring).
+
+    The leader -- the device already holding the input data, which
+    therefore communicates for free and pays no fixed cost -- may sit
+    at *any* index: name it with ``leader`` (which overrides
+    ``leader_index``) or index it with ``leader_index`` (default 0, the
+    historical behaviour).
     """
     if aggregation not in (AGGREGATE_ALL, AGGREGATE_DEFAULT):
         raise ValueError(f"unknown aggregation {aggregation!r}")
+    if leader is not None:
+        names = [device.name for device in devices]
+        try:
+            leader_index = names.index(leader)
+        except ValueError:
+            raise ValueError(f"leader {leader!r} not among devices {names}") from None
+    elif not 0 <= leader_index < len(devices):
+        raise ValueError(f"leader index {leader_index} out of range for {len(devices)} devices")
     models = []
     for index, device in enumerate(devices):
         rates: Dict[str, float] = {}
@@ -105,8 +131,18 @@ class Strategy(abc.ABC):
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> ExecutionPlan:
-        """Compute a fresh plan (no caching)."""
+        """Compute a fresh plan (no caching).
+
+        ``leader`` is the resolved physical leader device name (never
+        None when called through :meth:`plan`).
+        """
+
+    def resolve_leader(self, cluster: Cluster, leader: Optional[str]) -> str:
+        """The physical leader a planning call uses (default: the
+        cluster's ``devices[0]``)."""
+        return leader if leader is not None else cluster.leader.name
 
     def effective_load(
         self, load: Optional[Mapping[str, float]]
@@ -143,15 +179,20 @@ class Strategy(abc.ABC):
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> Tuple:
-        """Plan-cache key: (model, cluster, availability, load buckets).
+        """Plan-cache key: (model, cluster, availability, leader, load
+        buckets).
 
-        ``load`` must already be the effective (strategy-filtered) load.
+        ``load`` must already be the effective (strategy-filtered)
+        load; ``leader`` is resolved so ``None`` and the default
+        leader's name key identically.
         """
         return (
             graph.name,
             cluster.name,
             cluster.availability_signature(),
+            self.resolve_leader(cluster, leader),
             self.load_key(load),
         )
 
@@ -160,24 +201,28 @@ class Strategy(abc.ABC):
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> ExecutionPlan:
-        """Plan with memoisation on (model, availability, load bucket).
+        """Plan with memoisation on (model, availability, leader, load
+        bucket).
 
         Planning is deterministic given the graph, the availability
-        vector and the (quantised) load snapshot, so repeated requests
-        for the same model under similar conditions reuse the decision
-        -- mirroring how the paper's middleware caches DSE results for
-        known workloads.  The cache is LRU-bounded: a long open-loop
-        request stream visits unboundedly many load buckets, and an
-        unbounded dict would leak plans for buckets never seen again.
+        vector, the physical leader and the (quantised) load snapshot,
+        so repeated requests for the same model under similar
+        conditions reuse the decision -- mirroring how the paper's
+        middleware caches DSE results for known workloads.  The cache
+        is LRU-bounded: a long open-loop request stream visits
+        unboundedly many load buckets, and an unbounded dict would leak
+        plans for buckets never seen again.
         """
         effective = self.effective_load(load)
-        key = self.cache_key(graph, cluster, effective)
+        resolved = self.resolve_leader(cluster, leader)
+        key = self.cache_key(graph, cluster, effective, leader=resolved)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             return cached
-        plan = self._plan(graph, cluster, load=effective)
+        plan = self._plan(graph, cluster, load=effective, leader=resolved)
         self._cache_put(key, plan)
         return plan
 
@@ -186,34 +231,39 @@ class Strategy(abc.ABC):
         graphs: Sequence[DNNGraph],
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> List[ExecutionPlan]:
         """Co-plan a backlog of requests under one load snapshot.
 
         The base implementation plans sequentially (sharing the plan
         cache, so duplicate models in the backlog are planned once);
         strategies with batched DSE kernels override this to price the
-        whole backlog in shared array sweeps.
+        whole backlog in shared array sweeps.  ``leader`` applies to
+        the whole batch (one dispatcher plans from one leader).
         """
-        return [self.plan(graph, cluster, load=load) for graph in graphs]
+        return [self.plan(graph, cluster, load=load, leader=leader) for graph in graphs]
 
     def uncached_plans(
         self,
         graphs: Sequence[DNNGraph],
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> int:
         """Distinct plans a pass over ``graphs`` would compute fresh.
 
         Counts the distinct plan-cache keys (model x availability x
-        load bucket) not currently cached.  Serving schedulers use this
-        to charge *measured-bucket* planning overhead: a fresh
+        leader x load bucket) not currently cached.  Serving schedulers
+        use this to charge *measured-bucket* planning overhead: a fresh
         (model, bucket) combination pays the DSE cost on the scheduler
         CPU, while a decision the middleware already cached is free --
         mirroring how the paper's run-time scheduler reuses DSE results
         for known workloads.
         """
         effective = self.effective_load(load)
-        keys = {self.cache_key(graph, cluster, effective) for graph in graphs}
+        keys = {
+            self.cache_key(graph, cluster, effective, leader=leader) for graph in graphs
+        }
         return sum(1 for key in keys if key not in self._cache)
 
     def _cache_put(self, key: Tuple, plan: ExecutionPlan) -> None:

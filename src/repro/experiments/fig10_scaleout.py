@@ -1,8 +1,9 @@
 """Figure 10 (beyond the paper): sharded serving scale-out.
 
 Sweeps the :class:`~repro.serving.ShardedScheduler` over leader
-(dispatcher) count x priority mix under the two nastiest arrival
-processes of Fig. 9 -- bursty and heavy-tailed -- and reports tail
+(dispatcher) count x priority mix x physical-leader placement under
+the two nastiest arrival processes of Fig. 9 -- bursty and
+heavy-tailed -- plus a light-model burst stream, and reports tail
 latency overall and per priority class.
 
 What the sweep shows:
@@ -17,6 +18,15 @@ What the sweep shows:
   claim in-flight slots ahead of queued background work and preempt
   in-flight background requests at plan-segment boundaries; the
   interactive class's p99 separates from the background class's.
+- **Leader placement** (``leader_policy``).  ``shared`` plans every
+  shard from ``devices[0]``; ``distributed`` pins a physical leader
+  per shard.  On the heavy-model streams the shared leader wins: its
+  plans fan every request out across the whole cluster, which is the
+  capacity frontier for big DNNs.  On the light-model burst stream
+  (``bursty_light``) the plans are leader-*local*, so the shared
+  leader serialises every request on one board while distributed
+  leaders run each shard on its own board -- p50 drops several-fold
+  and p99 measurably (the BENCH_serving leader gate).
 
 Planning overhead is charged in the default measured-bucket mode, so
 the sweep accounts for the DSE time the paper bounds at ~15 ms instead
@@ -30,7 +40,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.dnn.models import MODEL_NAMES
 from repro.metrics.report import render_table
 from repro.platform.cluster import Cluster
-from repro.serving import ASSIGN_MODEL, ServingResult, ShardedScheduler
+from repro.serving import (
+    ASSIGN_MODEL,
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
+    ServingResult,
+    ShardedScheduler,
+)
+from repro.serving.sharded import LEADER_MODES
 from repro.workloads.arrivals import bursty_stream, heavy_tailed_stream
 from repro.workloads.requests import InferenceRequest
 
@@ -43,6 +60,15 @@ SEED = 2025
 
 #: Leader-dispatcher counts swept.
 LEADER_COUNTS = (1, 2, 4)
+
+#: Physical-leader placements swept: the scheduler's own mode tuple,
+#: not to be confused with the *election* policies on
+#: :data:`repro.platform.cluster.LEADER_POLICIES`.
+LEADER_PLACEMENTS = LEADER_MODES
+
+#: Light models whose plans stay leader-local: the workload where
+#: per-shard physical leaders genuinely scale out across boards.
+LIGHT_MODEL_NAMES = ("mobilenet_v2", "tiny_cnn", "tiny_residual", "tiny_depthwise")
 
 #: In-flight window: wide enough that the dispatcher control loop --
 #: not the slot pool -- is the bottleneck the sweep varies (a 4-slot
@@ -57,7 +83,7 @@ PRIORITY_MIXES: Dict[str, Optional[Mapping[int, float]]] = {
     "mixed": {0: 0.25, 2: 0.75},
 }
 
-ARRIVAL_PROCESSES = ("bursty", "heavy_tailed")
+ARRIVAL_PROCESSES = ("bursty", "heavy_tailed", "bursty_light")
 
 #: The interactive class in the mixed workload.
 URGENT_PRIORITY = 0
@@ -95,6 +121,20 @@ def build_arrivals(
             seed=seed,
             priority_weights=weights,
         )
+    if process == "bursty_light":
+        # Dense bursts of light models: plans are leader-local, so this
+        # is the stream where leader placement -- not fan-out shape --
+        # decides the tail.
+        burst_size = 12
+        num_bursts = max(1, (num_requests + burst_size - 1) // burst_size)
+        return bursty_stream(
+            LIGHT_MODEL_NAMES,
+            burst_size=burst_size,
+            num_bursts=num_bursts,
+            mean_gap_s=0.25,
+            seed=seed,
+            priority_weights=weights,
+        )[:num_requests]
     raise KeyError(f"unknown arrival process {process!r}; known: {ARRIVAL_PROCESSES}")
 
 
@@ -107,29 +147,41 @@ def run_fig10(
     cluster: Optional[Cluster] = None,
     max_batch: int = 16,
     max_inflight: int = MAX_INFLIGHT,
-) -> Dict[Tuple[str, str, int], ServingResult]:
-    """{(arrival process, priority mix, leaders): serving result}."""
-    results: Dict[Tuple[str, str, int], ServingResult] = {}
+    leader_policies: Sequence[str] = LEADER_PLACEMENTS,
+) -> Dict[Tuple[str, str, int, str], ServingResult]:
+    """{(arrival process, priority mix, leaders, leader policy): result}.
+
+    The 1-leader cells only run the ``shared`` placement: with one
+    shard both policies elect ``devices[0]`` and the schedules are
+    byte-identical, so the distributed cell would duplicate the row.
+    """
+    results: Dict[Tuple[str, str, int, str], ServingResult] = {}
     for process in processes:
         for mix in mixes:
             requests = build_arrivals(process, mix, num_requests, seed)
             for leaders in leader_counts:
-                scheduler = ShardedScheduler(
-                    cluster=cluster,
-                    num_shards=leaders,
-                    max_batch=max_batch,
-                    max_inflight=max_inflight,
-                    assignment=ASSIGN_MODEL,
-                )
-                results[(process, mix, leaders)] = scheduler.run(requests)
+                for policy in leader_policies:
+                    if leaders == 1 and policy != LEADERS_SHARED and LEADERS_SHARED in leader_policies:
+                        continue
+                    scheduler = ShardedScheduler(
+                        cluster=cluster,
+                        num_shards=leaders,
+                        max_batch=max_batch,
+                        max_inflight=max_inflight,
+                        assignment=ASSIGN_MODEL,
+                        leader_policy=policy,
+                    )
+                    results[(process, mix, leaders, policy)] = scheduler.run(requests)
     return results
 
 
-def report_fig10(results: Optional[Dict[Tuple[str, str, int], ServingResult]] = None) -> str:
+def report_fig10(
+    results: Optional[Dict[Tuple[str, str, int, str], ServingResult]] = None
+) -> str:
     if results is None:
         results = run_fig10()
     rows = []
-    for (process, mix, leaders), result in results.items():
+    for (process, mix, leaders, policy), result in results.items():
         pct = result.percentiles()
         by_priority = result.percentiles_by_priority()
         urgent = by_priority.get(URGENT_PRIORITY, {}).get("p99")
@@ -142,6 +194,7 @@ def report_fig10(results: Optional[Dict[Tuple[str, str, int], ServingResult]] = 
                 "Arrivals": process,
                 "mix": mix,
                 "leaders": leaders,
+                "placement": policy,
                 "p50 [ms]": pct["p50"] * 1000.0,
                 "p99 [ms]": pct["p99"] * 1000.0,
                 "p99 hi [ms]": "-" if urgent is None else f"{urgent * 1000.0:.1f}",
@@ -159,7 +212,7 @@ def report_fig10(results: Optional[Dict[Tuple[str, str, int], ServingResult]] = 
         rows,
         title=(
             "Fig. 10 -- sharded serving scale-out: leader count x priority mix "
-            f"({NUM_REQUESTS} requests over {len(MODEL_NAMES)} models, "
+            f"x leader placement ({NUM_REQUESTS} requests, "
             "measured-bucket planning overhead)"
         ),
         float_format="{:.1f}",

@@ -94,9 +94,10 @@ class FixedConfigStrategy(Strategy):
         graph: DNNGraph,
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
+        leader: Optional[str] = None,
     ) -> ExecutionPlan:
         del load
-        device = cluster.leader
+        device = cluster.device(leader) if leader is not None else cluster.leader
         local = build_config_exec(graph, device, self.config)
         return ExecutionPlan(
             strategy=self.name,
@@ -106,6 +107,7 @@ class FixedConfigStrategy(Strategy):
             predicted_latency_s=0.0,
             dse_overhead_s=0.0,
             notes={"config": self.config.name},
+            leader=device.name,
         )
 
 

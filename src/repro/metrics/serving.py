@@ -81,13 +81,33 @@ class P2Quantile:
     Chlamtac, 1985).
 
     Five markers track the running quantile in O(1) memory and O(1)
-    work per observation.  Exact for the first five samples; afterwards
-    a piecewise-parabolic interpolation keeps the marker at the
-    requested quantile.  Accuracy is typically within a fraction of a
-    percent of the exact percentile for unimodal latency distributions.
+    work per observation; a piecewise-parabolic interpolation keeps the
+    middle marker at the requested quantile.  The raw algorithm's
+    middle marker converges only after dozens of observations -- at
+    count 6 a p99 query would return roughly the *median* of the first
+    samples -- so the estimator additionally keeps an exact bounded
+    buffer of the first :data:`EXACT_WARMUP` observations and answers
+    from it (the same linear-interpolation :func:`percentile` every
+    figure artefact uses) until the markers have had that many updates.
+    Memory stays O(1); small samples (and in particular anything below
+    five observations) agree with the exact percentile path to the
+    bit.
     """
 
-    __slots__ = ("quantile", "_heights", "_positions", "_desired", "_increments", "_count")
+    __slots__ = (
+        "quantile",
+        "_heights",
+        "_positions",
+        "_desired",
+        "_increments",
+        "_count",
+        "_exact",
+    )
+
+    #: Observations answered exactly from the warmup buffer before the
+    #: P-square markers take over (bounds the buffer, keeping O(1)
+    #: memory).
+    EXACT_WARMUP = 64
 
     def __init__(self, quantile: float):
         if not 0.0 < quantile < 1.0:
@@ -99,6 +119,7 @@ class P2Quantile:
         self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
         self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
         self._count = 0
+        self._exact: Optional[List[float]] = []
 
     @property
     def count(self) -> int:
@@ -106,6 +127,11 @@ class P2Quantile:
 
     def add(self, value: float) -> None:
         self._count += 1
+        if self._exact is not None:
+            if self._count <= self.EXACT_WARMUP:
+                self._exact.append(value)
+            else:
+                self._exact = None  # markers have warmed up; drop the buffer
         heights = self._heights
         if len(heights) < 5:
             heights.append(value)
@@ -162,13 +188,17 @@ class P2Quantile:
 
     @property
     def value(self) -> float:
-        """The current quantile estimate (exact below five samples)."""
+        """The current quantile estimate.
+
+        Exact (bit-identical to :func:`percentile`) for the first
+        :data:`EXACT_WARMUP` observations; the adapted P-square middle
+        marker afterwards.
+        """
         if self._count == 0:
             raise ValueError("no values observed")
-        heights = self._heights
-        if self._count <= 5 or len(heights) < 5:
-            return percentile(heights, self.quantile * 100.0)
-        return heights[2]
+        if self._exact is not None and self._count <= self.EXACT_WARMUP:
+            return percentile(self._exact, self.quantile * 100.0)
+        return self._heights[2]
 
 
 class StreamingStats:

@@ -1,6 +1,14 @@
 """Heterogeneous edge platform substrate (Table II catalogue)."""
 
-from repro.platform.cluster import Cluster, build_cluster
+from repro.platform.cluster import (
+    Cluster,
+    LEADER_EXPLICIT,
+    LEADER_FIXED,
+    LEADER_LEAST_LOADED,
+    LEADER_POLICIES,
+    LEADER_SHARD,
+    build_cluster,
+)
 from repro.platform.device import Device
 from repro.platform.power import PowerModel
 from repro.platform.processor import (
@@ -27,6 +35,11 @@ from repro.platform.specs import (
 
 __all__ = [
     "Cluster",
+    "LEADER_EXPLICIT",
+    "LEADER_FIXED",
+    "LEADER_LEAST_LOADED",
+    "LEADER_POLICIES",
+    "LEADER_SHARD",
     "build_cluster",
     "Device",
     "PowerModel",

@@ -1,5 +1,13 @@
 """Edge clusters: the paper's ``N(phi_j)`` with the global resource
 vector ``Psi`` (Eq. 3) and the availability vector ``A`` (Eq. 4).
+
+Leader election (ISSUE 5): historically ``devices[0]`` was hard-wired
+as the data-distribution leader of every plan.  The election API below
+makes the physical leader a first-class planning input -- explicit by
+name, least-loaded under a backlog snapshot, or pinned per shard so N
+scheduler shards spread the offload fan-out and the planning charge
+across boards.  ``devices[0]`` remains the *default* leader, so every
+legacy call site is byte-identical.
 """
 
 from __future__ import annotations
@@ -10,6 +18,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.comm.network import WirelessNetwork
 from repro.platform.device import Device
 from repro.platform.specs import DEVICE_NAMES, build_device
+
+#: Leader-election policies (see :meth:`Cluster.elect_leader`).
+LEADER_FIXED = "fixed"
+LEADER_EXPLICIT = "explicit"
+LEADER_LEAST_LOADED = "least_loaded"
+LEADER_SHARD = "shard"
+LEADER_POLICIES = (LEADER_FIXED, LEADER_EXPLICIT, LEADER_LEAST_LOADED, LEADER_SHARD)
 
 
 @dataclass
@@ -87,6 +102,89 @@ class Cluster:
 
     def available_devices(self) -> Tuple[Device, ...]:
         return tuple(device for device in self.devices if self._available[device.name])
+
+    # Leader election (ISSUE 5) -------------------------------------------
+
+    def elect_leader(
+        self,
+        policy: str = LEADER_FIXED,
+        *,
+        name: Optional[str] = None,
+        load: Optional[Mapping[str, float]] = None,
+        shard: int = 0,
+        num_shards: int = 1,
+    ) -> Device:
+        """Elect the physical data-distribution leader for one plan.
+
+        - ``fixed``: the historical ``devices[0]`` leader (the node
+          where requests arrive).
+        - ``explicit``: the device called ``name``.
+        - ``least_loaded``: the available device with the smallest
+          backlog in ``load`` (ties break in cluster order, so election
+          is deterministic; an absent entry counts as an idle device).
+        - ``shard``: shard ``shard`` of ``num_shards`` pins its leader
+          round-robin over the available devices, so a sharded
+          scheduler's fan-out and planning charge spread across boards.
+
+        The elected device must be available (it runs the probe /
+        offload / merge FSM); electing an unavailable device raises.
+        """
+        if policy == LEADER_FIXED:
+            elected = self.leader
+        elif policy == LEADER_EXPLICIT:
+            if name is None:
+                raise ValueError("explicit election needs a device name")
+            elected = self.device(name)
+        elif policy == LEADER_LEAST_LOADED:
+            candidates = self.available_devices()
+            if not candidates:
+                raise RuntimeError("no available device to elect as leader")
+            backlog = load or {}
+            elected = min(candidates, key=lambda d: backlog.get(d.name, 0.0))
+        elif policy == LEADER_SHARD:
+            if num_shards < 1:
+                raise ValueError(f"num_shards must be positive, got {num_shards}")
+            if not 0 <= shard < num_shards:
+                raise ValueError(f"shard {shard} out of range for {num_shards} shards")
+            candidates = self.available_devices()
+            if not candidates:
+                raise RuntimeError("no available device to elect as leader")
+            elected = candidates[shard % len(candidates)]
+        else:
+            raise ValueError(f"unknown leader policy {policy!r}; known: {LEADER_POLICIES}")
+        if not self._available[elected.name]:
+            raise RuntimeError(f"elected leader {elected.name!r} is unavailable")
+        return elected
+
+    def shard_leaders(self, num_shards: int) -> Tuple[str, ...]:
+        """Per-shard leader device names (round-robin over available
+        devices), one per shard."""
+        return tuple(
+            self.elect_leader(LEADER_SHARD, shard=shard, num_shards=num_shards).name
+            for shard in range(num_shards)
+        )
+
+    def planning_devices(self, leader: Optional[str] = None) -> Tuple[Device, ...]:
+        """Available devices with the planning leader first.
+
+        Every planner assumes index 0 is the leader (the executor with
+        free communication, the pipeline source, the merge host);
+        reordering here lets any device lead without disturbing the DP
+        kernels.  ``leader=None`` (or the default leader's name) keeps
+        the historical order byte-for-byte.
+        """
+        devices = self.available_devices()
+        if not devices:
+            raise RuntimeError("no available devices to plan over")
+        leader_name = leader if leader is not None else self.leader.name
+        for index, device in enumerate(devices):
+            if device.name == leader_name:
+                if index == 0:
+                    return devices
+                return (device,) + devices[:index] + devices[index + 1:]
+        if leader_name not in self._available:
+            raise KeyError(f"no device named {leader_name!r} in {self.name}")
+        raise RuntimeError(f"leader node {leader_name!r} must be available to plan")
 
     # Resource vectors (paper Eq. 3) ---------------------------------------
 

@@ -45,6 +45,20 @@ Both return a :class:`~repro.serving.scheduler.ServingResult` with
 latency percentiles (overall and per priority class), SLO attainment,
 wall + steady-state throughput, and scheduler counters.
 
+Physical leaders (ISSUE 5): the :class:`ShardedScheduler` additionally
+accepts ``leader_policy="distributed"``, pinning a *physical* leader
+device per shard (:meth:`~repro.platform.cluster.Cluster.shard_leaders`).
+Each dispatcher plans from its own leader (``leader=`` threaded through
+:meth:`~repro.core.strategy.Strategy.plan_batch` down to the executor
+models), charges planning on that leader's scheduler CPU, and executes
+plans whose probe/fan-out/merge FSM runs from that board
+(:attr:`~repro.core.plans.ExecutionPlan.leader`).  On light-model
+streams, whose plans are leader-local, this turns N shards into true
+horizontal scale-out across boards (the BENCH_serving leader gate);
+the default ``"shared"`` policy keeps every legacy schedule
+byte-identical, pinned by the cross-hatch matrix in
+``tests/integration/test_hatch_matrix.py``.
+
 Large-scale streams (ISSUE 4): both schedulers accept
 ``trace_level="aggregate"`` to record O(1) streaming trace aggregates
 (running busy totals, completion/byte counters) instead of
@@ -63,6 +77,8 @@ from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResul
 from repro.serving.sharded import (
     ASSIGN_HASH,
     ASSIGN_MODEL,
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
     ShardedScheduler,
@@ -75,6 +91,8 @@ __all__ = [
     "ShardedScheduler",
     "ASSIGN_HASH",
     "ASSIGN_MODEL",
+    "LEADERS_DISTRIBUTED",
+    "LEADERS_SHARED",
     "PLANNING_BUCKET",
     "PLANNING_OFF",
 ]

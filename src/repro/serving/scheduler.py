@@ -107,6 +107,17 @@ class ServingResult:
     shards: int = 1
     steals: int = 0
     preemptions: int = 0
+    #: Physical leader device of each shard's dispatcher (empty for the
+    #: single-leader scheduler, whose leader is always ``devices[0]``).
+    leader_devices: Tuple[str, ...] = ()
+    #: Per-shard accounting (index = shard).  They reconcile exactly:
+    #: ``dispatched[i] == admitted[i] + stolen_in[i] - stolen_out[i]``
+    #: and ``sum(dispatched) == count`` -- the invariant the randomized
+    #: serving tests pin.
+    admitted_by_shard: Tuple[int, ...] = ()
+    dispatched_by_shard: Tuple[int, ...] = ()
+    stolen_in_by_shard: Tuple[int, ...] = ()
+    stolen_out_by_shard: Tuple[int, ...] = ()
     #: Simulated seconds of planning overhead charged on the scheduler
     #: CPU before dispatch (0 when charging is gated off).
     planning_charged_s: float = 0.0

@@ -36,10 +36,32 @@ Scheduling policy on top of the sharding:
   decisions are free, mirroring the paper's middleware reusing DSE
   results.  ``"off"`` restores the legacy zero-cost planning;  a float
   charges that many seconds per planning pass.
+- **Physical leaders.**  ``leader_policy="shared"`` (legacy) plans
+  every shard's batches from the cluster's ``devices[0]``: one board
+  sources every probe and offload fan-out and absorbs every planning
+  charge.  ``"distributed"`` elects a *per-shard* physical leader
+  (:meth:`~repro.platform.cluster.Cluster.shard_leaders`, round-robin
+  over available devices): each dispatcher plans with its own leader
+  (threaded through :meth:`~repro.core.strategy.Strategy.plan_batch`),
+  charges planning on that leader's scheduler CPU, and executes plans
+  whose probe/fan-out/merge FSM runs from that device -- so N-shard
+  runs genuinely spread controller work and fan-out origin across
+  boards instead of funnelling through one.
+
+Test contract: the scheduler's behaviour switches split into
+*equivalence hatches* (``REPRO_SIM_FASTPATH``, ``REPRO_DSE_FASTPATH``,
+``trace_level``) that must never change a scheduled event, and
+*configurations* (``planning_overhead``, ``leader_policy``) that
+legitimately do.  ``tests/integration/test_hatch_matrix.py`` (the
+``matrix`` marker) pins every hatch combination schedule-identical
+inside every configuration, so fast-path work cannot silently fork
+behaviour in an untested corner.
 
 With ``num_shards=1``, no priority spread in the stream,
 ``planning_overhead="off"`` and ``load_view="min"``, the event schedule
-degenerates to exactly the single-leader scheduler's.  The dispatcher
+degenerates to exactly the single-leader scheduler's (and with one
+shard the ``distributed`` leader policy elects ``devices[0]``, so the
+leader-equivalence pin extends the same degeneracy).  The dispatcher
 loop here deliberately does *not* share code with
 :class:`~repro.serving.scheduler.OnlineScheduler`: like the ``*_reference``
 DP kernels, the single-leader scheduler is kept as an independent
@@ -75,6 +97,11 @@ ASSIGNMENTS = (ASSIGN_HASH, ASSIGN_MODEL)
 PLANNING_OFF = "off"
 PLANNING_BUCKET = "bucket"
 
+#: Leader-placement policies.
+LEADERS_SHARED = "shared"
+LEADERS_DISTRIBUTED = "distributed"
+LEADER_MODES = (LEADERS_SHARED, LEADERS_DISTRIBUTED)
+
 
 class ShardedScheduler:
     """Serves an open-loop stream through ``num_shards`` leader dispatchers.
@@ -99,6 +126,7 @@ class ShardedScheduler:
         preemption: bool = True,
         steal_threshold: int = 2,
         trace_level: str = TRACE_FULL,
+        leader_policy: str = LEADERS_SHARED,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -120,6 +148,10 @@ class ShardedScheduler:
             raise ValueError(f"negative planning overhead: {planning_overhead}")
         if steal_threshold < 1:
             raise ValueError(f"steal_threshold must be positive, got {steal_threshold}")
+        if leader_policy not in LEADER_MODES:
+            raise ValueError(
+                f"unknown leader policy {leader_policy!r}; known: {LEADER_MODES}"
+            )
         self.cluster = cluster if cluster is not None else build_cluster()
         self.strategy = strategy if strategy is not None else HiDPStrategy()
         self.num_shards = num_shards
@@ -130,6 +162,7 @@ class ShardedScheduler:
         self.planning_overhead = planning_overhead
         self.preemption = preemption
         self.steal_threshold = steal_threshold
+        self.leader_policy = leader_policy
         #: ``TRACE_AGGREGATE`` switches the run to O(1) streaming trace
         #: aggregates (large-scale streams); the event schedule and all
         #: request timings are identical either way.
@@ -161,15 +194,26 @@ class ShardedScheduler:
         return lambda request: affinity[request.model]
 
     def _planning_charge_s(
-        self, graphs: Sequence[DNNGraph], load: Optional[Dict[str, float]]
+        self,
+        graphs: Sequence[DNNGraph],
+        load: Optional[Dict[str, float]],
+        leader: Optional[str] = None,
     ) -> float:
         """Simulated seconds one planning pass costs the scheduler CPU."""
         if self.planning_overhead == PLANNING_OFF:
             return 0.0
         if self.planning_overhead == PLANNING_BUCKET:
-            fresh = self.strategy.uncached_plans(graphs, self.cluster, load=load)
+            fresh = self.strategy.uncached_plans(
+                graphs, self.cluster, load=load, leader=leader
+            )
             return self.strategy.dse_overhead_s * fresh
         return float(self.planning_overhead)
+
+    def shard_leaders(self) -> List[str]:
+        """Physical leader device name per shard, per the leader policy."""
+        if self.leader_policy == LEADERS_DISTRIBUTED:
+            return list(self.cluster.shard_leaders(self.num_shards))
+        return [self.cluster.leader.name] * self.num_shards
 
     # Entry point -------------------------------------------------------------
 
@@ -181,7 +225,7 @@ class ShardedScheduler:
         runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
         executor = PlanExecutor(runtime, charge_explore=not self.charges_planning)
         env = runtime.env
-        leader = self.cluster.leader.name
+        leaders = self.shard_leaders()
         queues = [Store(env) for _ in range(self.num_shards)]
         inflight = PriorityResource(env, capacity=self.max_inflight)
         shard_of = self._shard_of(ordered)
@@ -195,12 +239,18 @@ class ShardedScheduler:
             "preemptions": 0,
             "planning_s": 0.0,
         }
+        admitted = [0] * self.num_shards
+        dispatched = [0] * self.num_shards
+        stolen_in = [0] * self.num_shards
+        stolen_out = [0] * self.num_shards
 
         def source():
             for request in ordered:
                 if request.arrival_s > env.now:
                     yield env.timeout(request.arrival_s - env.now)
-                queues[shard_of(request)].put(request)
+                shard = shard_of(request)
+                admitted[shard] += 1
+                queues[shard].put(request)
 
         def serve(request: InferenceRequest, plan, slot, replanned: bool):
             holder = {"slot": slot}
@@ -241,6 +291,8 @@ class ShardedScheduler:
                 queues[taker].put(queue.get_nowait())
                 idle[taker] = False  # its parked getter wakes with this item
                 counters["steals"] += 1
+                stolen_out[shard] += 1
+                stolen_in[taker] += 1
 
         def steal(shard: int) -> int:
             """Pull half the most backlogged peer queue onto ``shard``.
@@ -268,6 +320,8 @@ class ShardedScheduler:
             for _ in range(moved):
                 queue.put(queues[victim].get_nowait())
             counters["steals"] += moved
+            stolen_out[victim] += moved
+            stolen_in[shard] += moved
             return moved
 
         # The load bucket is a pure function of the snapshot, which is
@@ -291,6 +345,7 @@ class ShardedScheduler:
 
         def dispatcher(shard: int):
             queue = queues[shard]
+            leader = leaders[shard]
             while True:
                 if queue.size == 0 and not steal(shard):
                     idle[shard] = True
@@ -308,11 +363,13 @@ class ShardedScheduler:
                 load = runtime.load_snapshot(view=self.load_view)
                 batch_bucket = bucket_of(load)
                 graphs = [build_model(request.model) for request in batch]
-                charge = self._planning_charge_s(graphs, load)
+                charge = self._planning_charge_s(graphs, load, leader=leader)
                 if charge > 0:
                     counters["planning_s"] += charge
                     yield from executor.charge_overhead(leader, charge, "batch_dse")
-                plans = self.strategy.plan_batch(graphs, self.cluster, load=load)
+                plans = self.strategy.plan_batch(
+                    graphs, self.cluster, load=load, leader=leader
+                )
                 fresh = [False] * len(batch)
                 for index, request in enumerate(batch):
                     slot = inflight.request(
@@ -329,19 +386,20 @@ class ShardedScheduler:
                         # fresh bucket (same fix as the single-leader
                         # dispatcher).
                         tail = graphs[index:]
-                        recharge = self._planning_charge_s(tail, current)
+                        recharge = self._planning_charge_s(tail, current, leader=leader)
                         if recharge > 0:
                             counters["planning_s"] += recharge
                             yield from executor.charge_overhead(
                                 leader, recharge, "replan_dse"
                             )
                         plans[index:] = self.strategy.plan_batch(
-                            tail, self.cluster, load=current
+                            tail, self.cluster, load=current, leader=leader
                         )
                         for late in range(index, len(batch)):
                             fresh[late] = True
                         batch_bucket = current_bucket
                         counters["replans"] += 1
+                    dispatched[shard] += 1
                     env.process(serve(request, plans[index], slot, fresh[index]))
 
         env.process(source())
@@ -371,6 +429,11 @@ class ShardedScheduler:
             shards=self.num_shards,
             steals=counters["steals"],
             preemptions=counters["preemptions"],
+            leader_devices=tuple(leaders),
+            admitted_by_shard=tuple(admitted),
+            dispatched_by_shard=tuple(dispatched),
+            stolen_in_by_shard=tuple(stolen_in),
+            stolen_out_by_shard=tuple(stolen_out),
             planning_charged_s=counters["planning_s"],
             sim_events=env.scheduled_events,
         )

@@ -1,0 +1,238 @@
+"""Physical-leader planning tests (the ISSUE 5 tentpole).
+
+Covers the :class:`~repro.platform.cluster.Cluster` election API, the
+``leader`` threading through :func:`device_executor_models` /
+``Strategy.plan`` / ``plan_batch`` for HiDP and every baseline, and the
+executor FSM running from the plan's own leader device.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DisNetStrategy,
+    MoDNNStrategy,
+    OmniBoostStrategy,
+)
+from repro.core.executor import PlanExecutor
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import LOCAL_COMM_RATE, device_executor_models
+from repro.platform.cluster import (
+    LEADER_EXPLICIT,
+    LEADER_FIXED,
+    LEADER_LEAST_LOADED,
+    LEADER_POLICIES,
+    LEADER_SHARD,
+    build_cluster,
+)
+from repro.sim.runtime import SimRuntime
+from repro.workloads.requests import InferenceRequest
+
+
+def _small_cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+class TestLeaderElection:
+    def test_fixed_policy_is_devices0(self, cluster):
+        assert cluster.elect_leader().name == cluster.devices[0].name
+        assert cluster.elect_leader(LEADER_FIXED).name == "jetson_tx2"
+
+    def test_explicit_policy(self, cluster):
+        assert cluster.elect_leader(LEADER_EXPLICIT, name="jetson_nano").name == "jetson_nano"
+        with pytest.raises(ValueError):
+            cluster.elect_leader(LEADER_EXPLICIT)
+        with pytest.raises(KeyError):
+            cluster.elect_leader(LEADER_EXPLICIT, name="unknown")
+
+    def test_least_loaded_policy(self, cluster):
+        load = {"jetson_tx2": 0.5, "jetson_orin_nx": 0.1, "jetson_nano": 0.9}
+        assert cluster.elect_leader(LEADER_LEAST_LOADED, load=load).name == "raspberry_pi5"
+        full = {device.name: 1.0 for device in cluster.devices}
+        full["jetson_nano"] = 0.2
+        assert cluster.elect_leader(LEADER_LEAST_LOADED, load=full).name == "jetson_nano"
+
+    def test_least_loaded_ties_break_in_cluster_order(self, cluster):
+        assert cluster.elect_leader(LEADER_LEAST_LOADED, load={}).name == "jetson_tx2"
+
+    def test_shard_policy_round_robin(self, cluster):
+        names = [device.name for device in cluster.devices]
+        leaders = cluster.shard_leaders(7)
+        assert list(leaders) == [names[i % 5] for i in range(7)]
+        with pytest.raises(ValueError):
+            cluster.elect_leader(LEADER_SHARD, shard=3, num_shards=2)
+        with pytest.raises(ValueError):
+            cluster.elect_leader(LEADER_SHARD, shard=0, num_shards=0)
+
+    def test_shard_policy_skips_unavailable(self, cluster):
+        cluster.set_available("jetson_orin_nx", False)
+        leaders = cluster.shard_leaders(2)
+        assert "jetson_orin_nx" not in leaders
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.elect_leader("quorum")
+        assert set(LEADER_POLICIES) == {"fixed", "explicit", "least_loaded", "shard"}
+
+    def test_electing_unavailable_device_raises(self, cluster):
+        cluster.set_available("jetson_nano", False)
+        with pytest.raises(RuntimeError):
+            cluster.elect_leader(LEADER_EXPLICIT, name="jetson_nano")
+        cluster.set_available("jetson_tx2", False)
+        with pytest.raises(RuntimeError):
+            cluster.elect_leader(LEADER_FIXED)
+
+
+class TestPlanningDevices:
+    def test_default_order_unchanged(self, cluster):
+        assert cluster.planning_devices() == cluster.available_devices()
+        assert cluster.planning_devices("jetson_tx2") == cluster.available_devices()
+
+    def test_leader_moved_to_front_rest_in_order(self, cluster):
+        devices = cluster.planning_devices("jetson_nano")
+        assert [d.name for d in devices] == [
+            "jetson_nano", "jetson_tx2", "jetson_orin_nx", "raspberry_pi5", "raspberry_pi4",
+        ]
+
+    def test_unavailable_leader_raises(self, cluster):
+        cluster.set_available("jetson_nano", False)
+        with pytest.raises(RuntimeError):
+            cluster.planning_devices("jetson_nano")
+        with pytest.raises(KeyError):
+            cluster.planning_devices("unknown")
+
+
+class TestExecutorModelsLeader:
+    def test_leader_name_overrides_index(self, cluster):
+        devices = cluster.available_devices()
+        models = device_executor_models(cluster, devices, leader="jetson_nano")
+        by_name = {model.ident: model for model in models}
+        assert by_name["jetson_nano"].comm_bytes_s == LOCAL_COMM_RATE
+        assert by_name["jetson_nano"].fixed_s == 0.0
+        assert by_name["jetson_tx2"].comm_bytes_s < LOCAL_COMM_RATE
+        assert by_name["jetson_tx2"].fixed_s > 0.0
+
+    def test_leader_index_any_position(self, cluster):
+        devices = cluster.available_devices()
+        models = device_executor_models(cluster, devices, leader_index=2)
+        assert models[2].comm_bytes_s == LOCAL_COMM_RATE
+        assert models[0].comm_bytes_s < LOCAL_COMM_RATE
+
+    def test_bad_leader_rejected(self, cluster):
+        devices = cluster.available_devices()
+        with pytest.raises(ValueError):
+            device_executor_models(cluster, devices, leader="unknown")
+        with pytest.raises(ValueError):
+            device_executor_models(cluster, devices, leader_index=99)
+
+
+class TestStrategyLeaderThreading:
+    def test_default_leader_recorded_on_plan(self, cluster, tiny_cnn):
+        plan = HiDPStrategy().plan(tiny_cnn, cluster)
+        assert plan.leader == "jetson_tx2"
+
+    def test_explicit_leader_recorded_and_used(self, cluster, resnet152):
+        plan = HiDPStrategy().plan(resnet152, cluster, leader="jetson_orin_nx")
+        assert plan.leader == "jetson_orin_nx"
+        # the leader hosts work in every mode (it holds the input data)
+        assert "jetson_orin_nx" in plan.devices
+
+    def test_default_and_named_default_leader_share_cache(self, cluster, tiny_cnn):
+        strategy = HiDPStrategy()
+        first = strategy.plan(tiny_cnn, cluster)
+        second = strategy.plan(tiny_cnn, cluster, leader="jetson_tx2")
+        assert first is second  # leader=None resolves to devices[0]
+
+    def test_distinct_leaders_never_collide_in_cache(self, cluster, tiny_cnn):
+        strategy = HiDPStrategy()
+        tx2 = strategy.plan(tiny_cnn, cluster, leader="jetson_tx2")
+        orin = strategy.plan(tiny_cnn, cluster, leader="jetson_orin_nx")
+        assert tx2 is not orin
+        assert tx2.leader == "jetson_tx2"
+        assert orin.leader == "jetson_orin_nx"
+
+    def test_plan_batch_threads_leader(self, cluster, tiny_cnn, tiny_residual):
+        strategy = HiDPStrategy()
+        plans = strategy.plan_batch([tiny_cnn, tiny_residual], cluster, leader="jetson_nano")
+        assert all(plan.leader == "jetson_nano" for plan in plans)
+        # batch plans land in the same per-leader cache plan() reads
+        assert strategy.plan(tiny_cnn, cluster, leader="jetson_nano") is plans[0]
+
+    def test_uncached_plans_counts_per_leader(self, cluster, tiny_cnn):
+        strategy = HiDPStrategy()
+        strategy.plan(tiny_cnn, cluster, leader="jetson_tx2")
+        assert strategy.uncached_plans([tiny_cnn], cluster, leader="jetson_tx2") == 0
+        assert strategy.uncached_plans([tiny_cnn], cluster, leader="jetson_orin_nx") == 1
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [HiDPStrategy, DisNetStrategy, MoDNNStrategy, OmniBoostStrategy],
+        ids=["hidp", "disnet", "modnn", "omniboost"],
+    )
+    def test_all_strategies_accept_leader(self, cluster, tiny_cnn, strategy_factory):
+        plan = strategy_factory().plan(tiny_cnn, cluster, leader="jetson_orin_nx")
+        assert plan.leader == "jetson_orin_nx"
+
+    def test_unavailable_leader_rejected(self, cluster, tiny_cnn):
+        cluster.set_available("jetson_nano", False)
+        with pytest.raises(RuntimeError):
+            HiDPStrategy().plan(tiny_cnn, cluster, leader="jetson_nano")
+
+
+class TestExecutorRunsFromPlanLeader:
+    def _execute(self, plan, cluster):
+        runtime = SimRuntime(cluster)
+        executor = PlanExecutor(runtime)
+        request = InferenceRequest(request_id=0, model=plan.model, arrival_s=0.0)
+
+        def flow():
+            result = yield from executor.execute(request, plan)
+            results.append(result)
+
+        results = []
+        runtime.env.process(flow())
+        runtime.env.run()
+        return runtime, results[0]
+
+    def test_fsm_runs_from_elected_leader(self, tiny_cnn):
+        cluster = _small_cluster()
+        plan = HiDPStrategy().plan(tiny_cnn, cluster, leader="jetson_orin_nx")
+        runtime, result = self._execute(plan, cluster)
+        (leader_trace,) = [t for t in result.traces if t.role == "leader"]
+        assert leader_trace.node == "jetson_orin_nx"
+        # merge + DSE overheads are charged on the elected leader's CPU,
+        # not on devices[0]
+        labels_by_device = {}
+        for key in runtime.busy.keys():
+            device = key.split("/")[0]
+            for interval in runtime.busy.intervals(key):
+                labels_by_device.setdefault(device, set()).add(interval.label)
+        assert "merge" in labels_by_device.get("jetson_orin_nx", set())
+        assert "global_dse" in labels_by_device.get("jetson_orin_nx", set())
+        assert "merge" not in labels_by_device.get("jetson_tx2", set())
+        assert "global_dse" not in labels_by_device.get("jetson_tx2", set())
+
+    def test_probe_round_trips_originate_at_leader(self, tiny_cnn):
+        cluster = _small_cluster()
+        plan = HiDPStrategy().plan(tiny_cnn, cluster, leader="jetson_nano")
+        runtime, _ = self._execute(plan, cluster)
+        probes = [
+            (record.src, record.dst)
+            for record in runtime.transfer_log.entries
+            if record.tag == "status_request"
+        ]
+        assert sorted(probes) == [
+            ("jetson_nano", "jetson_orin_nx"),
+            ("jetson_nano", "jetson_tx2"),
+        ]
+
+    def test_legacy_plan_without_leader_uses_devices0(self, tiny_cnn):
+        from dataclasses import replace
+
+        cluster = _small_cluster()
+        plan = HiDPStrategy().plan(tiny_cnn, cluster)
+        legacy = replace(plan, leader=None)
+        runtime_new, result_new = self._execute(plan, cluster)
+        runtime_old, result_old = self._execute(legacy, _small_cluster())
+        assert result_new.completed_s == result_old.completed_s
+        (trace,) = [t for t in result_old.traces if t.role == "leader"]
+        assert trace.node == "jetson_tx2"

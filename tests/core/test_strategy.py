@@ -29,7 +29,7 @@ class _CountingStrategy(Strategy):
         super().__init__()
         self.fresh_plans = 0
 
-    def _plan(self, graph, cluster, load=None):
+    def _plan(self, graph, cluster, load=None, leader=None):
         self.fresh_plans += 1
         task = UnitTask(processor="cpu_denver2", flops_by_class={"conv": 1000})
         return ExecutionPlan(

@@ -1,8 +1,10 @@
-"""Fig. 10 scale-out experiment tests (the ISSUE 3 acceptance sweep).
+"""Fig. 10 scale-out experiment tests (the ISSUE 3 acceptance sweep,
+extended by the ISSUE 5 leader-placement dimension).
 
-The full sweep (2 processes x 2 mixes x 3 leader counts x 120 requests)
-is exercised end-to-end by ``hidp-experiments fig10``; here a reduced
-grid pins the sweep structure, the priority tagging and the report.
+The full sweep (3 processes x 2 mixes x 3 leader counts x 2 leader
+placements x 120 requests) is exercised end-to-end by
+``hidp-experiments fig10``; here a reduced grid pins the sweep
+structure, the priority tagging and the report.
 """
 
 import pytest
@@ -10,12 +12,14 @@ import pytest
 from repro.experiments.fig10_scaleout import (
     ARRIVAL_PROCESSES,
     LEADER_COUNTS,
+    LEADER_PLACEMENTS,
     PRIORITY_MIXES,
     build_arrivals,
     report_fig10,
     run_fig10,
 )
 from repro.platform.cluster import build_cluster
+from repro.serving import LEADERS_DISTRIBUTED, LEADERS_SHARED
 
 
 @pytest.fixture(scope="module")
@@ -31,24 +35,36 @@ def results():
 
 class TestSweep:
     def test_full_grid_defaults(self):
-        assert set(ARRIVAL_PROCESSES) == {"bursty", "heavy_tailed"}
+        assert set(ARRIVAL_PROCESSES) == {"bursty", "heavy_tailed", "bursty_light"}
         assert set(PRIORITY_MIXES) == {"uniform", "mixed"}
         assert LEADER_COUNTS == (1, 2, 4)
+        assert LEADER_PLACEMENTS == (LEADERS_SHARED, LEADERS_DISTRIBUTED)
 
     def test_every_cell_serves_every_request(self, results):
+        # 1-leader cells skip the distributed placement (byte-identical
+        # to shared, one shard elects devices[0] either way).
         assert set(results) == {
-            ("bursty", mix, leaders)
+            ("bursty", mix, 1, LEADERS_SHARED) for mix in ("uniform", "mixed")
+        } | {
+            ("bursty", mix, 2, policy)
             for mix in ("uniform", "mixed")
-            for leaders in (1, 2)
+            for policy in (LEADERS_SHARED, LEADERS_DISTRIBUTED)
         }
-        for (_, _, leaders), result in results.items():
+        for (_, _, leaders, _), result in results.items():
             assert result.count == 24
             assert result.shards == leaders
             result.busy.assert_no_overlaps()
 
+    def test_distributed_cells_elect_distinct_leaders(self, results):
+        for (_, _, leaders, policy), result in results.items():
+            if policy == LEADERS_DISTRIBUTED and leaders > 1:
+                assert len(set(result.leader_devices)) > 1
+            else:
+                assert set(result.leader_devices) == {"jetson_tx2"}
+
     def test_mixed_cells_tag_priorities(self, results):
-        uniform = results[("bursty", "uniform", 1)]
-        mixed = results[("bursty", "mixed", 1)]
+        uniform = results[("bursty", "uniform", 1, LEADERS_SHARED)]
+        mixed = results[("bursty", "mixed", 1, LEADERS_SHARED)]
         assert set(uniform.latencies_by_priority()) == {0}
         assert set(mixed.latencies_by_priority()) == {0, 2}
 
@@ -59,6 +75,14 @@ class TestSweep:
     def test_streams_are_seeded_deterministic(self):
         for mix in PRIORITY_MIXES:
             assert build_arrivals("bursty", mix) == build_arrivals("bursty", mix)
+            assert build_arrivals("bursty_light", mix) == build_arrivals("bursty_light", mix)
+
+    def test_light_stream_uses_light_models(self):
+        from repro.experiments.fig10_scaleout import LIGHT_MODEL_NAMES
+
+        stream = build_arrivals("bursty_light", "uniform", num_requests=24)
+        assert len(stream) == 24
+        assert {request.model for request in stream} <= set(LIGHT_MODEL_NAMES)
 
     def test_unknown_cells_rejected(self):
         with pytest.raises(KeyError):
@@ -73,4 +97,5 @@ class TestReport:
         assert "Fig. 10" in text
         assert "bursty" in text
         assert "leaders" in text
+        assert "placement" in text
         assert "p99" in text and "preempt" in text

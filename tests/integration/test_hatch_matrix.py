@@ -1,0 +1,166 @@
+"""Cross-hatch differential matrix (ISSUE 5 satellite).
+
+Four switches now steer the serving hot path: the simulation-engine
+fast path (``REPRO_SIM_FASTPATH``), the DSE kernel fast path
+(``REPRO_DSE_FASTPATH``), the trace level (``full`` vs ``aggregate``)
+and the planning-overhead charging mode.  The first three are
+*equivalence hatches* -- they must never change a single scheduled
+event -- while ``planning_overhead`` (and the leader placement) are
+*configurations* that legitimately change the schedule.
+
+This harness runs one pinned smoke stream through every scheduler
+configuration and asserts the full 2x2x2 hatch grid inside each
+configuration is schedule-identical: same completion timeline, same
+``sim_events`` count (the schedule fingerprint), same makespan, energy,
+traffic and scheduler counters.  A future fast-path optimisation that
+silently forks behaviour in any hatch corner fails here immediately,
+with the offending (hatch, configuration) pair in the assertion
+message.
+
+Marked ``matrix``: ``pytest -m "smoke or matrix"`` is the fast gate.
+"""
+
+import itertools
+
+import pytest
+
+from repro.dnn.models import MODEL_NAMES
+from repro.platform.cluster import build_cluster
+from repro.serving import (
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
+    PLANNING_BUCKET,
+    PLANNING_OFF,
+    OnlineScheduler,
+    ShardedScheduler,
+)
+from repro.workloads.arrivals import bursty_stream
+
+pytestmark = pytest.mark.matrix
+
+#: The equivalence-hatch grid: (sim fastpath, dse fastpath, trace level).
+HATCH_GRID = tuple(
+    itertools.product(("1", "0"), ("1", "0"), ("full", "aggregate"))
+)
+
+#: Scheduler configurations that legitimately change the schedule.
+CONFIGS = (
+    ("bucket-shared", PLANNING_BUCKET, LEADERS_SHARED),
+    ("bucket-distributed", PLANNING_BUCKET, LEADERS_DISTRIBUTED),
+    ("off-shared", PLANNING_OFF, LEADERS_SHARED),
+    ("off-distributed", PLANNING_OFF, LEADERS_DISTRIBUTED),
+)
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+def _stream():
+    """The pinned smoke stream: bursty, two heavy + two light models,
+    a priority mix, short enough for 32 runs to stay fast."""
+    return bursty_stream(
+        (MODEL_NAMES[0], MODEL_NAMES[2], "tiny_cnn", "mobilenet_v2"),
+        burst_size=5,
+        num_bursts=3,
+        mean_gap_s=0.8,
+        seed=17,
+        priority_weights={0: 0.3, 2: 0.7},
+    )
+
+
+def _fingerprint(result):
+    """Everything a schedule-identical run must reproduce exactly."""
+    return {
+        "timeline": [
+            (
+                record.request.request_id,
+                record.dispatched_s,
+                record.completed_s,
+                record.replanned,
+            )
+            for record in result.served
+        ],
+        "sim_events": result.sim_events,
+        "makespan_s": result.makespan_s,
+        "energy_j": result.energy_j,
+        "network_bytes": result.network_bytes,
+        "total_flops": result.total_flops,
+        "batches": result.batches,
+        "replans": result.replans,
+        "steals": result.steals,
+        "preemptions": result.preemptions,
+        "planning_charged_s": result.planning_charged_s,
+        "leader_devices": result.leader_devices,
+        "dispatched_by_shard": result.dispatched_by_shard,
+    }
+
+
+@pytest.mark.parametrize("name,planning,leader_policy", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_sharded_hatch_grid_schedule_identical(monkeypatch, name, planning, leader_policy):
+    requests = _stream()
+    reference = None
+    reference_hatch = None
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=3,
+            planning_overhead=planning,
+            leader_policy=leader_policy,
+            trace_level=trace_level,
+        ).run(requests)
+        fingerprint = _fingerprint(result)
+        if reference is None:
+            reference, reference_hatch = fingerprint, (sim_fast, dse_fast, trace_level)
+            assert result.count == len(requests)
+            continue
+        for field, expected in reference.items():
+            assert fingerprint[field] == expected, (
+                f"config {name}: hatch (sim={sim_fast}, dse={dse_fast}, "
+                f"trace={trace_level}) forked {field} from reference hatch "
+                f"{reference_hatch}"
+            )
+
+
+def test_online_scheduler_hatch_grid_schedule_identical(monkeypatch):
+    """The single-leader control loop rides the same hatches."""
+    requests = _stream()
+    reference = None
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        result = OnlineScheduler(
+            cluster=_cluster(), max_inflight=3, trace_level=trace_level
+        ).run(requests)
+        fingerprint = _fingerprint(result)
+        if reference is None:
+            reference = fingerprint
+            continue
+        assert fingerprint == reference
+
+
+def test_configurations_do_differ():
+    """The matrix only has teeth if the *configurations* are genuinely
+    distinct schedules: charging planning must shift the schedule, and
+    distributed leaders must elect distinct devices."""
+    requests = _stream()
+
+    def run(planning, policy):
+        return ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=3,
+            planning_overhead=planning,
+            leader_policy=policy,
+        ).run(requests)
+
+    charged = run(PLANNING_BUCKET, LEADERS_SHARED)
+    free = run(PLANNING_OFF, LEADERS_SHARED)
+    distributed = run(PLANNING_BUCKET, LEADERS_DISTRIBUTED)
+    assert charged.planning_charged_s > 0 and free.planning_charged_s == 0
+    assert charged.sim_events != free.sim_events or charged.makespan_s != free.makespan_s
+    assert set(distributed.leader_devices) == {"jetson_tx2", "jetson_orin_nx"}
+    assert distributed.makespan_s != charged.makespan_s

@@ -122,6 +122,47 @@ class TestP2Quantile:
             estimator.add(value)
         assert estimator.value == percentile([5.0, 1.0, 3.0], 50)
 
+    def test_small_samples_exact_through_warmup(self):
+        """Regression (ISSUE 5): just past five samples the raw
+        P-square middle marker is nowhere near a tail quantile -- a p99
+        query over six samples returned roughly their *median*.  The
+        warmup buffer keeps every count up to EXACT_WARMUP bit-exact
+        against the materialised percentile path."""
+        rng = random.Random(3)
+        for count in (1, 2, 4, 5, 6, 7, 9, 20, P2Quantile.EXACT_WARMUP):
+            values = [rng.uniform(0.0, 10.0) for _ in range(count)]
+            for quantile in (0.5, 0.95, 0.99):
+                estimator = P2Quantile(quantile)
+                for value in values:
+                    estimator.add(value)
+                assert estimator.value == percentile(values, quantile * 100.0), (
+                    f"count={count} q={quantile}"
+                )
+
+    def test_six_sample_p99_regression(self):
+        """The concrete failing case: p99 of six samples must be near
+        the maximum, not the median."""
+        values = [9.2, 5.4, 3.9, 7.0, 2.7, 8.1]
+        estimator = P2Quantile(0.99)
+        for value in values:
+            estimator.add(value)
+        assert estimator.value == percentile(values, 99.0)
+        assert estimator.value > 9.0  # the old marker path returned ~5.4
+
+    def test_warmup_handoff_keeps_marker_accuracy(self):
+        """Past the warmup boundary the estimator switches to the
+        (fully warmed) P-square marker without a discontinuity blow-up."""
+        rng = random.Random(7)
+        estimator = P2Quantile(0.95)
+        values = []
+        for _ in range(P2Quantile.EXACT_WARMUP + 200):
+            value = rng.expovariate(1.0)
+            values.append(value)
+            estimator.add(value)
+        assert estimator.value == pytest.approx(percentile(values, 95.0), rel=0.15)
+        # the warmup buffer is dropped once the markers take over
+        assert estimator._exact is None
+
     def test_tracks_exact_percentile_on_uniform_stream(self):
         rng = random.Random(11)
         values = [rng.uniform(0.0, 1.0) for _ in range(5000)]

@@ -1,0 +1,144 @@
+"""Randomized serving invariants (ISSUE 5 satellite).
+
+Seeded property-style tests: random scheduler configurations (shard
+count, batch/window sizes, assignment, stealing, preemption, priority
+mixes, leader placement) serve random arrival streams, and on every
+run the structural invariants must hold:
+
+- every admitted request completes exactly once;
+- the capacity-1 no-overlap invariant holds on all stations;
+- per-shard steal/donation counters reconcile with queue totals:
+  ``dispatched[i] == admitted[i] + stolen_in[i] - stolen_out[i]``,
+  admissions partition the stream, and total steals equal the moved
+  items.
+
+The draws are seeded, so a failure reproduces deterministically from
+the printed trial seed.
+"""
+
+import random
+
+import pytest
+
+from repro.platform.cluster import build_cluster
+from repro.serving import (
+    ASSIGN_HASH,
+    ASSIGN_MODEL,
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
+    PLANNING_BUCKET,
+    PLANNING_OFF,
+    ShardedScheduler,
+)
+from repro.workloads.arrivals import (
+    bursty_stream,
+    heavy_tailed_stream,
+    poisson_stream,
+)
+
+MODELS = ("tiny_cnn", "tiny_residual", "tiny_depthwise", "mobilenet_v2")
+
+TRIAL_SEEDS = tuple(range(6))
+
+
+def _random_stream(rng):
+    kind = rng.choice(("poisson", "bursty", "heavy_tailed"))
+    models = tuple(rng.sample(MODELS, rng.randint(1, len(MODELS))))
+    weights = rng.choice((None, {0: 0.4, 1: 0.6}, {0: 0.2, 2: 0.5, 5: 0.3}))
+    seed = rng.randrange(10_000)
+    if kind == "poisson":
+        return poisson_stream(
+            models, rate_rps=rng.uniform(3.0, 12.0), num_requests=rng.randint(8, 24),
+            seed=seed, priority_weights=weights,
+        )
+    if kind == "bursty":
+        return bursty_stream(
+            models, burst_size=rng.randint(2, 8), num_bursts=rng.randint(2, 4),
+            mean_gap_s=rng.uniform(0.2, 2.0), seed=seed, priority_weights=weights,
+        )
+    return heavy_tailed_stream(
+        models, scale_s=rng.uniform(0.05, 0.3), num_requests=rng.randint(8, 24),
+        alpha=1.5, max_gap_s=3.0, seed=seed, priority_weights=weights,
+    )
+
+
+def _random_scheduler(rng):
+    return ShardedScheduler(
+        cluster=build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"]),
+        num_shards=rng.randint(1, 4),
+        max_batch=rng.randint(2, 8),
+        max_inflight=rng.randint(1, 6),
+        assignment=rng.choice((ASSIGN_HASH, ASSIGN_MODEL)),
+        planning_overhead=rng.choice((PLANNING_BUCKET, PLANNING_OFF, 0.01)),
+        preemption=rng.choice((True, False)),
+        steal_threshold=rng.randint(1, 3),
+        leader_policy=rng.choice((LEADERS_SHARED, LEADERS_DISTRIBUTED)),
+    )
+
+
+@pytest.mark.parametrize("trial", TRIAL_SEEDS)
+def test_randomized_serving_invariants(trial):
+    rng = random.Random(9000 + trial)
+    requests = _random_stream(rng)
+    scheduler = _random_scheduler(rng)
+    context = (
+        f"trial={trial} shards={scheduler.num_shards} "
+        f"batch={scheduler.max_batch} inflight={scheduler.max_inflight} "
+        f"assign={scheduler.assignment} planning={scheduler.planning_overhead!r} "
+        f"preempt={scheduler.preemption} leaders={scheduler.leader_policy} "
+        f"requests={len(requests)}"
+    )
+
+    result = scheduler.run(requests)
+
+    # Every admission completes exactly once.
+    assert result.count == len(requests), context
+    served_ids = sorted(record.request.request_id for record in result.served)
+    assert served_ids == sorted(r.request_id for r in requests), context
+
+    # Timelines are causally ordered.
+    for record in result.served:
+        assert record.arrival_s <= record.dispatched_s <= record.completed_s, context
+
+    # Capacity-1 stations never overlap busy intervals.
+    result.busy.assert_no_overlaps()
+
+    # Per-shard accounting reconciles with the queue totals.
+    shards = scheduler.num_shards
+    for counters in (
+        result.admitted_by_shard,
+        result.dispatched_by_shard,
+        result.stolen_in_by_shard,
+        result.stolen_out_by_shard,
+    ):
+        assert len(counters) == shards, context
+    assert sum(result.admitted_by_shard) == len(requests), context
+    assert sum(result.dispatched_by_shard) == len(requests), context
+    assert sum(result.stolen_in_by_shard) == sum(result.stolen_out_by_shard), context
+    assert sum(result.stolen_in_by_shard) == result.steals, context
+    for shard in range(shards):
+        assert result.dispatched_by_shard[shard] == (
+            result.admitted_by_shard[shard]
+            + result.stolen_in_by_shard[shard]
+            - result.stolen_out_by_shard[shard]
+        ), f"{context} shard={shard}"
+
+    # Leader bookkeeping matches the policy.
+    assert len(result.leader_devices) == shards, context
+    if scheduler.leader_policy == LEADERS_SHARED:
+        assert set(result.leader_devices) == {"jetson_tx2"}, context
+
+
+def test_randomized_runs_are_deterministic():
+    """The same (seeded) draw replays to the same timeline."""
+    def once():
+        rng = random.Random(4242)
+        requests = _random_stream(rng)
+        scheduler = _random_scheduler(rng)
+        result = scheduler.run(requests)
+        return [
+            (r.request.request_id, r.dispatched_s, r.completed_s)
+            for r in result.served
+        ]
+
+    assert once() == once()

@@ -8,6 +8,8 @@ from repro.dnn.models import MODEL_NAMES
 from repro.platform.cluster import build_cluster
 from repro.serving import (
     ASSIGN_MODEL,
+    LEADERS_DISTRIBUTED,
+    LEADERS_SHARED,
     PLANNING_OFF,
     OnlineScheduler,
     ShardedScheduler,
@@ -65,6 +67,106 @@ class TestLegacyEquivalence:
         assert result.planning_charged_s == 0.0
         assert result.steals == 0
         assert result.preemptions == 0
+
+
+class TestLeaderEquivalencePin:
+    """The ISSUE 5 pin, extending the PR 3 degeneracy: per-shard-leader
+    mode with one shard elects ``devices[0]``, so the legacy
+    configuration reproduces the single-leader scheduler's event
+    schedule byte-identically even with distributed leaders on."""
+
+    def _distributed_legacy(self, **kwargs):
+        return ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=1,
+            planning_overhead=PLANNING_OFF,
+            load_view="min",
+            leader_policy=LEADERS_DISTRIBUTED,
+            **kwargs,
+        )
+
+    def test_one_shard_distributed_matches_online_scheduler(self):
+        requests = poisson_stream(MODEL_NAMES[:2], 4.0, 15, seed=42)
+        base = OnlineScheduler(cluster=_small_cluster()).run(requests)
+        pinned = self._distributed_legacy().run(requests)
+        assert pinned.leader_devices == ("jetson_tx2",)
+        assert _timeline(base) == _timeline(pinned)
+        assert base.batches == pinned.batches
+        assert base.replans == pinned.replans
+        assert base.max_batch_observed == pinned.max_batch_observed
+        assert base.makespan_s == pinned.makespan_s
+        assert base.energy_j == pytest.approx(pinned.energy_j)
+        assert base.network_bytes == pinned.network_bytes
+
+    def test_one_shard_distributed_matches_shared(self):
+        requests = bursty_stream(
+            MODEL_NAMES[:2], burst_size=4, num_bursts=2, mean_gap_s=1.0, seed=9
+        )
+        shared = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, leader_policy=LEADERS_SHARED
+        ).run(requests)
+        distributed = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=1, leader_policy=LEADERS_DISTRIBUTED
+        ).run(requests)
+        assert _timeline(shared) == _timeline(distributed)
+        assert shared.sim_events == distributed.sim_events
+
+
+class TestDistributedLeaders:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(leader_policy="quorum")
+
+    def test_leaders_pinned_round_robin(self):
+        scheduler = ShardedScheduler(
+            cluster=_small_cluster(), num_shards=4, leader_policy=LEADERS_DISTRIBUTED
+        )
+        assert scheduler.shard_leaders() == [
+            "jetson_tx2", "jetson_orin_nx", "jetson_nano", "jetson_tx2",
+        ]
+
+    def test_shared_policy_pins_devices0(self):
+        scheduler = ShardedScheduler(cluster=_small_cluster(), num_shards=3)
+        assert scheduler.shard_leaders() == ["jetson_tx2"] * 3
+
+    def test_distributed_run_spreads_planning_charge(self):
+        """Each shard charges its batch DSE on its own leader's CPU."""
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=0.0)
+            for idx in range(8)
+        ]
+        result = ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=2,
+            leader_policy=LEADERS_DISTRIBUTED,
+        ).run(requests)
+        assert result.count == 8
+        assert result.leader_devices == ("jetson_tx2", "jetson_orin_nx")
+        charged_devices = set()
+        for key in result.busy.keys():
+            for interval in result.busy.intervals(key):
+                if interval.label == "batch_dse":
+                    charged_devices.add(key.split("/")[0])
+        assert charged_devices == {"jetson_tx2", "jetson_orin_nx"}
+
+    def test_distributed_plans_carry_shard_leader(self):
+        """Executed plans record the shard leader: merge overhead lands
+        on each shard's own board."""
+        requests = [
+            InferenceRequest(request_id=idx, model="tiny_cnn", arrival_s=0.0)
+            for idx in range(8)
+        ]
+        result = ShardedScheduler(
+            cluster=_small_cluster(),
+            num_shards=2,
+            leader_policy=LEADERS_DISTRIBUTED,
+        ).run(requests)
+        merge_devices = set()
+        for key in result.busy.keys():
+            for interval in result.busy.intervals(key):
+                if interval.label == "merge":
+                    merge_devices.add(key.split("/")[0])
+        assert merge_devices == {"jetson_tx2", "jetson_orin_nx"}
 
 
 class TestSharding:
