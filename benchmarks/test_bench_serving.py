@@ -39,6 +39,16 @@ Three measurements, one artifact (``BENCH_serving.json``):
    streams stay shared-led: fan-out from one leader is the capacity
    frontier for big DNNs, which the sweep records for contrast.
 
+5. **Churn-recovery gate** (ISSUE 6).  The Fig. 11 sweep serves the
+   seeded heavy-model Poisson stream under seeded fault injection
+   (churn level x recovery policy x strategy) and records SLO
+   attainment -- shed requests count as misses -- plus the exact
+   failure/retry/shed accounting.  The gate asserts that under
+   moderate churn HiDP with the retry policy *strictly* beats HiDP
+   with recovery disabled (``max_retries=0``: first failure sheds),
+   and that the moderate timeline actually produced failures, so the
+   comparison cannot degenerate to a tie on a quiet seed.
+
 The result memos in ``repro.core.dp`` are cleared before every timed
 pass so neither path is subsidised by the other's warm cache.
 """
@@ -52,6 +62,12 @@ from repro.core.hidp import HiDPStrategy
 from repro.dnn.models import MODEL_NAMES, build_model
 from repro.experiments.fig9_serving import SLO_S, build_arrivals
 from repro.experiments.fig10_scaleout import build_arrivals as build_fig10_arrivals
+from repro.experiments.fig11_churn import (
+    NUM_REQUESTS as CHURN_REQUESTS,
+    SLO_S as CHURN_SLO_S,
+    run_fig11,
+    summarize_fig11,
+)
 from repro.platform.cluster import build_cluster
 from repro.serving import (
     LEADERS_DISTRIBUTED,
@@ -205,25 +221,53 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             f"p99 {pct['p99'] * 1e3:.0f} ms, leaders {result.leader_devices}"
         )
 
+    # Churn sweep (ISSUE 6): the Fig. 11 fault-injection grid, with the
+    # exactly-once invariant asserted on every cell.
+    churn_results = run_fig11()
+    for key, result in churn_results.items():
+        assert result.count + result.shed == CHURN_REQUESTS, (
+            f"exactly-once violated in churn cell {key}: "
+            f"{result.count} completed + {result.shed} shed != {CHURN_REQUESTS}"
+        )
+        assert result.failures == result.retries + result.shed, (
+            f"failure accounting does not reconcile in churn cell {key}"
+        )
+        result.busy.assert_no_overlaps()
+    churn = {
+        "requests": CHURN_REQUESTS,
+        "slo_s": CHURN_SLO_S,
+        "cells": summarize_fig11(churn_results),
+    }
+    for name in ("moderate/none/HiDP", "moderate/retry/HiDP"):
+        cell = churn["cells"][name]
+        print(
+            f"churn {name}: SLO<{CHURN_SLO_S:g}s {100 * cell['slo_attainment']:.1f}%, "
+            f"{cell['failures']} failures, {cell['retries']} retries, "
+            f"{cell['shed']} shed, {cell['recovered']} recovered"
+        )
+
     artifact = {
         "bench": "serving",
         "description": (
             "Batched backlog co-planning vs naive per-request planning, "
             "sustained-load serving quality of the online scheduler on the "
             "seeded Fig. 9 Poisson stream, the sharded-scheduler "
-            "leader-count sweep on the seeded bursty stream, and the "
+            "leader-count sweep on the seeded bursty stream, the "
             "shared-vs-distributed physical-leader comparison on the seeded "
-            "light-model burst stream."
+            "light-model burst stream, and the Fig. 11 churn sweep (fault "
+            "level x recovery policy x strategy, shed counts as SLO miss)."
         ),
         "gate": {
             "min_speedup": 1.0,
             "sharded_p99_max_ratio": 1.0,
             "distributed_leader_p99_max_ratio": 1.0,
+            "churn_recovery_strictly_beats_none": True,
         },
         "coplan": coplan,
         "serving": serving,
         "sharded": sharded,
         "leader_placement": leader_sweep,
+        "churn": churn,
     }
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
@@ -249,4 +293,19 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
     assert distributed_p99 < shared_p99, (
         f"distributed leaders regressed the light-stream tail: "
         f"{distributed_p99 * 1e3:.1f} ms vs shared {shared_p99 * 1e3:.1f} ms"
+    )
+
+    # The churn-recovery gate: under moderate churn, replan-and-retry
+    # must strictly beat recovery-disabled on SLO attainment (shed
+    # counts as a miss, so "just drop the failed work" cannot win), and
+    # the seeded timeline must actually fail something.
+    no_recovery = churn["cells"]["moderate/none/HiDP"]
+    with_recovery = churn["cells"]["moderate/retry/HiDP"]
+    assert no_recovery["failures"] > 0, (
+        "moderate churn produced no failures; the recovery gate is vacuous"
+    )
+    assert with_recovery["slo_attainment"] > no_recovery["slo_attainment"], (
+        f"recovery did not beat shedding under moderate churn: retry "
+        f"{with_recovery['slo_attainment']:.4f} vs none "
+        f"{no_recovery['slo_attainment']:.4f} SLO attainment"
     )

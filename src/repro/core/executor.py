@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Generator, List, Optional
 
 from repro.comm.network import STATUS_PACKET_BYTES
+from repro.faults import DeviceLostError
 from repro.core.fsm import (
     FSMTrace,
     STATE_ANALYZE,
@@ -182,12 +183,32 @@ class PlanExecutor:
         if checkpoint is not None:
             yield from checkpoint()
 
-    def _probe(self, leader: str) -> Generator[Event, None, None]:
-        """Availability status round trips (Eq. 4) to every other node."""
+    def _check(self, faults, devices, segment: str) -> None:
+        """Availability gate: fail the segment when a plan device left.
+
+        Only called with fault injection armed (``runtime.faults`` set);
+        raising :class:`~repro.faults.DeviceLostError` is the structured
+        failed-segment event the recovery contract starts from.  The
+        raise sites never hold a station or channel grant, so failing a
+        segment releases nothing late and orphans no busy interval.
+        """
+        for name in devices:
+            if not faults.device_ok(name):
+                raise DeviceLostError(name, segment, self.runtime.env.now)
+
+    def _probe(self, leader: str, faults=None) -> Generator[Event, None, None]:
+        """Availability status round trips (Eq. 4) to every other node.
+
+        With fault injection armed, nodes currently out of the cluster
+        are skipped -- the probe *is* the availability detection, it
+        cannot round-trip to a device that left.
+        """
         env = self.runtime.env
         probes = []
         for device in self.runtime.cluster.devices:
             if device.name == leader:
+                continue
+            if faults is not None and not faults.device_ok(device.name):
                 continue
 
             def round_trip(dst: str = device.name) -> Generator[Event, None, None]:
@@ -205,15 +226,25 @@ class PlanExecutor:
     # Local execution ----------------------------------------------------------
 
     def _run_local(
-        self, device_name: str, local: LocalExec, label: str
+        self, device_name: str, local: LocalExec, label: str, faults=None
     ) -> Generator[Event, None, None]:
         # Local tensor hand-offs are inlined single timeouts (exactly
         # what SimRuntime.local_transfer yields) with memoised transfer
         # times -- one fewer delegated generator per hand-off on the
         # hottest execution path.
+        #
+        # Fault semantics: tile/stage fan-out children cannot raise (an
+        # exception in a child process would crash the event loop), so
+        # they gate availability at flow start and *return* the
+        # DeviceLostError as their process value; the parent collects
+        # every child -- in-flight work runs to completion and is
+        # charged -- and re-raises the first failure.  The sequential
+        # modes gate in the caller's own frame and raise directly.
         env = self.runtime.env
         if local.mode == LOCAL_SINGLE:
             task = local.tasks[0]
+            if faults is not None:
+                self._check(faults, (device_name,), "execute")
             yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
             duration, total_flops = self._task_costs(station, task)
@@ -231,6 +262,8 @@ class PlanExecutor:
             for task in local.tasks:
 
                 def tile_flow(t=task) -> Generator[Event, None, None]:
+                    if faults is not None and not faults.device_ok(device_name):
+                        return DeviceLostError(device_name, "tile", env.now)
                     yield env.timeout(self._local_transfer_seconds(device_name, t.input_bytes))
                     station = self.runtime.station(device_name, t.processor)
                     duration, total_flops = self._task_costs(station, t)
@@ -245,8 +278,14 @@ class PlanExecutor:
                     yield env.timeout(self._local_transfer_seconds(device_name, t.output_bytes))
 
                 children.append(env.process(tile_flow()))
-            yield env.all_of(children)
+            values = yield env.all_of(children)
+            if faults is not None:
+                for value in values:
+                    if isinstance(value, DeviceLostError):
+                        raise value
             if local.tail is not None:
+                if faults is not None:
+                    self._check(faults, (device_name,), "tile")
                 station = self.runtime.station(device_name, local.tail.processor)
                 yield env.timeout(
                     self._local_transfer_seconds(device_name, local.tail.input_bytes)
@@ -267,6 +306,8 @@ class PlanExecutor:
                 for task in stage:
 
                     def stage_flow(t=task) -> Generator[Event, None, None]:
+                        if faults is not None and not faults.device_ok(device_name):
+                            return DeviceLostError(device_name, "stage", env.now)
                         yield env.timeout(
                             self._local_transfer_seconds(device_name, t.input_bytes)
                         )
@@ -285,10 +326,16 @@ class PlanExecutor:
                         )
 
                     children.append(env.process(stage_flow()))
-                yield env.all_of(children)
+                values = yield env.all_of(children)
+                if faults is not None:
+                    for value in values:
+                        if isinstance(value, DeviceLostError):
+                            raise value
             return
         # pipeline
         for task in local.tasks:
+            if faults is not None:
+                self._check(faults, (device_name,), "execute")
             yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
             duration, total_flops = self._task_costs(station, task)
@@ -309,10 +356,16 @@ class PlanExecutor:
     # Global modes ---------------------------------------------------------------
 
     def _run_data_assignment(
-        self, leader: str, assignment: NodeAssignment, trace: Optional[FSMTrace]
+        self,
+        leader: str,
+        assignment: NodeAssignment,
+        trace: Optional[FSMTrace],
+        faults=None,
     ) -> Generator[Event, None, None]:
         env = self.runtime.env
         if assignment.device != leader:
+            if faults is not None:
+                self._check(faults, (assignment.device,), "offload")
             yield from self.runtime.network.transmit(
                 leader, assignment.device, assignment.send_bytes, tag="workload"
             )
@@ -321,16 +374,38 @@ class PlanExecutor:
         yield from self._map_overhead(assignment.device, assignment.local)
         if trace is not None:
             trace.enter(env.now, STATE_EXECUTE)
-        yield from self._run_local(assignment.device, assignment.local, assignment.label)
+        yield from self._run_local(
+            assignment.device, assignment.local, assignment.label, faults
+        )
         if assignment.device != leader:
+            if faults is not None:
+                self._check(faults, (assignment.device,), "result")
             yield from self.runtime.network.transmit(
                 assignment.device, leader, assignment.return_bytes, tag="result"
             )
         if trace is not None:
             trace.enter(env.now, STATE_ANALYZE)
 
+    def _guarded_assignment(
+        self,
+        leader: str,
+        assignment: NodeAssignment,
+        trace: Optional[FSMTrace],
+        faults,
+    ) -> Generator[Event, None, None]:
+        """Child-process wrapper: failures become the process *value*.
+
+        A raise inside a spawned child would crash the event loop, so
+        the sentinel pattern applies -- catch, return, and let the
+        fan-out parent re-raise after every sibling has drained.
+        """
+        try:
+            yield from self._run_data_assignment(leader, assignment, trace, faults)
+        except DeviceLostError as lost:
+            return lost
+
     def _execute_data(
-        self, leader: str, plan: ExecutionPlan, traces: List[FSMTrace]
+        self, leader: str, plan: ExecutionPlan, traces: List[FSMTrace], faults=None
     ) -> Generator[Event, None, None]:
         env = self.runtime.env
         children = []
@@ -340,10 +415,21 @@ class PlanExecutor:
                 trace = FSMTrace(role="follower", node=assignment.device)
                 trace.enter(env.now, STATE_ANALYZE)
                 traces.append(trace)
-            children.append(
-                env.process(self._run_data_assignment(leader, assignment, trace))
-            )
-        yield env.all_of(children)
+            if faults is not None:
+                children.append(
+                    env.process(
+                        self._guarded_assignment(leader, assignment, trace, faults)
+                    )
+                )
+            else:
+                children.append(
+                    env.process(self._run_data_assignment(leader, assignment, trace))
+                )
+        values = yield env.all_of(children)
+        if faults is not None:
+            for value in values:
+                if isinstance(value, DeviceLostError):
+                    raise value
 
     def _execute_model(
         self,
@@ -351,6 +437,7 @@ class PlanExecutor:
         plan: ExecutionPlan,
         traces: List[FSMTrace],
         checkpoint: Optional[Checkpoint] = None,
+        faults=None,
     ) -> Generator[Event, None, None]:
         env = self.runtime.env
         previous = leader
@@ -358,6 +445,8 @@ class PlanExecutor:
             if index > 0:
                 # Pipeline-stage hand-off: a natural segment boundary.
                 yield from self._pause_point(checkpoint)
+            if faults is not None:
+                self._check(faults, (previous, assignment.device), "stage")
             if assignment.device != previous:
                 yield from self.runtime.network.transmit(
                     previous, assignment.device, assignment.send_bytes, tag="block"
@@ -371,11 +460,15 @@ class PlanExecutor:
             yield from self._map_overhead(assignment.device, assignment.local)
             if trace is not None:
                 trace.enter(env.now, STATE_EXECUTE)
-            yield from self._run_local(assignment.device, assignment.local, assignment.label)
+            yield from self._run_local(
+                assignment.device, assignment.local, assignment.label, faults
+            )
             if trace is not None:
                 trace.enter(env.now, STATE_ANALYZE)
             previous = assignment.device
         if previous != leader:
+            if faults is not None:
+                self._check(faults, (previous,), "result")
             yield from self.runtime.network.transmit(
                 previous, leader, plan.assignments[-1].return_bytes, tag="result"
             )
@@ -396,10 +489,21 @@ class PlanExecutor:
         final merge).  Data-parallel tile fan-outs run to completion --
         their children execute concurrently, so there is no coherent
         mid-flight boundary to pause at.
+
+        With fault injection armed (``runtime.faults``), availability
+        gates at every segment boundary turn a mid-plan device loss into
+        :class:`~repro.faults.DeviceLostError`: partial work already on
+        the timeline stays charged, every grant is released (the gates
+        never hold one), and recovery is the *scheduler's* decision.
         """
         env = self.runtime.env
+        faults = self.runtime.faults
+        if faults is not None and not faults.armed:
+            faults = None
         leader = plan.leader if plan.leader is not None else self.runtime.cluster.leader.name
         submitted = env.now
+        if faults is not None:
+            self._check(faults, (leader,), "dispatch")
         record_fsm = self._record_fsm
         traces: List[FSMTrace] = []
         trace: Optional[FSMTrace] = None
@@ -407,7 +511,9 @@ class PlanExecutor:
             trace = FSMTrace(role="leader", node=leader)
             traces.append(trace)
             trace.enter(env.now, STATE_ANALYZE)
-        yield from self._probe(leader)
+        yield from self._probe(leader, faults)
+        if faults is not None:
+            self._check(faults, (leader,) + plan.devices, "probe")
         started = env.now
         yield from self._pause_point(checkpoint)
 
@@ -416,6 +522,8 @@ class PlanExecutor:
         if self.charge_explore:
             yield from self._busy(leader, plan.dse_overhead_s, "global_dse")
         yield from self._pause_point(checkpoint)
+        if faults is not None:
+            self._check(faults, (leader,) + plan.devices, "explore")
 
         if record_fsm:
             trace.enter(env.now, STATE_OFFLOAD)
@@ -423,12 +531,12 @@ class PlanExecutor:
             if record_fsm:
                 trace.enter(env.now, STATE_MAP)
                 trace.enter(env.now, STATE_EXECUTE)
-            yield from self._execute_data(leader, plan, traces)
+            yield from self._execute_data(leader, plan, traces, faults)
         elif plan.mode == MODE_MODEL:
             if record_fsm:
                 trace.enter(env.now, STATE_MAP)
                 trace.enter(env.now, STATE_EXECUTE)
-            yield from self._execute_model(leader, plan, traces, checkpoint)
+            yield from self._execute_model(leader, plan, traces, checkpoint, faults)
         else:  # MODE_LOCAL
             assignment = plan.assignments[0]
             if record_fsm:
@@ -436,9 +544,11 @@ class PlanExecutor:
             yield from self._map_overhead(leader, assignment.local)
             if record_fsm:
                 trace.enter(env.now, STATE_EXECUTE)
-            yield from self._run_local(leader, assignment.local, assignment.label)
+            yield from self._run_local(leader, assignment.local, assignment.label, faults)
 
         yield from self._pause_point(checkpoint)
+        if faults is not None:
+            self._check(faults, (leader,), "merge")
         if record_fsm:
             trace.enter(env.now, STATE_OFFLOAD)  # gather & merge
         if plan.merge_exec is not None:

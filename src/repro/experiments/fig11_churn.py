@@ -1,0 +1,220 @@
+"""Figure 11 (beyond the paper): serving under hostile conditions.
+
+The paper evaluates HiDP on a healthy, static cluster.  This sweep
+drives the sharded serving stack through seeded fault injection
+(:mod:`repro.faults`) -- device churn, transient link degradation and
+DVFS throttling -- and measures what each recovery policy saves:
+
+- **Churn level.**  ``calm`` injects nothing (the control row: it must
+  match a fault-free run byte-for-byte).  ``moderate`` and ``hostile``
+  draw increasingly frequent device outages plus link/DVFS episodes
+  from a fixed seed, so every (policy, strategy) cell of one level
+  faces the *same* fault timeline.
+- **Recovery policy.**  ``none`` disables recovery (``max_retries=0``:
+  the first mid-plan failure sheds the request).  ``retry`` re-admits
+  failures with exponential backoff and replans against the current
+  availability signature.  ``degrade`` adds graceful degradation:
+  retries arriving over the pressure threshold are re-admitted at a
+  worse priority instead of competing with healthy traffic.
+- **Strategy.**  HiDP against the MoDNN and DisNet baselines -- the
+  hierarchical plans span more devices, so recovery matters *more* for
+  HiDP, and the sweep shows it wins anyway once retries land.
+
+SLO attainment counts shed requests as missed (the denominator is every
+admitted request), so ``none`` pays for every failure and the
+recovery-beats-no-recovery gate in ``benchmarks/test_bench_serving.py``
+has teeth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import DisNetStrategy, MoDNNStrategy
+from repro.core.hidp import HiDPStrategy
+from repro.core.strategy import Strategy
+from repro.dnn.models import MODEL_NAMES
+from repro.faults import DEGRADE_DOWNGRADE, PerturbationProcess, RetryPolicy
+from repro.metrics.report import render_table
+from repro.platform.cluster import Cluster
+from repro.serving import ServingResult, ShardedScheduler
+from repro.workloads.arrivals import poisson_stream
+from repro.workloads.requests import InferenceRequest
+
+#: Requests per stream (enough that a handful of outages cannot hide in
+#: the tail percentiles).
+NUM_REQUESTS = 120
+#: Arrival rate: well under the cluster's sustainable heavy-model
+#: service rate, so calm-cluster SLO attainment is high and churn --
+#: not queueing -- is what knocks requests over the SLO.
+RATE_RPS = 1.2
+#: End-to-end latency SLO judged against arrival time.  Deliberately
+#: looser than fig9/fig10's 1.5 s interactive SLO: a request that fails
+#: mid-plan pays its partial execution *plus* a full replan-and-retry,
+#: so a bound tighter than one recovery cycle (~2-4 s for the heavy
+#: models) would mark every recovered request a miss and the sweep
+#: could never distinguish recovery from shedding.  4 s is the
+#: "complete in bounded time under faults" contract; shed requests
+#: count as misses forever.
+SLO_S = 4.0
+#: Seed for the arrival stream (shared by every cell).
+SEED = 2025
+#: Seed for the fault timelines (one per churn level, shared across
+#: policies and strategies so cells are comparable).
+FAULT_SEED = 7
+
+#: Churn levels: outage rate [1/s], mean outage [s], link/DVFS episode
+#: rates [1/s].  ``calm`` is the degenerate zero-event process.
+CHURN_LEVELS: Dict[str, Dict[str, float]] = {
+    "calm": {"churn_rate": 0.0, "link_rate": 0.0, "dvfs_rate": 0.0},
+    "moderate": {"churn_rate": 0.15, "link_rate": 0.05, "dvfs_rate": 0.05},
+    "hostile": {"churn_rate": 0.4, "link_rate": 0.15, "dvfs_rate": 0.15},
+}
+MEAN_OUTAGE_S = 0.8
+FAULT_HORIZON_S = 105.0
+
+#: Recovery policies swept.
+POLICIES: Dict[str, RetryPolicy] = {
+    "none": RetryPolicy(max_retries=0),
+    "retry": RetryPolicy(max_retries=3, backoff_base_s=0.05),
+    "degrade": RetryPolicy(
+        max_retries=3,
+        backoff_base_s=0.05,
+        degradation=DEGRADE_DOWNGRADE,
+        pressure_threshold=8,
+    ),
+}
+
+NUM_SHARDS = 2
+MAX_INFLIGHT = 8
+
+
+def build_strategies() -> Dict[str, Strategy]:
+    """Fresh strategy instances (plan caches must not leak across cells)."""
+    return {
+        "HiDP": HiDPStrategy(),
+        "MoDNN": MoDNNStrategy(),
+        "DisNet": DisNetStrategy(),
+    }
+
+
+def build_arrivals(
+    num_requests: int = NUM_REQUESTS, seed: int = SEED
+) -> List[InferenceRequest]:
+    """The seeded heavy-model Poisson stream every cell serves."""
+    return poisson_stream(MODEL_NAMES, rate_rps=RATE_RPS, num_requests=num_requests, seed=seed)
+
+
+def build_perturbation(level: str, seed: int = FAULT_SEED) -> PerturbationProcess:
+    """The seeded fault process of one churn level."""
+    if level not in CHURN_LEVELS:
+        raise KeyError(f"unknown churn level {level!r}; known: {tuple(CHURN_LEVELS)}")
+    rates = CHURN_LEVELS[level]
+    return PerturbationProcess(
+        seed=seed,
+        horizon_s=FAULT_HORIZON_S,
+        churn_rate=rates["churn_rate"],
+        mean_outage_s=MEAN_OUTAGE_S,
+        link_rate=rates["link_rate"],
+        dvfs_rate=rates["dvfs_rate"],
+    )
+
+
+def run_fig11(
+    levels: Sequence[str] = tuple(CHURN_LEVELS),
+    policies: Sequence[str] = tuple(POLICIES),
+    strategies: Optional[Sequence[str]] = None,
+    num_requests: int = NUM_REQUESTS,
+    seed: int = SEED,
+    cluster: Optional[Cluster] = None,
+) -> Dict[Tuple[str, str, str], ServingResult]:
+    """{(churn level, recovery policy, strategy): result}.
+
+    The ``calm`` cells only run the first policy: with zero fault
+    events the retry policy is never consulted, the schedules are
+    byte-identical, and the extra cells would duplicate the row.
+    """
+    requests = build_arrivals(num_requests, seed)
+    selected = build_strategies()
+    if strategies is not None:
+        selected = {name: selected[name] for name in strategies}
+    results: Dict[Tuple[str, str, str], ServingResult] = {}
+    for level in levels:
+        for policy_name in policies:
+            if level == "calm" and policy_name != next(iter(policies)):
+                continue
+            for strategy_name in selected:
+                scheduler = ShardedScheduler(
+                    cluster=cluster,
+                    strategy=build_strategies()[strategy_name],
+                    num_shards=NUM_SHARDS,
+                    max_inflight=MAX_INFLIGHT,
+                    faults=build_perturbation(level),
+                    retry=POLICIES[policy_name],
+                )
+                results[(level, policy_name, strategy_name)] = scheduler.run(requests)
+    return results
+
+
+def summarize_fig11(
+    results: Optional[Dict[Tuple[str, str, str], ServingResult]] = None
+) -> Dict[str, Dict[str, float]]:
+    """JSON-able per-cell summary (the BENCH_serving churn section)."""
+    if results is None:
+        results = run_fig11()
+    summary: Dict[str, Dict[str, float]] = {}
+    for (level, policy, strategy), result in results.items():
+        trace = result.faults
+        summary[f"{level}/{policy}/{strategy}"] = {
+            "slo_attainment": result.slo_attainment(SLO_S),
+            "p99_ms": result.percentiles()["p99"] * 1000.0,
+            "completed": result.count,
+            "failures": result.failures,
+            "retries": result.retries,
+            "shed": result.shed,
+            "downgraded": result.downgraded,
+            "fault_events": result.fault_events,
+            "recovered": 0 if trace is None else trace.recovered,
+            "mean_recovery_ms": (
+                0.0 if trace is None or not trace.recovered
+                else trace.mean_recovery_s * 1000.0
+            ),
+        }
+    return summary
+
+
+def report_fig11(
+    results: Optional[Dict[Tuple[str, str, str], ServingResult]] = None
+) -> str:
+    if results is None:
+        results = run_fig11()
+    rows = []
+    for (level, policy, strategy), result in results.items():
+        trace = result.faults
+        rows.append(
+            {
+                "Churn": level,
+                "policy": policy,
+                "strategy": strategy,
+                f"SLO<{SLO_S:g}s": f"{100.0 * result.slo_attainment(SLO_S):.0f}%",
+                "p99 [ms]": result.percentiles()["p99"] * 1000.0,
+                "fail": result.failures,
+                "retry": result.retries,
+                "shed": result.shed,
+                "downgr": result.downgraded,
+                "recov": 0 if trace is None else trace.recovered,
+                "t_rec [ms]": (
+                    "-" if trace is None or not trace.recovered
+                    else f"{trace.mean_recovery_s * 1000.0:.0f}"
+                ),
+                "events": result.fault_events,
+            }
+        )
+    return render_table(
+        rows,
+        title=(
+            "Fig. 11 -- serving under churn: fault level x recovery policy "
+            f"x strategy ({NUM_REQUESTS} requests, shed counts as SLO miss)"
+        ),
+        float_format="{:.1f}",
+    )

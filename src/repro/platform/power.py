@@ -41,3 +41,58 @@ class PowerModel:
         if busy_s < 0:
             raise ValueError(f"negative busy time: {busy_s}")
         return (self.busy_w - self.idle_w) * busy_s
+
+
+class DVFSThrottle:
+    """A time-varying frequency-scaling multiplier on task durations.
+
+    Thermal capping / DVFS slows a processor without changing the work:
+    the fault layer (:mod:`repro.faults`) applies slowdown factors for
+    throttle episodes and removes them on restore.  Concurrent episodes
+    stack multiplicatively; with no episode active the factor is
+    *exactly* ``1.0`` (recomputed from the empty stack, never left to
+    float round-off), so the healthy fast path can skip the multiply and
+    stay byte-identical to a throttle-free run.
+
+    Energy accounting keeps the two-state :class:`PowerModel`: a
+    throttled interval is longer at the same busy draw -- a deliberate
+    simplification (real DVFS also lowers the draw) that errs on the
+    pessimistic side for throttled-run energy.
+    """
+
+    __slots__ = ("_stack", "factor")
+
+    def __init__(self) -> None:
+        self._stack: list = []
+        #: Current duration multiplier (product of active episodes).
+        self.factor = 1.0
+
+    def apply(self, factor: float) -> None:
+        """Start a throttle episode slowing tasks by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"throttle factor must be >= 1, got {factor}")
+        self._stack.append(factor)
+        self._recompute()
+
+    def restore(self, factor: float) -> None:
+        """End one episode previously applied with the same ``factor``."""
+        self._stack.remove(factor)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        if not self._stack:
+            self.factor = 1.0
+            return
+        product = 1.0
+        for factor in self._stack:
+            product *= factor
+        self.factor = product
+
+    @property
+    def active(self) -> bool:
+        return bool(self._stack)
+
+    def scale(self, seconds: float) -> float:
+        """Duration of a ``seconds``-long task under the current factor."""
+        factor = self.factor
+        return seconds * factor if factor != 1.0 else seconds

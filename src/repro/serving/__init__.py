@@ -59,6 +59,21 @@ the default ``"shared"`` policy keeps every legacy schedule
 byte-identical, pinned by the cross-hatch matrix in
 ``tests/integration/test_hatch_matrix.py``.
 
+Hostile conditions (ISSUE 6): both schedulers accept
+``faults=PerturbationProcess(...)`` (seeded device churn, transient
+link degradation, DVFS throttling -- :mod:`repro.faults`) and
+``retry=RetryPolicy(...)``.  Mid-plan device loss surfaces from the
+executor as a structured
+:class:`~repro.faults.DeviceLostError`; the scheduler charges an
+exponential backoff as queue delay and re-admits through the normal
+dispatcher path (planning against the fresh availability signature
+avoids the lost device), sheds past ``max_retries`` or over the
+pressure threshold, and accounts for everything in
+:class:`~repro.serving.scheduler.ServingResult` (``failures ==
+retries + shed``; every request completes once XOR is shed).  A
+zero-event process leaves every schedule byte-identical -- the fault
+dimension of the cross-hatch matrix.
+
 Large-scale streams (ISSUE 4): both schedulers accept
 ``trace_level="aggregate"`` to record O(1) streaming trace aggregates
 (running busy totals, completion/byte counters) instead of
@@ -73,6 +88,15 @@ equivalence across all of these on a 5000-request stream and gates the
 combined speedup.
 """
 
+from repro.faults import (
+    DEGRADE_DOWNGRADE,
+    DEGRADE_NONE,
+    DEGRADE_SHED,
+    DeviceLostError,
+    FaultTrace,
+    PerturbationProcess,
+    RetryPolicy,
+)
 from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult
 from repro.serving.sharded import (
     ASSIGN_HASH,
@@ -95,4 +119,11 @@ __all__ = [
     "LEADERS_SHARED",
     "PLANNING_BUCKET",
     "PLANNING_OFF",
+    "DEGRADE_DOWNGRADE",
+    "DEGRADE_NONE",
+    "DEGRADE_SHED",
+    "DeviceLostError",
+    "FaultTrace",
+    "PerturbationProcess",
+    "RetryPolicy",
 ]

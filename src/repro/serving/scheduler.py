@@ -34,13 +34,23 @@ the same event schedule.  Dispatcher bugfixes must land in both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import PlanExecutor
 from repro.core.hidp import HiDPStrategy
 from repro.core.strategy import Strategy
 from repro.dnn.models import build_model
+from repro.faults import (
+    DEGRADE_DOWNGRADE,
+    DEGRADE_NONE,
+    DEGRADE_SHED,
+    DeviceLostError,
+    FaultInjector,
+    FaultTrace,
+    PerturbationProcess,
+    RetryPolicy,
+)
 from repro.metrics.energy import cluster_energy_j
 from repro.metrics.results import InferenceResult
 from repro.metrics.serving import latency_percentiles, slo_attainment
@@ -61,6 +71,9 @@ class ServedRequest:
     #: re-co-plan pass rather than the original batch plan (the load
     #: snapshot moved past the bucket the batch assumed).
     replanned: bool = False
+    #: Dispatch attempts this request took to complete (1 = first try;
+    #: >1 means mid-plan failures forced retry re-admissions).
+    attempts: int = 1
 
     @property
     def arrival_s(self) -> float:
@@ -121,6 +134,25 @@ class ServingResult:
     #: Simulated seconds of planning overhead charged on the scheduler
     #: CPU before dispatch (0 when charging is gated off).
     planning_charged_s: float = 0.0
+    #: Fault-injection accounting (all zero on a fault-free run).  The
+    #: counters reconcile exactly: ``failures == retries + shed``,
+    #: every request completes once XOR is shed
+    #: (``count + shed == admitted``), and each retry re-enters through
+    #: the dispatcher (``sum(dispatched) == count + shed + retries`` on
+    #: the sharded scheduler).
+    failures: int = 0
+    retries: int = 0
+    shed: int = 0
+    downgraded: int = 0
+    #: Fault events the injector applied over the run.
+    fault_events: int = 0
+    #: Per-shard retry re-admissions (``sum == retries``).
+    readmitted_by_shard: Tuple[int, ...] = ()
+    #: Request ids shed by the retry/degradation policy
+    #: (``trace_level="full"`` runs only; empty tuple otherwise).
+    shed_requests: Tuple[int, ...] = ()
+    #: Failure/recovery trace (None on a fault-free run).
+    faults: Optional[FaultTrace] = None
     #: Engine events scheduled over the run.  Schedule-identical
     #: configurations (fast vs reference engine, full vs aggregate
     #: traces) produce exactly the same count, so the engine bench uses
@@ -151,7 +183,17 @@ class ServingResult:
         return latency_percentiles(self.latencies)
 
     def slo_attainment(self, slo_s: float) -> float:
-        """Fraction of requests with end-to-end latency within the SLO."""
+        """Fraction of requests with end-to-end latency within the SLO.
+
+        Shed requests count as *missed*: the denominator is every
+        admitted request, so a policy cannot buy attainment by dropping
+        the work it would have missed on.
+        """
+        if self.shed:
+            if slo_s <= 0:
+                raise ValueError(f"SLO must be positive, got {slo_s}")
+            met = sum(1 for latency in self.latencies if latency <= slo_s)
+            return met / (self.count + self.shed)
         return slo_attainment(self.latencies, slo_s)
 
     @property
@@ -212,6 +254,15 @@ class OnlineScheduler:
     ``max_inflight`` bounds concurrent executions (the backpressure
     window).  Both default to values that keep the five-board cluster
     busy without thrashing the admission queue.
+
+    ``faults`` arms seeded fault injection
+    (:class:`~repro.faults.PerturbationProcess`); ``retry`` sets how
+    mid-plan failures are re-admitted or shed
+    (:class:`~repro.faults.RetryPolicy`, default policy when omitted).
+    The leader device (``devices[0]``) is always protected from churn --
+    a dispatcher cannot replan from a dead brain.  A ``faults`` process
+    that expands to zero events leaves the run byte-identical to a
+    fault-free one.
     """
 
     def __init__(
@@ -221,6 +272,8 @@ class OnlineScheduler:
         max_batch: int = 16,
         max_inflight: int = 4,
         trace_level: str = TRACE_FULL,
+        faults: Optional[PerturbationProcess] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -234,6 +287,8 @@ class OnlineScheduler:
         #: aggregates (large-scale streams); the event schedule and all
         #: request timings are identical either way.
         self.trace_level = check_trace_level(trace_level)
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # Internals --------------------------------------------------------------
 
@@ -257,12 +312,32 @@ class OnlineScheduler:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
+        injector = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                runtime,
+                self.cluster,
+                self.faults.events(
+                    self.cluster, protected=(self.cluster.leader.name,)
+                ),
+            )
+            injector.arm()
+        # A zero-event process never arms: no driver process, no gates,
+        # no trace -- the degenerate pin rides this flag being False.
+        fault_mode = injector is not None and injector.armed
+        retry = self.retry
+        fault_trace = FaultTrace(self.trace_level) if fault_mode else None
         executor = PlanExecutor(runtime)
         env = runtime.env
         queue = Store(env)
         inflight = Resource(env, capacity=self.max_inflight)
         served: List[ServedRequest] = []
         counters = {"batches": 0, "replans": 0, "max_batch": 0}
+        #: request_id -> upcoming dispatch attempt number (absent = 1).
+        attempt_of: Dict[int, int] = {}
+        #: request_id -> sim time of its first mid-plan failure.
+        first_failure_at: Dict[int, float] = {}
+        shed_ids: List[int] = []
 
         def source():
             for request in ordered:
@@ -270,16 +345,77 @@ class OnlineScheduler:
                     yield env.timeout(request.arrival_s - env.now)
                 queue.put(request)
 
+        def readmit(request: InferenceRequest, delay_s: float):
+            if delay_s > 0:
+                yield env.timeout(delay_s)
+            queue.put(request)
+
+        def handle_failure(request: InferenceRequest, lost: DeviceLostError) -> None:
+            """Retry, downgrade or shed one failed request (the policy)."""
+            attempt = attempt_of.get(request.request_id, 1)
+            fault_trace.record_failure(
+                request.request_id, lost.device, lost.segment, lost.time_s, attempt
+            )
+            first_failure_at.setdefault(request.request_id, lost.time_s)
+            if attempt > retry.max_retries:
+                shed_ids.append(request.request_id)
+                fault_trace.record_shed(request.request_id)
+                return
+            again = request
+            if retry.degradation != DEGRADE_NONE:
+                pressure = queue.size + inflight.queue_length
+                if pressure > retry.pressure_threshold:
+                    if retry.degradation == DEGRADE_SHED:
+                        shed_ids.append(request.request_id)
+                        fault_trace.record_shed(request.request_id)
+                        return
+                    again = replace(
+                        request,
+                        priority=request.priority + retry.downgrade_priority_by,
+                    )
+                    fault_trace.record_downgrade(request.request_id)
+            attempt_of[request.request_id] = attempt + 1
+            fault_trace.record_retry(request.request_id)
+            # Exponential backoff charged as queue delay; the request
+            # then rejoins the normal dispatcher path, where planning
+            # against the current availability signature yields a plan
+            # avoiding the lost device.
+            env.process(readmit(again, retry.backoff_s(attempt)))
+
         def serve(request: InferenceRequest, plan, slot, replanned: bool):
             try:
-                result = yield from executor.execute(request, plan)
-                served.append(ServedRequest(request=request, result=result, replanned=replanned))
+                try:
+                    result = yield from executor.execute(request, plan)
+                except DeviceLostError as lost:
+                    if fault_trace is None:
+                        raise
+                    handle_failure(request, lost)
+                    return
+                attempts = attempt_of.get(request.request_id, 1) if fault_mode else 1
+                served.append(
+                    ServedRequest(
+                        request=request,
+                        result=result,
+                        replanned=replanned,
+                        attempts=attempts,
+                    )
+                )
+                if fault_trace is not None:
+                    first = first_failure_at.get(request.request_id)
+                    if first is not None:
+                        fault_trace.record_recovery(
+                            request.request_id, env.now - first, attempts
+                        )
             finally:
                 inflight.release(slot)
 
         def dispatcher():
             remaining = len(ordered)
-            while remaining:
+            # In fault mode the loop is open-ended: retries re-enter the
+            # queue after the original stream drains, and when the heap
+            # finally empties the dispatcher is parked on queue.get()
+            # (parked getters do not keep the simulation alive).
+            while remaining > 0 or fault_mode:
                 first = yield queue.get()
                 batch = [first]
                 while queue.size > 0 and len(batch) < self.max_batch:
@@ -289,6 +425,7 @@ class OnlineScheduler:
                 counters["max_batch"] = max(counters["max_batch"], len(batch))
                 load = runtime.load_snapshot()
                 batch_bucket = self._bucket_key(load)
+                batch_avail = self.cluster.availability_signature() if fault_mode else None
                 graphs = [build_model(request.model) for request in batch]
                 plans = self.strategy.plan_batch(graphs, self.cluster, load=load)
                 fresh = [False] * len(batch)
@@ -297,7 +434,14 @@ class OnlineScheduler:
                     yield slot  # backpressure: wait for an in-flight slot
                     current = runtime.load_snapshot()
                     current_bucket = self._bucket_key(current)
-                    if current_bucket != batch_bucket:
+                    drifted = current_bucket != batch_bucket
+                    if fault_mode and not drifted:
+                        # Availability drift: a device joined or left
+                        # while the batch waited -- replan the tail so
+                        # dispatches never carry a plan spanning a
+                        # device known to be gone.
+                        drifted = self.cluster.availability_signature() != batch_avail
+                    if drifted:
                         # The backlog drifted past the load bucket the
                         # batch plan assumed; re-co-plan the whole
                         # remaining tail in one pass against the fresh
@@ -311,6 +455,8 @@ class OnlineScheduler:
                         for tail in range(index, len(batch)):
                             fresh[tail] = True
                         batch_bucket = current_bucket
+                        if fault_mode:
+                            batch_avail = self.cluster.availability_signature()
                         counters["replans"] += 1
                     env.process(serve(request, plans[index], slot, fresh[index]))
                     remaining -= 1
@@ -319,12 +465,13 @@ class OnlineScheduler:
         env.process(dispatcher())
         env.run()
 
-        if len(served) != len(ordered):
+        settled = len(served) + len(shed_ids)
+        if settled != len(ordered):
             raise RuntimeError(
-                f"{len(ordered) - len(served)} requests never completed (deadlock?)"
+                f"{len(ordered) - settled} requests never completed (deadlock?)"
             )
         served.sort(key=lambda record: record.request.request_id)
-        makespan = max(record.completed_s for record in served)
+        makespan = max((record.completed_s for record in served), default=0.0)
         energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
         return ServingResult(
             strategy=self.strategy.name,
@@ -339,4 +486,13 @@ class OnlineScheduler:
             replans=counters["replans"],
             max_batch_observed=counters["max_batch"],
             sim_events=env.scheduled_events,
+            failures=fault_trace.failures if fault_trace is not None else 0,
+            retries=fault_trace.retries if fault_trace is not None else 0,
+            shed=len(shed_ids),
+            downgraded=fault_trace.downgraded if fault_trace is not None else 0,
+            fault_events=injector.applied if injector is not None else 0,
+            shed_requests=(
+                tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
+            ),
+            faults=fault_trace,
         )

@@ -73,6 +73,7 @@ both loops (the drift tail re-co-plan fix below is one such).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.executor import PlanExecutor
@@ -80,6 +81,15 @@ from repro.core.hidp import HiDPStrategy
 from repro.core.strategy import Strategy
 from repro.dnn.graph import DNNGraph
 from repro.dnn.models import build_model
+from repro.faults import (
+    DEGRADE_NONE,
+    DEGRADE_SHED,
+    DeviceLostError,
+    FaultInjector,
+    FaultTrace,
+    PerturbationProcess,
+    RetryPolicy,
+)
 from repro.metrics.energy import cluster_energy_j
 from repro.platform.cluster import Cluster, build_cluster
 from repro.serving.scheduler import ServedRequest, ServingResult
@@ -127,6 +137,8 @@ class ShardedScheduler:
         steal_threshold: int = 2,
         trace_level: str = TRACE_FULL,
         leader_policy: str = LEADERS_SHARED,
+        faults: Optional[PerturbationProcess] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -167,6 +179,11 @@ class ShardedScheduler:
         #: aggregates (large-scale streams); the event schedule and all
         #: request timings are identical either way.
         self.trace_level = check_trace_level(trace_level)
+        #: Seeded fault injection + recovery policy (see
+        #: :mod:`repro.faults`).  Every shard leader is protected from
+        #: churn; a zero-event process leaves the run byte-identical.
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # Internals --------------------------------------------------------------
 
@@ -223,9 +240,22 @@ class ShardedScheduler:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
+        leaders = self.shard_leaders()
+        injector = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                runtime,
+                self.cluster,
+                self.faults.events(self.cluster, protected=tuple(set(leaders))),
+            )
+            injector.arm()
+        # A zero-event process never arms: no driver process, no gates,
+        # no trace -- the degenerate pin rides this flag being False.
+        fault_mode = injector is not None and injector.armed
+        retry = self.retry
+        fault_trace = FaultTrace(self.trace_level) if fault_mode else None
         executor = PlanExecutor(runtime, charge_explore=not self.charges_planning)
         env = runtime.env
-        leaders = self.shard_leaders()
         queues = [Store(env) for _ in range(self.num_shards)]
         inflight = PriorityResource(env, capacity=self.max_inflight)
         shard_of = self._shard_of(ordered)
@@ -243,6 +273,12 @@ class ShardedScheduler:
         dispatched = [0] * self.num_shards
         stolen_in = [0] * self.num_shards
         stolen_out = [0] * self.num_shards
+        readmitted = [0] * self.num_shards
+        #: request_id -> upcoming dispatch attempt number (absent = 1).
+        attempt_of: Dict[int, int] = {}
+        #: request_id -> sim time of its first mid-plan failure.
+        first_failure_at: Dict[int, float] = {}
+        shed_ids: List[int] = []
 
         def source():
             for request in ordered:
@@ -251,6 +287,45 @@ class ShardedScheduler:
                 shard = shard_of(request)
                 admitted[shard] += 1
                 queues[shard].put(request)
+
+        def readmit(request: InferenceRequest, delay_s: float):
+            if delay_s > 0:
+                yield env.timeout(delay_s)
+            shard = shard_of(request)
+            readmitted[shard] += 1
+            idle[shard] = False  # its parked getter wakes with this item
+            queues[shard].put(request)
+
+        def handle_failure(request: InferenceRequest, lost: DeviceLostError) -> None:
+            """Retry, downgrade or shed one failed request (the policy)."""
+            attempt = attempt_of.get(request.request_id, 1)
+            fault_trace.record_failure(
+                request.request_id, lost.device, lost.segment, lost.time_s, attempt
+            )
+            first_failure_at.setdefault(request.request_id, lost.time_s)
+            if attempt > retry.max_retries:
+                shed_ids.append(request.request_id)
+                fault_trace.record_shed(request.request_id)
+                return
+            again = request
+            if retry.degradation != DEGRADE_NONE:
+                pressure = sum(queue.size for queue in queues) + inflight.queue_length
+                if pressure > retry.pressure_threshold:
+                    if retry.degradation == DEGRADE_SHED:
+                        shed_ids.append(request.request_id)
+                        fault_trace.record_shed(request.request_id)
+                        return
+                    # Downgrade: re-admit at a worse priority class (the
+                    # PriorityResource then grants it after healthier
+                    # traffic) instead of dropping the work.
+                    again = replace(
+                        request,
+                        priority=request.priority + retry.downgrade_priority_by,
+                    )
+                    fault_trace.record_downgrade(request.request_id)
+            attempt_of[request.request_id] = attempt + 1
+            fault_trace.record_retry(request.request_id)
+            env.process(readmit(again, retry.backoff_s(attempt)))
 
         def serve(request: InferenceRequest, plan, slot, replanned: bool):
             holder = {"slot": slot}
@@ -268,12 +343,32 @@ class ShardedScheduler:
                     yield resumed
 
             try:
-                result = yield from executor.execute(
-                    request, plan, checkpoint=checkpoint if self.preemption else None
-                )
+                try:
+                    result = yield from executor.execute(
+                        request,
+                        plan,
+                        checkpoint=checkpoint if self.preemption else None,
+                    )
+                except DeviceLostError as lost:
+                    if fault_trace is None:
+                        raise
+                    handle_failure(request, lost)
+                    return
+                attempts = attempt_of.get(request.request_id, 1) if fault_mode else 1
                 served.append(
-                    ServedRequest(request=request, result=result, replanned=replanned)
+                    ServedRequest(
+                        request=request,
+                        result=result,
+                        replanned=replanned,
+                        attempts=attempts,
+                    )
                 )
+                if fault_trace is not None:
+                    first = first_failure_at.get(request.request_id)
+                    if first is not None:
+                        fault_trace.record_recovery(
+                            request.request_id, env.now - first, attempts
+                        )
             finally:
                 inflight.release(holder["slot"])
 
@@ -362,6 +457,9 @@ class ShardedScheduler:
                 batch.sort(key=lambda request: request.priority)
                 load = runtime.load_snapshot(view=self.load_view)
                 batch_bucket = bucket_of(load)
+                batch_avail = (
+                    self.cluster.availability_signature() if fault_mode else None
+                )
                 graphs = [build_model(request.model) for request in batch]
                 charge = self._planning_charge_s(graphs, load, leader=leader)
                 if charge > 0:
@@ -380,7 +478,14 @@ class ShardedScheduler:
                     yield slot  # backpressure: wait for an in-flight slot
                     current = runtime.load_snapshot(view=self.load_view)
                     current_bucket = bucket_of(current)
-                    if current_bucket != batch_bucket:
+                    drifted = current_bucket != batch_bucket
+                    if fault_mode and not drifted:
+                        # Availability drift: a device joined or left
+                        # while the batch waited -- replan the tail so
+                        # dispatches never carry a plan spanning a
+                        # device known to be gone.
+                        drifted = self.cluster.availability_signature() != batch_avail
+                    if drifted:
                         # Drifted past the batch's bucket: re-co-plan
                         # the remaining tail in one pass and adopt the
                         # fresh bucket (same fix as the single-leader
@@ -398,6 +503,8 @@ class ShardedScheduler:
                         for late in range(index, len(batch)):
                             fresh[late] = True
                         batch_bucket = current_bucket
+                        if fault_mode:
+                            batch_avail = self.cluster.availability_signature()
                         counters["replans"] += 1
                     dispatched[shard] += 1
                     env.process(serve(request, plans[index], slot, fresh[index]))
@@ -407,12 +514,13 @@ class ShardedScheduler:
             env.process(dispatcher(shard))
         env.run()
 
-        if len(served) != len(ordered):
+        settled = len(served) + len(shed_ids)
+        if settled != len(ordered):
             raise RuntimeError(
-                f"{len(ordered) - len(served)} requests never completed (deadlock?)"
+                f"{len(ordered) - settled} requests never completed (deadlock?)"
             )
         served.sort(key=lambda record: record.request.request_id)
-        makespan = max(record.completed_s for record in served)
+        makespan = max((record.completed_s for record in served), default=0.0)
         energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
         return ServingResult(
             strategy=self.strategy.name,
@@ -436,4 +544,14 @@ class ShardedScheduler:
             stolen_out_by_shard=tuple(stolen_out),
             planning_charged_s=counters["planning_s"],
             sim_events=env.scheduled_events,
+            failures=fault_trace.failures if fault_trace is not None else 0,
+            retries=fault_trace.retries if fault_trace is not None else 0,
+            shed=len(shed_ids),
+            downgraded=fault_trace.downgraded if fault_trace is not None else 0,
+            fault_events=injector.applied if injector is not None else 0,
+            readmitted_by_shard=tuple(readmitted),
+            shed_requests=(
+                tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
+            ),
+            faults=fault_trace,
         )

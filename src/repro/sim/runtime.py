@@ -26,6 +26,7 @@ from typing import Dict, Generator, Mapping, Optional, Tuple
 from repro.dnn.layers import LAYER_CLASSES
 from repro.platform.cluster import Cluster
 from repro.platform.device import Device
+from repro.platform.power import DVFSThrottle
 from repro.platform.processor import Processor
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
@@ -70,6 +71,10 @@ class ProcessorStation:
         #: Time at which all currently committed work will have drained;
         #: lets planners see the backlog of in-flight requests.
         self.committed_until = 0.0
+        #: Time-varying DVFS slowdown (fault injection); factor 1.0 --
+        #: the permanent state of fault-free runs -- is skipped on the
+        #: hot path, so healthy schedules stay byte-identical.
+        self.throttle = DVFSThrottle()
 
     @property
     def backlog_seconds(self) -> float:
@@ -86,6 +91,9 @@ class ProcessorStation:
         delegation off the hottest path; keep the two in sync.)
         """
         env = self.env
+        factor = self.throttle.factor
+        if factor != 1.0:
+            duration = duration * factor
         committed = self.committed_until
         now = env.now
         self.committed_until = (committed if committed > now else now) + duration
@@ -93,7 +101,17 @@ class ProcessorStation:
         if runtime is not None:
             runtime._load_version += 1
         request = self._resource.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # Abandoned while queued (the flow around us unwound): give
+            # the claim back and un-commit the backlog, so an aborted
+            # plan leaks neither a grant nor phantom committed work.
+            self._resource.release(request)
+            self.committed_until -= duration
+            if runtime is not None:
+                runtime._load_version += 1
+            raise
         start = env.now
         try:
             yield env.timeout(duration)
@@ -127,6 +145,9 @@ class ProcessorStation:
         # _hold's body, inlined (every simulated compute task runs
         # through here; one less delegated generator per resumption).
         env = self.env
+        factor = self.throttle.factor
+        if factor != 1.0:
+            duration = duration * factor
         committed = self.committed_until
         now = env.now
         self.committed_until = (committed if committed > now else now) + duration
@@ -134,7 +155,14 @@ class ProcessorStation:
         if runtime is not None:
             runtime._load_version += 1
         request = self._resource.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            self._resource.release(request)
+            self.committed_until -= duration
+            if runtime is not None:
+                runtime._load_version += 1
+            raise
         start = env.now
         try:
             yield env.timeout(duration)
@@ -168,7 +196,15 @@ class ProcessorStation:
 
 
 class NetworkChannel:
-    """The shared wireless medium: one transfer at a time."""
+    """The shared wireless medium: one transfer at a time.
+
+    Fault injection can :meth:`degrade` the medium transiently: a
+    slowdown factor divides the effective bandwidth and multiplies the
+    propagation latency until :meth:`restore`.  Concurrent episodes
+    stack multiplicatively; with none active the hoisted constants are
+    reset to *exactly* the base values, so fault-free transfers stay
+    byte-identical.
+    """
 
     def __init__(self, env: Environment, cluster: Cluster, log: TransferLog):
         self.env = env
@@ -178,6 +214,33 @@ class NetworkChannel:
         # Network constants, hoisted off the per-transfer path.
         self._bandwidth_bytes_s = cluster.network.bandwidth_bytes_s
         self._latency_s = cluster.network.latency_s
+        #: Base (healthy) values and the active degradation episodes.
+        self._base_bandwidth_bytes_s = self._bandwidth_bytes_s
+        self._base_latency_s = self._latency_s
+        self._slowdowns: list = []
+
+    def degrade(self, factor: float) -> None:
+        """Start a degradation episode slowing the medium by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self._slowdowns.append(factor)
+        self._recompute()
+
+    def restore(self, factor: float) -> None:
+        """End one episode previously applied with the same ``factor``."""
+        self._slowdowns.remove(factor)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        if not self._slowdowns:
+            self._bandwidth_bytes_s = self._base_bandwidth_bytes_s
+            self._latency_s = self._base_latency_s
+            return
+        slowdown = 1.0
+        for factor in self._slowdowns:
+            slowdown *= factor
+        self._bandwidth_bytes_s = self._base_bandwidth_bytes_s / slowdown
+        self._latency_s = self._base_latency_s * slowdown
 
     def transmit(
         self, src: str, dst: str, size_bytes: int, tag: str = ""
@@ -187,7 +250,13 @@ class NetworkChannel:
             return
         env = self.env
         request = self._resource.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # Abandoned while queued for the medium: hand the claim
+            # back so an aborted flow never wedges the channel.
+            self._resource.release(request)
+            raise
         start = env.now
         # The medium is held for the serialisation time only;
         # propagation latency elapses after the channel is free.
@@ -212,6 +281,10 @@ class SimRuntime:
         self.flops_log = FlopsLog(trace_level)
         self.transfer_log = TransferLog(trace_level)
         self.network = NetworkChannel(self.env, cluster, self.transfer_log)
+        #: The armed :class:`~repro.faults.FaultInjector`, or ``None``
+        #: (the permanent state of fault-free runs -- the executor's
+        #: availability gates are dormant while this is ``None``).
+        self.faults = None
         self._stations: Dict[Tuple[str, str], ProcessorStation] = {}
         #: Bumped whenever any station's committed backlog changes; the
         #: load-snapshot memo keys on (now, version, view).

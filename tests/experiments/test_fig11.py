@@ -1,0 +1,101 @@
+"""Fig. 11 churn-sweep experiment tests (the ISSUE 6 acceptance sweep).
+
+The full sweep (3 churn levels x 3 recovery policies x 3 strategies x
+120 requests) is exercised end-to-end by ``hidp-experiments fig11`` and
+gated in ``benchmarks/test_bench_serving.py``; here a reduced grid pins
+the sweep structure, the calm-control contract, the reconciliation
+invariants and the report.
+"""
+
+import pytest
+
+from repro.experiments.fig11_churn import (
+    CHURN_LEVELS,
+    POLICIES,
+    build_arrivals,
+    build_perturbation,
+    report_fig11,
+    run_fig11,
+    summarize_fig11,
+)
+from repro.platform.cluster import build_cluster
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig11(
+        levels=("calm", "hostile"),
+        policies=("none", "retry"),
+        strategies=("HiDP",),
+        num_requests=24,
+        cluster=_cluster(),
+    )
+
+
+class TestSweep:
+    def test_full_grid_defaults(self):
+        assert tuple(CHURN_LEVELS) == ("calm", "moderate", "hostile")
+        assert tuple(POLICIES) == ("none", "retry", "degrade")
+        assert POLICIES["none"].max_retries == 0
+        assert POLICIES["retry"].max_retries > 0
+
+    def test_calm_runs_one_policy_only(self, results):
+        """Calm cells dedupe: with zero events the policy is never
+        consulted, so only the first policy's row exists."""
+        assert set(results) == {
+            ("calm", "none", "HiDP"),
+            ("hostile", "none", "HiDP"),
+            ("hostile", "retry", "HiDP"),
+        }
+
+    def test_every_cell_settles_every_request(self, results):
+        for key, result in results.items():
+            assert result.count + result.shed == 24, key
+            assert result.failures == result.retries + result.shed, key
+            result.busy.assert_no_overlaps()
+
+    def test_calm_control_is_fault_free(self, results):
+        calm = results[("calm", "none", "HiDP")]
+        assert calm.fault_events == 0
+        assert calm.failures == 0
+        assert calm.count == 24
+
+    def test_hostile_cells_share_one_fault_timeline(self):
+        cluster = _cluster()
+        assert build_perturbation("hostile").events(cluster) == build_perturbation(
+            "hostile"
+        ).events(cluster)
+        assert build_perturbation("hostile").events(cluster) != build_perturbation(
+            "moderate"
+        ).events(cluster)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            build_perturbation("apocalyptic")
+
+    def test_streams_are_seeded_deterministic(self):
+        assert build_arrivals(num_requests=12) == build_arrivals(num_requests=12)
+
+
+class TestSummary:
+    def test_summary_keys_and_reconciliation(self, results):
+        summary = summarize_fig11(results)
+        assert set(summary) == {
+            "calm/none/HiDP",
+            "hostile/none/HiDP",
+            "hostile/retry/HiDP",
+        }
+        for cell in summary.values():
+            assert 0.0 <= cell["slo_attainment"] <= 1.0
+            assert cell["failures"] == cell["retries"] + cell["shed"]
+
+    def test_report_renders(self, results):
+        text = report_fig11(results)
+        assert "Fig. 11" in text
+        assert "hostile" in text
+        assert "retry" in text
+        assert "SLO" in text

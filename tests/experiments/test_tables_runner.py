@@ -38,6 +38,7 @@ class TestRunner:
             "fig8",
             "fig9",
             "fig10",
+            "fig11",
             "accuracy",
             "sensitivity",
         }

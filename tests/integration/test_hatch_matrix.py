@@ -1,23 +1,32 @@
-"""Cross-hatch differential matrix (ISSUE 5 satellite).
+"""Cross-hatch differential matrix (ISSUE 5 satellite; fault dimension
+added by ISSUE 6).
 
 Four switches now steer the serving hot path: the simulation-engine
 fast path (``REPRO_SIM_FASTPATH``), the DSE kernel fast path
 (``REPRO_DSE_FASTPATH``), the trace level (``full`` vs ``aggregate``)
 and the planning-overhead charging mode.  The first three are
 *equivalence hatches* -- they must never change a single scheduled
-event -- while ``planning_overhead`` (and the leader placement) are
-*configurations* that legitimately change the schedule.
+event -- while ``planning_overhead``, the leader placement and the
+fault process are *configurations* that legitimately change the
+schedule.
 
 This harness runs one pinned smoke stream through every scheduler
 configuration and asserts the full 2x2x2 hatch grid inside each
 configuration is schedule-identical: same completion timeline, same
 ``sim_events`` count (the schedule fingerprint), same makespan, energy,
-traffic and scheduler counters.  A future fast-path optimisation that
-silently forks behaviour in any hatch corner fails here immediately,
-with the offending (hatch, configuration) pair in the assertion
-message.
+traffic, scheduler counters and failure/retry accounting.  A future
+fast-path optimisation that silently forks behaviour in any hatch
+corner fails here immediately, with the offending (hatch,
+configuration) pair in the assertion message.
 
-Marked ``matrix``: ``pytest -m "smoke or matrix"`` is the fast gate.
+The fault dimension (ISSUE 6) pins two more contracts: a *zero-event*
+``PerturbationProcess`` is byte-identical to no fault process at all in
+every hatch corner (arming it is a structural no-op), and a *seeded
+churn* stream -- device loss, recovery, retries and all -- is itself
+schedule-identical across the hatch grid.
+
+Marked ``matrix``: ``pytest -m "smoke or matrix or chaos"`` is the fast
+gate.
 """
 
 import itertools
@@ -32,6 +41,8 @@ from repro.serving import (
     PLANNING_BUCKET,
     PLANNING_OFF,
     OnlineScheduler,
+    PerturbationProcess,
+    RetryPolicy,
     ShardedScheduler,
 )
 from repro.workloads.arrivals import bursty_stream
@@ -50,6 +61,24 @@ CONFIGS = (
     ("off-shared", PLANNING_OFF, LEADERS_SHARED),
     ("off-distributed", PLANNING_OFF, LEADERS_DISTRIBUTED),
 )
+
+
+#: The fault dimension: a zero-event process must change *nothing*; a
+#: seeded churn process changes the schedule but must itself be stable
+#: across every hatch corner.  Leader devices are protected by the
+#: scheduler, so the fault tests run the *shared*-leader configuration
+#: (only ``jetson_tx2`` shielded) on a heavy fan-out stream -- that
+#: combination reliably catches plans on a lost follower mid-flight.
+ZERO_FAULTS = PerturbationProcess(seed=29)
+CHURN_FAULTS = PerturbationProcess(
+    seed=29,
+    horizon_s=14.0,
+    churn_rate=1.0,
+    mean_outage_s=1.0,
+    link_rate=0.2,
+    dvfs_rate=0.2,
+)
+CHURN_RETRY = RetryPolicy(max_retries=3, backoff_base_s=0.05)
 
 
 def _cluster():
@@ -93,6 +122,15 @@ def _fingerprint(result):
         "planning_charged_s": result.planning_charged_s,
         "leader_devices": result.leader_devices,
         "dispatched_by_shard": result.dispatched_by_shard,
+        # Failure/retry accounting (ISSUE 6).  ``shed_requests`` stays
+        # out: it is a per-entry view materialised at trace_level="full"
+        # only, so it legitimately differs between trace hatches.
+        "failures": result.failures,
+        "retries": result.retries,
+        "shed": result.shed,
+        "downgraded": result.downgraded,
+        "fault_events": result.fault_events,
+        "readmitted_by_shard": result.readmitted_by_shard,
     }
 
 
@@ -140,6 +178,104 @@ def test_online_scheduler_hatch_grid_schedule_identical(monkeypatch):
             reference = fingerprint
             continue
         assert fingerprint == reference
+
+
+def _fault_stream():
+    """A heavier pinned stream for the fault dimension: the three
+    biggest models fan out across followers, so a mid-outage plan
+    actually touches the lost board."""
+    return bursty_stream(
+        ("vgg19", "inception_v3", "resnet152", "tiny_cnn"),
+        burst_size=5,
+        num_bursts=3,
+        mean_gap_s=0.8,
+        seed=17,
+        priority_weights={0: 0.3, 2: 0.7},
+    )
+
+
+def _run_scheduler(scheduler, requests, trace_level="full", faults=None, retry=None):
+    """One pinned run of either scheduler tier, optionally under faults."""
+    kwargs = {"cluster": _cluster(), "max_inflight": 3, "trace_level": trace_level}
+    if faults is not None:
+        kwargs["faults"] = faults
+    if retry is not None:
+        kwargs["retry"] = retry
+    if scheduler == "online":
+        return OnlineScheduler(**kwargs).run(requests)
+    return ShardedScheduler(
+        num_shards=2,
+        planning_overhead=PLANNING_BUCKET,
+        leader_policy=LEADERS_SHARED,
+        **kwargs,
+    ).run(requests)
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_zero_event_faults_byte_identical(monkeypatch, scheduler):
+    """The degenerate pin: arming a zero-event ``PerturbationProcess``
+    is a structural no-op -- every hatch corner reproduces the
+    fault-free schedule byte for byte."""
+    requests = _fault_stream()
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+    healthy = _fingerprint(_run_scheduler(scheduler, requests))
+    assert healthy["fault_events"] == 0
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        armed = _fingerprint(
+            _run_scheduler(scheduler, requests, trace_level=trace_level, faults=ZERO_FAULTS)
+        )
+        for field, expected in healthy.items():
+            assert armed[field] == expected, (
+                f"{scheduler}: zero-event faults forked {field} in hatch "
+                f"(sim={sim_fast}, dse={dse_fast}, trace={trace_level})"
+            )
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_churn_hatch_grid_schedule_identical(monkeypatch, scheduler):
+    """A seeded churn stream -- device loss, replans, retries and all --
+    must itself be schedule-identical across the hatch grid."""
+    requests = _fault_stream()
+    reference = None
+    reference_hatch = None
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        result = _run_scheduler(
+            scheduler,
+            requests,
+            trace_level=trace_level,
+            faults=CHURN_FAULTS,
+            retry=CHURN_RETRY,
+        )
+        assert result.failures == result.retries + result.shed
+        assert result.count + result.shed == len(requests)
+        fingerprint = _fingerprint(result)
+        if reference is None:
+            reference, reference_hatch = fingerprint, (sim_fast, dse_fast, trace_level)
+            continue
+        for field, expected in reference.items():
+            assert fingerprint[field] == expected, (
+                f"{scheduler}: churn hatch (sim={sim_fast}, dse={dse_fast}, "
+                f"trace={trace_level}) forked {field} from reference hatch "
+                f"{reference_hatch}"
+            )
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_fault_dimension_has_teeth(scheduler):
+    """The churn corner only guards recovery if faults actually land:
+    events must apply, failures must occur, and the schedule must
+    genuinely differ from the healthy run."""
+    requests = _fault_stream()
+    healthy = _run_scheduler(scheduler, requests)
+    churned = _run_scheduler(scheduler, requests, faults=CHURN_FAULTS, retry=CHURN_RETRY)
+    assert churned.fault_events > 0
+    assert churned.failures > 0
+    assert _fingerprint(churned) != _fingerprint(healthy)
 
 
 def test_configurations_do_differ():

@@ -1,0 +1,334 @@
+"""Fault injection and the serving recovery contract (ISSUE 6).
+
+Units for :mod:`repro.faults` (seeded timelines, injector mechanics,
+retry policy, trace levels) plus the scheduler-level recovery
+behaviour: mid-plan losses are replanned-and-retried, bounded by
+``max_retries``, and every counter reconciles.
+"""
+
+import pytest
+
+from repro.faults import (
+    DEGRADE_DOWNGRADE,
+    DEGRADE_SHED,
+    DEVICE_JOIN,
+    DEVICE_LEAVE,
+    DVFS_RESTORE,
+    DVFS_THROTTLE,
+    DeviceLostError,
+    FaultEvent,
+    FaultInjector,
+    FaultTrace,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    LINK_TARGET,
+    PerturbationProcess,
+    RetryPolicy,
+)
+from repro.platform.cluster import build_cluster
+from repro.serving import OnlineScheduler, ShardedScheduler
+from repro.sim.runtime import SimRuntime
+from repro.sim.trace import TRACE_AGGREGATE, TraceLevelError
+from repro.workloads.arrivals import poisson_stream
+
+HEAVY = ("vgg19", "resnet152", "inception_v3")
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+def _churny(seed=11, churn_rate=0.8, horizon_s=30.0):
+    return PerturbationProcess(
+        seed=seed,
+        horizon_s=horizon_s,
+        churn_rate=churn_rate,
+        mean_outage_s=0.8,
+        link_rate=0.1,
+        dvfs_rate=0.1,
+    )
+
+
+class TestPerturbationProcess:
+    def test_same_seed_same_timeline(self):
+        cluster = _cluster()
+        assert _churny(seed=3).events(cluster) == _churny(seed=3).events(cluster)
+
+    def test_different_seed_different_timeline(self):
+        cluster = _cluster()
+        assert _churny(seed=3).events(cluster) != _churny(seed=4).events(cluster)
+
+    def test_zero_rates_zero_events(self):
+        assert PerturbationProcess(seed=5).events(_cluster()) == []
+
+    def test_timeline_sorted(self):
+        events = _churny().events(_cluster())
+        times = [event.time_s for event in events]
+        assert times == sorted(times)
+
+    def test_protected_devices_never_leave(self):
+        events = _churny().events(_cluster(), protected=("jetson_tx2",))
+        leavers = {e.target for e in events if e.kind == DEVICE_LEAVE}
+        assert "jetson_tx2" not in leavers
+        assert leavers  # the unprotected boards still churn
+
+    def test_every_leave_is_rejoined(self):
+        """Outages always end: per device, leaves and joins alternate."""
+        events = _churny().events(_cluster())
+        state = {}
+        for event in events:
+            if event.kind == DEVICE_LEAVE:
+                assert state.get(event.target, "up") == "up", event
+                state[event.target] = "down"
+            elif event.kind == DEVICE_JOIN:
+                assert state.get(event.target) == "down", event
+                state[event.target] = "up"
+        assert all(value == "up" for value in state.values())
+
+    def test_new_episodes_start_within_horizon(self):
+        events = _churny(horizon_s=10.0).events(_cluster())
+        starts = [
+            e for e in events if e.kind in (DEVICE_LEAVE, LINK_DEGRADE, DVFS_THROTTLE)
+        ]
+        assert starts
+        assert all(e.time_s < 10.0 for e in starts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationProcess(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            PerturbationProcess(churn_rate=-1.0)
+        with pytest.raises(ValueError):
+            PerturbationProcess(mean_outage_s=0.0)
+        with pytest.raises(ValueError):
+            PerturbationProcess(link_factor=0.5)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, DEVICE_LEAVE, "x")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "meteor_strike", "x")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, LINK_DEGRADE, LINK_TARGET, factor=0.5)
+
+
+class TestRetryPolicy:
+    def test_backoff_exponential(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(degradation="panic")
+
+
+class TestFaultInjector:
+    def test_zero_events_arm_is_a_no_op(self):
+        runtime = SimRuntime(_cluster())
+        before = runtime.env.scheduled_events
+        injector = FaultInjector(runtime, runtime.cluster, [])
+        assert not injector.armed
+        injector.arm()
+        assert runtime.faults is None
+        assert runtime.env.scheduled_events == before
+
+    def test_timeline_applied_in_order(self):
+        cluster = _cluster()
+        runtime = SimRuntime(cluster)
+        events = [
+            FaultEvent(1.0, DEVICE_LEAVE, "jetson_nano"),
+            FaultEvent(2.0, DVFS_THROTTLE, "jetson_orin_nx", factor=2.0),
+            FaultEvent(3.0, DEVICE_JOIN, "jetson_nano"),
+            FaultEvent(4.0, DVFS_RESTORE, "jetson_orin_nx", factor=2.0),
+        ]
+        injector = FaultInjector(runtime, cluster, events)
+        assert injector.armed
+        injector.arm()
+        assert runtime.faults is injector
+
+        env = runtime.env
+        env.run(until=1.5)
+        assert not cluster.is_available("jetson_nano")
+        assert not injector.device_ok("jetson_nano")
+        env.run(until=2.5)
+        stations = runtime.stations_of("jetson_orin_nx")
+        assert all(station.throttle.factor == 2.0 for station in stations)
+        env.run()
+        assert cluster.is_available("jetson_nano")
+        assert all(station.throttle.factor == 1.0 for station in stations)
+        assert injector.applied == 4
+        assert injector.counts == {
+            DEVICE_LEAVE: 1,
+            DEVICE_JOIN: 1,
+            DVFS_THROTTLE: 1,
+            DVFS_RESTORE: 1,
+        }
+
+    def test_link_degrade_restores_exact_base(self):
+        runtime = SimRuntime(_cluster())
+        network = runtime.network
+        base_bandwidth = network._bandwidth_bytes_s
+        base_latency = network._latency_s
+        injector = FaultInjector(
+            runtime,
+            runtime.cluster,
+            [
+                FaultEvent(0.5, LINK_DEGRADE, LINK_TARGET, factor=4.0),
+                FaultEvent(1.0, LINK_DEGRADE, LINK_TARGET, factor=2.0),
+                FaultEvent(1.5, LINK_RESTORE, LINK_TARGET, factor=4.0),
+                FaultEvent(2.0, LINK_RESTORE, LINK_TARGET, factor=2.0),
+            ],
+        )
+        injector.arm()
+        env = runtime.env
+        env.run(until=1.2)
+        assert network._bandwidth_bytes_s == pytest.approx(base_bandwidth / 8.0)
+        assert network._latency_s == pytest.approx(base_latency * 8.0)
+        env.run()
+        # exact restore, not approx: stacking must not accumulate drift
+        assert network._bandwidth_bytes_s == base_bandwidth
+        assert network._latency_s == base_latency
+
+
+class TestFaultTrace:
+    def _populate(self, trace):
+        trace.record_failure(7, "jetson_nano", "tile", 1.5, attempt=1)
+        trace.record_retry(7)
+        trace.record_failure(8, "jetson_nano", "result", 2.0, attempt=1)
+        trace.record_shed(8)
+        trace.record_downgrade(9)
+        trace.record_recovery(7, recovery_s=0.8, attempts=2)
+
+    def test_full_level_counters_and_records(self):
+        trace = FaultTrace()
+        self._populate(trace)
+        assert trace.failures == 2
+        assert trace.retries == 1
+        assert trace.shed == 1
+        assert trace.downgraded == 1
+        assert trace.recovered == 1
+        segments = trace.failed_segments
+        assert [seg.request_id for seg in segments] == [7, 8]
+        assert segments[0].segment == "tile"
+        assert trace.recovery_times == ((7, 0.8),)
+        assert trace.mean_recovery_s == pytest.approx(0.8)
+        assert trace.retries_per_recovery.mean == pytest.approx(1.0)
+
+    def test_aggregate_level_streams_without_records(self):
+        trace = FaultTrace(TRACE_AGGREGATE)
+        self._populate(trace)
+        # counters and streaming aggregates stay exact...
+        assert trace.failures == 2
+        assert trace.recovered == 1
+        assert trace.mean_recovery_s == pytest.approx(0.8)
+        assert trace.recovery_percentiles()["p50"] == pytest.approx(0.8)
+        # ...but per-event views are gone
+        with pytest.raises(TraceLevelError):
+            trace.failed_segments
+        with pytest.raises(TraceLevelError):
+            trace.recovery_times
+
+
+class TestSchedulerRecovery:
+    """Mid-plan losses are recovered by replan-and-retry; counters
+    reconcile; ``max_retries=0`` sheds on first failure."""
+
+    def _run(self, retry=None, trace_level="full", num_requests=30, faults=None):
+        requests = poisson_stream(HEAVY, rate_rps=1.5, num_requests=num_requests, seed=5)
+        scheduler = OnlineScheduler(
+            cluster=_cluster(),
+            max_inflight=4,
+            trace_level=trace_level,
+            faults=faults if faults is not None else _churny(),
+            retry=retry if retry is not None else RetryPolicy(max_retries=3),
+        )
+        return scheduler.run(requests)
+
+    def test_churn_produces_recovered_failures(self):
+        result = self._run()
+        assert result.fault_events > 0
+        assert result.failures > 0
+        assert result.retries > 0
+        trace = result.faults
+        assert trace is not None
+        assert trace.recovered > 0
+        assert trace.mean_recovery_s > 0
+        # a recovered request was dispatched more than once
+        assert max(record.attempts for record in result.served) > 1
+
+    def test_counters_reconcile(self):
+        result = self._run(num_requests=40)
+        assert result.failures == result.retries + result.shed
+        assert result.count + result.shed == 40
+        served_ids = {record.request.request_id for record in result.served}
+        assert served_ids.isdisjoint(set(result.shed_requests))
+        result.busy.assert_no_overlaps()
+
+    def test_max_retries_zero_sheds_on_first_failure(self):
+        result = self._run(retry=RetryPolicy(max_retries=0))
+        assert result.failures > 0
+        assert result.retries == 0
+        assert result.shed == result.failures
+        assert len(result.shed_requests) == result.shed
+
+    def test_shed_counts_as_slo_miss(self):
+        result = self._run(retry=RetryPolicy(max_retries=0))
+        assert result.shed > 0
+        generous = 10_000.0  # every completed request is inside this SLO
+        assert result.slo_attainment(generous) == pytest.approx(
+            result.count / (result.count + result.shed)
+        )
+
+    def test_failure_detail_respects_trace_level(self):
+        full = self._run(trace_level="full")
+        aggregate = self._run(trace_level="aggregate")
+        # identical schedule and counters either way
+        assert aggregate.failures == full.failures
+        assert aggregate.retries == full.retries
+        assert aggregate.makespan_s == full.makespan_s
+        assert [seg.request_id for seg in full.faults.failed_segments]
+        with pytest.raises(TraceLevelError):
+            aggregate.faults.failed_segments
+        assert full.shed_requests == aggregate.shed_requests or not aggregate.shed_requests
+
+    def test_deterministic_replay(self):
+        first = self._run()
+        second = self._run()
+        assert first.makespan_s == second.makespan_s
+        assert first.latencies == second.latencies
+        assert first.failures == second.failures
+        assert first.fault_events == second.fault_events
+
+    def test_sharded_recovery_reconciles_per_shard(self):
+        requests = poisson_stream(HEAVY, rate_rps=1.5, num_requests=30, seed=5)
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=4,
+            faults=_churny(),
+            retry=RetryPolicy(max_retries=3),
+        ).run(requests)
+        assert result.failures > 0
+        assert result.failures == result.retries + result.shed
+        assert result.count + result.shed == 30
+        assert sum(result.readmitted_by_shard) == result.retries
+        for shard in range(2):
+            assert result.dispatched_by_shard[shard] == (
+                result.admitted_by_shard[shard]
+                + result.readmitted_by_shard[shard]
+                + result.stolen_in_by_shard[shard]
+                - result.stolen_out_by_shard[shard]
+            )
+        result.busy.assert_no_overlaps()

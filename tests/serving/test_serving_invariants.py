@@ -1,4 +1,5 @@
-"""Randomized serving invariants (ISSUE 5 satellite).
+"""Randomized serving invariants (ISSUE 5 satellite; churn trials by
+ISSUE 6).
 
 Seeded property-style tests: random scheduler configurations (shard
 count, batch/window sizes, assignment, stealing, preemption, priority
@@ -12,6 +13,12 @@ run the structural invariants must hold:
   admissions partition the stream, and total steals equal the moved
   items.
 
+The ``chaos``-marked trials re-run the same property under seeded fault
+injection with a random retry/degradation policy: exactly-once relaxes
+to *completes once XOR is shed*, and the failure counters must
+reconcile exactly (``failures == retries + shed``, re-admissions join
+the per-shard dispatch balance).
+
 The draws are seeded, so a failure reproduces deterministically from
 the printed trial seed.
 """
@@ -20,6 +27,7 @@ import random
 
 import pytest
 
+from repro.faults import DEGRADATIONS
 from repro.platform.cluster import build_cluster
 from repro.serving import (
     ASSIGN_HASH,
@@ -28,6 +36,8 @@ from repro.serving import (
     LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
+    PerturbationProcess,
+    RetryPolicy,
     ShardedScheduler,
 )
 from repro.workloads.arrivals import (
@@ -38,7 +48,12 @@ from repro.workloads.arrivals import (
 
 MODELS = ("tiny_cnn", "tiny_residual", "tiny_depthwise", "mobilenet_v2")
 
+#: The chaos trials serve the big models: their plans fan out across
+#: followers, so a random outage actually lands mid-plan.
+CHAOS_MODELS = ("vgg19", "inception_v3", "resnet152", "tiny_cnn")
+
 TRIAL_SEEDS = tuple(range(6))
+CHAOS_TRIAL_SEEDS = tuple(range(5))
 
 
 def _random_stream(rng):
@@ -62,7 +77,7 @@ def _random_stream(rng):
     )
 
 
-def _random_scheduler(rng):
+def _random_scheduler(rng, **extra):
     return ShardedScheduler(
         cluster=build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"]),
         num_shards=rng.randint(1, 4),
@@ -73,6 +88,29 @@ def _random_scheduler(rng):
         preemption=rng.choice((True, False)),
         steal_threshold=rng.randint(1, 3),
         leader_policy=rng.choice((LEADERS_SHARED, LEADERS_DISTRIBUTED)),
+        **extra,
+    )
+
+
+def _random_faults(rng):
+    return PerturbationProcess(
+        seed=rng.randrange(10_000),
+        horizon_s=rng.uniform(8.0, 18.0),
+        churn_rate=rng.uniform(0.4, 1.5),
+        mean_outage_s=rng.uniform(0.4, 1.2),
+        link_rate=rng.uniform(0.0, 0.3),
+        link_factor=rng.uniform(2.0, 6.0),
+        dvfs_rate=rng.uniform(0.0, 0.3),
+        dvfs_factor=rng.uniform(1.5, 3.0),
+    )
+
+
+def _random_retry(rng):
+    return RetryPolicy(
+        max_retries=rng.randint(0, 3),
+        backoff_base_s=rng.uniform(0.01, 0.1),
+        degradation=rng.choice(DEGRADATIONS),
+        pressure_threshold=rng.randint(2, 10),
     )
 
 
@@ -127,6 +165,96 @@ def test_randomized_serving_invariants(trial):
     assert len(result.leader_devices) == shards, context
     if scheduler.leader_policy == LEADERS_SHARED:
         assert set(result.leader_devices) == {"jetson_tx2"}, context
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("trial", CHAOS_TRIAL_SEEDS)
+def test_randomized_churn_invariants(trial):
+    """The same structural property under seeded fault injection."""
+    rng = random.Random(7000 + trial)
+    requests = poisson_stream(
+        tuple(rng.sample(CHAOS_MODELS, rng.randint(2, len(CHAOS_MODELS)))),
+        rate_rps=rng.uniform(1.0, 3.0),
+        num_requests=rng.randint(12, 24),
+        seed=rng.randrange(10_000),
+        priority_weights=rng.choice((None, {0: 0.3, 2: 0.7})),
+    )
+    faults = _random_faults(rng)
+    retry = _random_retry(rng)
+    scheduler = _random_scheduler(rng, faults=faults, retry=retry)
+    context = (
+        f"trial={trial} shards={scheduler.num_shards} "
+        f"inflight={scheduler.max_inflight} leaders={scheduler.leader_policy} "
+        f"faults={faults} retry={retry} requests={len(requests)}"
+    )
+
+    result = scheduler.run(requests)
+
+    # Exactly-once XOR shed: served and shed ids partition the stream.
+    served_ids = sorted(record.request.request_id for record in result.served)
+    assert len(set(served_ids)) == len(served_ids), context
+    shed_ids = set(result.shed_requests)
+    assert shed_ids.isdisjoint(served_ids), context
+    assert sorted(set(served_ids) | shed_ids) == sorted(
+        r.request_id for r in requests
+    ), context
+    assert result.count + result.shed == len(requests), context
+
+    # Timelines stay causally ordered and stations never overlap.
+    for record in result.served:
+        assert record.arrival_s <= record.dispatched_s <= record.completed_s, context
+    result.busy.assert_no_overlaps()
+
+    # Failure accounting reconciles exactly.
+    assert result.failures == result.retries + result.shed, context
+    assert len(shed_ids) == result.shed, context
+    assert sum(result.readmitted_by_shard) == result.retries, context
+    trace = result.faults
+    assert trace is not None, context
+    assert trace.failures == result.failures, context
+    recovered = sum(1 for record in result.served if record.attempts > 1)
+    assert trace.recovered == recovered, context
+    # Served re-admissions are a lower bound: shed requests may have
+    # burned retries before giving up.
+    assert result.retries >= sum(record.attempts - 1 for record in result.served), context
+
+    # Re-admissions join the per-shard dispatch balance.
+    shards = scheduler.num_shards
+    assert sum(result.admitted_by_shard) == len(requests), context
+    for shard in range(shards):
+        assert result.dispatched_by_shard[shard] == (
+            result.admitted_by_shard[shard]
+            + result.readmitted_by_shard[shard]
+            + result.stolen_in_by_shard[shard]
+            - result.stolen_out_by_shard[shard]
+        ), f"{context} shard={shard}"
+    assert sum(result.dispatched_by_shard) == (
+        result.count + result.shed + result.retries
+    ), context
+
+
+@pytest.mark.chaos
+def test_churn_trials_are_not_vacuous():
+    """At least one chaos draw must actually fail and recover a
+    request, or the property above never exercises the fault path."""
+    total_failures = 0
+    total_recovered = 0
+    for trial in CHAOS_TRIAL_SEEDS:
+        rng = random.Random(7000 + trial)
+        requests = poisson_stream(
+            tuple(rng.sample(CHAOS_MODELS, rng.randint(2, len(CHAOS_MODELS)))),
+            rate_rps=rng.uniform(1.0, 3.0),
+            num_requests=rng.randint(12, 24),
+            seed=rng.randrange(10_000),
+            priority_weights=rng.choice((None, {0: 0.3, 2: 0.7})),
+        )
+        faults = _random_faults(rng)
+        retry = _random_retry(rng)
+        result = _random_scheduler(rng, faults=faults, retry=retry).run(requests)
+        total_failures += result.failures
+        total_recovered += result.faults.recovered
+    assert total_failures > 0
+    assert total_recovered > 0
 
 
 def test_randomized_runs_are_deterministic():
