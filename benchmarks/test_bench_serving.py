@@ -49,6 +49,18 @@ Three measurements, one artifact (``BENCH_serving.json``):
    and that the moderate timeline actually produced failures, so the
    comparison cannot degenerate to a tie on a quiet seed.
 
+6. **Specialization gate** (ISSUE 7).  The Fig. 12 sweep serves the
+   seeded *skewed* light-model burst stream (one architecture family
+   dominating) through the three admission routers at 4 shards: legacy
+   ``hash`` and ``affinity`` in the legacy shared-leader configuration,
+   and the ``clustered`` adaptive stack (workload-clustered shard
+   specialties re-computed every epoch, cost-aware spill routing,
+   partitioned plan cache, per-epoch leader re-election).  The gate
+   asserts the clustered stack beats *both* legacy routers on p99
+   end-to-end latency and on SLO attainment at the fig12 SLO, for
+   every swept epoch length, and that the epoch machinery actually ran
+   (epochs > 0 with at least one leader re-election).
+
 The result memos in ``repro.core.dp`` are cleared before every timed
 pass so neither path is subsidised by the other's warm cache.
 """
@@ -67,6 +79,12 @@ from repro.experiments.fig11_churn import (
     SLO_S as CHURN_SLO_S,
     run_fig11,
     summarize_fig11,
+)
+from repro.experiments.fig12_specialize import (
+    EPOCH_LENGTHS,
+    NUM_REQUESTS as FIG12_REQUESTS,
+    SLO_S as FIG12_SLO_S,
+    run_fig12,
 )
 from repro.platform.cluster import build_cluster
 from repro.serving import (
@@ -246,6 +264,36 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             f"{cell['shed']} shed, {cell['recovered']} recovered"
         )
 
+    # Specialization sweep (ISSUE 7): the skewed fig12 stream through
+    # hash / affinity / clustered routing.
+    fig12_results = run_fig12(skews=("skewed",))
+    fig12_cells = {}
+    for (skew, router_name, epoch_s), result in fig12_results.items():
+        assert result.count == len(result.served)
+        result.busy.assert_no_overlaps()
+        pct = result.percentiles()
+        label = router_name if epoch_s == 0 else f"{router_name}/{epoch_s:g}"
+        fig12_cells[label] = {
+            "skew": skew,
+            "router": result.router,
+            "epoch_s": epoch_s,
+            "latency_percentiles_s": pct,
+            "slo_attainment": result.slo_attainment(FIG12_SLO_S),
+            "throughput_rps": result.throughput_rps(),
+            "epochs": result.epochs,
+            "leader_reelections": result.leader_reelections,
+            "spilled": result.spilled,
+            "cold_routed": result.cold_routed,
+            "planning_charged_s": result.planning_charged_s,
+        }
+        print(
+            f"fig12 {label} (skewed x{result.count}): "
+            f"p50 {pct['p50'] * 1e3:.0f} ms, p99 {pct['p99'] * 1e3:.0f} ms, "
+            f"SLO<{FIG12_SLO_S:g}s {100 * fig12_cells[label]['slo_attainment']:.1f}%, "
+            f"{result.epochs} epochs, {result.leader_reelections} re-elections"
+        )
+    fig12 = {"requests": FIG12_REQUESTS, "slo_s": FIG12_SLO_S, "cells": fig12_cells}
+
     artifact = {
         "bench": "serving",
         "description": (
@@ -254,20 +302,25 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             "seeded Fig. 9 Poisson stream, the sharded-scheduler "
             "leader-count sweep on the seeded bursty stream, the "
             "shared-vs-distributed physical-leader comparison on the seeded "
-            "light-model burst stream, and the Fig. 11 churn sweep (fault "
-            "level x recovery policy x strategy, shed counts as SLO miss)."
+            "light-model burst stream, the Fig. 11 churn sweep (fault "
+            "level x recovery policy x strategy, shed counts as SLO miss), "
+            "and the Fig. 12 specialization sweep (clustered routing + epoch "
+            "leader re-election vs legacy hash/affinity on the skewed "
+            "light-model stream)."
         ),
         "gate": {
             "min_speedup": 1.0,
             "sharded_p99_max_ratio": 1.0,
             "distributed_leader_p99_max_ratio": 1.0,
             "churn_recovery_strictly_beats_none": True,
+            "clustered_beats_legacy_routers": True,
         },
         "coplan": coplan,
         "serving": serving,
         "sharded": sharded,
         "leader_placement": leader_sweep,
         "churn": churn,
+        "fig12_specialize": fig12,
     }
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
@@ -309,3 +362,30 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
         f"{with_recovery['slo_attainment']:.4f} vs none "
         f"{no_recovery['slo_attainment']:.4f} SLO attainment"
     )
+
+    # The specialization gate (ISSUE 7): on the skewed stream, the
+    # clustered stack must beat BOTH legacy routers on p99 latency AND
+    # SLO attainment, at every swept epoch length, and the epoch
+    # machinery must have actually run.
+    for legacy in ("hash", "affinity"):
+        legacy_p99 = fig12_cells[legacy]["latency_percentiles_s"]["p99"]
+        legacy_slo = fig12_cells[legacy]["slo_attainment"]
+        for epoch_s in EPOCH_LENGTHS:
+            cell = fig12_cells[f"clustered/{epoch_s:g}"]
+            clustered_p99 = cell["latency_percentiles_s"]["p99"]
+            clustered_slo = cell["slo_attainment"]
+            assert clustered_p99 < legacy_p99, (
+                f"clustered routing (epoch {epoch_s:g}s) lost the skewed-stream "
+                f"tail to {legacy}: p99 {clustered_p99 * 1e3:.1f} ms vs "
+                f"{legacy_p99 * 1e3:.1f} ms"
+            )
+            assert clustered_slo > legacy_slo, (
+                f"clustered routing (epoch {epoch_s:g}s) lost SLO attainment to "
+                f"{legacy}: {clustered_slo:.4f} vs {legacy_slo:.4f}"
+            )
+    for epoch_s in EPOCH_LENGTHS:
+        cell = fig12_cells[f"clustered/{epoch_s:g}"]
+        assert cell["epochs"] > 0 and cell["leader_reelections"] > 0, (
+            f"epoch machinery never ran at epoch {epoch_s:g}s: "
+            f"{cell['epochs']} epochs, {cell['leader_reelections']} re-elections"
+        )

@@ -540,6 +540,7 @@ class HiDPStrategy(Strategy):
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
         leader: Optional[str] = None,
+        partition: Optional[object] = None,
     ) -> List[ExecutionPlan]:
         """Co-plan a backlog of concurrent requests in one pass.
 
@@ -550,12 +551,13 @@ class HiDPStrategy(Strategy):
         planned once.  Plans are identical to per-request :meth:`plan`
         calls and land in the same cache, so later ``plan()`` calls
         hit.  ``leader`` applies batch-wide (one dispatcher plans from
-        one physical leader).
+        one physical leader), as does the cache ``partition``.
         """
         effective = self.effective_load(load)
         leader = self.resolve_leader(cluster, leader)
         keys = [
-            self.cache_key(graph, cluster, effective, leader=leader) for graph in graphs
+            self.cache_key(graph, cluster, effective, leader=leader, partition=partition)
+            for graph in graphs
         ]
         # Resolve against the cache up front: re-reading after the
         # inserts below could KeyError if this very batch's new plans

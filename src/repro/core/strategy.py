@@ -180,21 +180,30 @@ class Strategy(abc.ABC):
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
         leader: Optional[str] = None,
+        partition: Optional[object] = None,
     ) -> Tuple:
         """Plan-cache key: (model, cluster, availability, leader, load
-        buckets).
+        buckets), optionally namespaced by a cache ``partition``.
 
         ``load`` must already be the effective (strategy-filtered)
         load; ``leader`` is resolved so ``None`` and the default
-        leader's name key identically.
+        leader's name key identically.  ``partition`` isolates a
+        caller's working set from every other partition's (the sharded
+        scheduler's workload-clustered mode keys each shard's plans by
+        its shard index, so one shard's churn never evicts another
+        specialist's hot cluster); ``None`` keeps the historical
+        unpartitioned key byte-for-byte.
         """
-        return (
+        key = (
             graph.name,
             cluster.name,
             cluster.availability_signature(),
             self.resolve_leader(cluster, leader),
             self.load_key(load),
         )
+        if partition is None:
+            return key
+        return (partition,) + key
 
     def plan(
         self,
@@ -202,9 +211,10 @@ class Strategy(abc.ABC):
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
         leader: Optional[str] = None,
+        partition: Optional[object] = None,
     ) -> ExecutionPlan:
         """Plan with memoisation on (model, availability, leader, load
-        bucket).
+        bucket), optionally inside a cache ``partition``.
 
         Planning is deterministic given the graph, the availability
         vector, the physical leader and the (quantised) load snapshot,
@@ -217,7 +227,9 @@ class Strategy(abc.ABC):
         """
         effective = self.effective_load(load)
         resolved = self.resolve_leader(cluster, leader)
-        key = self.cache_key(graph, cluster, effective, leader=resolved)
+        key = self.cache_key(
+            graph, cluster, effective, leader=resolved, partition=partition
+        )
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -232,6 +244,7 @@ class Strategy(abc.ABC):
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
         leader: Optional[str] = None,
+        partition: Optional[object] = None,
     ) -> List[ExecutionPlan]:
         """Co-plan a backlog of requests under one load snapshot.
 
@@ -239,9 +252,13 @@ class Strategy(abc.ABC):
         cache, so duplicate models in the backlog are planned once);
         strategies with batched DSE kernels override this to price the
         whole backlog in shared array sweeps.  ``leader`` applies to
-        the whole batch (one dispatcher plans from one leader).
+        the whole batch (one dispatcher plans from one leader), as does
+        the cache ``partition``.
         """
-        return [self.plan(graph, cluster, load=load, leader=leader) for graph in graphs]
+        return [
+            self.plan(graph, cluster, load=load, leader=leader, partition=partition)
+            for graph in graphs
+        ]
 
     def uncached_plans(
         self,
@@ -249,20 +266,23 @@ class Strategy(abc.ABC):
         cluster: Cluster,
         load: Optional[Mapping[str, float]] = None,
         leader: Optional[str] = None,
+        partition: Optional[object] = None,
     ) -> int:
         """Distinct plans a pass over ``graphs`` would compute fresh.
 
         Counts the distinct plan-cache keys (model x availability x
-        leader x load bucket) not currently cached.  Serving schedulers
-        use this to charge *measured-bucket* planning overhead: a fresh
-        (model, bucket) combination pays the DSE cost on the scheduler
-        CPU, while a decision the middleware already cached is free --
-        mirroring how the paper's run-time scheduler reuses DSE results
-        for known workloads.
+        leader x load bucket, within ``partition``) not currently
+        cached.  Serving schedulers use this to charge
+        *measured-bucket* planning overhead: a fresh (model, bucket)
+        combination pays the DSE cost on the scheduler CPU, while a
+        decision the middleware already cached is free -- mirroring how
+        the paper's run-time scheduler reuses DSE results for known
+        workloads.
         """
         effective = self.effective_load(load)
         keys = {
-            self.cache_key(graph, cluster, effective, leader=leader) for graph in graphs
+            self.cache_key(graph, cluster, effective, leader=leader, partition=partition)
+            for graph in graphs
         }
         return sum(1 for key in keys if key not in self._cache)
 

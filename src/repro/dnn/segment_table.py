@@ -16,10 +16,27 @@ table on the (immutable) graph so repeated planning passes share it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.dnn.graph import Segment
 from repro.dnn.layers import LAYER_CLASSES
+
+#: One structural token of a :meth:`SegmentTable.signature`:
+#: (dominant layer class, spatial flag, FLOPs magnitude bucket).
+SignatureToken = Tuple[str, bool, int]
+
+
+def jaccard_similarity(a: FrozenSet, b: FrozenSet) -> float:
+    """Jaccard similarity ``|a & b| / |a | b|`` between two signatures.
+
+    Two empty signatures count as identical (1.0); an empty signature
+    against a non-empty one scores 0.0.  Used by the serving
+    specialization layer to cluster models by plan structure -- cheap
+    (set arithmetic over small token sets) and symmetric.
+    """
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
 
 
 class SegmentTable:
@@ -37,6 +54,7 @@ class SegmentTable:
         "_ops_prefix",
         "_next_nonspatial",
         "_slices",
+        "_signature",
     )
 
     def __init__(self, segments: Sequence[Segment]):
@@ -62,6 +80,7 @@ class SegmentTable:
             next_nonspatial[idx] = idx if not self.segments[idx].spatial else next_nonspatial[idx + 1]
         self._next_nonspatial = next_nonspatial
         self._slices: Dict[Tuple[int, int], Tuple[Segment, ...]] = {}
+        self._signature: FrozenSet[SignatureToken] = None
 
     def __len__(self) -> int:
         return len(self.segments)
@@ -108,6 +127,39 @@ class SegmentTable:
         ``[lo..hi]``; ``p < lo`` means segment ``lo`` is non-spatial."""
         self._check(lo, hi if hi >= lo else lo)
         return min(self._next_nonspatial[lo], hi + 1) - 1
+
+    def signature(self) -> FrozenSet[SignatureToken]:
+        """Plan-structure signature: the set of structural tokens of the
+        chain, one per distinct (dominant layer class, spatial flag,
+        FLOPs magnitude bucket) a segment exhibits.
+
+        Two models whose chains are built from the same kinds of
+        segments -- same dominant operators, same spatial/non-spatial
+        shape, same order-of-magnitude compute -- share most tokens, so
+        :func:`jaccard_similarity` over signatures is a cheap
+        plan-structure similarity metric: architecture families
+        (residual stacks, depthwise towers, VGG-style columns) cluster
+        together without running any DSE.  The FLOPs bucket is the
+        integer bit length of the segment's total FLOPs (a factor-of-2
+        magnitude class), so minor shape differences do not split a
+        family while a 100x compute gap does.
+
+        Memoised on the (immutable) table; the serving specialization
+        layer calls this once per distinct model.
+        """
+        signature = self._signature
+        if signature is None:
+            tokens = set()
+            for seg in self.segments:
+                # max() keeps the first maximum, so ties resolve in
+                # LAYER_CLASSES order -- deterministic.
+                dominant = max(
+                    LAYER_CLASSES, key=lambda cls: seg.flops_by_class.get(cls, 0)
+                )
+                tokens.add((dominant, seg.spatial, seg.flops.bit_length()))
+            signature = frozenset(tokens)
+            self._signature = signature
+        return signature
 
     def chain_slice(self, lo: int, hi: int) -> Tuple[Segment, ...]:
         """Memoised sub-chain ``segments[lo..hi]``.

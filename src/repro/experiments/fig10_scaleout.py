@@ -47,7 +47,6 @@ from repro.serving import (
     ServingResult,
     ShardedScheduler,
 )
-from repro.serving.sharded import LEADER_MODES
 from repro.workloads.arrivals import bursty_stream, heavy_tailed_stream
 from repro.workloads.requests import InferenceRequest
 
@@ -61,10 +60,11 @@ SEED = 2025
 #: Leader-dispatcher counts swept.
 LEADER_COUNTS = (1, 2, 4)
 
-#: Physical-leader placements swept: the scheduler's own mode tuple,
-#: not to be confused with the *election* policies on
+#: Physical-leader placements swept -- the epoch-free modes only
+#: (``leader_policy="epoch"`` needs a specialization epoch and is swept
+#: by fig12); not to be confused with the *election* policies on
 #: :data:`repro.platform.cluster.LEADER_POLICIES`.
-LEADER_PLACEMENTS = LEADER_MODES
+LEADER_PLACEMENTS = (LEADERS_SHARED, LEADERS_DISTRIBUTED)
 
 #: Light models whose plans stay leader-local: the workload where
 #: per-shard physical leaders genuinely scale out across boards.

@@ -27,8 +27,17 @@ are drawn from one ``random.Random(seed)``:
   processors scale every task duration by ``dvfs_factor`` (thermal /
   frequency capping through :class:`~repro.platform.power.DVFSThrottle`)
   for an exponential episode.
+- **Correlated (spatial) outages** (``correlated_rate`` episodes/s):
+  the named ``correlated_group`` of devices fails *atomically* -- every
+  unprotected, currently-up member leaves at the same instant and
+  rejoins together after one shared exponential outage
+  (``mean_correlated_outage_s``).  Models rack/power-domain failures:
+  independent churn rarely takes down co-located boards at once, but a
+  shared PSU does.  The group stream is drawn *after* the three legacy
+  streams, so adding it never perturbs their timelines for a given
+  seed.
 
-A process with all three rates zero produces *no events*, and arming it
+A process with all rates zero produces *no events*, and arming it
 is a no-op: every schedule stays byte-identical to a fault-free run
 (the degenerate pin in ``tests/integration/test_hatch_matrix.py``).
 
@@ -160,18 +169,23 @@ class PerturbationProcess:
     dvfs_factor: float = 2.0
     mean_dvfs_s: float = 1.0
     protected: Tuple[str, ...] = ()
+    correlated_rate: float = 0.0
+    correlated_group: Tuple[str, ...] = ()
+    mean_correlated_outage_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon_s}")
-        for name in ("churn_rate", "link_rate", "dvfs_rate"):
+        for name in ("churn_rate", "link_rate", "dvfs_rate", "correlated_rate"):
             if getattr(self, name) < 0:
                 raise ValueError(f"negative {name}: {getattr(self, name)}")
-        for name in ("mean_outage_s", "mean_link_s", "mean_dvfs_s"):
+        for name in ("mean_outage_s", "mean_link_s", "mean_dvfs_s", "mean_correlated_outage_s"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
         if self.link_factor < 1.0 or self.dvfs_factor < 1.0:
             raise ValueError("slowdown factors must be >= 1")
+        if self.correlated_rate > 0 and not self.correlated_group:
+            raise ValueError("correlated_rate needs a non-empty correlated_group")
 
     def events(self, cluster, protected: Sequence[str] = ()) -> List[FaultEvent]:
         """Expand the seed into the sorted fault timeline for ``cluster``."""
@@ -218,6 +232,31 @@ class PerturbationProcess:
                 out.append(
                     FaultEvent(t + episode, DVFS_RESTORE, target, self.dvfs_factor)
                 )
+        # Correlated group outages: drawn strictly after the legacy
+        # streams (and only when enabled), so enabling them never
+        # perturbs an existing seed's churn/link/DVFS timelines.
+        if self.correlated_rate > 0:
+            unknown = [name for name in self.correlated_group if name not in names]
+            if unknown:
+                raise ValueError(
+                    f"correlated_group names unknown devices {unknown}; "
+                    f"cluster has {names}"
+                )
+            group = [name for name in self.correlated_group if name not in shielded]
+            if group:
+                group_down_until = 0.0
+                t = 0.0
+                while True:
+                    t += rng.expovariate(self.correlated_rate)
+                    if t >= self.horizon_s:
+                        break
+                    if t < group_down_until:
+                        continue  # the group is still down: no re-fail
+                    outage = rng.expovariate(1.0 / self.mean_correlated_outage_s)
+                    for name in group:
+                        out.append(FaultEvent(t, DEVICE_LEAVE, name))
+                        out.append(FaultEvent(t + outage, DEVICE_JOIN, name))
+                    group_down_until = t + outage
         out.sort(key=lambda event: event.time_s)  # stable: ties keep stream order
         return out
 

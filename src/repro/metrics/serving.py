@@ -22,10 +22,89 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Default percentile set reported by the serving harness.
 SERVING_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One specialization epoch boundary of a routed serving run.
+
+    Recorded by the scheduler when the routing layer re-specializes:
+    ``leaders`` are the per-shard physical leader devices *after* any
+    re-election, ``specialty_models`` counts the models in each shard's
+    specialty cluster, and ``routed_by_shard`` is the cumulative
+    routing count at the boundary (deltas between consecutive records
+    give the per-epoch traffic split).
+    """
+
+    index: int
+    time_s: float
+    leaders: Tuple[str, ...]
+    specialty_models: Tuple[int, ...]
+    routed_by_shard: Tuple[int, ...]
+    reelected: bool
+
+
+class RoutingStats:
+    """Routing-layer accounting for one serving run.
+
+    O(num_shards + num_epochs) memory -- one counter per shard plus one
+    :class:`EpochRecord` per specialization epoch -- so it is safe at
+    both trace levels.  ``spilled`` counts requests the cost-aware
+    router diverted off their specialist shard (backlog over the spill
+    threshold); ``cold`` counts requests routed with no prior
+    signature/specialty (placed on the least-loaded shard, never
+    defaulted to shard 0).
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self.routed = [0] * num_shards
+        self.spilled = 0
+        self.cold = 0
+        self.epochs = 0
+        self.reelections = 0
+        self.epoch_log: List[EpochRecord] = []
+
+    def record_route(self, shard: int, spilled: bool = False, cold: bool = False) -> None:
+        """Fold one routing decision into the per-shard counters."""
+        self.routed[shard] += 1
+        if spilled:
+            self.spilled += 1
+        if cold:
+            self.cold += 1
+
+    def record_epoch(
+        self,
+        time_s: float,
+        leaders: Sequence[str],
+        specialty_models: Sequence[int],
+        reelected: bool,
+    ) -> None:
+        """Record one specialization-epoch boundary."""
+        self.epochs += 1
+        if reelected:
+            self.reelections += 1
+        self.epoch_log.append(
+            EpochRecord(
+                index=self.epochs,
+                time_s=time_s,
+                leaders=tuple(leaders),
+                specialty_models=tuple(specialty_models),
+                routed_by_shard=tuple(self.routed),
+                reelected=reelected,
+            )
+        )
+
+    @property
+    def total_routed(self) -> int:
+        return sum(self.routed)
 
 
 def percentile(values: Sequence[float], pct: float) -> float:

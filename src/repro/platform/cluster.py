@@ -164,6 +164,32 @@ class Cluster:
             for shard in range(num_shards)
         )
 
+    def reelect_shard_leaders(
+        self, num_shards: int, load: Optional[Mapping[str, float]] = None
+    ) -> Tuple[str, ...]:
+        """Re-elect one physical leader per shard under a load snapshot.
+
+        Each shard's leader is elected through
+        :meth:`elect_leader(\"least_loaded\") <elect_leader>`; after every
+        election the chosen device's backlog is penalised past every
+        candidate, so successive shards spread over distinct boards when
+        the cluster has enough available devices (and wrap round-robin
+        by ascending load when it does not).  Fully deterministic for a
+        given snapshot -- the serving scheduler calls this at every
+        specialization-epoch boundary, so an election that flapped on
+        ties would thrash plan caches keyed on the leader.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        backlog = dict(load) if load else {}
+        penalty = max(backlog.values(), default=0.0) + 1.0
+        leaders = []
+        for _ in range(num_shards):
+            elected = self.elect_leader(LEADER_LEAST_LOADED, load=backlog)
+            leaders.append(elected.name)
+            backlog[elected.name] = backlog.get(elected.name, 0.0) + penalty
+        return tuple(leaders)
+
     def planning_devices(self, leader: Optional[str] = None) -> Tuple[Device, ...]:
         """Available devices with the planning leader first.
 

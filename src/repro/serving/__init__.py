@@ -74,6 +74,31 @@ retries + shed``; every request completes once XOR is shed).  A
 zero-event process leaves every schedule byte-identical -- the fault
 dimension of the cross-hatch matrix.
 
+Layered serving stack (ISSUE 7): the serving subsystem is split into
+explicit layers -- **admission** (source processes) -> **routing**
+(:mod:`repro.serving.routing`: a pluggable
+:class:`~repro.serving.routing.Router` deciding which shard queue an
+arrival joins) -> **per-shard dispatch** (batch formation, co-planning,
+slot backpressure) -> **execution** (the plan-executor FSM).
+``router=None`` follows the legacy ``assignment`` policies
+byte-identically through :class:`~repro.serving.routing.HashRouter` /
+:class:`~repro.serving.routing.AffinityRouter`;
+``router="clustered"`` adds workload-clustered shard specialization
+(:mod:`repro.serving.specialize`): every ``epoch_s`` the
+:class:`~repro.serving.specialize.ShardSpecializer` clusters the
+observed models by Jaccard similarity over their
+:meth:`~repro.dnn.segment_table.SegmentTable.signature` tokens, assigns
+each shard a specialty (partitioning the plan cache per shard), and the
+cost-aware :class:`~repro.serving.routing.ClusteredRouter` admits each
+request to its specialist shard unless its backlog-cost exceeds the
+spill threshold.  ``leader_policy="epoch"`` additionally re-elects
+every shard's physical leader at each epoch boundary under the live
+load snapshot
+(:meth:`~repro.platform.cluster.Cluster.reelect_shard_leaders`).
+Routing decisions, spills, cold placements and epoch/re-election
+history land in :class:`~repro.serving.scheduler.ServingResult` via
+:class:`~repro.metrics.serving.RoutingStats`.
+
 Large-scale streams (ISSUE 4): both schedulers accept
 ``trace_level="aggregate"`` to record O(1) streaming trace aggregates
 (running busy totals, completion/byte counters) instead of
@@ -97,25 +122,48 @@ from repro.faults import (
     PerturbationProcess,
     RetryPolicy,
 )
+from repro.serving.routing import (
+    ROUTER_AFFINITY,
+    ROUTER_CLUSTERED,
+    ROUTER_HASH,
+    AffinityRouter,
+    ClusteredRouter,
+    HashRouter,
+    Router,
+    resolve_router,
+)
 from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult
 from repro.serving.sharded import (
     ASSIGN_HASH,
     ASSIGN_MODEL,
     LEADERS_DISTRIBUTED,
+    LEADERS_EPOCH,
     LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
     ShardedScheduler,
 )
+from repro.serving.specialize import ShardSpecializer, SpecializationPlan
 
 __all__ = [
     "OnlineScheduler",
     "ServedRequest",
     "ServingResult",
     "ShardedScheduler",
+    "Router",
+    "HashRouter",
+    "AffinityRouter",
+    "ClusteredRouter",
+    "resolve_router",
+    "ShardSpecializer",
+    "SpecializationPlan",
+    "ROUTER_HASH",
+    "ROUTER_AFFINITY",
+    "ROUTER_CLUSTERED",
     "ASSIGN_HASH",
     "ASSIGN_MODEL",
     "LEADERS_DISTRIBUTED",
+    "LEADERS_EPOCH",
     "LEADERS_SHARED",
     "PLANNING_BUCKET",
     "PLANNING_OFF",

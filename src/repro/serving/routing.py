@@ -1,0 +1,258 @@
+"""The routing layer of the serving stack.
+
+The serving subsystem is layered: **admission** (the source process
+feeding arrivals) -> **routing** (this module: which shard's queue a
+request joins) -> **per-shard dispatch** (batch formation, co-planning,
+slot backpressure) -> **execution** (the plan executor FSM).  Before
+this layer existed, the partitioning decision was hard-wired inside
+:class:`~repro.serving.sharded.ShardedScheduler`'s dispatch loop; the
+:class:`Router` interface extracts it so admission policy composes with
+every dispatch configuration (planning charge, leader placement, fault
+injection) without touching the dispatch loop.
+
+Three routers:
+
+- :class:`HashRouter` -- the legacy ``assignment="hash"`` policy:
+  ``request_id % num_shards``, stateless, byte-identical to the
+  pre-refactor schedules.
+- :class:`AffinityRouter` -- the legacy ``assignment="model"`` policy:
+  distinct models, in first-route order, are dealt round-robin across
+  shards.  Routing happens in admission order (the source admits the
+  arrival-sorted stream; retries only re-route already-seen models), so
+  the online dealing reproduces the pre-refactor precomputed map
+  byte-identically.  With a static ``pins`` map the router instead pins
+  the named models and places every *unpinned* model on the
+  least-loaded shard at first sight (sticky thereafter) -- never
+  defaulting to shard 0 -- counting it ``cold``.
+- :class:`ClusteredRouter` -- the cost-aware specialization policy:
+  an adopted per-model shard *ranking* (from
+  :class:`~repro.serving.specialize.ShardSpecializer`) names each
+  model's specialist shard and fallbacks.  A request is admitted to its
+  specialist unless that shard's backlog-cost exceeds the spill
+  threshold, in which case it spills to the best-ranked alternative
+  under the threshold (or the overall least-loaded shard when every
+  queue is hot).  Models with no adopted ranking yet (cold start, or
+  first arrivals between epochs) go to the least-loaded shard, sticky
+  until the next epoch ranks them.
+
+Routers are reusable: :meth:`Router.bind` resets all per-run state and
+returns the run's :class:`~repro.metrics.serving.RoutingStats`.  The
+``backlog_of`` callable supplied at bind time prices one shard's queue
+(the scheduler sums model costs over queued items); routers only ever
+*compare* those numbers, so the cost unit is the scheduler's choice.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.serving import RoutingStats
+from repro.workloads.requests import InferenceRequest
+
+#: Router policy names (:func:`resolve_router`).
+ROUTER_HASH = "hash"
+ROUTER_AFFINITY = "affinity"
+ROUTER_CLUSTERED = "clustered"
+ROUTERS = (ROUTER_HASH, ROUTER_AFFINITY, ROUTER_CLUSTERED)
+
+#: Backlog-cost pricing callable: shard index -> queued cost.
+BacklogFn = Callable[[int], float]
+
+
+class Router(abc.ABC):
+    """Admission-routing policy: one request -> one shard queue."""
+
+    #: Policy identifier reported in :class:`ServingResult.router`.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.num_shards = 0
+        self._backlog_of: Optional[BacklogFn] = None
+        self.stats: Optional[RoutingStats] = None
+
+    def bind(self, num_shards: int, backlog_of: Optional[BacklogFn] = None) -> RoutingStats:
+        """Reset per-run state; returns the run's routing stats.
+
+        Must be called once per serving run before the first
+        :meth:`route`.  ``backlog_of`` prices one shard's queued
+        backlog; routers that never consult load may be bound without
+        one.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._backlog_of = backlog_of
+        self.stats = RoutingStats(num_shards)
+        return self.stats
+
+    @abc.abstractmethod
+    def route(self, request: InferenceRequest) -> int:
+        """The shard whose admission queue ``request`` joins."""
+
+    def _least_loaded(self) -> int:
+        """Cheapest shard by backlog-cost (ties to the lowest index, so
+        placement is deterministic)."""
+        if self._backlog_of is None:
+            return 0
+        backlog_of = self._backlog_of
+        return min(range(self.num_shards), key=lambda shard: (backlog_of(shard), shard))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class HashRouter(Router):
+    """Legacy ``hash`` partitioning: ``request_id % num_shards``.
+
+    Stateless and load-blind; spreads ids round-robin so every shard
+    sees an even slice of the stream regardless of model mix.
+    """
+
+    name = ROUTER_HASH
+
+    def route(self, request: InferenceRequest) -> int:
+        shard = request.request_id % self.num_shards
+        self.stats.record_route(shard)
+        return shard
+
+
+class AffinityRouter(Router):
+    """Model-affinity partitioning (legacy ``model`` assignment).
+
+    Without ``pins``, distinct models are dealt round-robin across
+    shards in first-route order -- byte-identical to the pre-refactor
+    precomputed map (see the module docstring for why).  With ``pins``
+    (a model -> shard map), pinned models go where told and unpinned
+    models fall back to the least-loaded shard at first sight, sticky
+    thereafter, counted ``cold`` on every pre-epoch route.
+    """
+
+    name = ROUTER_AFFINITY
+
+    def __init__(self, pins: Optional[Mapping[str, int]] = None):
+        super().__init__()
+        self._pins: Optional[Dict[str, int]] = dict(pins) if pins is not None else None
+        self._affinity: Dict[str, int] = {}
+
+    def bind(self, num_shards: int, backlog_of: Optional[BacklogFn] = None) -> RoutingStats:
+        stats = super().bind(num_shards, backlog_of)
+        if self._pins is not None:
+            for model, shard in self._pins.items():
+                if not 0 <= shard < num_shards:
+                    raise ValueError(
+                        f"pin {model!r} -> shard {shard} out of range for "
+                        f"{num_shards} shards"
+                    )
+        self._affinity = dict(self._pins) if self._pins is not None else {}
+        return stats
+
+    def route(self, request: InferenceRequest) -> int:
+        shard = self._affinity.get(request.model)
+        cold = False
+        if shard is None:
+            if self._pins is None:
+                # Legacy dealing: first-seen models round-robin.
+                shard = len(self._affinity) % self.num_shards
+            else:
+                shard = self._least_loaded()
+                cold = True
+            self._affinity[request.model] = shard
+        self.stats.record_route(shard, cold=cold)
+        return shard
+
+
+class ClusteredRouter(Router):
+    """Cost-aware specialist routing with load spill.
+
+    ``spill_threshold`` is in the same unit as the bound ``backlog_of``
+    (the sharded scheduler prices queues in GFLOPs of queued work): a
+    specialist shard whose backlog-cost exceeds it refuses new
+    admissions, which spill to the best-ranked alternative under the
+    threshold, or to the overall least-loaded shard when every queue is
+    hot.  ``adopt`` installs the per-model shard preference order the
+    specialization layer computed at the last epoch boundary; models
+    the ranking does not cover are placed least-loaded (sticky until
+    the next epoch) and counted ``cold``.
+    """
+
+    name = ROUTER_CLUSTERED
+
+    def __init__(self, spill_threshold: float = 4.0):
+        super().__init__()
+        if spill_threshold <= 0:
+            raise ValueError(f"spill threshold must be positive, got {spill_threshold}")
+        self.spill_threshold = spill_threshold
+        self._ranking: Dict[str, Tuple[int, ...]] = {}
+        self._cold_pins: Dict[str, int] = {}
+
+    def bind(self, num_shards: int, backlog_of: Optional[BacklogFn] = None) -> RoutingStats:
+        if backlog_of is None:
+            raise ValueError("ClusteredRouter needs a backlog_of to price queues")
+        stats = super().bind(num_shards, backlog_of)
+        self._ranking = {}
+        self._cold_pins = {}
+        return stats
+
+    def adopt(self, ranking: Mapping[str, Sequence[int]]) -> None:
+        """Install the epoch's per-model shard preference orders."""
+        adopted: Dict[str, Tuple[int, ...]] = {}
+        for model, shards in ranking.items():
+            order = tuple(shards)
+            if len(order) != self.num_shards or sorted(order) != list(range(self.num_shards)):
+                raise ValueError(
+                    f"ranking for {model!r} must permute shards 0..{self.num_shards - 1}, "
+                    f"got {order}"
+                )
+            adopted[model] = order
+        self._ranking = adopted
+        # Every adopted model routes by ranking from here on; models the
+        # epoch did not see keep their sticky cold placement.
+        for model in adopted:
+            self._cold_pins.pop(model, None)
+
+    def route(self, request: InferenceRequest) -> int:
+        ranking = self._ranking.get(request.model)
+        if ranking is None:
+            shard = self._cold_pins.get(request.model)
+            if shard is None:
+                shard = self._least_loaded()
+                self._cold_pins[request.model] = shard
+            self.stats.record_route(shard, cold=True)
+            return shard
+        backlog_of = self._backlog_of
+        specialist = ranking[0]
+        shard = specialist
+        if backlog_of(specialist) > self.spill_threshold:
+            # Spill: best-ranked alternative under the threshold, else
+            # the overall least-loaded shard.
+            for candidate in ranking[1:]:
+                if backlog_of(candidate) <= self.spill_threshold:
+                    shard = candidate
+                    break
+            else:
+                shard = self._least_loaded()
+        self.stats.record_route(shard, spilled=shard != specialist)
+        return shard
+
+
+def resolve_router(spec, assignment: str = "hash") -> Router:
+    """Resolve a router argument to a :class:`Router` instance.
+
+    ``spec`` may be ``None`` (follow the legacy ``assignment`` policy:
+    ``"hash"`` or ``"model"``), a policy name from :data:`ROUTERS`
+    (``"model"`` accepted as an alias for ``"affinity"``), or a
+    ready-made :class:`Router` instance (returned as-is, so callers can
+    tune thresholds or pins).
+    """
+    if isinstance(spec, Router):
+        return spec
+    if spec is None:
+        spec = ROUTER_AFFINITY if assignment == "model" else assignment
+    if spec == ROUTER_HASH:
+        return HashRouter()
+    if spec in (ROUTER_AFFINITY, "model"):
+        return AffinityRouter()
+    if spec == ROUTER_CLUSTERED:
+        return ClusteredRouter()
+    raise ValueError(f"unknown router {spec!r}; known: {ROUTERS}")

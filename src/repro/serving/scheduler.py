@@ -53,8 +53,9 @@ from repro.faults import (
 )
 from repro.metrics.energy import cluster_energy_j
 from repro.metrics.results import InferenceResult
-from repro.metrics.serving import latency_percentiles, slo_attainment
+from repro.metrics.serving import RoutingStats, latency_percentiles, slo_attainment
 from repro.platform.cluster import Cluster, build_cluster
+from repro.serving.routing import resolve_router
 from repro.sim.resources import Resource, Store
 from repro.sim.runtime import SimRuntime
 from repro.sim.trace import TRACE_FULL, BusyRecorder, check_trace_level
@@ -153,6 +154,20 @@ class ServingResult:
     shed_requests: Tuple[int, ...] = ()
     #: Failure/recovery trace (None on a fault-free run).
     faults: Optional[FaultTrace] = None
+    #: Routing-layer accounting (ISSUE 7).  ``router`` names the
+    #: admission policy; ``epochs``/``leader_reelections`` count
+    #: specialization-epoch boundaries and the boundaries that moved a
+    #: shard leader; ``spilled``/``cold_routed`` count requests the
+    #: cost-aware router diverted off their specialist shard and
+    #: requests routed with no specialty yet.  ``routing`` carries the
+    #: full per-shard/per-epoch log (None only on results built outside
+    #: the serving schedulers).
+    router: str = ""
+    epochs: int = 0
+    spilled: int = 0
+    cold_routed: int = 0
+    leader_reelections: int = 0
+    routing: Optional[RoutingStats] = None
     #: Engine events scheduled over the run.  Schedule-identical
     #: configurations (fast vs reference engine, full vs aggregate
     #: traces) produce exactly the same count, so the engine bench uses
@@ -274,6 +289,7 @@ class OnlineScheduler:
         trace_level: str = TRACE_FULL,
         faults: Optional[PerturbationProcess] = None,
         retry: Optional[RetryPolicy] = None,
+        router=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -289,6 +305,12 @@ class OnlineScheduler:
         self.trace_level = check_trace_level(trace_level)
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        # The single-leader loop is the degenerate 1-shard path of the
+        # layered serving stack: every admission routes through the
+        # router interface (always to shard 0), so router accounting
+        # and the ``router`` result field behave uniformly across both
+        # schedulers while the event schedule stays byte-identical.
+        self.router = resolve_router(router, "hash")
 
     # Internals --------------------------------------------------------------
 
@@ -331,6 +353,11 @@ class OnlineScheduler:
         env = runtime.env
         queue = Store(env)
         inflight = Resource(env, capacity=self.max_inflight)
+        # Degenerate routing layer: one shard, zero-priced backlog --
+        # every router maps every request to shard 0, so this adds
+        # accounting but no sim events.
+        router = self.router
+        stats = router.bind(1, lambda shard: 0.0)
         served: List[ServedRequest] = []
         counters = {"batches": 0, "replans": 0, "max_batch": 0}
         #: request_id -> upcoming dispatch attempt number (absent = 1).
@@ -343,11 +370,13 @@ class OnlineScheduler:
             for request in ordered:
                 if request.arrival_s > env.now:
                     yield env.timeout(request.arrival_s - env.now)
+                router.route(request)
                 queue.put(request)
 
         def readmit(request: InferenceRequest, delay_s: float):
             if delay_s > 0:
                 yield env.timeout(delay_s)
+            router.route(request)
             queue.put(request)
 
         def handle_failure(request: InferenceRequest, lost: DeviceLostError) -> None:
@@ -495,4 +524,8 @@ class OnlineScheduler:
                 tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
             ),
             faults=fault_trace,
+            router=router.name,
+            spilled=stats.spilled,
+            cold_routed=stats.cold,
+            routing=stats,
         )

@@ -46,7 +46,26 @@ Scheduling policy on top of the sharding:
   charges planning on that leader's scheduler CPU, and executes plans
   whose probe/fan-out/merge FSM runs from that device -- so N-shard
   runs genuinely spread controller work and fan-out origin across
-  boards instead of funnelling through one.
+  boards instead of funnelling through one.  ``"epoch"`` starts from
+  the distributed placement and *re-elects* every shard's leader at
+  each specialization-epoch boundary under the live load snapshot
+  (:meth:`~repro.platform.cluster.Cluster.reelect_shard_leaders`), so
+  controller work migrates off boards the workload has saturated.
+- **Layered routing (ISSUE 7).**  Admission routing is delegated to the
+  :mod:`repro.serving.routing` layer: ``router=None`` follows the
+  legacy ``assignment`` policy byte-identically
+  (:class:`~repro.serving.routing.HashRouter` /
+  :class:`~repro.serving.routing.AffinityRouter`), while
+  ``router="clustered"`` enables workload-clustered specialization:
+  a :class:`~repro.serving.specialize.ShardSpecializer` observes the
+  arriving model mix, and every ``epoch_s`` simulated seconds it
+  re-clusters the models by plan-structure similarity, assigns each
+  shard a specialty, and hands the
+  :class:`~repro.serving.routing.ClusteredRouter` a per-model shard
+  ranking (specialist first, spill targets next).  In clustered mode
+  each shard's plan cache is partitioned
+  (``Strategy.plan_batch(partition=shard)``), so one shard's churn
+  never evicts another specialist's hot cluster.
 
 Test contract: the scheduler's behaviour switches split into
 *equivalence hatches* (``REPRO_SIM_FASTPATH``, ``REPRO_DSE_FASTPATH``,
@@ -74,7 +93,7 @@ both loops (the drift tail re-co-plan fix below is one such).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.executor import PlanExecutor
 from repro.core.hidp import HiDPStrategy
@@ -91,14 +110,17 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.metrics.energy import cluster_energy_j
-from repro.platform.cluster import Cluster, build_cluster
+from repro.platform.cluster import LEADER_LEAST_LOADED, Cluster, build_cluster
+from repro.serving.routing import ClusteredRouter, resolve_router
 from repro.serving.scheduler import ServedRequest, ServingResult
+from repro.serving.specialize import ShardSpecializer
 from repro.sim.resources import PriorityResource, Store
 from repro.sim.runtime import LOAD_VIEW_WEIGHTED, LOAD_VIEWS, SimRuntime
 from repro.sim.trace import TRACE_FULL, check_trace_level
 from repro.workloads.requests import InferenceRequest
 
-#: Shard-assignment policies.
+#: Shard-assignment policies (legacy spelling; ``router=None`` follows
+#: these through the routing layer byte-identically).
 ASSIGN_HASH = "hash"
 ASSIGN_MODEL = "model"
 ASSIGNMENTS = (ASSIGN_HASH, ASSIGN_MODEL)
@@ -110,7 +132,8 @@ PLANNING_BUCKET = "bucket"
 #: Leader-placement policies.
 LEADERS_SHARED = "shared"
 LEADERS_DISTRIBUTED = "distributed"
-LEADER_MODES = (LEADERS_SHARED, LEADERS_DISTRIBUTED)
+LEADERS_EPOCH = "epoch"
+LEADER_MODES = (LEADERS_SHARED, LEADERS_DISTRIBUTED, LEADERS_EPOCH)
 
 
 class ShardedScheduler:
@@ -139,6 +162,8 @@ class ShardedScheduler:
         leader_policy: str = LEADERS_SHARED,
         faults: Optional[PerturbationProcess] = None,
         retry: Optional[RetryPolicy] = None,
+        router=None,
+        epoch_s: float = 0.0,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -164,6 +189,10 @@ class ShardedScheduler:
             raise ValueError(
                 f"unknown leader policy {leader_policy!r}; known: {LEADER_MODES}"
             )
+        if epoch_s < 0:
+            raise ValueError(f"negative epoch length: {epoch_s}")
+        if leader_policy == LEADERS_EPOCH and epoch_s <= 0:
+            raise ValueError("leader_policy='epoch' needs a positive epoch_s")
         self.cluster = cluster if cluster is not None else build_cluster()
         self.strategy = strategy if strategy is not None else HiDPStrategy()
         self.num_shards = num_shards
@@ -184,6 +213,12 @@ class ShardedScheduler:
         #: churn; a zero-event process leaves the run byte-identical.
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        #: The admission router (ISSUE 7).  ``None`` follows the legacy
+        #: ``assignment`` policy through the routing layer.
+        self.router = resolve_router(router, assignment)
+        #: Specialization-epoch length [simulated s]; 0 disables the
+        #: epoch driver (no respecialization, no leader re-election).
+        self.epoch_s = epoch_s
 
     # Internals --------------------------------------------------------------
 
@@ -198,37 +233,28 @@ class ShardedScheduler:
             return None
         return self.strategy.load_key(effective)
 
-    def _shard_of(self, ordered: Sequence[InferenceRequest]) -> Callable[[InferenceRequest], int]:
-        if self.assignment == ASSIGN_HASH:
-            return lambda request: request.request_id % self.num_shards
-        # Model affinity: distinct models, in first-arrival order, are
-        # dealt round-robin across shards -- deterministic and balanced
-        # for the round-robin evaluation mixes.
-        affinity: Dict[str, int] = {}
-        for request in ordered:
-            if request.model not in affinity:
-                affinity[request.model] = len(affinity) % self.num_shards
-        return lambda request: affinity[request.model]
-
     def _planning_charge_s(
         self,
         graphs: Sequence[DNNGraph],
         load: Optional[Dict[str, float]],
         leader: Optional[str] = None,
+        partition: Optional[int] = None,
     ) -> float:
         """Simulated seconds one planning pass costs the scheduler CPU."""
         if self.planning_overhead == PLANNING_OFF:
             return 0.0
         if self.planning_overhead == PLANNING_BUCKET:
             fresh = self.strategy.uncached_plans(
-                graphs, self.cluster, load=load, leader=leader
+                graphs, self.cluster, load=load, leader=leader, partition=partition
             )
             return self.strategy.dse_overhead_s * fresh
         return float(self.planning_overhead)
 
     def shard_leaders(self) -> List[str]:
-        """Physical leader device name per shard, per the leader policy."""
-        if self.leader_policy == LEADERS_DISTRIBUTED:
+        """Initial physical leader device name per shard, per the leader
+        policy (``epoch`` starts distributed and re-elects at epoch
+        boundaries)."""
+        if self.leader_policy in (LEADERS_DISTRIBUTED, LEADERS_EPOCH):
             return list(self.cluster.shard_leaders(self.num_shards))
         return [self.cluster.leader.name] * self.num_shards
 
@@ -258,7 +284,21 @@ class ShardedScheduler:
         env = runtime.env
         queues = [Store(env) for _ in range(self.num_shards)]
         inflight = PriorityResource(env, capacity=self.max_inflight)
-        shard_of = self._shard_of(ordered)
+        # Routing layer: the specializer prices queued backlogs (GFLOPs
+        # of queued work) for load-aware routers and, in clustered mode,
+        # feeds the epoch respecialization.  Neither touches the event
+        # schedule, so load-blind routers stay byte-identical to the
+        # pre-refactor closures.
+        specializer = ShardSpecializer(self.num_shards)
+
+        def backlog_of(shard: int) -> float:
+            return sum(
+                specializer.cost_of(item.model) for item in queues[shard].items
+            )
+
+        router = self.router
+        stats = router.bind(self.num_shards, backlog_of)
+        clustered = isinstance(router, ClusteredRouter)
         served: List[ServedRequest] = []
         idle = [False] * self.num_shards
         counters = {
@@ -284,14 +324,15 @@ class ShardedScheduler:
             for request in ordered:
                 if request.arrival_s > env.now:
                     yield env.timeout(request.arrival_s - env.now)
-                shard = shard_of(request)
+                specializer.observe(request.model)
+                shard = router.route(request)
                 admitted[shard] += 1
                 queues[shard].put(request)
 
         def readmit(request: InferenceRequest, delay_s: float):
             if delay_s > 0:
                 yield env.timeout(delay_s)
-            shard = shard_of(request)
+            shard = router.route(request)
             readmitted[shard] += 1
             idle[shard] = False  # its parked getter wakes with this item
             queues[shard].put(request)
@@ -440,7 +481,9 @@ class ShardedScheduler:
 
         def dispatcher(shard: int):
             queue = queues[shard]
-            leader = leaders[shard]
+            # Clustered mode partitions the plan cache per shard, so a
+            # specialist's hot cluster survives other shards' churn.
+            partition = shard if clustered else None
             while True:
                 if queue.size == 0 and not steal(shard):
                     idle[shard] = True
@@ -450,6 +493,24 @@ class ShardedScheduler:
                 while queue.size > 0 and len(batch) < self.max_batch:
                     item = yield queue.get()
                     batch.append(item)
+                # Epoch re-election moves leaders between batches, so
+                # the leader binds per batch (static policies never
+                # mutate ``leaders``: byte-identical to the old
+                # loop-entry binding).
+                leader = leaders[shard]
+                if (
+                    self.leader_policy == LEADERS_EPOCH
+                    and fault_mode
+                    and not self.cluster.is_available(leader)
+                ):
+                    # An epoch-elected leader died mid-epoch: re-elect
+                    # immediately (a dispatcher cannot plan from a dead
+                    # brain, and epoch leaders are not churn-protected).
+                    leader = self.cluster.elect_leader(
+                        LEADER_LEAST_LOADED,
+                        load=runtime.load_snapshot(view=self.load_view),
+                    ).name
+                    leaders[shard] = leader
                 counters["batches"] += 1
                 counters["max_batch"] = max(counters["max_batch"], len(batch))
                 donate(shard)
@@ -461,12 +522,14 @@ class ShardedScheduler:
                     self.cluster.availability_signature() if fault_mode else None
                 )
                 graphs = [build_model(request.model) for request in batch]
-                charge = self._planning_charge_s(graphs, load, leader=leader)
+                charge = self._planning_charge_s(
+                    graphs, load, leader=leader, partition=partition
+                )
                 if charge > 0:
                     counters["planning_s"] += charge
                     yield from executor.charge_overhead(leader, charge, "batch_dse")
                 plans = self.strategy.plan_batch(
-                    graphs, self.cluster, load=load, leader=leader
+                    graphs, self.cluster, load=load, leader=leader, partition=partition
                 )
                 fresh = [False] * len(batch)
                 for index, request in enumerate(batch):
@@ -491,14 +554,20 @@ class ShardedScheduler:
                         # fresh bucket (same fix as the single-leader
                         # dispatcher).
                         tail = graphs[index:]
-                        recharge = self._planning_charge_s(tail, current, leader=leader)
+                        recharge = self._planning_charge_s(
+                            tail, current, leader=leader, partition=partition
+                        )
                         if recharge > 0:
                             counters["planning_s"] += recharge
                             yield from executor.charge_overhead(
                                 leader, recharge, "replan_dse"
                             )
                         plans[index:] = self.strategy.plan_batch(
-                            tail, self.cluster, load=current, leader=leader
+                            tail,
+                            self.cluster,
+                            load=current,
+                            leader=leader,
+                            partition=partition,
                         )
                         for late in range(index, len(batch)):
                             fresh[late] = True
@@ -509,9 +578,37 @@ class ShardedScheduler:
                     dispatched[shard] += 1
                     env.process(serve(request, plans[index], slot, fresh[index]))
 
+        def epoch_driver():
+            # Ticks every epoch_s until the stream settles: each tick
+            # re-clusters the observed workload, hands the clustered
+            # router its fresh specialist ranking, and (under the epoch
+            # leader policy) re-elects every shard's physical leader
+            # under the live load snapshot.  Parked dispatchers do not
+            # keep the simulation alive, but this timeout does, so the
+            # driver checks settlement first and stops ticking once all
+            # requests are served or shed.
+            while True:
+                yield env.timeout(self.epoch_s)
+                if len(served) + len(shed_ids) >= len(ordered):
+                    break
+                plan = specializer.respecialize()
+                if clustered:
+                    router.adopt(plan.ranking)
+                reelected = False
+                if self.leader_policy == LEADERS_EPOCH:
+                    elected = self.cluster.reelect_shard_leaders(
+                        self.num_shards,
+                        load=runtime.load_snapshot(view=self.load_view),
+                    )
+                    reelected = list(elected) != leaders
+                    leaders[:] = elected
+                stats.record_epoch(env.now, leaders, plan.specialty_models, reelected)
+
         env.process(source())
         for shard in range(self.num_shards):
             env.process(dispatcher(shard))
+        if self.epoch_s > 0:
+            env.process(epoch_driver())
         env.run()
 
         settled = len(served) + len(shed_ids)
@@ -554,4 +651,10 @@ class ShardedScheduler:
                 tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
             ),
             faults=fault_trace,
+            router=router.name,
+            epochs=stats.epochs,
+            spilled=stats.spilled,
+            cold_routed=stats.cold,
+            leader_reelections=stats.reelections,
+            routing=stats,
         )

@@ -1,0 +1,194 @@
+"""The specialization layer of the serving stack.
+
+Sits between admission and routing in the layered serving architecture
+(admission -> routing -> per-shard dispatch -> execution; see
+:mod:`repro.serving.routing`).  The :class:`ShardSpecializer` watches
+the arriving model mix and, at **epoch boundaries**, decides what each
+shard should be *good at*:
+
+1. Every distinct model gets a cheap plan-structure signature
+   (:meth:`~repro.dnn.segment_table.SegmentTable.signature` -- the set
+   of (dominant layer class, spatial flag, FLOPs magnitude) tokens of
+   its segment chain).  No DSE runs: the signature reads the segment
+   table the planners already memoise per graph.
+2. Seen models are clustered greedily by Jaccard similarity over those
+   signatures (merge the most similar pair until ``num_shards``
+   clusters remain) -- architecture families (residual stacks,
+   depthwise towers, VGG-style columns) coalesce because their chains
+   share tokens.
+3. Clusters are assigned to shards heaviest-first (popularity x
+   per-request GFLOPs), and every model gets a shard *ranking* --
+   shards ordered by how similar their specialty cluster is to the
+   model -- which the :class:`~repro.serving.routing.ClusteredRouter`
+   adopts: specialist first, closest fallbacks next.
+
+Specializing a shard concentrates similar plan structures on one
+dispatcher, so its (partitioned) plan cache and batched DSE sweeps stay
+hot for its family; the ranking gives the router principled spill
+targets when the specialist is overloaded.  Everything here is
+deterministic: models are processed in sorted order, merges tie-break
+on first pair, shard assignment tie-breaks on cluster member names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.dnn.models import build_model
+from repro.dnn.segment_table import jaccard_similarity
+
+#: Default specialization-epoch length [simulated seconds].
+EPOCH_OFF = 0.0
+
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """One epoch's specialization decision.
+
+    ``ranking`` maps every observed model to its shard preference order
+    (specialist first); ``specialty_models`` counts the models in each
+    shard's specialty cluster; ``specialties`` carries each shard's
+    cluster signature (union of member signatures, empty frozenset for
+    shards with no specialty yet).
+    """
+
+    ranking: Dict[str, Tuple[int, ...]]
+    specialty_models: Tuple[int, ...]
+    specialties: Tuple[FrozenSet, ...]
+
+
+class ShardSpecializer:
+    """Clusters the observed workload and assigns shard specialties.
+
+    One instance accompanies one serving run: the scheduler's source
+    process calls :meth:`observe` per admission, and the epoch driver
+    calls :meth:`respecialize` at each boundary.  Signatures and costs
+    are memoised per model name (model building is itself memoised, so
+    an observe is O(1) after first sight).
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._counts: Dict[str, int] = {}
+        self._signatures: Dict[str, FrozenSet] = {}
+        self._costs: Dict[str, float] = {}
+
+    # Observation ------------------------------------------------------------
+
+    def observe(self, model: str) -> None:
+        """Count one arrival of ``model`` (signature computed lazily)."""
+        self._counts[model] = self._counts.get(model, 0) + 1
+
+    def signature_of(self, model: str) -> FrozenSet:
+        """Plan-structure signature of ``model`` (memoised)."""
+        signature = self._signatures.get(model)
+        if signature is None:
+            signature = build_model(model).segment_table().signature()
+            self._signatures[model] = signature
+        return signature
+
+    def cost_of(self, model: str) -> float:
+        """Per-request compute cost of ``model`` [GFLOPs] (memoised).
+
+        The routing layer prices shard backlogs in this unit, so the
+        spill threshold reads as "GFLOPs of queued work".
+        """
+        cost = self._costs.get(model)
+        if cost is None:
+            cost = build_model(model).total_flops / 1e9
+            self._costs[model] = cost
+        return cost
+
+    @property
+    def seen_models(self) -> Tuple[str, ...]:
+        """Observed model names, sorted (the deterministic work order)."""
+        return tuple(sorted(self._counts))
+
+    # Epoch decision ---------------------------------------------------------
+
+    def respecialize(self) -> SpecializationPlan:
+        """Cluster the seen workload and assign shard specialties.
+
+        Deterministic for a given observation multiset; cheap enough to
+        run every epoch (O(m^3) pairwise merges over the handful of
+        distinct models a serving mix contains, with set arithmetic over
+        small token sets as the inner loop).
+        """
+        models = self.seen_models
+        if not models:
+            return SpecializationPlan(
+                ranking={},
+                specialty_models=(0,) * self.num_shards,
+                specialties=(frozenset(),) * self.num_shards,
+            )
+        clusters, signatures = self._cluster(models)
+        order = self._shard_order(clusters)
+        shard_members: List[Tuple[str, ...]] = [()] * self.num_shards
+        shard_sigs: List[FrozenSet] = [frozenset()] * self.num_shards
+        for shard, cluster_index in enumerate(order):
+            shard_members[shard] = tuple(clusters[cluster_index])
+            shard_sigs[shard] = signatures[cluster_index]
+        ranking = {
+            model: self._rank_shards(model, shard_sigs) for model in models
+        }
+        return SpecializationPlan(
+            ranking=ranking,
+            specialty_models=tuple(len(members) for members in shard_members),
+            specialties=tuple(shard_sigs),
+        )
+
+    def _cluster(self, models: Tuple[str, ...]) -> Tuple[List[List[str]], List[FrozenSet]]:
+        """Greedy agglomerative clustering down to ``num_shards`` groups.
+
+        Merges the most similar cluster pair (Jaccard over signature
+        unions; ties keep the first pair in sorted order) until at most
+        ``num_shards`` clusters remain.
+        """
+        clusters: List[List[str]] = [[model] for model in models]
+        signatures: List[FrozenSet] = [self.signature_of(model) for model in models]
+        while len(clusters) > self.num_shards:
+            best_sim, best_i, best_j = -1.0, 0, 1
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    sim = jaccard_similarity(signatures[i], signatures[j])
+                    if sim > best_sim:
+                        best_sim, best_i, best_j = sim, i, j
+            clusters[best_i] = clusters[best_i] + clusters[best_j]
+            signatures[best_i] = signatures[best_i] | signatures[best_j]
+            del clusters[best_j]
+            del signatures[best_j]
+        return clusters, signatures
+
+    def _shard_order(self, clusters: List[List[str]]) -> List[int]:
+        """Cluster indices in shard-assignment order, heaviest first.
+
+        Weight is the cluster's total observed work (arrival count x
+        per-request GFLOPs): the heaviest family lands on shard 0,
+        mirroring how the divergent-design tuners give the hottest
+        workload cluster the first replica.  Ties break on the first
+        member name, so assignment never flaps between equal-weight
+        epochs.
+        """
+        weights = [
+            (
+                -sum(self._counts[model] * self.cost_of(model) for model in cluster),
+                cluster[0],
+                index,
+            )
+            for index, cluster in enumerate(clusters)
+        ]
+        return [index for _, _, index in sorted(weights)]
+
+    def _rank_shards(self, model: str, shard_sigs: List[FrozenSet]) -> Tuple[int, ...]:
+        """Shards ordered by specialty similarity to ``model`` (ties to
+        the lowest shard index)."""
+        signature = self.signature_of(model)
+        return tuple(
+            sorted(
+                range(self.num_shards),
+                key=lambda shard: (-jaccard_similarity(signature, shard_sigs[shard]), shard),
+            )
+        )

@@ -273,3 +273,13 @@ class Store:
     @property
     def size(self) -> int:
         return len(self._items)
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        """Snapshot of the queued (undispatched) items, oldest first.
+
+        Read-only view for backlog inspection -- the routing layer
+        prices a shard's queue by summing item costs without disturbing
+        FIFO order.
+        """
+        return tuple(self._items)

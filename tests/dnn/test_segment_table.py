@@ -6,7 +6,7 @@ import pytest
 from repro.dnn.layers import LAYER_CLASSES
 from repro.dnn.models import build_model
 from repro.dnn.partition import spatial_prefix
-from repro.dnn.segment_table import SegmentTable
+from repro.dnn.segment_table import SegmentTable, jaccard_similarity
 
 
 def _scan_flops(segments, lo, hi):
@@ -103,3 +103,58 @@ class TestGraphMemoisation:
         table = SegmentTable(sub)
         assert len(table) == len(sub)
         assert table.range_flops(0, len(sub) - 1) == _scan_flops(sub, 0, len(sub) - 1)
+
+
+class TestSignature:
+    """Plan-structure signatures (ISSUE 7): the token set the serving
+    specialization layer clusters models by."""
+
+    def test_tokens_are_structural_triples(self):
+        table = build_model("tiny_cnn").segment_table()
+        signature = table.signature()
+        assert isinstance(signature, frozenset)
+        assert signature
+        for dominant, spatial, magnitude in signature:
+            assert dominant in LAYER_CLASSES
+            assert isinstance(spatial, bool)
+            # bit_length of the segment FLOPs total (0 for pure
+            # data-movement segments)
+            assert magnitude >= 0
+
+    def test_memoised_on_the_table(self):
+        table = build_model("tiny_cnn").segment_table()
+        assert table.signature() is table.signature()
+
+    def test_deterministic_across_fresh_builds(self):
+        first = build_model("mobilenet_v2").segment_table().signature()
+        second = build_model("mobilenet_v2").segment_table().signature()
+        assert first == second
+
+    def test_distinct_families_have_distinct_signatures(self):
+        assert (
+            build_model("vgg19").segment_table().signature()
+            != build_model("tiny_cnn").segment_table().signature()
+        )
+
+
+class TestJaccardSimilarity:
+    def test_identical_sets_score_one(self):
+        tokens = frozenset({("conv", True, 20), ("fc", False, 18)})
+        assert jaccard_similarity(tokens, tokens) == 1.0
+
+    def test_empty_empty_is_identical(self):
+        assert jaccard_similarity(frozenset(), frozenset()) == 1.0
+
+    def test_empty_versus_nonempty_is_zero(self):
+        assert jaccard_similarity(frozenset(), frozenset({("conv", True, 20)})) == 0.0
+
+    def test_symmetric_and_bounded(self):
+        a = build_model("tiny_cnn").segment_table().signature()
+        b = build_model("tiny_residual").segment_table().signature()
+        assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+        assert 0.0 <= jaccard_similarity(a, b) <= 1.0
+
+    def test_partial_overlap_counts_tokens(self):
+        a = frozenset({("conv", True, 20), ("fc", False, 18)})
+        b = frozenset({("conv", True, 20), ("pool", True, 12)})
+        assert jaccard_similarity(a, b) == pytest.approx(1.0 / 3.0)

@@ -1,0 +1,111 @@
+"""Fig. 12 specialization sweep tests (the ISSUE 7 acceptance sweep).
+
+The full sweep (2 skews x 3 routers x 2 epoch lengths x 160 requests)
+runs end-to-end in ``BENCH_serving`` (where the clustered-beats-legacy
+gate lives) and via ``hidp-experiments fig12``; here a reduced grid
+pins the arrival construction, the cell wiring and the report.
+"""
+
+import pytest
+
+from repro.experiments.fig12_specialize import (
+    EPOCH_LENGTHS,
+    LIGHT_MODEL_NAMES,
+    NUM_REQUESTS,
+    ROUTERS_SWEPT,
+    SKEWS,
+    build_arrivals,
+    build_scheduler,
+    report_fig12,
+    run_fig12,
+)
+from repro.platform.cluster import build_cluster
+from repro.serving import LEADERS_EPOCH, LEADERS_SHARED, ClusteredRouter
+
+pytestmark = pytest.mark.routing
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig12(
+        skews=("skewed",),
+        routers=("hash", "clustered"),
+        epoch_lengths=(0.5,),
+        num_requests=24,
+        cluster=_cluster(),
+    )
+
+
+class TestArrivals:
+    def test_deterministic_and_sized(self):
+        first = build_arrivals("uniform")
+        assert first == build_arrivals("uniform")
+        assert len(first) == NUM_REQUESTS
+        assert {r.model for r in first} == set(LIGHT_MODEL_NAMES)
+
+    def test_skew_changes_the_mix_not_the_clock(self):
+        uniform = build_arrivals("uniform")
+        skewed = build_arrivals("skewed")
+        assert [r.arrival_s for r in uniform] == [r.arrival_s for r in skewed]
+        counts = {m: 0 for m in LIGHT_MODEL_NAMES}
+        for request in skewed:
+            counts[request.model] += 1
+        # the weighted pool concentrates the stream on the hot family
+        assert counts["tiny_cnn"] == max(counts.values())
+        assert counts["tiny_cnn"] > counts["tiny_depthwise"]
+
+    def test_unknown_skew_rejected(self):
+        with pytest.raises(KeyError):
+            build_arrivals("bimodal")
+
+
+class TestSchedulers:
+    def test_clustered_cell_runs_the_full_adaptive_stack(self):
+        scheduler = build_scheduler("clustered", epoch_s=0.5, cluster=_cluster())
+        assert isinstance(scheduler.router, ClusteredRouter)
+        assert scheduler.epoch_s == 0.5
+        assert scheduler.leader_policy == LEADERS_EPOCH
+
+    def test_legacy_cells_run_the_legacy_configuration(self):
+        for router in ("hash", "affinity"):
+            scheduler = build_scheduler(router, cluster=_cluster())
+            assert scheduler.router.name == router
+            assert scheduler.epoch_s == 0.0
+            assert scheduler.leader_policy == LEADERS_SHARED
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(KeyError):
+            build_scheduler("teleport", cluster=_cluster())
+
+
+class TestSweep:
+    def test_full_grid_defaults(self):
+        assert set(SKEWS) == {"uniform", "skewed"}
+        assert ROUTERS_SWEPT == ("hash", "affinity", "clustered")
+        assert len(EPOCH_LENGTHS) == 2
+
+    def test_cell_keys_and_accounting(self, results):
+        assert set(results) == {
+            ("skewed", "hash", 0.0),
+            ("skewed", "clustered", 0.5),
+        }
+        for result in results.values():
+            assert result.count + result.shed == 24
+            result.busy.assert_no_overlaps()
+
+    def test_clustered_cell_specializes(self, results):
+        clustered = results[("skewed", "clustered", 0.5)]
+        assert clustered.router == "clustered"
+        assert clustered.epochs > 0
+        legacy = results[("skewed", "hash", 0.0)]
+        assert legacy.epochs == 0 and legacy.cold_routed == 0
+
+    def test_report_renders(self, results):
+        text = report_fig12(results)
+        assert "Fig. 12" in text
+        assert "clustered" in text and "hash" in text
+        assert "epoch" in text

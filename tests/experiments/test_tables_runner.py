@@ -39,6 +39,7 @@ class TestRunner:
             "fig9",
             "fig10",
             "fig11",
+            "fig12",
             "accuracy",
             "sensitivity",
         }

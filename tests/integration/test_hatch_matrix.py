@@ -1,5 +1,5 @@
 """Cross-hatch differential matrix (ISSUE 5 satellite; fault dimension
-added by ISSUE 6).
+added by ISSUE 6; router dimension added by ISSUE 7).
 
 Four switches now steer the serving hot path: the simulation-engine
 fast path (``REPRO_SIM_FASTPATH``), the DSE kernel fast path
@@ -19,6 +19,12 @@ fast-path optimisation that silently forks behaviour in any hatch
 corner fails here immediately, with the offending (hatch,
 configuration) pair in the assertion message.
 
+The router dimension (ISSUE 7) extends the configuration axis through
+the extracted routing layer: the legacy hash/affinity policies and the
+full adaptive stack (clustered routing + epoch specialization +
+per-epoch leader re-election) must each be hatch-invariant, including
+the routing counters themselves.
+
 The fault dimension (ISSUE 6) pins two more contracts: a *zero-event*
 ``PerturbationProcess`` is byte-identical to no fault process at all in
 every hatch corner (arming it is a structural no-op), and a *seeded
@@ -37,6 +43,7 @@ from repro.dnn.models import MODEL_NAMES
 from repro.platform.cluster import build_cluster
 from repro.serving import (
     LEADERS_DISTRIBUTED,
+    LEADERS_EPOCH,
     LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
@@ -54,12 +61,19 @@ HATCH_GRID = tuple(
     itertools.product(("1", "0"), ("1", "0"), ("full", "aggregate"))
 )
 
-#: Scheduler configurations that legitimately change the schedule.
+#: Scheduler configurations that legitimately change the schedule:
+#: (name, planning mode, leader policy, router, epoch length).  The
+#: router dimension (ISSUE 7) covers both legacy policies through the
+#: extracted routing layer plus the full adaptive stack (clustered
+#: routing, epoch specialization, per-epoch leader re-election) --
+#: every corner must still be hatch-invariant.
 CONFIGS = (
-    ("bucket-shared", PLANNING_BUCKET, LEADERS_SHARED),
-    ("bucket-distributed", PLANNING_BUCKET, LEADERS_DISTRIBUTED),
-    ("off-shared", PLANNING_OFF, LEADERS_SHARED),
-    ("off-distributed", PLANNING_OFF, LEADERS_DISTRIBUTED),
+    ("bucket-shared-hash", PLANNING_BUCKET, LEADERS_SHARED, "hash", 0.0),
+    ("bucket-distributed-hash", PLANNING_BUCKET, LEADERS_DISTRIBUTED, "hash", 0.0),
+    ("off-shared-hash", PLANNING_OFF, LEADERS_SHARED, "hash", 0.0),
+    ("off-distributed-hash", PLANNING_OFF, LEADERS_DISTRIBUTED, "hash", 0.0),
+    ("bucket-shared-affinity", PLANNING_BUCKET, LEADERS_SHARED, "affinity", 0.0),
+    ("bucket-epoch-clustered", PLANNING_BUCKET, LEADERS_EPOCH, "clustered", 0.5),
 )
 
 
@@ -131,11 +145,24 @@ def _fingerprint(result):
         "downgraded": result.downgraded,
         "fault_events": result.fault_events,
         "readmitted_by_shard": result.readmitted_by_shard,
+        # Routing-layer accounting (ISSUE 7): the admission split, the
+        # epoch/spill/cold counters and re-elections must all be
+        # hatch-invariant too.
+        "router": result.router,
+        "epochs": result.epochs,
+        "spilled": result.spilled,
+        "cold_routed": result.cold_routed,
+        "leader_reelections": result.leader_reelections,
+        "routed_by_shard": tuple(result.routing.routed) if result.routing else (),
     }
 
 
-@pytest.mark.parametrize("name,planning,leader_policy", CONFIGS, ids=[c[0] for c in CONFIGS])
-def test_sharded_hatch_grid_schedule_identical(monkeypatch, name, planning, leader_policy):
+@pytest.mark.parametrize(
+    "name,planning,leader_policy,router,epoch_s", CONFIGS, ids=[c[0] for c in CONFIGS]
+)
+def test_sharded_hatch_grid_schedule_identical(
+    monkeypatch, name, planning, leader_policy, router, epoch_s
+):
     requests = _stream()
     reference = None
     reference_hatch = None
@@ -148,6 +175,8 @@ def test_sharded_hatch_grid_schedule_identical(monkeypatch, name, planning, lead
             max_inflight=3,
             planning_overhead=planning,
             leader_policy=leader_policy,
+            router=router,
+            epoch_s=epoch_s,
             trace_level=trace_level,
         ).run(requests)
         fingerprint = _fingerprint(result)
@@ -300,3 +329,50 @@ def test_configurations_do_differ():
     assert charged.sim_events != free.sim_events or charged.makespan_s != free.makespan_s
     assert set(distributed.leader_devices) == {"jetson_tx2", "jetson_orin_nx"}
     assert distributed.makespan_s != charged.makespan_s
+
+
+def test_router_dimension_has_teeth():
+    """The router corners are genuinely distinct configurations: the
+    affinity and clustered admission splits differ from hash, and the
+    clustered corner actually runs epochs.
+
+    Uses a *shuffled* model stream: on the pinned matrix stream the
+    models cycle in lockstep with the request ids, so hash and affinity
+    coincidentally agree on every route."""
+    requests = bursty_stream(
+        (MODEL_NAMES[0], MODEL_NAMES[2], "tiny_cnn", "mobilenet_v2"),
+        burst_size=5,
+        num_bursts=3,
+        mean_gap_s=0.8,
+        seed=17,
+        shuffle_models=True,
+    )
+
+    def run(router, leader_policy=LEADERS_SHARED, epoch_s=0.0):
+        return ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=3,
+            planning_overhead=PLANNING_BUCKET,
+            leader_policy=leader_policy,
+            router=router,
+            epoch_s=epoch_s,
+        ).run(requests)
+
+    def timeline(result):
+        return [
+            (record.request.request_id, record.dispatched_s, record.completed_s)
+            for record in result.served
+        ]
+
+    hashed = run("hash")
+    affine = run("affinity")
+    clustered = run("clustered", leader_policy=LEADERS_EPOCH, epoch_s=0.5)
+    assert timeline(hashed) != timeline(affine)
+    assert clustered.epochs > 0
+    assert clustered.cold_routed > 0
+    assert {hashed.router, affine.router, clustered.router} == {
+        "hash",
+        "affinity",
+        "clustered",
+    }

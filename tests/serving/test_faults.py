@@ -332,3 +332,143 @@ class TestSchedulerRecovery:
                 - result.stolen_out_by_shard[shard]
             )
         result.busy.assert_no_overlaps()
+
+
+class TestCorrelatedOutages:
+    """Correlated (spatial) outages (ISSUE 7 satellite): a named device
+    group fails atomically, legacy seeded timelines stay byte-identical
+    when the stream is disabled, and serving recovers exactly-once."""
+
+    GROUP = ("jetson_orin_nx", "jetson_nano")
+
+    def _correlated(self, seed=11, rate=0.5, **kwargs):
+        return PerturbationProcess(
+            seed=seed,
+            horizon_s=20.0,
+            correlated_rate=rate,
+            correlated_group=self.GROUP,
+            mean_correlated_outage_s=0.6,
+            **kwargs,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationProcess(correlated_rate=-0.1)
+        with pytest.raises(ValueError):
+            PerturbationProcess(correlated_rate=0.5)  # no group named
+        with pytest.raises(ValueError):
+            PerturbationProcess(
+                correlated_rate=0.5,
+                correlated_group=("jetson_tx2",),
+                mean_correlated_outage_s=0.0,
+            )
+
+    def test_unknown_group_devices_rejected_at_expansion(self):
+        process = PerturbationProcess(
+            correlated_rate=0.5, correlated_group=("submarine",)
+        )
+        with pytest.raises(ValueError, match="unknown devices"):
+            process.events(_cluster())
+
+    def test_group_fails_and_recovers_atomically(self):
+        events = self._correlated().events(_cluster())
+        assert events
+        leaves = [e for e in events if e.kind == DEVICE_LEAVE]
+        joins = [e for e in events if e.kind == DEVICE_JOIN]
+        # every episode boundary carries the whole group at one instant
+        for batch in (leaves, joins):
+            by_time = {}
+            for event in batch:
+                by_time.setdefault(event.time_s, set()).add(event.target)
+            assert all(members == set(self.GROUP) for members in by_time.values())
+        assert len(leaves) == len(joins)
+
+    def test_episodes_never_overlap(self):
+        events = self._correlated(rate=5.0).events(_cluster())
+        state = {}
+        for event in events:
+            if event.kind == DEVICE_LEAVE:
+                assert state.get(event.target, "up") == "up", event
+                state[event.target] = "down"
+            elif event.kind == DEVICE_JOIN:
+                state[event.target] = "up"
+        assert all(value == "up" for value in state.values())
+
+    def test_protected_members_are_shielded(self):
+        events = self._correlated().events(
+            _cluster(), protected=("jetson_orin_nx",)
+        )
+        leavers = {e.target for e in events if e.kind == DEVICE_LEAVE}
+        assert "jetson_orin_nx" not in leavers
+        assert leavers == {"jetson_nano"}  # the rest of the group still fails
+
+    def test_fully_shielded_group_yields_no_events(self):
+        events = self._correlated().events(_cluster(), protected=self.GROUP)
+        assert events == []
+
+    def test_same_seed_same_timeline(self):
+        cluster = _cluster()
+        assert self._correlated(seed=7).events(cluster) == self._correlated(
+            seed=7
+        ).events(cluster)
+        assert self._correlated(seed=7).events(cluster) != self._correlated(
+            seed=8
+        ).events(cluster)
+
+    def test_zero_rate_is_byte_identical_to_legacy_streams(self):
+        """Enabling the field without the rate never perturbs an
+        existing seed's churn/link/DVFS timeline."""
+        cluster = _cluster()
+        legacy = _churny(seed=11).events(cluster)
+        with_group = PerturbationProcess(
+            seed=11,
+            horizon_s=30.0,
+            churn_rate=0.8,
+            mean_outage_s=0.8,
+            link_rate=0.1,
+            dvfs_rate=0.1,
+            correlated_rate=0.0,
+            correlated_group=("jetson_orin_nx", "jetson_nano"),
+        ).events(cluster)
+        assert with_group == legacy
+
+    def test_correlated_stream_rides_after_legacy_streams(self):
+        """Adding the correlated stream keeps every legacy event: the
+        group episodes draw from the RNG strictly after churn/link/DVFS."""
+        from collections import Counter
+
+        cluster = _cluster()
+        legacy = _churny(seed=11).events(cluster)
+        combined = PerturbationProcess(
+            seed=11,
+            horizon_s=30.0,
+            churn_rate=0.8,
+            mean_outage_s=0.8,
+            link_rate=0.1,
+            dvfs_rate=0.1,
+            correlated_rate=0.5,
+            correlated_group=self.GROUP,
+            mean_correlated_outage_s=0.6,
+        ).events(cluster)
+        legacy_counts = Counter(legacy)
+        combined_counts = Counter(combined)
+        assert all(
+            combined_counts[event] >= count for event, count in legacy_counts.items()
+        )
+        extras = combined_counts - legacy_counts
+        assert set(e.target for e in extras) <= set(self.GROUP)
+
+    def test_serving_recovers_from_group_outage_exactly_once(self):
+        requests = poisson_stream(HEAVY, rate_rps=1.5, num_requests=24, seed=5)
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=4,
+            faults=self._correlated(rate=0.4),
+            retry=RetryPolicy(max_retries=3),
+        ).run(requests)
+        assert result.fault_events > 0
+        assert result.failures > 0
+        assert result.failures == result.retries + result.shed
+        assert result.count + result.shed == 24
+        result.busy.assert_no_overlaps()

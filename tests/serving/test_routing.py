@@ -1,0 +1,338 @@
+"""The routing layer (ISSUE 7): router units, resolve rules, the
+router-equivalence pins, and the cold-start regression.
+
+The equivalence pins are the refactor's safety net: driving the
+sharded scheduler through the extracted ``Router`` objects must
+reproduce the legacy ``assignment=``-driven schedules byte for byte.
+The cold-start tests pin the satellite fix -- a model with no specialty
+(or no pin) is placed on the *least-loaded* shard, deterministically,
+never defaulted to shard 0.
+"""
+
+import pytest
+
+from repro.metrics.serving import RoutingStats
+from repro.platform.cluster import build_cluster
+from repro.serving import (
+    LEADERS_EPOCH,
+    LEADERS_SHARED,
+    AffinityRouter,
+    ClusteredRouter,
+    HashRouter,
+    OnlineScheduler,
+    Router,
+    ShardedScheduler,
+    resolve_router,
+)
+from repro.workloads.arrivals import bursty_stream
+from repro.workloads.requests import InferenceRequest
+
+pytestmark = pytest.mark.routing
+
+MODELS = ("tiny_cnn", "mobilenet_v2", "tiny_residual", "tiny_depthwise")
+
+
+def _req(request_id, model="tiny_cnn"):
+    return InferenceRequest(request_id=request_id, model=model, arrival_s=0.0)
+
+
+def _flat_backlog(shard):
+    return 0.0
+
+
+class TestRouterBase:
+    def test_bind_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            HashRouter().bind(0)
+
+    def test_bind_returns_fresh_stats(self):
+        router = HashRouter()
+        first = router.bind(2)
+        second = router.bind(2)
+        assert isinstance(first, RoutingStats)
+        assert second is not first  # per-run state fully reset
+
+    def test_least_loaded_defaults_to_shard_zero_without_pricing(self):
+        router = HashRouter()
+        router.bind(3)
+        assert router._least_loaded() == 0
+
+
+class TestHashRouter:
+    def test_modulo_routing(self):
+        router = HashRouter()
+        stats = router.bind(3)
+        assert [router.route(_req(i)) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+        assert stats.routed == [3, 2, 2]
+        assert stats.spilled == 0 and stats.cold == 0
+
+    def test_resolvable_by_name(self):
+        assert isinstance(resolve_router("hash"), HashRouter)
+        assert resolve_router("hash").name == "hash"
+
+
+class TestAffinityRouter:
+    def test_legacy_dealing_first_seen_round_robin(self):
+        """Distinct models are dealt round-robin in first-route order --
+        the exact precomputed map the pre-refactor scheduler built."""
+        router = AffinityRouter()
+        router.bind(2)
+        stream = ["a", "b", "a", "c", "b", "d", "a"]
+        shards = [router.route(_req(i, model)) for i, model in enumerate(stream)]
+        # a->0, b->1, c->0, d->1; repeats stick.
+        assert shards == [0, 1, 0, 0, 1, 1, 0]
+        assert router.stats.cold == 0  # legacy dealing is never "cold"
+
+    def test_rebind_forgets_affinity(self):
+        router = AffinityRouter()
+        router.bind(2)
+        router.route(_req(0, "b"))
+        router.bind(2)
+        assert router.route(_req(1, "a")) == 0  # dealing starts over
+
+    def test_pins_are_respected_and_validated(self):
+        router = AffinityRouter(pins={"a": 1})
+        router.bind(2, _flat_backlog)
+        assert router.route(_req(0, "a")) == 1
+        with pytest.raises(ValueError):
+            AffinityRouter(pins={"a": 5}).bind(2, _flat_backlog)
+
+    def test_unpinned_model_goes_least_loaded_not_shard_zero(self):
+        """Cold-start satellite: with shard 0 hot, an unpinned model
+        must land on the cheaper shard -- and stick there."""
+        backlog = {0: 9.0, 1: 0.0}
+        router = AffinityRouter(pins={"a": 0})
+        stats = router.bind(2, backlog.__getitem__)
+        assert router.route(_req(0, "b")) == 1
+        assert stats.cold == 1
+        backlog[1] = 99.0  # sticky: later load changes don't move it
+        assert router.route(_req(1, "b")) == 1
+        assert stats.cold == 1  # only the first sight is cold
+
+
+class TestClusteredRouter:
+    def _bound(self, backlog, num_shards=3, spill_threshold=4.0):
+        router = ClusteredRouter(spill_threshold=spill_threshold)
+        router.bind(num_shards, backlog.__getitem__)
+        return router
+
+    def test_requires_backlog_pricing(self):
+        with pytest.raises(ValueError):
+            ClusteredRouter().bind(2)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusteredRouter(spill_threshold=0.0)
+
+    def test_cold_start_is_least_loaded_and_sticky(self):
+        backlog = {0: 5.0, 1: 1.0, 2: 3.0}
+        router = self._bound(backlog)
+        assert router.route(_req(0, "m")) == 1
+        backlog[1] = 50.0
+        assert router.route(_req(1, "m")) == 1  # sticky until an epoch ranks it
+        assert router.stats.cold == 2
+
+    def test_adopt_validates_permutations(self):
+        router = self._bound({0: 0.0, 1: 0.0, 2: 0.0})
+        with pytest.raises(ValueError):
+            router.adopt({"m": (0, 1)})
+        with pytest.raises(ValueError):
+            router.adopt({"m": (0, 0, 1)})
+
+    def test_specialist_under_threshold_is_used(self):
+        router = self._bound({0: 0.0, 1: 0.0, 2: 0.0})
+        router.adopt({"m": (2, 0, 1)})
+        assert router.route(_req(0, "m")) == 2
+        assert router.stats.spilled == 0
+
+    def test_hot_specialist_spills_to_best_ranked_alternative(self):
+        backlog = {0: 9.0, 1: 1.0, 2: 9.0}
+        router = self._bound(backlog)
+        router.adopt({"m": (2, 0, 1)})
+        # specialist 2 hot, next-ranked 0 hot too, 1 is under threshold
+        assert router.route(_req(0, "m")) == 1
+        assert router.stats.spilled == 1
+
+    def test_every_shard_hot_falls_back_to_least_loaded(self):
+        router = self._bound({0: 9.0, 1: 7.0, 2: 8.0})
+        router.adopt({"m": (0, 1, 2)})
+        assert router.route(_req(0, "m")) == 1
+        assert router.stats.spilled == 1
+
+    def test_adopt_clears_cold_pins_for_ranked_models(self):
+        backlog = {0: 0.0, 1: 0.0, 2: 0.0}
+        router = self._bound(backlog)
+        assert router.route(_req(0, "m")) == 0  # cold pin on shard 0
+        router.adopt({"m": (2, 1, 0)})
+        assert router.route(_req(1, "m")) == 2  # ranking wins over the pin
+        assert router.stats.cold == 1
+
+
+class TestResolveRouter:
+    def test_instances_pass_through(self):
+        router = ClusteredRouter(spill_threshold=1.5)
+        assert resolve_router(router) is router
+
+    def test_none_follows_legacy_assignment(self):
+        assert isinstance(resolve_router(None, "hash"), HashRouter)
+        assert isinstance(resolve_router(None, "model"), AffinityRouter)
+
+    def test_model_alias(self):
+        assert isinstance(resolve_router("model"), AffinityRouter)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_router("teleport")
+
+
+# ---------------------------------------------------------------------------
+# Equivalence pins: the extracted routers must reproduce the legacy
+# ``assignment=``-driven schedules byte for byte.
+# ---------------------------------------------------------------------------
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+def _stream():
+    return bursty_stream(
+        MODELS, burst_size=5, num_bursts=3, mean_gap_s=0.4, seed=23
+    )
+
+
+def _fingerprint(result):
+    return (
+        tuple(
+            (record.request.request_id, record.dispatched_s, record.completed_s)
+            for record in result.served
+        ),
+        result.sim_events,
+        result.makespan_s,
+        result.energy_j,
+        result.admitted_by_shard,
+        result.dispatched_by_shard,
+    )
+
+
+def _run_sharded(**kwargs):
+    return ShardedScheduler(
+        cluster=_cluster(), num_shards=2, max_inflight=3, **kwargs
+    ).run(_stream())
+
+
+class TestEquivalencePins:
+    @pytest.mark.parametrize(
+        "assignment,router",
+        [("hash", "hash"), ("hash", HashRouter()), ("model", "affinity"), ("model", AffinityRouter())],
+        ids=["hash-name", "hash-instance", "affinity-name", "affinity-instance"],
+    )
+    def test_router_matches_legacy_assignment(self, assignment, router):
+        legacy = _run_sharded(assignment=assignment)
+        routed = _run_sharded(router=router)
+        assert _fingerprint(routed) == _fingerprint(legacy)
+        assert routed.router == legacy.router
+
+    def test_legacy_configs_report_zero_routing_extras(self):
+        result = _run_sharded(assignment="model")
+        assert result.router == "affinity"
+        assert result.epochs == 0
+        assert result.spilled == 0
+        assert result.cold_routed == 0
+        assert result.leader_reelections == 0
+        assert result.routing is not None
+        assert result.routing.total_routed == sum(result.admitted_by_shard)
+
+    def test_online_scheduler_router_is_inert(self):
+        """The 1-shard tier rides the same interface: an explicit router
+        changes nothing about the schedule."""
+        requests = _stream()
+        default = OnlineScheduler(cluster=_cluster(), max_inflight=3).run(requests)
+        routed = OnlineScheduler(
+            cluster=_cluster(), max_inflight=3, router=HashRouter()
+        ).run(requests)
+        assert default.makespan_s == routed.makespan_s
+        assert default.latencies == routed.latencies
+        assert default.sim_events == routed.sim_events
+        assert routed.router == "hash"
+        assert routed.routing.routed == [len(requests)]
+
+
+# ---------------------------------------------------------------------------
+# Cold start and epoch specialization through the full scheduler.
+# ---------------------------------------------------------------------------
+
+
+class TestColdStartRegression:
+    def test_pre_epoch_clustered_run_spreads_cold_models(self):
+        """Satellite regression: with no epoch ever firing, every route
+        is cold -- and the stream must NOT pile onto shard 0."""
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=4,
+            max_inflight=2,
+            router=ClusteredRouter(spill_threshold=0.5),
+            epoch_s=0.0,
+        ).run(_stream())
+        assert result.count == len(_stream())
+        assert result.cold_routed == sum(result.admitted_by_shard)
+        assert result.epochs == 0
+        # least-loaded placement spreads the four models over shards
+        populated = sum(1 for n in result.admitted_by_shard if n)
+        assert populated > 1
+        assert result.admitted_by_shard[0] < sum(result.admitted_by_shard)
+
+    def test_cold_placement_is_deterministic(self):
+        runs = [
+            ShardedScheduler(
+                cluster=_cluster(),
+                num_shards=4,
+                max_inflight=2,
+                router=ClusteredRouter(spill_threshold=0.5),
+            ).run(_stream())
+            for _ in range(2)
+        ]
+        assert runs[0].admitted_by_shard == runs[1].admitted_by_shard
+        assert runs[0].latencies == runs[1].latencies
+
+
+class TestEpochSpecialization:
+    def _run(self):
+        return ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=3,
+            router=ClusteredRouter(spill_threshold=1.0),
+            epoch_s=0.5,
+            leader_policy=LEADERS_EPOCH,
+        ).run(_stream())
+
+    def test_epochs_fire_and_specialize(self):
+        result = self._run()
+        assert result.count == len(_stream())
+        assert result.epochs > 0
+        assert result.routing.epoch_log
+        record = result.routing.epoch_log[0]
+        assert len(record.leaders) == 2
+        assert sum(record.routed_by_shard) <= result.routing.total_routed
+        # after the first epoch the mix is ranked: not every route is cold
+        assert result.cold_routed < result.routing.total_routed
+        result.busy.assert_no_overlaps()
+
+    def test_epoch_policy_requires_epochs(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(
+                cluster=_cluster(), num_shards=2, leader_policy=LEADERS_EPOCH
+            )
+        with pytest.raises(ValueError):
+            ShardedScheduler(cluster=_cluster(), num_shards=2, epoch_s=-1.0)
+
+    def test_deterministic_replay(self):
+        first = self._run()
+        second = self._run()
+        assert first.latencies == second.latencies
+        assert first.epochs == second.epochs
+        assert first.leader_reelections == second.leader_reelections
+        assert [r.leaders for r in first.routing.epoch_log] == [
+            r.leaders for r in second.routing.epoch_log
+        ]

@@ -205,10 +205,13 @@ class TestSharding:
         scheduler = ShardedScheduler(
             cluster=_small_cluster(), num_shards=2, assignment=ASSIGN_MODEL
         )
-        shard_of = scheduler._shard_of(requests)
+        # The assignment policy resolves to the routing layer's
+        # AffinityRouter; run() re-binds it, so probing here is safe.
+        router = scheduler.router
+        router.bind(2, lambda shard: 0.0)
         shards_by_model = {}
         for request in requests:
-            shards_by_model.setdefault(request.model, set()).add(shard_of(request))
+            shards_by_model.setdefault(request.model, set()).add(router.route(request))
         assert all(len(shards) == 1 for shards in shards_by_model.values())
         assert len({next(iter(s)) for s in shards_by_model.values()}) == 2
         result = scheduler.run(requests)

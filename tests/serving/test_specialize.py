@@ -1,0 +1,122 @@
+"""The specialization layer (ISSUE 7): signature clustering, shard
+assignment and ranking determinism of :class:`ShardSpecializer`."""
+
+import pytest
+
+from repro.dnn.models import build_model
+from repro.dnn.segment_table import jaccard_similarity
+from repro.serving import ShardSpecializer
+from repro.serving.specialize import SpecializationPlan
+
+pytestmark = pytest.mark.routing
+
+LIGHT = ("tiny_cnn", "tiny_residual", "tiny_depthwise", "mobilenet_v2")
+
+
+def _observed(num_shards=2, counts=None):
+    specializer = ShardSpecializer(num_shards)
+    for model, count in (counts or {m: 1 for m in LIGHT}).items():
+        for _ in range(count):
+            specializer.observe(model)
+    return specializer
+
+
+class TestObservation:
+    def test_num_shards_validated(self):
+        with pytest.raises(ValueError):
+            ShardSpecializer(0)
+
+    def test_seen_models_sorted(self):
+        specializer = ShardSpecializer(2)
+        for model in ("tiny_residual", "tiny_cnn", "tiny_residual"):
+            specializer.observe(model)
+        assert specializer.seen_models == ("tiny_cnn", "tiny_residual")
+
+    def test_signature_matches_segment_table_and_memoises(self):
+        specializer = ShardSpecializer(2)
+        expected = build_model("tiny_cnn").segment_table().signature()
+        assert specializer.signature_of("tiny_cnn") == expected
+        assert specializer.signature_of("tiny_cnn") is specializer.signature_of("tiny_cnn")
+
+    def test_cost_is_gflops_and_memoised(self):
+        specializer = ShardSpecializer(2)
+        assert specializer.cost_of("vgg19") == pytest.approx(
+            build_model("vgg19").total_flops / 1e9
+        )
+        assert specializer.cost_of("vgg19") > specializer.cost_of("tiny_cnn") > 0
+        assert specializer.cost_of("tiny_cnn") == specializer.cost_of("tiny_cnn")
+
+
+class TestRespecialize:
+    def test_empty_observation_empty_plan(self):
+        plan = ShardSpecializer(3).respecialize()
+        assert isinstance(plan, SpecializationPlan)
+        assert plan.ranking == {}
+        assert plan.specialty_models == (0, 0, 0)
+        assert plan.specialties == (frozenset(),) * 3
+
+    def test_single_model_lands_on_shard_zero(self):
+        specializer = _observed(3, {"tiny_cnn": 5})
+        plan = specializer.respecialize()
+        assert plan.ranking["tiny_cnn"][0] == 0
+        assert sorted(plan.ranking["tiny_cnn"]) == [0, 1, 2]
+        assert plan.specialty_models == (1, 0, 0)
+        assert plan.specialties[0] == specializer.signature_of("tiny_cnn")
+
+    def test_rankings_are_shard_permutations(self):
+        plan = _observed(3).respecialize()
+        assert set(plan.ranking) == set(LIGHT)
+        for order in plan.ranking.values():
+            assert sorted(order) == [0, 1, 2]
+
+    def test_specialty_model_counts_cover_every_seen_model(self):
+        plan = _observed(2).respecialize()
+        assert sum(plan.specialty_models) == len(LIGHT)
+
+    def test_ranking_orders_shards_by_specialty_similarity(self):
+        specializer = _observed(2)
+        plan = specializer.respecialize()
+        for model, order in plan.ranking.items():
+            sims = [
+                jaccard_similarity(specializer.signature_of(model), plan.specialties[shard])
+                for shard in order
+            ]
+            assert sims == sorted(sims, reverse=True)
+
+    def test_deterministic_across_instances_and_observation_order(self):
+        forward = ShardSpecializer(2)
+        backward = ShardSpecializer(2)
+        for model in LIGHT:
+            forward.observe(model)
+        for model in reversed(LIGHT):
+            backward.observe(model)
+        assert forward.respecialize() == backward.respecialize()
+
+    def test_heaviest_cluster_takes_shard_zero(self):
+        """Shard assignment weighs popularity x per-request GFLOPs."""
+        heavy_first = _observed(2, {"vgg19": 1, "tiny_cnn": 1})
+        plan = heavy_first.respecialize()
+        sig_heavy = heavy_first.signature_of("vgg19")
+        sig_light = heavy_first.signature_of("tiny_cnn")
+        assert sig_heavy != sig_light  # sanity: distinct families
+        assert plan.specialties[0] == sig_heavy
+        # a hugely popular light model outweighs one heavy request
+        light_hot = _observed(2, {"vgg19": 1, "tiny_cnn": 100_000})
+        assert light_hot.respecialize().specialties[0] == sig_light
+
+    def test_more_models_than_shards_clusters_families(self):
+        """Greedy merging folds the most similar signatures together;
+        every shard still gets a valid ranking target."""
+        specializer = _observed(2)
+        plan = specializer.respecialize()
+        assert all(plan.specialties)  # both shards earned a specialty
+        # cluster signatures are unions of member signatures
+        union = frozenset().union(*plan.specialties)
+        members = frozenset().union(
+            *(specializer.signature_of(m) for m in LIGHT)
+        )
+        assert union == members
+
+    def test_respecialize_is_repeatable(self):
+        specializer = _observed(2)
+        assert specializer.respecialize() == specializer.respecialize()
