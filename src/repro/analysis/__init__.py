@@ -1,0 +1,75 @@
+"""AST-based invariant linter for the reproduction's correctness contracts.
+
+The repo's correctness story rests on conventions that dynamic tests
+exercise *late* -- after a nondeterministic schedule or a leaked grant
+has already diverged a run.  This package machine-checks them at diff
+time, statically, on code paths no test exercises:
+
+- **R1 determinism** -- no unseeded ``random.Random()`` /
+  ``np.random.default_rng()``, no wall-clock or OS-entropy reads
+  (``time.time()``, ``datetime.now()``, ``os.urandom``), and no
+  order-materialising iteration over bare ``set``s inside the
+  scheduling packages (``repro.sim``, ``repro.core``, ``repro.serving``,
+  ``repro.faults``, ``repro.workloads``).
+- **R2 hatch discipline** -- every branch gated on a
+  ``REPRO_*_FASTPATH`` hatch (:func:`repro.fastpath.fastpath_enabled` /
+  :func:`~repro.fastpath.sim_fastpath_enabled`, or a flag derived from
+  them) keeps a reachable reference arm, and every hatch name that
+  appears in ``src`` is exercised -- including its ``"0"`` reference
+  setting -- by at least one test module.
+- **R3 grant-release** -- every resource claim (``x = r.request(...)``)
+  in ``repro.sim`` / ``repro.core`` / ``repro.serving`` is released on
+  all exit paths (``try/finally`` or an ``except`` handler) or has its
+  ownership explicitly handed to another process.
+- **R4 trace discipline** -- on trace/metrics recorders with a
+  ``trace_level``, every accessor that touches per-entry storage guards
+  the level (branching on the flag, calling ``*_require_full*`` or
+  raising :class:`~repro.sim.trace.TraceLevelError`) first.
+- **R5 seed plumbing** -- public constructors/functions taking ``seed``
+  never default it to ``None`` (None-means-entropy).
+
+Run it as a CLI::
+
+    PYTHONPATH=src python -m repro.analysis src/repro
+    PYTHONPATH=src python -m repro.analysis src/repro --json
+
+A finding prints as ``path:line: R3 [grant-release] message``.  True
+positives are fixed; intentional exceptions carry an annotated
+suppression **with a justification**::
+
+    start = time.time()  # repro: allow[R1] wall-clock progress print only
+
+Grandfathered findings can instead live in the checked-in baseline
+(``analysis_baseline.json``; regenerate with ``--write-baseline``).
+The tier-1 gate (``tests/analysis/test_gate.py``, ``lint`` marker)
+fails on any unsuppressed, unbaselined finding.
+
+Adding a rule: subclass :class:`~repro.analysis.registry.Rule` in a
+module under ``repro.analysis.rules``, decorate it with
+:func:`~repro.analysis.registry.register`, import the module from
+``repro.analysis.rules`` -- then add a must-flag and a must-pass
+fixture pair under ``tests/analysis/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.context import ModuleContext, Project, load_module, load_project
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, register
+from repro.analysis.runner import analyze_project, analyze_source
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_project",
+    "analyze_source",
+    "fingerprint",
+    "load_module",
+    "load_project",
+    "register",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

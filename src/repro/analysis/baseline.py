@@ -1,0 +1,79 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline entry is keyed by a line-number-free fingerprint
+(rule + path + message), so unrelated edits moving code around do not
+invalidate it, while changing the flagged construct (different symbol
+names in the message) does.  Regenerate with ``--write-baseline``;
+future PRs gate on "no new suppressions" via the counts in
+``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    raw = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(entries={entry["fingerprint"]: entry for entry in data["entries"]})
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda entry: (entry["rule"], entry["path"], entry["message"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            baseline.entries[fingerprint(finding)] = {
+                "fingerprint": fingerprint(finding),
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        return baseline
+
+    def covers(self, finding: Finding) -> bool:
+        return fingerprint(finding) in self.entries
+
+    def apply(self, finding: Finding) -> Finding:
+        if not finding.suppressed and self.covers(finding):
+            return finding.with_status(baselined=True)
+        return finding
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,138 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when every finding is suppressed (with a justification)
+or baselined; 1 when actionable findings remain; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import find_tests_root, load_project
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import run_rules
+
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+def _default_baseline_path(root: Path) -> Optional[Path]:
+    """The checked-in baseline next to the repo root (the first ancestor
+    of the scan root carrying pytest.ini / setup.py / .git)."""
+    for candidate in [root, *root.parents]:
+        if any((candidate / marker).exists() for marker in ("pytest.ini", "setup.py", ".git")):
+            return candidate / DEFAULT_BASELINE_NAME
+    return None
+
+
+def summarize(findings: List[Finding], rule_count: int, module_count: int) -> Dict[str, object]:
+    per_rule: Dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    return {
+        "rules": rule_count,
+        "modules": module_count,
+        "findings_total": len(findings),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+        "actionable": sum(1 for f in findings if f.actionable),
+        "per_rule": dict(sorted(per_rule.items())),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the reproduction's "
+        "determinism, hatch, grant-release, trace and seed contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or package roots to analyze (default: src/repro)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current unsuppressed findings into the baseline",
+    )
+    parser.add_argument(
+        "--tests",
+        default=None,
+        help="test tree for the cross-file checks (default: nearest tests/)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            doc = (type(rule).__module__ and sys.modules[type(rule).__module__].__doc__) or ""
+            first = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{rule.id}  [{rule.title}]  {first}")
+        return 0
+
+    roots = [Path(path) for path in args.paths]
+    missing = [str(root) for root in roots if not root.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path: Optional[Path]
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _default_baseline_path(roots[0].resolve())
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+
+    tests_root = Path(args.tests) if args.tests else find_tests_root(roots[0].resolve())
+    project = load_project(roots, tests_root=tests_root)
+    findings = run_rules(project, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: cannot locate a baseline path; pass --baseline", file=sys.stderr)
+            return 2
+        grandfathered = Baseline.from_findings(findings)
+        grandfathered.save(baseline_path)
+        print(f"wrote {baseline_path} ({grandfathered.count} findings grandfathered)")
+        return 0
+
+    summary = summarize(findings, rule_count=len(rules), module_count=len(project.modules))
+    if args.json:
+        print(
+            json.dumps(
+                {"findings": [f.as_dict() for f in findings], "summary": summary},
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        actionable = summary["actionable"]
+        print(
+            f"{summary['modules']} modules, {summary['rules']} rules: "
+            f"{summary['findings_total']} findings "
+            f"({summary['suppressed']} suppressed, {summary['baselined']} "
+            f"baselined, {actionable} actionable)"
+        )
+    return 1 if summary["actionable"] else 0

@@ -1,0 +1,126 @@
+"""Parsed inputs for the rules: modules, and the project that groups them.
+
+A :class:`ModuleContext` is one parsed source file (AST + suppression
+annotations + display path).  A :class:`Project` is the set of modules
+under the scanned roots plus the location of the test tree, which the
+cross-file rules (R2's both-arms-tested check) consult.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.suppress import Suppressions, parse_suppressions
+
+
+@dataclass
+class ModuleContext:
+    path: str  #: display path (relative when possible)
+    module: str  #: dotted module name, e.g. ``repro.sim.runtime``
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the module sits under any of the dotted ``prefixes``."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+@dataclass
+class Project:
+    modules: List[ModuleContext]
+    tests_root: Optional[Path] = None
+    _test_sources: Optional[List[Tuple[str, str]]] = field(default=None, repr=False)
+
+    def test_sources(self) -> List[Tuple[str, str]]:
+        """(path, source) of every test module, scanned once per run."""
+        if self._test_sources is None:
+            collected: List[Tuple[str, str]] = []
+            if self.tests_root is not None and self.tests_root.is_dir():
+                for path in sorted(self.tests_root.rglob("*.py")):
+                    try:
+                        collected.append((str(path), path.read_text(encoding="utf-8")))
+                    except OSError:
+                        continue
+            self._test_sources = collected
+        return self._test_sources
+
+
+def module_name_for(path: Path, root: Path, root_module: str) -> str:
+    """Dotted module name of ``path`` relative to the scan root."""
+    relative = path.relative_to(root)
+    parts = list(relative.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join([root_module, *parts]) if parts else root_module
+
+
+def load_module(
+    path: Path, *, module: str, display_path: Optional[str] = None
+) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    return module_from_source(source, module=module, path=display_path or str(path))
+
+
+def module_from_source(source: str, *, module: str, path: str) -> ModuleContext:
+    """Parse loose source text (fixtures, teeth-test mutants) into a context."""
+    tree = ast.parse(source, filename=path)
+    return ModuleContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source, path),
+    )
+
+
+def find_tests_root(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest directory holding ``tests/``."""
+    for candidate in [start, *start.parents]:
+        tests = candidate / "tests"
+        if tests.is_dir():
+            return tests
+    return None
+
+
+def load_project(
+    roots: Sequence[Path], tests_root: Optional[Path] = None
+) -> Project:
+    """Parse every ``*.py`` under ``roots`` into a :class:`Project`.
+
+    The dotted module names anchor at each root's own directory name
+    (scanning ``src/repro`` yields ``repro.*``), and display paths are
+    relative to the current working directory when possible.
+    """
+    modules: List[ModuleContext] = []
+    cwd = Path.cwd()
+    for root in roots:
+        root = root.resolve()
+        if root.is_file():
+            files = [root]
+            base, base_module = root.parent, root.stem
+        else:
+            files = sorted(root.rglob("*.py"))
+            base, base_module = root, root.name
+        for path in files:
+            try:
+                display = str(path.relative_to(cwd))
+            except ValueError:
+                display = str(path)
+            name = (
+                base_module
+                if path == root
+                else module_name_for(path, base, base_module)
+            )
+            modules.append(load_module(path, module=name, display_path=display))
+    if tests_root is None and roots:
+        tests_root = find_tests_root(Path(roots[0]).resolve())
+    return Project(modules=modules, tests_root=tests_root)

@@ -1,0 +1,57 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppression-hygiene problem).
+
+    ``suppressed`` / ``baselined`` mark findings that do not fail the
+    gate; ``actionable`` is what is left.  ``justification`` carries the
+    suppression's free-text reason when one applied.
+    """
+
+    rule: str
+    title: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    baselined: bool = False
+    justification: Optional[str] = None
+    module: str = field(default="", compare=False)
+
+    @property
+    def actionable(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} [{self.title}] {self.message}"
+        if self.suppressed:
+            text += f"  (suppressed: {self.justification})"
+        elif self.baselined:
+            text += "  (baselined)"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "title": self.title,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "justification": self.justification,
+        }
+
+    def with_status(
+        self, *, suppressed: bool = False, baselined: bool = False, justification: Optional[str] = None
+    ) -> "Finding":
+        return replace(
+            self, suppressed=suppressed, baselined=baselined, justification=justification
+        )

@@ -1,0 +1,60 @@
+"""The rule registry: rules self-register at import time.
+
+A rule implements :meth:`Rule.check_module` (called once per parsed
+module) and/or :meth:`Rule.check_project` (called once with the whole
+:class:`~repro.analysis.context.Project`, for cross-file contracts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.analysis.context import ModuleContext, Project
+from repro.analysis.findings import Finding
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``id`` (``"R1"``...) and ``title`` (the short
+    kebab-case tag shown in findings) and override one or both hooks.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, ctx: ModuleContext, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            title=self.title,
+            path=ctx.path,
+            line=line,
+            message=message,
+            module=ctx.module,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.id or not cls.title:
+        raise ValueError(f"rule {cls.__name__} must define id and title")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by rule ID (imports the built-in
+    rule modules on first use)."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-ins)
+
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

@@ -1,0 +1,11 @@
+"""Built-in rules; importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    grants,
+    hatch,
+    seeds,
+    trace_discipline,
+)

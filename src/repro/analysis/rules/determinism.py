@@ -1,0 +1,243 @@
+"""R1: schedules must be a pure function of their seeds.
+
+Three violation families:
+
+- **Unseeded RNG construction** (any module): ``random.Random()`` /
+  ``np.random.default_rng()`` without an explicit seed (or with a
+  literal ``None`` seed) draws its state from OS entropy, and
+  module-level draws (``random.random()``, ``np.random.rand()``...)
+  ride the shared entropy-seeded global generator.
+- **Wall-clock / OS entropy reads** (any module): ``time.time()``,
+  ``datetime.now()``, ``os.urandom()`` and friends leak the host into
+  simulated behaviour.  Progress-print uses are fine -- suppress with a
+  justification.
+- **Order-materialising iteration over bare sets** (scheduling packages
+  only): ``for x in some_set`` / ``tuple(set(...))`` hands
+  hash-randomised ordering to scheduling or planning decisions.
+  ``sorted(...)``, ``min``/``max``, ``sum`` and membership tests stay
+  fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.analysis.astutils import FUNCTION_TYPES, call_name, dotted_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Packages whose control flow feeds scheduling/planning decisions; the
+#: set-iteration check applies here only.
+SCHEDULING_PACKAGES = (
+    "repro.sim",
+    "repro.core",
+    "repro.serving",
+    "repro.faults",
+    "repro.workloads",
+)
+
+_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "Random",
+    "default_rng",
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "random.default_rng",
+    "random.SystemRandom",
+    "SystemRandom",
+}
+
+_GLOBAL_RNG_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss", "getrandbits",
+    "lognormvariate", "normalvariate", "paretovariate", "randint", "random",
+    "randrange", "sample", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Legacy numpy global-state API (anything but the Generator entry points).
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes", "secrets.token_hex",
+}
+_WALL_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today")
+
+#: Builtins that materialise their argument's iteration order.
+_ORDER_MATERIALISERS = {"tuple", "list", "enumerate", "iter", "reversed", "next"}
+
+#: Order-insensitive reducers: iterating a set *into* one of these
+#: yields the same result whatever the hash order.
+_ORDER_INSENSITIVE = {
+    "sum", "min", "max", "len", "any", "all", "sorted", "set", "frozenset",
+}
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    seedlike = [arg for arg in node.args if not isinstance(arg, ast.Starred)]
+    for keyword in node.keywords:
+        if keyword.arg in ("seed", "x") or keyword.arg is None:
+            seedlike.append(keyword.value)
+    if not seedlike:
+        return True
+    first = seedlike[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+class _SetTracker:
+    """Per-scope symbolic tracking of which expressions are bare sets."""
+
+    def __init__(self) -> None:
+        self.set_vars: Set[str] = set()
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self.is_set_expr(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    def observe(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if self.is_set_expr(node.value):
+                    self.set_vars.add(target.id)
+                else:
+                    self.set_vars.discard(target.id)
+
+
+@register
+class DeterminismRule(Rule):
+    id = "R1"
+    title = "determinism"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_entropy(ctx))
+        if ctx.in_package(*SCHEDULING_PACKAGES):
+            findings.extend(self._check_set_iteration(ctx))
+        return findings
+
+    # -- entropy sources ------------------------------------------------
+
+    def _check_entropy(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _RNG_CONSTRUCTORS:
+                if _is_unseeded(node):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"{name}() without an explicit seed draws from OS "
+                        "entropy; pass a seed so the schedule is reproducible",
+                    )
+                continue
+            if name in _WALL_CLOCK or name.endswith(_WALL_CLOCK_SUFFIXES):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{name}() reads wall-clock/OS entropy; simulated code "
+                    "must derive time from the environment clock",
+                )
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RNG_FNS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{name}() draws from the shared module-level RNG "
+                    "(entropy-seeded); use a private random.Random(seed)",
+                )
+                continue
+            if (
+                len(parts) >= 3
+                and parts[-3] in ("np", "numpy")
+                and parts[-2] == "random"
+                and parts[-1] not in _NP_RANDOM_OK
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{name}() uses numpy's global RNG state; use "
+                    "np.random.default_rng(seed)",
+                )
+
+    # -- set iteration --------------------------------------------------
+
+    def _check_set_iteration(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan_scope(ctx, ctx.tree)
+
+    def _scan_scope(self, ctx: ModuleContext, scope: ast.AST) -> Iterator[Finding]:
+        tracker = _SetTracker()
+        nested: List[ast.AST] = []
+        exempt: Set[int] = set()
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (*FUNCTION_TYPES, ast.Lambda)):
+                    nested.append(child)
+                    continue
+                tracker.observe(child)
+                yield from check(child)
+                yield from visit(child)
+
+        def check(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _ORDER_INSENSITIVE:
+                    # min(x for x in some_set) is order-independent:
+                    # exempt the comprehension argument.
+                    for arg in node.args:
+                        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                            exempt.add(id(arg))
+            if isinstance(node, ast.For) and tracker.is_set_expr(node.iter):
+                yield self._set_finding(ctx, node.iter, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if id(node) in exempt:
+                    return
+                for generator in node.generators:
+                    if tracker.is_set_expr(generator.iter):
+                        yield self._set_finding(ctx, generator.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _ORDER_MATERIALISERS and node.args:
+                    if tracker.is_set_expr(node.args[0]):
+                        yield self._set_finding(ctx, node.args[0], f"{name}()")
+
+        yield from visit(scope)
+        for sub in nested:
+            yield from self._scan_scope(ctx, sub)
+
+    def _set_finding(self, ctx: ModuleContext, node: ast.AST, where: str) -> Finding:
+        return self.finding(
+            ctx,
+            getattr(node, "lineno", 0),
+            f"iteration order of a bare set reaches a {where}; set order is "
+            "hash-randomised across processes -- sort it or dedup with "
+            "dict.fromkeys to keep schedules deterministic",
+        )

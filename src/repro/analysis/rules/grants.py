@@ -1,0 +1,148 @@
+"""R3: resource claims release on every exit path.
+
+A claim is ``name = <resource>.request(...)``.  The hardened protocol
+(PR 6: structured ``DeviceLostError`` with *zero leaked grants*) means
+every claim must settle one of three ways:
+
+- released inside a ``finally`` block or ``except`` handler (the
+  happy-path release alone does not survive an exception unwind);
+- ownership handed off -- the claim passed to another call (e.g.
+  ``env.process(serve(..., slot, ...))``), stored into a container the
+  releasing process reads, returned, or subsumed by a context manager;
+- (flagged otherwise) never released at all.
+
+``yield claim`` is *waiting for the grant*, not a hand-off, and does
+not count as an escape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.astutils import (
+    FUNCTION_TYPES,
+    FunctionNode,
+    cleanup_nodes,
+    contains_name,
+    own_statements,
+)
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Packages holding the engine-level claim/release protocol.
+GRANT_PACKAGES = ("repro.sim", "repro.core", "repro.serving")
+
+
+def _claims(func: FunctionNode) -> List[Tuple[str, ast.Assign]]:
+    """``name = x.request(...)`` assignments in ``func``'s own body."""
+    out = []
+    for node in own_statements(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "request"
+        ):
+            out.append((node.targets[0].id, node))
+    return out
+
+
+def _release_sites(func: FunctionNode, name: str) -> List[ast.Call]:
+    """``.release(...)`` calls whose argument mentions ``name``
+    (closures included: the cleanup may live in a nested handler)."""
+    sites = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+            and any(contains_name(arg, name) for arg in node.args)
+        ):
+            sites.append(node)
+    return sites
+
+
+def _escapes(func: FunctionNode, name: str, claim: ast.Assign) -> bool:
+    """Whether ``name`` is handed off: passed to a non-release call,
+    stored into a container/attribute, returned, or used as a context
+    manager."""
+    for node in own_statements(func):
+        if node is claim:
+            continue
+        if isinstance(node, ast.Call):
+            is_release = (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "release"
+            )
+            if not is_release and any(
+                contains_name(arg, name) for arg in node.args
+            ):
+                return True
+            if any(
+                keyword.value is not None and contains_name(keyword.value, name)
+                for keyword in node.keywords
+            ):
+                return True
+        elif isinstance(node, ast.Assign):
+            if contains_name(node.value, name) and any(
+                isinstance(target, (ast.Subscript, ast.Attribute))
+                for target in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.Return):
+            if node.value is not None and contains_name(node.value, name):
+                return True
+        elif isinstance(node, (ast.Dict, ast.List, ast.Tuple, ast.Set)):
+            if contains_name(node, name):
+                return True
+        elif isinstance(node, ast.withitem):
+            if contains_name(node.context_expr, name):
+                return True
+    return False
+
+
+@register
+class GrantReleaseRule(Rule):
+    id = "R3"
+    title = "grant-release"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_package(*GRANT_PACKAGES):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, FUNCTION_TYPES):
+                findings.extend(self._check_function(ctx, node))
+        return findings
+
+    def _check_function(
+        self, ctx: ModuleContext, func: FunctionNode
+    ) -> Iterator[Finding]:
+        claims = _claims(func)
+        if not claims:
+            return
+        protected = cleanup_nodes(func)
+        for name, claim in claims:
+            releases = _release_sites(func, name)
+            if releases:
+                if any(id(site) in protected for site in releases):
+                    continue
+                yield self.finding(
+                    ctx,
+                    claim.lineno,
+                    f"claim {name!r} ({ast.unparse(claim.value)}) is released "
+                    "only on the happy path; move the release into a "
+                    "try/finally or except handler so an unwound process "
+                    "cannot leak the grant",
+                )
+            elif not _escapes(func, name, claim):
+                yield self.finding(
+                    ctx,
+                    claim.lineno,
+                    f"claim {name!r} ({ast.unparse(claim.value)}) is never "
+                    "released and never handed off; the grant leaks on every "
+                    "path",
+                )

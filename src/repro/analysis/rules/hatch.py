@@ -1,0 +1,205 @@
+"""R2: every fastpath hatch keeps a reachable, tested reference arm.
+
+The ``REPRO_SIM_FASTPATH`` / ``REPRO_DSE_FASTPATH`` escape hatches only
+earn their keep while both arms stay alive: the fast arm is what ships,
+the reference arm is the executable spec the differential tests pin it
+against.  Two checks:
+
+- **Reference arm reachable** (per module): an ``if`` whose test
+  derives from a hatch gate (a call to ``fastpath_enabled`` /
+  ``sim_fastpath_enabled``, a local flag assigned from one, or an
+  attribute recorded project-wide as gate-valued, e.g.
+  ``Environment._fast``) must have a non-empty false path -- an
+  ``else`` arm, or fall-through statements after it in the same block.
+  A gate whose false path is empty means disabling the hatch silently
+  yields ``None``/nothing: the reference arm is gone.
+- **Both arms tested** (project): every ``REPRO_*_FASTPATH`` name
+  appearing in ``src`` must appear in at least one test module, and at
+  least one test must exercise the ``"0"`` (reference) setting of it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Set
+
+from repro.analysis.astutils import FUNCTION_TYPES, block_sequences, dotted_name
+from repro.analysis.context import ModuleContext, Project
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+GATE_FUNCTIONS = ("fastpath_enabled", "sim_fastpath_enabled")
+
+_HATCH_NAME = re.compile(r"REPRO_[A-Z0-9_]*FASTPATH")
+
+
+def _produces_value(body: list) -> bool:
+    """Whether a gated body returns/yields -- i.e. the fast arm *is* the
+    result, so a missing false path silently loses the reference arm.
+    Side-effect-only gated bodies (memo stores, cache bumps) share the
+    surrounding code as their reference path and are fine."""
+    def scan(node: ast.AST) -> bool:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return True
+            if scan(child):
+                return True
+        return False
+
+    return any(
+        isinstance(stmt, (ast.Return, ast.Yield, ast.YieldFrom)) or scan(stmt)
+        for stmt in body
+    )
+
+
+def _contains_gate_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] in GATE_FUNCTIONS:
+                return True
+    return False
+
+
+def gate_attributes(project: Project) -> Set[str]:
+    """Attribute names assigned a gate-derived value anywhere in the
+    project (e.g. ``_fast`` from ``self._fast = sim_fastpath_enabled()``)."""
+    names: Set[str] = set()
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _contains_gate_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        names.add(target.attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _contains_gate_call(node.value) and isinstance(
+                    node.target, ast.Attribute
+                ):
+                    names.add(node.target.attr)
+    return names
+
+
+class _GateFlags:
+    """Local names assigned gate-derived values within one scope."""
+
+    def __init__(self, gate_attrs: Set[str]) -> None:
+        self.gate_attrs = gate_attrs
+        self.local: Set[str] = set()
+
+    def is_gate_expr(self, node: ast.AST) -> bool:
+        if _contains_gate_call(node):
+            return True
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr in self.gate_attrs:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in self.local:
+                return True
+        return False
+
+    def observe(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if self.is_gate_expr(node.value):
+                    self.local.add(target.id)
+                else:
+                    self.local.discard(target.id)
+
+
+@register
+class HatchDisciplineRule(Rule):
+    id = "R2"
+    title = "hatch-discipline"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        gate_attrs = gate_attributes(project)
+        for module in project.modules:
+            findings.extend(self._check_reference_arms(module, gate_attrs))
+        findings.extend(self._check_hatches_tested(project))
+        return findings
+
+    # -- reference arm reachable ---------------------------------------
+
+    def _check_reference_arms(
+        self, ctx: ModuleContext, gate_attrs: Set[str]
+    ) -> Iterator[Finding]:
+        yield from self._scan_scope(ctx, ctx.tree, gate_attrs)
+
+    def _scan_scope(
+        self, ctx: ModuleContext, scope: ast.AST, gate_attrs: Set[str]
+    ) -> Iterator[Finding]:
+        flags = _GateFlags(gate_attrs)
+        nested: List[ast.AST] = []
+        blocks = list(block_sequences(scope))
+
+        def last_in_every_block(stmt: ast.stmt) -> bool:
+            for block in blocks:
+                if stmt in block:
+                    return block[-1] is stmt
+            return True
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, FUNCTION_TYPES):
+                    nested.append(child)
+                    continue
+                flags.observe(child)
+                if (
+                    isinstance(child, ast.If)
+                    and flags.is_gate_expr(child.test)
+                    and not child.orelse
+                    and last_in_every_block(child)
+                    and _produces_value(child.body)
+                ):
+                    yield self.finding(
+                        ctx,
+                        child.lineno,
+                        "fastpath-gated branch has no reachable reference arm "
+                        "(no else and nothing follows it); keep the reference "
+                        "implementation alive for the disabled hatch",
+                    )
+                yield from visit(child)
+
+        yield from visit(scope)
+        for sub in nested:
+            yield from self._scan_scope(ctx, sub, gate_attrs)
+
+    # -- both arms tested ----------------------------------------------
+
+    def _check_hatches_tested(self, project: Project) -> Iterator[Finding]:
+        hatches: dict = {}
+        for module in project.modules:
+            for match in _HATCH_NAME.finditer(module.source):
+                name = match.group(0)
+                if name not in hatches:
+                    line = module.source.count("\n", 0, match.start()) + 1
+                    hatches[name] = (module, line)
+        if not hatches:
+            return
+        if project.tests_root is None:
+            return
+        test_sources = project.test_sources()
+        for name, (module, line) in sorted(hatches.items()):
+            mentioned = [source for _, source in test_sources if name in source]
+            if not mentioned:
+                yield self.finding(
+                    module,
+                    line,
+                    f"hatch {name} is exercised by no test module; both arms "
+                    "must be imported/toggled by at least one test",
+                )
+                continue
+            reference_toggled = any(
+                re.search(rf"{name}\W+[\"']?0[\"']?", source) for source in mentioned
+            )
+            if not reference_toggled:
+                yield self.finding(
+                    module,
+                    line,
+                    f"no test sets {name} to \"0\": the reference arm is "
+                    "never exercised",
+                )

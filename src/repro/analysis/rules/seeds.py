@@ -1,0 +1,68 @@
+"""R5: ``seed`` parameters never default to ``None``-means-entropy.
+
+A public constructor or function with ``seed=None`` invites the
+"no seed given, fall back to entropy" idiom that silently turns a
+reproducible run into a one-off.  Seeds are either required or default
+to a concrete integer; "no randomness" is expressed by a zero rate, not
+a missing seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from repro.analysis.astutils import FUNCTION_TYPES, FunctionNode
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+
+def _seed_params(func: FunctionNode) -> Iterator[ast.arg]:
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    # Align defaults to the tail of the positional parameters.
+    offset = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if index < offset:
+            continue
+        default = defaults[index - offset]
+        if _is_seed_name(arg.arg) and _is_none(default):
+            yield arg
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None and _is_seed_name(arg.arg) and _is_none(default):
+            yield arg
+
+
+def _is_seed_name(name: str) -> bool:
+    return name == "seed" or name.endswith("_seed")
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class SeedPlumbingRule(Rule):
+    id = "R5"
+    title = "seed-plumbing"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, FUNCTION_TYPES):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue  # private helpers may thread an optional seed
+            for arg in _seed_params(node):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        f"{node.name}() defaults {arg.arg}=None "
+                        "(None-means-entropy); require the seed or default "
+                        "it to a concrete integer",
+                    )
+                )
+        return findings

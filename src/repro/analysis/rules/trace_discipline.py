@@ -1,0 +1,170 @@
+"""R4: per-entry trace accessors guard the trace level first.
+
+A *leveled recorder* is a class whose ``__init__`` derives a
+``self._full`` flag (or validates via ``check_trace_level``).  Its
+*per-entry stores* are the attributes written only under a positive
+``self._full`` guard outside ``__init__`` -- exactly the storage that
+``trace_level="aggregate"`` leaves empty.  Any method or property that
+reads such a store must acknowledge the level: branch on the flag, call
+a ``*require_full*`` helper, or raise
+:class:`~repro.sim.trace.TraceLevelError` -- otherwise an aggregate
+run silently returns empty per-entry data instead of failing loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.analysis.astutils import FunctionNode, FUNCTION_TYPES, self_attribute
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+LEVEL_FLAGS = ("_full", "level", "trace_level")
+
+
+def _is_leveled(init: FunctionNode) -> bool:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if self_attribute(target) == "_full":
+                    return True
+        if isinstance(node, ast.Call):
+            name = node.func
+            if isinstance(name, ast.Name) and name.id == "check_trace_level":
+                return True
+            if isinstance(name, ast.Attribute) and name.attr == "check_trace_level":
+                return True
+    return False
+
+
+def _guard_test_on_flag(node: ast.AST) -> bool:
+    """Whether an expression references a level flag (``self._full`` ...)."""
+    for sub in ast.walk(node):
+        attr = self_attribute(sub)
+        if attr in LEVEL_FLAGS:
+            return True
+    return False
+
+
+def _written_attrs(node: ast.AST) -> Iterator[str]:
+    """Attributes of ``self`` written (assigned/augmented/mutated) in ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    yield attr
+                if isinstance(target, ast.Subscript):
+                    attr = self_attribute(target.value)
+                    if attr is not None:
+                        yield attr
+        elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in ("append", "extend", "add", "insert", "setdefault", "update"):
+                attr = self_attribute(sub.func.value)
+                if attr is not None:
+                    yield attr
+
+
+def _per_entry_stores(cls: ast.ClassDef) -> Set[str]:
+    """Attributes written only inside positive ``self._full`` branches
+    (outside ``__init__``)."""
+    guarded: Set[str] = set()
+    unguarded: Set[str] = set()
+
+    def scan(node: ast.AST, under_guard: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and _guard_test_on_flag(child.test):
+                positive = not (
+                    isinstance(child.test, ast.UnaryOp)
+                    and isinstance(child.test.op, ast.Not)
+                )
+                for stmt in child.body:
+                    scan_stmt(stmt, under_guard or positive)
+                for stmt in child.orelse:
+                    scan_stmt(stmt, under_guard or not positive)
+            else:
+                scan(child, under_guard)
+
+    def scan_stmt(stmt: ast.AST, under_guard: bool) -> None:
+        (guarded if under_guard else unguarded).update(_written_attrs(stmt))
+        scan(stmt, under_guard)
+
+    for item in cls.body:
+        if isinstance(item, FUNCTION_TYPES) and item.name != "__init__":
+            scan(item, False)
+    return guarded - unguarded
+
+
+def _method_guards(func: FunctionNode) -> bool:
+    for node in ast.walk(func):
+        if _guard_test_on_flag(node):
+            return True
+        if isinstance(node, ast.Call):
+            name: Optional[str] = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name is not None and "require_full" in name:
+                return True
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            for sub in ast.walk(node.exc):
+                if isinstance(sub, ast.Name) and sub.id == "TraceLevelError":
+                    return True
+                if isinstance(sub, ast.Attribute) and sub.attr == "TraceLevelError":
+                    return True
+    return False
+
+
+def _reads(func: FunctionNode, attrs: Set[str]) -> List[ast.Attribute]:
+    hits = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if self_attribute(node) in attrs:
+                hits.append(node)
+    return hits
+
+
+@register
+class TraceDisciplineRule(Rule):
+    id = "R4"
+    title = "trace-discipline"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _check_class(self, ctx: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        init = next(
+            (
+                item
+                for item in cls.body
+                if isinstance(item, FUNCTION_TYPES) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None or not _is_leveled(init):
+            return
+        stores = _per_entry_stores(cls)
+        if not stores:
+            return
+        for item in cls.body:
+            if not isinstance(item, FUNCTION_TYPES) or item.name == "__init__":
+                continue
+            touched = _reads(item, stores)
+            if touched and not _method_guards(item):
+                names = sorted({self_attribute(hit) or "?" for hit in touched})
+                yield self.finding(
+                    ctx,
+                    item.lineno,
+                    f"{cls.name}.{item.name} reads per-entry storage "
+                    f"({', '.join(names)}) without guarding trace_level; "
+                    "check self._full / call _require_full / raise "
+                    "TraceLevelError before touching full-trace data",
+                )

@@ -1,0 +1,80 @@
+"""Drive the registered rules over modules/projects and settle statuses.
+
+``analyze_project`` is the CLI/gate entry point; ``analyze_source`` is
+the in-memory variant the fixture and teeth tests use (no filesystem).
+Suppressions settle first, the baseline second, so a suppressed finding
+never consumes a baseline entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import Project, load_project, module_from_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules
+
+
+def _settle(
+    findings: Iterable[Finding], project: Project, baseline: Optional[Baseline]
+) -> List[Finding]:
+    by_path = {module.path: module.suppressions for module in project.modules}
+    settled: List[Finding] = []
+    for finding in findings:
+        suppressions = by_path.get(finding.path)
+        if suppressions is not None:
+            finding = suppressions.apply(finding)
+        if baseline is not None:
+            finding = baseline.apply(finding)
+        settled.append(finding)
+    for suppressions in by_path.values():
+        settled.extend(suppressions.malformed)
+    settled.sort(key=lambda f: (f.path, f.line, f.rule))
+    return settled
+
+
+def run_rules(
+    project: Project,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """All findings over ``project``, suppressions and baseline applied."""
+    active = list(rules) if rules is not None else all_rules()
+    raw: List[Finding] = []
+    for rule in active:
+        for module in project.modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(project))
+    return _settle(raw, project, baseline)
+
+
+def analyze_project(
+    roots: Sequence[Union[str, Path]],
+    tests_root: Optional[Union[str, Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    project = load_project(
+        [Path(root) for root in roots],
+        tests_root=Path(tests_root) if tests_root is not None else None,
+    )
+    return run_rules(project, rules=rules, baseline=baseline)
+
+
+def analyze_source(
+    source: str,
+    module: str = "repro.fixture",
+    path: str = "<memory>",
+    rules: Optional[Sequence[Rule]] = None,
+    tests_root: Optional[Union[str, Path]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Analyze one in-memory module (fixtures, teeth-test mutants)."""
+    ctx = module_from_source(source, module=module, path=path)
+    project = Project(
+        modules=[ctx],
+        tests_root=Path(tests_root) if tests_root is not None else None,
+    )
+    return run_rules(project, rules=rules, baseline=baseline)

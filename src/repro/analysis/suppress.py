@@ -1,0 +1,128 @@
+"""Annotated suppressions: ``# repro: allow[R1] <justification>``.
+
+A suppression on a line silences the listed rule IDs for findings on
+that line *or the line directly below it* (so a standalone comment can
+sit above a long statement).  The justification text is mandatory --
+a bare ``# repro: allow[R1]`` is itself reported as a ``SUP`` finding,
+and ``SUP`` findings cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+SUPPRESSION_RULE = "SUP"
+SUPPRESSION_TITLE = "suppression-hygiene"
+
+_PATTERN = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+#: Rule IDs look like R1/R2/...; the wildcard ``*`` allows every rule.
+_RULE_ID = re.compile(r"^(?:R\d+|\*)$")
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        return rule != SUPPRESSION_RULE and ("*" in self.rules or rule in self.rules)
+
+
+@dataclass
+class Suppressions:
+    """All suppression comments of one module, indexed by line."""
+
+    by_line: Dict[int, Suppression] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+
+    def lookup(self, line: int) -> Optional[Suppression]:
+        """The suppression governing a finding on ``line`` (same line
+        wins over a comment on the line above)."""
+        hit = self.by_line.get(line)
+        if hit is not None:
+            return hit
+        return self.by_line.get(line - 1)
+
+    def apply(self, finding: Finding) -> Finding:
+        """Mark ``finding`` suppressed when a matching annotation covers it."""
+        hit = self.lookup(finding.line)
+        if hit is not None and hit.covers(finding.rule):
+            hit.used = True
+            return finding.with_status(suppressed=True, justification=hit.justification)
+        return finding
+
+    @property
+    def count(self) -> int:
+        return len(self.by_line)
+
+    def unused(self) -> List[Suppression]:
+        return [entry for entry in self.by_line.values() if not entry.used]
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every real comment token (strings that merely
+    *look* like comments never count)."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+
+
+def parse_suppressions(source: str, path: str) -> Suppressions:
+    """Collect every suppression comment (and hygiene problems) in ``source``."""
+    out = Suppressions()
+    for lineno, text in _comments(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            if "repro:" in text and "allow" in text:
+                out.malformed.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        title=SUPPRESSION_TITLE,
+                        path=path,
+                        line=lineno,
+                        message="malformed suppression: expected "
+                        "'# repro: allow[R<n>] <justification>'",
+                    )
+                )
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+        justification = match.group(2).strip()
+        bad_ids = [rule for rule in rules if not _RULE_ID.match(rule)]
+        if not rules or bad_ids:
+            out.malformed.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    title=SUPPRESSION_TITLE,
+                    path=path,
+                    line=lineno,
+                    message=f"suppression names no valid rule IDs ({match.group(1)!r}); "
+                    "expected R<n> or *",
+                )
+            )
+            continue
+        if not justification:
+            out.malformed.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    title=SUPPRESSION_TITLE,
+                    path=path,
+                    line=lineno,
+                    message=f"suppression for {', '.join(rules)} carries no "
+                    "justification; say why the finding is acceptable",
+                )
+            )
+            continue
+        out.by_line[lineno] = Suppression(lineno, rules, justification)
+    return out

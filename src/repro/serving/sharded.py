@@ -272,7 +272,9 @@ class ShardedScheduler:
             injector = FaultInjector(
                 runtime,
                 self.cluster,
-                self.faults.events(self.cluster, protected=tuple(set(leaders))),
+                # Order-preserving dedup: tuple(set(...)) would hand the
+                # protected list hash-randomised ordering across runs.
+                self.faults.events(self.cluster, protected=tuple(dict.fromkeys(leaders))),
             )
             injector.arm()
         # A zero-event process never arms: no driver process, no gates,

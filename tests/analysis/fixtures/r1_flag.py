@@ -1,0 +1,43 @@
+"""Must-flag fixture for R1: every determinism violation family.
+
+Analyzed as text under the module name ``repro.sim.fixture`` (the
+set-iteration check is scoped to the scheduling packages); never
+imported.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_constructors():
+    a = random.Random()  # R1: no seed
+    b = random.Random(None)  # R1: literal None seed
+    c = np.random.default_rng()  # R1: no seed
+    return a, b, c
+
+
+def global_rng_draws():
+    return random.random() + random.randint(0, 10)  # R1 twice
+
+
+def numpy_global_state():
+    return np.random.rand(3)  # R1: legacy global numpy RNG
+
+
+def wall_clock():
+    stamp = time.time()  # R1
+    token = os.urandom(8)  # R1
+    return stamp, token
+
+
+def set_ordering(devices):
+    candidates = set(devices)
+    order = []
+    for name in candidates:  # R1: schedule order from set iteration
+        order.append(name)
+    ranked = [name for name in candidates]  # R1: comprehension over a set
+    snapshot = tuple({"a", "b"} | candidates)  # R1: tuple() materialises order
+    return order, ranked, snapshot

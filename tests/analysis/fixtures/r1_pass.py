@@ -1,0 +1,27 @@
+"""Must-pass fixture for R1: the seeded/deterministic counterparts."""
+
+import random
+
+import numpy as np
+
+
+def seeded_constructors(seed: int = 0):
+    a = random.Random(seed)
+    b = random.Random(seed ^ 0x5EED)
+    c = np.random.default_rng(seed)
+    return a, b, c
+
+
+def private_rng_draws(seed: int = 7):
+    rng = random.Random(seed)
+    return rng.random() + rng.randint(0, 10)
+
+
+def set_used_safely(devices):
+    candidates = set(devices)
+    ordered = sorted(candidates)  # sorted() fixes the order
+    deduped = tuple(dict.fromkeys(devices))  # order-preserving dedup
+    total = sum(len(name) for name in candidates)  # order-insensitive reducer
+    best = min(candidates)  # deterministic result
+    present = "brain" in candidates  # membership only
+    return ordered, deduped, total, best, present

@@ -1,0 +1,24 @@
+"""Must-flag fixture for R2: a fastpath gate whose reference arm is gone.
+
+The gated branch returns the fast result and nothing follows it: with
+``REPRO_DSE_FASTPATH=0`` the function silently returns ``None``.
+"""
+
+from repro.fastpath import fastpath_enabled
+
+
+def _fast_kernel(values):
+    return sum(values) * 2
+
+
+def priced(values):
+    if fastpath_enabled():
+        return _fast_kernel(values)
+    # R2: no else, no fall-through -- the reference arm was deleted.
+
+
+def priced_via_flag(values):
+    use_fast = fastpath_enabled() and bool(values)
+    if use_fast:
+        return _fast_kernel(values)
+    # R2: same hole, behind a derived local flag.

@@ -1,0 +1,38 @@
+"""Must-pass fixture for R2: both hatch arms alive, in both shapes."""
+
+from repro.fastpath import fastpath_enabled
+
+
+def _fast_kernel(values):
+    return sum(values) * 2
+
+
+def _reference_kernel(values):
+    total = 0
+    for value in values:
+        total += value
+    return total * 2
+
+
+def priced_fallthrough(values):
+    if fastpath_enabled():
+        return _fast_kernel(values)
+    return _reference_kernel(values)
+
+
+def priced_else(values):
+    use_fast = fastpath_enabled() and bool(values)
+    if use_fast:
+        result = _fast_kernel(values)
+    else:
+        result = _reference_kernel(values)
+    return result
+
+
+def memo_guard(cache, key, values):
+    # Side-effect-only gate: the fall-through is the shared path, no
+    # reference arm is being hidden.
+    result = _reference_kernel(values)
+    if fastpath_enabled():
+        cache[key] = result
+    return result

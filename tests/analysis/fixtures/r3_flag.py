@@ -1,0 +1,18 @@
+"""Must-flag fixture for R3: claims that leak on exceptional exits.
+
+Analyzed under ``repro.sim.fixture`` (the rule is scoped to the
+engine/serving packages).
+"""
+
+
+def happy_path_only(station, env, duration):
+    request = station.request()  # R3: release never survives an unwind
+    yield request
+    yield env.timeout(duration)
+    station.release(request)
+
+
+def never_released(station, env):
+    claim = station.request()  # R3: leaked on every path
+    yield claim
+    yield env.timeout(1.0)

@@ -1,0 +1,36 @@
+"""Must-pass fixture for R3: every sanctioned claim disposal."""
+
+
+def try_finally(station, env, duration):
+    request = station.request()
+    yield request
+    try:
+        yield env.timeout(duration)
+    finally:
+        station.release(request)
+
+
+def except_handler(station, env, duration):
+    request = station.request()
+    try:
+        yield request
+    except BaseException:
+        # Abandoned while queued: hand the claim back.
+        station.release(request)
+        raise
+    try:
+        yield env.timeout(duration)
+    finally:
+        station.release(request)
+
+
+def ownership_handoff(station, env, serve):
+    slot = station.request()
+    yield slot
+    env.process(serve(slot))  # the serving process owns the release now
+
+
+def container_handoff(station, holder):
+    resumed = station.request()
+    holder["slot"] = resumed  # the holder's owner releases it
+    yield resumed

@@ -1,0 +1,31 @@
+"""Must-flag fixture for R4: an unguarded per-entry accessor."""
+
+TRACE_FULL = "full"
+
+
+def check_trace_level(level):
+    return level
+
+
+class LeakyRecorder:
+    """Keeps per-entry tuples only at the full level -- but ``entries``
+    forgets to guard, silently returning ``()`` on aggregate runs."""
+
+    def __init__(self, level: str = TRACE_FULL):
+        self.level = check_trace_level(level)
+        self._full = level == TRACE_FULL
+        self._entries = []
+        self._total = 0
+
+    def record(self, value):
+        self._total += value
+        if self._full:
+            self._entries.append(value)
+
+    @property
+    def entries(self):  # R4: reads self._entries with no level guard
+        return tuple(self._entries)
+
+    @property
+    def total(self):
+        return self._total

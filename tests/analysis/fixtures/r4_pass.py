@@ -1,0 +1,42 @@
+"""Must-pass fixture for R4: all three sanctioned guard styles."""
+
+TRACE_FULL = "full"
+
+
+class TraceLevelError(RuntimeError):
+    pass
+
+
+def check_trace_level(level):
+    return level
+
+
+class GuardedRecorder:
+    def __init__(self, level: str = TRACE_FULL):
+        self.level = check_trace_level(level)
+        self._full = level == TRACE_FULL
+        self._entries = []
+        self._total = 0
+
+    def record(self, value):
+        self._total += value
+        if self._full:
+            self._entries.append(value)
+
+    @property
+    def entries(self):
+        if not self._full:
+            raise TraceLevelError("per-entry data needs trace_level='full'")
+        return tuple(self._entries)
+
+    def _require_full(self, what):
+        if not self._full:
+            raise TraceLevelError(f"{what} needs trace_level='full'")
+
+    def first_entry(self):
+        self._require_full("per-entry data")
+        return self._entries[0]
+
+    @property
+    def total(self):  # aggregate data: no guard needed
+        return self._total

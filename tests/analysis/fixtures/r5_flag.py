@@ -1,0 +1,15 @@
+"""Must-flag fixture for R5: None-means-entropy seed defaults."""
+
+
+def build_stream(models, rate, seed=None):  # R5
+    return (models, rate, seed)
+
+
+class Process:
+    def __init__(self, horizon_s: float = 60.0, seed=None):  # R5
+        self.horizon_s = horizon_s
+        self.seed = seed
+
+
+def clone(stream, *, fault_seed=None):  # R5: keyword-only *_seed
+    return (stream, fault_seed)

@@ -1,0 +1,19 @@
+"""Must-pass fixture for R5: concrete or required seeds."""
+
+
+def build_stream(models, rate, seed: int = 0):
+    return (models, rate, seed)
+
+
+class Process:
+    def __init__(self, seed: int, horizon_s: float = 60.0):
+        self.seed = seed
+        self.horizon_s = horizon_s
+
+
+def _thread_seed(stream, seed=None):  # private helper: allowed to thread
+    return (stream, seed)
+
+
+def reseed(stream, *, fault_seed: int = 7):
+    return (stream, fault_seed)

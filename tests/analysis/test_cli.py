@@ -1,0 +1,88 @@
+"""End-to-end CLI tests: ``python -m repro.analysis`` exit codes and JSON."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_tree_scan_exits_zero():
+    proc = run_cli("src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 actionable" in proc.stdout
+
+
+def test_json_mode_reports_summary_and_findings():
+    proc = run_cli("src/repro", "--json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    summary = payload["summary"]
+    assert summary["rules"] == 5
+    assert summary["actionable"] == 0
+    assert summary["findings_total"] == len(payload["findings"])
+    for finding in payload["findings"]:
+        assert {"rule", "path", "line", "message"} <= set(finding)
+
+
+def test_list_rules_names_all_five():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    ids = [line.split()[0] for line in proc.stdout.strip().splitlines()]
+    assert ids == ["R1", "R2", "R3", "R4", "R5"]
+
+
+def test_missing_path_is_a_usage_error():
+    proc = run_cli("no/such/path")
+    assert proc.returncode == 2
+    assert "no such path" in proc.stderr
+
+
+def test_violation_exits_one_and_suppression_restores_zero(tmp_path):
+    bad = tmp_path / "repro_fixture.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = run_cli(str(bad), cwd=tmp_path)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "R1" in proc.stdout
+
+    bad.write_text(
+        "import time\n\n\ndef stamp():\n"
+        "    return time.time()  # repro: allow[R1] operator-facing print\n"
+    )
+    proc = run_cli(str(bad), cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_write_baseline_grandfathers_then_gates(tmp_path):
+    bad = tmp_path / "repro_fixture.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+
+    proc = run_cli(str(bad), "--write-baseline", "--baseline", str(baseline), cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 findings grandfathered" in proc.stdout
+
+    proc = run_cli(str(bad), "--baseline", str(baseline), cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 baselined" in proc.stdout
+
+    proc = run_cli(str(bad), "--baseline", str(baseline), "--no-baseline", cwd=tmp_path)
+    assert proc.returncode == 1

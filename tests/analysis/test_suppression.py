@@ -1,0 +1,109 @@
+"""Suppression semantics and the baseline round-trip."""
+
+import pytest
+
+from repro.analysis import Baseline, analyze_source, fingerprint
+from repro.analysis.suppress import parse_suppressions
+
+pytestmark = pytest.mark.lint
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def findings_for(source: str, **kwargs):
+    return analyze_source(source, module="repro.sim.fixture", path="fix.py", **kwargs)
+
+
+def test_same_line_suppression_silences_the_finding():
+    source = VIOLATION.replace(
+        "time.time()",
+        "time.time()  # repro: allow[R1] wall clock for a progress print",
+    )
+    (finding,) = findings_for(source)
+    assert finding.suppressed and not finding.actionable
+    assert finding.justification == "wall clock for a progress print"
+
+
+def test_line_above_suppression_silences_the_finding():
+    source = VIOLATION.replace(
+        "    return time.time()",
+        "    # repro: allow[R1] wall clock for a progress print\n    return time.time()",
+    )
+    (finding,) = findings_for(source)
+    assert finding.suppressed
+
+
+def test_wildcard_covers_every_rule_but_wrong_id_does_not():
+    wild = VIOLATION.replace("time.time()", "time.time()  # repro: allow[*] operator print")
+    (finding,) = findings_for(wild)
+    assert finding.suppressed
+
+    wrong = VIOLATION.replace("time.time()", "time.time()  # repro: allow[R4] nope")
+    (finding,) = findings_for(wrong)
+    assert finding.actionable
+
+
+def test_bare_suppression_is_a_sup_finding():
+    source = VIOLATION.replace("time.time()", "time.time()  # repro: allow[R1]")
+    findings = findings_for(source)
+    assert {f.rule for f in findings} == {"R1", "SUP"}
+    sup = next(f for f in findings if f.rule == "SUP")
+    assert sup.actionable and "justification" in sup.message
+    # The annotation without a justification does NOT silence anything.
+    assert next(f for f in findings if f.rule == "R1").actionable
+
+
+def test_invalid_rule_ids_and_malformed_spelling_are_sup_findings():
+    bad_id = "X = 1  # repro: allow[nope] because\n"
+    findings = findings_for(bad_id)
+    assert [f.rule for f in findings] == ["SUP"]
+    assert "no valid rule IDs" in findings[0].message
+
+    misspelled = "X = 1  # repro: allowed R1 because\n"
+    findings = findings_for(misspelled)
+    assert [f.rule for f in findings] == ["SUP"]
+    assert "malformed" in findings[0].message
+
+
+def test_string_literals_that_look_like_suppressions_do_not_count():
+    source = 'MESSAGE = "# repro: allow[R1] not a real comment"\n'
+    suppressions = parse_suppressions(source, "fix.py")
+    assert suppressions.count == 0 and suppressions.malformed == []
+
+
+def test_unused_suppressions_are_observable():
+    source = "X = 1  # repro: allow[R1] nothing here needs it\n"
+    suppressions = parse_suppressions(source, "fix.py")
+    assert [entry.line for entry in suppressions.unused()] == [1]
+
+
+def test_baseline_round_trip_survives_line_moves(tmp_path):
+    findings = findings_for(VIOLATION)
+    assert len(findings) == 1 and findings[0].actionable
+
+    baseline = Baseline.from_findings(findings)
+    assert baseline.count == 1
+
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert set(reloaded.entries) == set(baseline.entries)
+
+    # The fingerprint is line-number-free: shifting the code down the
+    # file leaves the grandfathered entry valid.
+    shifted = "\n\n\n" + VIOLATION
+    (finding,) = findings_for(shifted, baseline=reloaded)
+    assert finding.baselined and not finding.actionable
+    assert fingerprint(finding) in reloaded.entries
+
+
+def test_suppressed_findings_never_enter_the_baseline():
+    source = VIOLATION.replace(
+        "time.time()", "time.time()  # repro: allow[R1] operator print"
+    )
+    findings = findings_for(source)
+    assert Baseline.from_findings(findings).count == 0
+
+
+def test_missing_baseline_file_loads_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").count == 0
