@@ -61,6 +61,18 @@ Three measurements, one artifact (``BENCH_serving.json``):
    every swept epoch length, and that the epoch machinery actually ran
    (epochs > 0 with at least one leader re-election).
 
+7. **Control-plane gate** (ISSUE 9).  The Fig. 13 sweep runs the two
+   adversarial fig10 streams (light bursts reward a wide in-flight
+   window; the heavy stream saturates the cluster and punishes one)
+   under three static windows and under the stream-blind AIMD
+   controller, plus the fig11 churn timelines with and without
+   breaker-enabled control.  The gate asserts the controller lands
+   within 10% of the best static configuration's p99 and SLO
+   attainment on both streams and strictly beats the worst static p99
+   on both; breaker-enabled control never loses SLO attainment to
+   no-control under churn, and the hostile timeline actually trips a
+   breaker.
+
 The result memos in ``repro.core.dp`` are cleared before every timed
 pass so neither path is subsidised by the other's warm cache.
 """
@@ -85,6 +97,15 @@ from repro.experiments.fig12_specialize import (
     NUM_REQUESTS as FIG12_REQUESTS,
     SLO_S as FIG12_SLO_S,
     run_fig12,
+)
+from repro.experiments.fig13_control import (
+    CONTROLLER,
+    SLO_S as FIG13_SLO_S,
+    STATIC_INFLIGHTS,
+    STREAMS as FIG13_STREAMS,
+    run_fig13_churn,
+    run_fig13_streams,
+    summarize_fig13,
 )
 from repro.platform.cluster import build_cluster
 from repro.serving import (
@@ -294,6 +315,36 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
         )
     fig12 = {"requests": FIG12_REQUESTS, "slo_s": FIG12_SLO_S, "cells": fig12_cells}
 
+    # Control-plane sweep (ISSUE 9): static in-flight windows vs the
+    # stream-blind AIMD controller on the two adversarial fig10
+    # streams, and breaker-enabled control under the fig11 churn
+    # timelines.  The new `rejected` bucket must reconcile everywhere.
+    fig13_stream_results = run_fig13_streams()
+    fig13_churn_results = run_fig13_churn()
+    for key, result in {**fig13_stream_results, **fig13_churn_results}.items():
+        assert result.count + result.shed + result.rejected == 120, (
+            f"admission ledger does not reconcile in fig13 cell {key}"
+        )
+        assert result.failures == result.retries + result.shed, (
+            f"failure accounting does not reconcile in fig13 cell {key}"
+        )
+        result.busy.assert_no_overlaps()
+    fig13_cells = summarize_fig13(fig13_stream_results, fig13_churn_results)
+    fig13 = {"slo_s": FIG13_SLO_S, "cells": fig13_cells}
+    for stream in FIG13_STREAMS:
+        cell = fig13_cells[f"{stream}/{CONTROLLER}"]
+        print(
+            f"fig13 {stream}/controller: p99 {cell['p99_ms']:.0f} ms, "
+            f"SLO<{FIG13_SLO_S:g}s {100 * cell['slo_attainment']:.1f}%, "
+            f"{cell['widened']} widens, {cell['narrowed']} narrows"
+        )
+    for level in ("moderate", "hostile"):
+        cell = fig13_cells[f"churn/{level}/breaker"]
+        print(
+            f"fig13 churn/{level}/breaker: SLO {100 * cell['slo_attainment']:.1f}%, "
+            f"{cell['breaker_trips']} trips, {cell['breaker_restores']} restores"
+        )
+
     artifact = {
         "bench": "serving",
         "description": (
@@ -314,6 +365,9 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             "distributed_leader_p99_max_ratio": 1.0,
             "churn_recovery_strictly_beats_none": True,
             "clustered_beats_legacy_routers": True,
+            "controller_vs_best_static_max_ratio": 1.1,
+            "controller_beats_worst_static_p99": True,
+            "breaker_control_slo_min_ratio": 1.0,
         },
         "coplan": coplan,
         "serving": serving,
@@ -321,6 +375,7 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
         "leader_placement": leader_sweep,
         "churn": churn,
         "fig12_specialize": fig12,
+        "fig13_control": fig13,
     }
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
@@ -389,3 +444,42 @@ def test_bench_serving_coplan_and_sustained_load(cluster):
             f"epoch machinery never ran at epoch {epoch_s:g}s: "
             f"{cell['epochs']} epochs, {cell['leader_reelections']} re-elections"
         )
+
+    # The control-plane gate (ISSUE 9): the stream-blind controller
+    # must land within 10% of the best static window's p99 and SLO
+    # attainment on BOTH adversarial streams, and strictly beat the
+    # worst static p99 on both -- a controller exists so nobody ships
+    # the wrong static config.
+    for stream in FIG13_STREAMS:
+        statics = [fig13_cells[f"{stream}/static/{w}"] for w in STATIC_INFLIGHTS]
+        controller = fig13_cells[f"{stream}/{CONTROLLER}"]
+        best_p99 = min(cell["p99_ms"] for cell in statics)
+        worst_p99 = max(cell["p99_ms"] for cell in statics)
+        best_slo = max(cell["slo_attainment"] for cell in statics)
+        assert controller["p99_ms"] <= 1.1 * best_p99, (
+            f"controller missed the static p99 frontier on {stream}: "
+            f"{controller['p99_ms']:.0f} ms vs best static {best_p99:.0f} ms"
+        )
+        assert controller["slo_attainment"] >= 0.9 * best_slo, (
+            f"controller missed static SLO attainment on {stream}: "
+            f"{controller['slo_attainment']:.4f} vs best static {best_slo:.4f}"
+        )
+        assert controller["p99_ms"] < worst_p99, (
+            f"controller did not beat the worst static window on {stream}: "
+            f"{controller['p99_ms']:.0f} ms vs worst static {worst_p99:.0f} ms"
+        )
+
+    # Breaker-enabled control must never lose SLO attainment to
+    # no-control under churn, and the hostile timeline must actually
+    # trip a breaker so the FSM is exercised, not vacuously green.
+    for level in ("moderate", "hostile"):
+        without = fig13_cells[f"churn/{level}/none"]
+        with_breakers = fig13_cells[f"churn/{level}/breaker"]
+        assert with_breakers["slo_attainment"] >= without["slo_attainment"], (
+            f"breaker control lost SLO attainment under {level} churn: "
+            f"{with_breakers['slo_attainment']:.4f} vs {without['slo_attainment']:.4f}"
+        )
+    hostile = fig13_cells["churn/hostile/breaker"]
+    assert hostile["breaker_trips"] > 0, (
+        "hostile churn never tripped a breaker; the breaker gate is vacuous"
+    )

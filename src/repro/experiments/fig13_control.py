@@ -1,0 +1,237 @@
+"""Figure 13 (beyond the paper): the self-protecting control plane.
+
+The paper's middleware monitors cluster status but never *acts* on
+serving pressure: every evaluation runs a fixed concurrency window on
+a healthy cluster.  This sweep measures what the SLO-driven control
+plane (:mod:`repro.serving.control`) buys on both axes:
+
+- **Static frontier vs controller.**  The fig10 ``bursty_light``
+  (dense light-model bursts: wider windows win) and heavy ``bursty``
+  (cluster-saturating big DNNs: narrow windows protect the tail)
+  streams each run at 4 shards under three *static* in-flight windows
+  -- narrow (2), the seed default (4), wide (12) -- and under one AIMD
+  controller that is given **no hint which stream it faces**: the same
+  :func:`control_policy` serves both, widening on SLO headroom and
+  multiplicatively narrowing on windowed p99 violations.  The bench
+  gate asserts the controller lands within 10% of the *best* static
+  configuration's p99 and SLO attainment on both streams and strictly
+  beats the *worst* static p99 on both -- the point of a controller is
+  not to beat a hand-tuned static config, it is to never be the
+  operator who shipped the wrong one.
+
+- **Breakers under churn.**  The fig11 heavy-model Poisson stream runs
+  under the seeded ``moderate`` and ``hostile`` fault timelines with
+  the retry policy, with and without breaker-enabled control
+  (per-shard circuit breakers: a ``DeviceLostError`` burst trips the
+  shard, the router routes around it, a cooldown probe restores it).
+  The gate asserts breaker-enabled control never loses SLO attainment
+  to no-control, and that the hostile timeline actually trips a
+  breaker, so the FSM is exercised -- not vacuously green.
+
+Every cell is fully deterministic (seeded streams, seeded faults,
+simulation-clock controller), so the artifact numbers are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.hidp import HiDPStrategy
+from repro.experiments.fig10_scaleout import build_arrivals as build_stream
+from repro.experiments.fig11_churn import (
+    POLICIES as CHURN_POLICIES,
+    SLO_S as CHURN_SLO_S,
+    build_arrivals as build_churn_arrivals,
+    build_perturbation,
+)
+from repro.metrics.report import render_table
+from repro.platform.cluster import Cluster, build_cluster
+from repro.serving import ControlPolicy, ServingResult, ShardedScheduler
+
+#: End-to-end SLO for the healthy streams (fig10's interactive bound).
+SLO_S = 1.5
+
+#: Static in-flight windows swept: narrow, the seed default, wide.
+STATIC_INFLIGHTS = (2, 4, 12)
+
+#: Shard count for the healthy-stream sweep (the fig10 scale-out point).
+NUM_SHARDS = 4
+
+#: The controller's starting window (the seed default; AIMD moves it).
+START_INFLIGHT = 4
+
+#: The two adversarial fig10 streams: light bursts want a wide window,
+#: the heavy stream saturates the cluster and punishes one.
+STREAMS = ("bursty_light", "bursty")
+
+#: Churn sweep configuration (the fig11 cell shape).
+CHURN_LEVELS = ("moderate", "hostile")
+CHURN_SHARDS = 2
+CHURN_INFLIGHT = 8
+
+#: Cell label for the controller row (vs ``static/<window>``).
+CONTROLLER = "controller"
+
+
+def control_policy() -> ControlPolicy:
+    """The stream-blind AIMD policy of the healthy-stream sweep.
+
+    One policy for both streams: additive widening (+1 per interval of
+    SLO headroom with queued demand), multiplicative narrowing (x0.75
+    on a windowed p99 violation), floor 3 so saturation cannot collapse
+    the window into a serial drain, ceiling 16.
+    """
+    return ControlPolicy(
+        interval_s=0.25,
+        slo_s=SLO_S,
+        min_inflight=3,
+        max_inflight=16,
+        widen_by=1,
+        narrow_factor=0.75,
+        headroom=0.8,
+    )
+
+
+def churn_policy() -> ControlPolicy:
+    """Breaker-enabled control for the churn sweep: two failures on one
+    shard inside a 2 s window trip it; a 1 s cooldown probe restores
+    it.  AIMD is off so the comparison isolates the breakers."""
+    return ControlPolicy(
+        interval_s=0.25,
+        slo_s=CHURN_SLO_S,
+        concurrency=False,
+        breaker_failures=2,
+        breaker_window_s=2.0,
+        breaker_cooldown_s=1.0,
+    )
+
+
+def run_fig13_streams(
+    streams: Sequence[str] = STREAMS,
+    inflights: Sequence[int] = STATIC_INFLIGHTS,
+    cluster: Optional[Cluster] = None,
+) -> Dict[Tuple[str, str], ServingResult]:
+    """{(stream, "static/<n>" | "controller"): result}."""
+    results: Dict[Tuple[str, str], ServingResult] = {}
+    for stream in streams:
+        requests = build_stream(stream, "uniform")
+        for window in inflights:
+            scheduler = ShardedScheduler(
+                cluster=cluster, num_shards=NUM_SHARDS, max_inflight=window
+            )
+            results[(stream, f"static/{window}")] = scheduler.run(requests)
+        scheduler = ShardedScheduler(
+            cluster=cluster,
+            num_shards=NUM_SHARDS,
+            max_inflight=START_INFLIGHT,
+            control=control_policy(),
+        )
+        results[(stream, CONTROLLER)] = scheduler.run(requests)
+    return results
+
+
+def run_fig13_churn(
+    levels: Sequence[str] = CHURN_LEVELS,
+    cluster: Optional[Cluster] = None,
+) -> Dict[Tuple[str, str], ServingResult]:
+    """{(churn level, "none" | "breaker"): result} -- the fig11 retry
+    cell with and without breaker-enabled control."""
+    requests = build_churn_arrivals()
+    retry = CHURN_POLICIES["retry"]
+    results: Dict[Tuple[str, str], ServingResult] = {}
+    for level in levels:
+        for name, control in (("none", None), ("breaker", churn_policy())):
+            scheduler = ShardedScheduler(
+                cluster=cluster,
+                strategy=HiDPStrategy(),
+                num_shards=CHURN_SHARDS,
+                max_inflight=CHURN_INFLIGHT,
+                faults=build_perturbation(level),
+                retry=retry,
+                control=control,
+            )
+            results[(level, name)] = scheduler.run(requests)
+    return results
+
+
+def summarize_fig13(
+    stream_results: Optional[Dict[Tuple[str, str], ServingResult]] = None,
+    churn_results: Optional[Dict[Tuple[str, str], ServingResult]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """JSON-able per-cell summary (the BENCH_serving fig13 section)."""
+    if stream_results is None:
+        stream_results = run_fig13_streams()
+    if churn_results is None:
+        churn_results = run_fig13_churn()
+    summary: Dict[str, Dict[str, float]] = {}
+    for (stream, config), result in stream_results.items():
+        trace = result.control
+        summary[f"{stream}/{config}"] = {
+            "p99_ms": result.percentiles()["p99"] * 1000.0,
+            "slo_attainment": result.slo_attainment(SLO_S),
+            "completed": result.count,
+            "rejected": result.rejected,
+            "widened": 0 if trace is None else trace.widened,
+            "narrowed": 0 if trace is None else trace.narrowed,
+        }
+    for (level, config), result in churn_results.items():
+        trace = result.control
+        summary[f"churn/{level}/{config}"] = {
+            "p99_ms": result.percentiles()["p99"] * 1000.0,
+            "slo_attainment": result.slo_attainment(CHURN_SLO_S),
+            "completed": result.count,
+            "failures": result.failures,
+            "retries": result.retries,
+            "shed": result.shed,
+            "breaker_trips": 0 if trace is None else trace.breaker_trips,
+            "breaker_restores": 0 if trace is None else trace.breaker_restores,
+        }
+    return summary
+
+
+def report_fig13(
+    stream_results: Optional[Dict[Tuple[str, str], ServingResult]] = None,
+    churn_results: Optional[Dict[Tuple[str, str], ServingResult]] = None,
+) -> str:
+    if stream_results is None:
+        stream_results = run_fig13_streams()
+    if churn_results is None:
+        churn_results = run_fig13_churn()
+    rows = []
+    for (stream, config), result in stream_results.items():
+        trace = result.control
+        rows.append(
+            {
+                "workload": stream,
+                "config": config,
+                f"SLO<{SLO_S:g}s": f"{100.0 * result.slo_attainment(SLO_S):.0f}%",
+                "p99 [ms]": result.percentiles()["p99"] * 1000.0,
+                "widen": "-" if trace is None else trace.widened,
+                "narrow": "-" if trace is None else trace.narrowed,
+                "trips": "-",
+                "fail": result.failures,
+            }
+        )
+    for (level, config), result in churn_results.items():
+        trace = result.control
+        rows.append(
+            {
+                "workload": f"churn/{level}",
+                "config": config,
+                f"SLO<{SLO_S:g}s": f"{100.0 * result.slo_attainment(CHURN_SLO_S):.0f}%",
+                "p99 [ms]": result.percentiles()["p99"] * 1000.0,
+                "widen": "-",
+                "narrow": "-",
+                "trips": "-" if trace is None else trace.breaker_trips,
+                "fail": result.failures,
+            }
+        )
+    return render_table(
+        rows,
+        title=(
+            "Fig. 13 -- self-protecting serving: static windows vs the "
+            "stream-blind AIMD controller, and breaker-enabled control "
+            "under churn (churn rows judged at the fig11 4 s SLO)"
+        ),
+        float_format="{:.1f}",
+    )

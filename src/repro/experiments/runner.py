@@ -23,6 +23,7 @@ from repro.experiments.fig9_serving import report_fig9
 from repro.experiments.fig10_scaleout import report_fig10
 from repro.experiments.fig11_churn import report_fig11
 from repro.experiments.fig12_specialize import report_fig12
+from repro.experiments.fig13_control import report_fig13
 from repro.experiments.sensitivity import report_bandwidth_sweep
 from repro.experiments.tables import report_accuracy, report_table1, report_table2
 
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig10": report_fig10,
     "fig11": report_fig11,
     "fig12": report_fig12,
+    "fig13": report_fig13,
     "accuracy": report_accuracy,
     "sensitivity": report_bandwidth_sweep,
 }

@@ -81,6 +81,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.serving import StreamingStats
+from repro.platform.power import BatteryModel
 from repro.sim.trace import TRACE_FULL, TraceLevelError, check_trace_level
 
 #: Fault-event kinds.
@@ -90,6 +91,7 @@ LINK_DEGRADE = "link_degrade"
 LINK_RESTORE = "link_restore"
 DVFS_THROTTLE = "dvfs_throttle"
 DVFS_RESTORE = "dvfs_restore"
+BATTERY_DRAIN = "battery_drain"
 FAULT_KINDS = (
     DEVICE_LEAVE,
     DEVICE_JOIN,
@@ -97,6 +99,7 @@ FAULT_KINDS = (
     LINK_RESTORE,
     DVFS_THROTTLE,
     DVFS_RESTORE,
+    BATTERY_DRAIN,
 )
 
 #: Target name of cluster-wide link events (there is one shared medium).
@@ -172,6 +175,16 @@ class PerturbationProcess:
     correlated_rate: float = 0.0
     correlated_group: Tuple[str, ...] = ()
     mean_correlated_outage_s: float = 1.0
+    #: Finite energy budgets per device, as ``(name, BatteryModel)``
+    #: pairs (a tuple keeps the dataclass hashable/frozen).  Unlike the
+    #: pre-expanded event streams above, battery drain depends on
+    #: *simulation state* (actual busy time under the actual DVFS
+    #: factor), so :class:`FaultInjector` samples it every
+    #: ``battery_sample_s`` over ``[0, horizon_s]`` instead of expanding
+    #: it up front.  An empty tuple adds zero processes and zero events:
+    #: schedules stay byte-identical.
+    batteries: Tuple[Tuple[str, BatteryModel], ...] = ()
+    battery_sample_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -186,6 +199,24 @@ class PerturbationProcess:
             raise ValueError("slowdown factors must be >= 1")
         if self.correlated_rate > 0 and not self.correlated_group:
             raise ValueError("correlated_rate needs a non-empty correlated_group")
+        if self.battery_sample_s <= 0:
+            raise ValueError(
+                f"battery_sample_s must be positive, got {self.battery_sample_s}"
+            )
+        seen = set()
+        for name, model in self.batteries:
+            if not isinstance(model, BatteryModel):
+                raise ValueError(f"battery entry for {name!r} is not a BatteryModel")
+            if name in seen:
+                raise ValueError(f"duplicate battery entry for device {name!r}")
+            seen.add(name)
+
+    def battery_map(self, protected: Sequence[str] = ()) -> Dict[str, BatteryModel]:
+        """The configured batteries minus shielded devices, in config order."""
+        shielded = set(self.protected) | set(protected)
+        return {
+            name: model for name, model in self.batteries if name not in shielded
+        }
 
     def events(self, cluster, protected: Sequence[str] = ()) -> List[FaultEvent]:
         """Expand the seed into the sorted fault timeline for ``cluster``."""
@@ -269,24 +300,71 @@ class FaultInjector:
     non-empty, so a zero-event process adds zero scheduled events and
     leaves every schedule byte-identical.  The executor consults
     :meth:`device_ok` at its segment gates.
+
+    Battery drain (the one fault stream that cannot be pre-expanded,
+    because drain follows *actual* busy time under the *actual* DVFS
+    factor) is sampled instead: ``batteries`` maps device names to
+    :class:`~repro.platform.power.BatteryModel`, and a monitor process
+    wakes every ``battery_sample_s`` over ``[0, battery_horizon_s]``,
+    integrates each device's completed busy seconds (the
+    :class:`~repro.sim.trace.BusyRecorder` totals are exact at both
+    trace levels; in-flight holds bill at their completion sample), and
+    drains the charge.  A device crossing ``floor_j`` leaves through the
+    same :meth:`Cluster.set_available` path as churn -- and never
+    rejoins; a drained battery has nothing left to rejoin with.  The
+    serving control plane may call :meth:`force_drain` ahead of the
+    crossing to turn the surprise outage into a planned migration.
     """
 
-    def __init__(self, runtime, cluster, events: Sequence[FaultEvent]):
+    def __init__(
+        self,
+        runtime,
+        cluster,
+        events: Sequence[FaultEvent],
+        batteries: Optional[Dict[str, BatteryModel]] = None,
+        battery_sample_s: float = 0.25,
+        battery_horizon_s: float = 60.0,
+    ):
         self.runtime = runtime
         self.cluster = cluster
         self.events = tuple(events)
         self.applied = 0
         self.counts: Dict[str, int] = {}
+        if battery_sample_s <= 0:
+            raise ValueError(f"battery_sample_s must be positive, got {battery_sample_s}")
+        if battery_horizon_s <= 0:
+            raise ValueError(f"battery_horizon_s must be positive, got {battery_horizon_s}")
+        self.batteries: Dict[str, BatteryModel] = dict(batteries or {})
+        known = {device.name for device in cluster.devices}
+        for name in self.batteries:
+            if name not in known:
+                raise ValueError(f"battery configured for unknown device {name!r}")
+        self.battery_sample_s = battery_sample_s
+        self.battery_horizon_s = battery_horizon_s
+        #: Remaining charge per battery device (exact at both levels).
+        self.battery_charge: Dict[str, float] = {
+            name: model.capacity_j for name, model in self.batteries.items()
+        }
+        #: Drain rate (J/s) observed over the last sampling window --
+        #: the controller's projection signal for planned drains.
+        self.battery_rate: Dict[str, float] = {name: 0.0 for name in self.batteries}
+        #: Raw completed-busy-seconds watermark per station key (drain
+        #: bills each window's *delta* at the station's current factor).
+        self._station_busy: Dict[str, float] = {}
+        self._battery_down: Dict[str, bool] = {name: False for name in self.batteries}
 
     @property
     def armed(self) -> bool:
-        return bool(self.events)
+        return bool(self.events) or bool(self.batteries)
 
     def arm(self) -> None:
-        if not self.events:
+        if not self.armed:
             return
         self.runtime.faults = self
-        self.runtime.env.process(self._drive())
+        if self.events:
+            self.runtime.env.process(self._drive())
+        if self.batteries:
+            self.runtime.env.process(self._monitor_batteries())
 
     def device_ok(self, device_name: str) -> bool:
         return self.cluster.is_available(device_name)
@@ -297,6 +375,54 @@ class FaultInjector:
             if event.time_s > env.now:
                 yield env.timeout(event.time_s - env.now)
             self._apply(event)
+
+    def battery_level(self, device_name: str) -> float:
+        """Remaining charge of ``device_name``'s battery, in joules."""
+        return self.battery_charge[device_name]
+
+    def battery_drained(self, device_name: str) -> bool:
+        return self._battery_down.get(device_name, False)
+
+    def force_drain(self, device_name: str) -> None:
+        """Take a battery device down *now* (the controller's planned
+        migration, ahead of the projected floor crossing)."""
+        if device_name not in self.batteries:
+            raise ValueError(f"no battery configured for device {device_name!r}")
+        self._drain(device_name)
+
+    def _drain(self, device_name: str) -> None:
+        if self._battery_down[device_name]:
+            return
+        self._battery_down[device_name] = True
+        self.cluster.set_available(device_name, False)
+        self.applied += 1
+        self.counts[BATTERY_DRAIN] = self.counts.get(BATTERY_DRAIN, 0) + 1
+
+    def _monitor_batteries(self):
+        env = self.runtime.env
+        busy = self.runtime.busy
+        last_t = env.now
+        while env.now < self.battery_horizon_s:
+            yield env.timeout(self.battery_sample_s)
+            now = env.now
+            window_s = now - last_t
+            last_t = now
+            for name, model in self.batteries.items():
+                if self._battery_down[name]:
+                    continue
+                delta_busy = 0.0
+                for station in self.runtime.stations_of(name):
+                    total = busy.busy_seconds(station.key)
+                    prev = self._station_busy.get(station.key, 0.0)
+                    self._station_busy[station.key] = total
+                    delta_busy += (total - prev) * station.throttle.factor
+                drain = model.drain_j(window_s, delta_busy)
+                self.battery_charge[name] -= drain
+                self.battery_rate[name] = drain / window_s if window_s > 0 else 0.0
+                if self.battery_charge[name] <= model.floor_j:
+                    self._drain(name)
+            if all(self._battery_down.values()):
+                break
 
     def _apply(self, event: FaultEvent) -> None:
         kind = event.kind
@@ -329,6 +455,16 @@ class RetryPolicy:
     (queued + waiting-for-slot requests) exceeds ``pressure_threshold``
     is shed outright (``"shed"``) or re-admitted ``downgrade_priority_by``
     priority levels worse (``"downgrade"``).
+
+    **Jitter.**  A correlated-group outage fails its whole cohort at
+    one instant; with deterministic backoff the cohort re-admits on the
+    same tick and stampedes the survivors.  ``jitter > 0`` stretches
+    each backoff by up to that fraction -- ``delay * (1 + jitter * u)``
+    where ``u`` is a *seeded* uniform draw keyed on ``(jitter_seed,
+    request_id, attempt)``, so the spread is a pure function of the
+    policy and the request, replayed byte-identically across runs.  The
+    default ``jitter=0.0`` skips the draw entirely and stays
+    byte-identical to the legacy backoff.
     """
 
     max_retries: int = 2
@@ -337,6 +473,8 @@ class RetryPolicy:
     degradation: str = DEGRADE_NONE
     pressure_threshold: int = 8
     downgrade_priority_by: int = 2
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -353,12 +491,27 @@ class RetryPolicy:
             raise ValueError(f"negative pressure threshold: {self.pressure_threshold}")
         if self.downgrade_priority_by < 0:
             raise ValueError(f"negative downgrade: {self.downgrade_priority_by}")
+        if self.jitter < 0:
+            raise ValueError(f"negative jitter: {self.jitter}")
 
-    def backoff_s(self, attempt: int) -> float:
-        """Queue delay charged before re-admission number ``attempt`` (1-based)."""
+    def backoff_s(self, attempt: int, request_id: int = 0) -> float:
+        """Queue delay charged before re-admission number ``attempt`` (1-based).
+
+        With ``jitter`` set, the delay is stretched by a deterministic
+        per-``(request_id, attempt)`` factor in ``[1, 1 + jitter]`` --
+        see the class docstring.  ``jitter=0`` returns the exact legacy
+        exponential delay.
+        """
         if attempt < 1:
             raise ValueError(f"attempt is 1-based, got {attempt}")
-        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter <= 0:
+            return delay
+        # An integer mix keyed on (seed, request, attempt): pure int
+        # arithmetic, so the draw replays across processes.
+        key = (self.jitter_seed * 1_000_003 + request_id) * 1_000_003 + attempt
+        u = random.Random(key).random()
+        return delay * (1.0 + self.jitter * u)
 
 
 @dataclass(frozen=True)
@@ -397,6 +550,7 @@ class FaultTrace:
         self.retries_per_recovery = StreamingStats()
         self._failed_segments: List[FailedSegment] = []
         self._recovery_times: List[Tuple[int, float]] = []
+        self._retry_times: List[Tuple[int, float]] = []
 
     def record_failure(
         self, request_id: int, device: str, segment: str, time_s: float, attempt: int
@@ -407,9 +561,13 @@ class FaultTrace:
                 FailedSegment(request_id, device, segment, time_s, attempt)
             )
 
-    def record_retry(self, request_id: int) -> None:
-        del request_id
+    def record_retry(self, request_id: int, readmit_s: Optional[float] = None) -> None:
+        """Count a re-admission; ``readmit_s`` (the sim time the retry
+        re-enters the queue, backoff included) is kept per-event at
+        ``trace_level="full"`` -- the jitter regression pin reads it."""
         self.retries += 1
+        if self._full and readmit_s is not None:
+            self._retry_times.append((request_id, readmit_s))
 
     def record_shed(self, request_id: int) -> None:
         del request_id
@@ -444,6 +602,11 @@ class FaultTrace:
     def recovery_times(self) -> Tuple[Tuple[int, float], ...]:
         self._require_full("per-request recovery times")
         return tuple(self._recovery_times)
+
+    @property
+    def retry_times(self) -> Tuple[Tuple[int, float], ...]:
+        self._require_full("per-retry re-admission times")
+        return tuple(self._retry_times)
 
     def recovery_percentiles(self) -> Dict[str, float]:
         """Streaming p50/p95/p99 time-to-recovery (both levels)."""

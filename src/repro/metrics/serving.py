@@ -155,6 +155,40 @@ def slo_attainment(latencies: Sequence[float], slo_s: float) -> float:
     return met / len(latencies)
 
 
+class SignalWindow:
+    """Completion latencies observed over one control interval.
+
+    The SLO control plane (:mod:`repro.serving.control`) reads its
+    feedback signal from here: the scheduler folds every completion
+    latency in as it happens, and the controller drains the window at
+    each wake -- so every AIMD decision judges exactly one interval's
+    worth of signal, never stale history.  Keeps latencies only (no
+    per-request identity), so it is safe at both trace levels.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self):
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def add(self, latency_s: float) -> None:
+        """Fold one completion latency into the current interval."""
+        self._values.append(latency_s)
+
+    def tail(self, pct: float = 99.0) -> float:
+        """The current interval's ``pct``-th latency percentile."""
+        return percentile(self._values, pct)
+
+    def drain(self) -> Tuple[float, ...]:
+        """Return the interval's sample and reset for the next one."""
+        values = tuple(self._values)
+        self._values.clear()
+        return values
+
+
 class P2Quantile:
     """Streaming quantile estimate: the P-square algorithm (Jain &
     Chlamtac, 1985).

@@ -43,6 +43,47 @@ class PowerModel:
         return (self.busy_w - self.idle_w) * busy_s
 
 
+@dataclass(frozen=True)
+class BatteryModel:
+    """A finite energy budget for one edge device.
+
+    Edge deployments (the paper's Jetson/Raspberry-Pi class) often run
+    on batteries; a drained device does not crash -- it *leaves*, which
+    the fault layer models through the existing ``set_available`` path.
+    Drain over a sampling window is::
+
+        idle_w * window_s + busy_w * sum(busy_delta * dvfs_factor)
+
+    i.e. proportional to busy time, scaled by the station's active DVFS
+    throttle factor (a throttled processor runs longer per unit of work
+    and we bill the stretched seconds at full draw -- the same
+    pessimistic simplification as :class:`DVFSThrottle` energy
+    accounting).  The device departs when remaining charge crosses
+    ``floor_j``; :mod:`repro.faults` samples and applies this, and the
+    serving control plane may *pre-empt* the drain (planned migration)
+    when the projected crossing falls within its next control interval.
+    """
+
+    capacity_j: float
+    floor_j: float = 0.0
+    idle_w: float = 0.0
+    busy_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError(f"battery capacity must be positive: {self}")
+        if not 0 <= self.floor_j < self.capacity_j:
+            raise ValueError(f"battery floor must sit inside [0, capacity): {self}")
+        if self.idle_w < 0 or self.busy_w < 0:
+            raise ValueError(f"negative battery draw: {self}")
+
+    def drain_j(self, window_s: float, busy_s: float, dvfs_factor: float = 1.0) -> float:
+        """Charge consumed over ``window_s`` with ``busy_s`` of throttled load."""
+        if window_s < 0 or busy_s < 0:
+            raise ValueError(f"negative time: window={window_s}, busy={busy_s}")
+        return self.idle_w * window_s + self.busy_w * busy_s * dvfs_factor
+
+
 class DVFSThrottle:
     """A time-varying frequency-scaling multiplier on task durations.
 

@@ -99,6 +99,44 @@ Routing decisions, spills, cold placements and epoch/re-election
 history land in :class:`~repro.serving.scheduler.ServingResult` via
 :class:`~repro.metrics.serving.RoutingStats`.
 
+Self-protecting serving (ISSUE 9): both schedulers accept
+``control=ControlPolicy(...)`` (:mod:`repro.serving.control`), arming a
+deterministic SLO-driven control plane.  A
+:class:`~repro.serving.control.Controller` wakes every ``interval_s``
+of *simulation* time, reads the streaming signals, and actuates:
+
+===============================  ==========================  ===========================
+signal                           decision (ControlTrace)     actuation
+===============================  ==========================  ===========================
+windowed p99 vs ``slo_s``        ``widen`` / ``narrow``      AIMD in-flight window
+                                                             (``set_capacity``)
+queue depth per active shard     ``spawn`` / ``merge``       elastic shard prefix +
+                                                             leader re-election
+door pressure                    ``reject_pressure`` /       admission control at the
+                                 ``downgrade_at_door``       door (before routing)
+cluster-weighted backlog vs SLO  ``reject_deadline``         deadline shedding
+``DeviceLostError`` bursts       ``trip`` / ``probe`` /      per-shard circuit breaker
+                                 ``restore`` / ``reopen``    (router routes around)
+battery charge slope             ``planned_drain``           pre-emptive migration off
+                                                             a draining device
+===============================  ==========================  ===========================
+
+Every actuation is recorded in
+:class:`~repro.serving.control.ControlTrace` -- exact counters at both
+trace levels, the per-decision log (``trace.decisions``) at
+``trace_level="full"`` -- and reconciled in ``ServingResult``: rejected
+requests land in the new ``rejected`` bucket (disjoint from ``shed``,
+so ``failures == retries + shed`` is untouched and ``count + shed +
+rejected == len(requests)``).  ``control=None`` and
+``ControlPolicy.noop()`` leave every schedule byte-identical.  The
+fault stream gains battery drain
+(:class:`~repro.platform.power.BatteryModel` entries on
+``PerturbationProcess.batteries``): charge drains with busy time and
+DVFS state, and a device crossing its floor leaves the cluster as a
+planned, permanent departure.  Retry backoff gains seeded
+deterministic jitter (``RetryPolicy(jitter=...)``) to de-stampede
+correlated-failure re-admissions.
+
 Large-scale streams (ISSUE 4): both schedulers accept
 ``trace_level="aggregate"`` to record O(1) streaming trace aggregates
 (running busy totals, completion/byte counters) instead of
@@ -121,6 +159,16 @@ from repro.faults import (
     FaultTrace,
     PerturbationProcess,
     RetryPolicy,
+)
+from repro.serving.control import (
+    ADMISSION_DOWNGRADE,
+    ADMISSION_NONE,
+    ADMISSION_REJECT,
+    ControlDecision,
+    Controller,
+    ControlPolicy,
+    ControlTrace,
+    ShardBreaker,
 )
 from repro.serving.routing import (
     ROUTER_AFFINITY,
@@ -150,6 +198,14 @@ __all__ = [
     "ServedRequest",
     "ServingResult",
     "ShardedScheduler",
+    "ControlPolicy",
+    "Controller",
+    "ControlTrace",
+    "ControlDecision",
+    "ShardBreaker",
+    "ADMISSION_NONE",
+    "ADMISSION_REJECT",
+    "ADMISSION_DOWNGRADE",
     "Router",
     "HashRouter",
     "AffinityRouter",

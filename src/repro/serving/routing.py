@@ -68,6 +68,8 @@ class Router(abc.ABC):
 
     def __init__(self) -> None:
         self.num_shards = 0
+        self.active_shards = 0
+        self._blocked: Dict[int, bool] = {}
         self._backlog_of: Optional[BacklogFn] = None
         self.stats: Optional[RoutingStats] = None
 
@@ -77,11 +79,16 @@ class Router(abc.ABC):
         Must be called once per serving run before the first
         :meth:`route`.  ``backlog_of`` prices one shard's queued
         backlog; routers that never consult load may be bound without
-        one.
+        one.  Binding resets the control-plane mask too: all
+        ``num_shards`` shards active, none blocked -- with no
+        controller touching the mask, every route is byte-identical to
+        the pre-control-plane policies.
         """
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards
+        self.active_shards = num_shards
+        self._blocked = {}
         self._backlog_of = backlog_of
         self.stats = RoutingStats(num_shards)
         return self.stats
@@ -90,13 +97,55 @@ class Router(abc.ABC):
     def route(self, request: InferenceRequest) -> int:
         """The shard whose admission queue ``request`` joins."""
 
+    # -- control-plane mask -------------------------------------------
+    # The controller narrows routing two ways: elastic scale-down
+    # deactivates the tail shards (``set_active``), and an open circuit
+    # breaker blocks one shard mid-window (``block``/``unblock``).  The
+    # policies above route as usual and then ``_place`` the result:
+    # a disallowed shard falls back to the cheapest allowed one.
+
+    def set_active(self, count: int) -> None:
+        """Shards ``[0, count)`` accept new admissions (elastic scaling)."""
+        if not 1 <= count <= self.num_shards:
+            raise ValueError(
+                f"active shard count {count} outside [1, {self.num_shards}]"
+            )
+        self.active_shards = count
+
+    def block(self, shard: int) -> None:
+        """Stop routing to ``shard`` (its circuit breaker opened)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        self._blocked[shard] = True
+
+    def unblock(self, shard: int) -> None:
+        """Resume routing to ``shard`` (half-open probe / restore)."""
+        self._blocked.pop(shard, None)
+
+    def allowed(self, shard: int) -> bool:
+        return shard < self.active_shards and shard not in self._blocked
+
+    def _place(self, shard: int) -> int:
+        """The routed shard, or the cheapest allowed stand-in when the
+        control plane disallows it."""
+        if self.allowed(shard):
+            return shard
+        return self._least_loaded()
+
     def _least_loaded(self) -> int:
-        """Cheapest shard by backlog-cost (ties to the lowest index, so
-        placement is deterministic)."""
+        """Cheapest *allowed* shard by backlog-cost (ties to the lowest
+        index, so placement is deterministic).  When every active shard
+        is blocked, admission cannot refuse outright: falls back to the
+        cheapest active shard."""
+        candidates = [
+            shard for shard in range(self.active_shards) if shard not in self._blocked
+        ]
+        if not candidates:
+            candidates = list(range(self.active_shards))
         if self._backlog_of is None:
-            return 0
+            return candidates[0]
         backlog_of = self._backlog_of
-        return min(range(self.num_shards), key=lambda shard: (backlog_of(shard), shard))
+        return min(candidates, key=lambda shard: (backlog_of(shard), shard))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -112,7 +161,7 @@ class HashRouter(Router):
     name = ROUTER_HASH
 
     def route(self, request: InferenceRequest) -> int:
-        shard = request.request_id % self.num_shards
+        shard = self._place(request.request_id % self.active_shards)
         self.stats.record_route(shard)
         return shard
 
@@ -153,10 +202,16 @@ class AffinityRouter(Router):
         if shard is None:
             if self._pins is None:
                 # Legacy dealing: first-seen models round-robin.
-                shard = len(self._affinity) % self.num_shards
+                shard = self._place(len(self._affinity) % self.active_shards)
             else:
                 shard = self._least_loaded()
                 cold = True
+            self._affinity[request.model] = shard
+        elif not self.allowed(shard):
+            # The sticky shard is deactivated or breaker-blocked:
+            # re-pin on the cheapest allowed shard (sticky thereafter,
+            # like any other first placement).
+            shard = self._least_loaded()
             self._affinity[request.model] = shard
         self.stats.record_route(shard, cold=cold)
         return shard
@@ -215,24 +270,31 @@ class ClusteredRouter(Router):
         ranking = self._ranking.get(request.model)
         if ranking is None:
             shard = self._cold_pins.get(request.model)
-            if shard is None:
+            if shard is None or not self.allowed(shard):
                 shard = self._least_loaded()
                 self._cold_pins[request.model] = shard
             self.stats.record_route(shard, cold=True)
             return shard
         backlog_of = self._backlog_of
-        specialist = ranking[0]
+        # The control plane may have deactivated or blocked shards the
+        # ranking names; route over the allowed prefix of the order.
+        order = [shard for shard in ranking if self.allowed(shard)]
+        if not order:
+            shard = self._least_loaded()
+            self.stats.record_route(shard, spilled=True)
+            return shard
+        specialist = order[0]
         shard = specialist
         if backlog_of(specialist) > self.spill_threshold:
             # Spill: best-ranked alternative under the threshold, else
             # the overall least-loaded shard.
-            for candidate in ranking[1:]:
+            for candidate in order[1:]:
                 if backlog_of(candidate) <= self.spill_threshold:
                     shard = candidate
                     break
             else:
                 shard = self._least_loaded()
-        self.stats.record_route(shard, spilled=shard != specialist)
+        self.stats.record_route(shard, spilled=shard != ranking[0])
         return shard
 
 

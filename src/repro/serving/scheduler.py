@@ -55,6 +55,13 @@ from repro.metrics.energy import cluster_energy_j
 from repro.metrics.results import InferenceResult
 from repro.metrics.serving import RoutingStats, latency_percentiles, slo_attainment
 from repro.platform.cluster import Cluster, build_cluster
+from repro.serving.control import (
+    DOWNGRADE,
+    REJECT,
+    Controller,
+    ControlPolicy,
+    ControlTrace,
+)
 from repro.serving.routing import resolve_router
 from repro.sim.resources import Resource, Store
 from repro.sim.runtime import SimRuntime
@@ -154,6 +161,16 @@ class ServingResult:
     shed_requests: Tuple[int, ...] = ()
     #: Failure/recovery trace (None on a fault-free run).
     faults: Optional[FaultTrace] = None
+    #: Control-plane accounting (ISSUE 9).  ``rejected`` counts arrivals
+    #: the admission door turned away (pressure rejections + deadline
+    #: sheds) -- a terminal state distinct from fault ``shed``, so the
+    #: fault reconciliation ``failures == retries + shed`` is untouched
+    #: and the full ledger reads
+    #: ``count + shed + rejected == len(requests)``.  ``control`` is the
+    #: controller's decision trace (None when ``control=None``).
+    rejected: int = 0
+    rejected_requests: Tuple[int, ...] = ()
+    control: Optional[ControlTrace] = None
     #: Routing-layer accounting (ISSUE 7).  ``router`` names the
     #: admission policy; ``epochs``/``leader_reelections`` count
     #: specialization-epoch boundaries and the boundaries that moved a
@@ -200,15 +217,16 @@ class ServingResult:
     def slo_attainment(self, slo_s: float) -> float:
         """Fraction of requests with end-to-end latency within the SLO.
 
-        Shed requests count as *missed*: the denominator is every
-        admitted request, so a policy cannot buy attainment by dropping
-        the work it would have missed on.
+        Shed and door-rejected requests count as *missed*: the
+        denominator is every offered request, so a policy cannot buy
+        attainment by dropping the work it would have missed on.
         """
-        if self.shed:
+        dropped = self.shed + self.rejected
+        if dropped:
             if slo_s <= 0:
                 raise ValueError(f"SLO must be positive, got {slo_s}")
             met = sum(1 for latency in self.latencies if latency <= slo_s)
-            return met / (self.count + self.shed)
+            return met / (self.count + dropped)
         return slo_attainment(self.latencies, slo_s)
 
     @property
@@ -278,6 +296,15 @@ class OnlineScheduler:
     a dispatcher cannot replan from a dead brain.  A ``faults`` process
     that expands to zero events leaves the run byte-identical to a
     fault-free one.
+
+    ``control`` attaches the SLO-driven control plane
+    (:class:`~repro.serving.control.ControlPolicy`): adaptive
+    concurrency (AIMD on the in-flight window), door admission control
+    (pressure reject/downgrade, deadline shed) and battery-drain
+    lookahead apply here; the elastic-shard and per-shard breaker
+    actuators are :class:`~repro.serving.sharded.ShardedScheduler`
+    territory (one shard has nothing to scale or route around).
+    ``control=None`` runs the legacy open-loop path byte-identically.
     """
 
     def __init__(
@@ -290,6 +317,7 @@ class OnlineScheduler:
         faults: Optional[PerturbationProcess] = None,
         retry: Optional[RetryPolicy] = None,
         router=None,
+        control: Optional[ControlPolicy] = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -305,6 +333,7 @@ class OnlineScheduler:
         self.trace_level = check_trace_level(trace_level)
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        self.control = control
         # The single-leader loop is the degenerate 1-shard path of the
         # layered serving stack: every admission routes through the
         # router interface (always to shard 0), so router accounting
@@ -336,12 +365,14 @@ class OnlineScheduler:
         runtime = SimRuntime(self.cluster, trace_level=self.trace_level)
         injector = None
         if self.faults is not None:
+            protected = (self.cluster.leader.name,)
             injector = FaultInjector(
                 runtime,
                 self.cluster,
-                self.faults.events(
-                    self.cluster, protected=(self.cluster.leader.name,)
-                ),
+                self.faults.events(self.cluster, protected=protected),
+                batteries=self.faults.battery_map(protected),
+                battery_sample_s=self.faults.battery_sample_s,
+                battery_horizon_s=self.faults.horizon_s,
             )
             injector.arm()
         # A zero-event process never arms: no driver process, no gates,
@@ -365,11 +396,56 @@ class OnlineScheduler:
         #: request_id -> sim time of its first mid-plan failure.
         first_failure_at: Dict[int, float] = {}
         shed_ids: List[int] = []
+        rejected_ids: List[int] = []
+
+        controller = None
+        if self.control is not None:
+            controller = Controller(
+                self.control,
+                env,
+                trace_level=self.trace_level,
+                inflight=inflight,
+                router=router,
+                num_shards=1,
+            )
+
+            def est_wait_s() -> float:
+                # Capacity-weighted backlog over every available
+                # station: a min over devices would always find an
+                # idle weak core and the deadline door would never
+                # close, so congestion on the cores that do the work
+                # has to dominate the estimate.
+                total = 0.0
+                weight = 0.0
+                for device in self.cluster.devices:
+                    if not self.cluster.is_available(device.name):
+                        continue
+                    for station in runtime.stations_of(device.name):
+                        total += station.compute_weight * station.backlog_seconds
+                        weight += station.compute_weight
+                return total / weight if weight > 0.0 else 0.0
+
+            controller.bind(
+                pressure_of=lambda: queue.size + inflight.queue_length,
+                est_wait_s=est_wait_s,
+                injector=injector if fault_mode else None,
+            )
 
         def source():
             for request in ordered:
                 if request.arrival_s > env.now:
                     yield env.timeout(request.arrival_s - env.now)
+                if controller is not None:
+                    verdict = controller.admit(request)
+                    if verdict == REJECT:
+                        rejected_ids.append(request.request_id)
+                        continue
+                    if verdict == DOWNGRADE:
+                        request = replace(
+                            request,
+                            priority=request.priority
+                            + self.control.admission_downgrade_by,
+                        )
                 router.route(request)
                 queue.put(request)
 
@@ -404,12 +480,14 @@ class OnlineScheduler:
                     )
                     fault_trace.record_downgrade(request.request_id)
             attempt_of[request.request_id] = attempt + 1
-            fault_trace.record_retry(request.request_id)
-            # Exponential backoff charged as queue delay; the request
-            # then rejoins the normal dispatcher path, where planning
-            # against the current availability signature yields a plan
-            # avoiding the lost device.
-            env.process(readmit(again, retry.backoff_s(attempt)))
+            # Exponential backoff (deterministically jittered when the
+            # policy asks) charged as queue delay; the request then
+            # rejoins the normal dispatcher path, where planning against
+            # the current availability signature yields a plan avoiding
+            # the lost device.
+            delay = retry.backoff_s(attempt, request.request_id)
+            fault_trace.record_retry(request.request_id, env.now + delay)
+            env.process(readmit(again, delay))
 
         def serve(request: InferenceRequest, plan, slot, replanned: bool):
             try:
@@ -429,6 +507,8 @@ class OnlineScheduler:
                         attempts=attempts,
                     )
                 )
+                if controller is not None:
+                    controller.observe_completion(env.now - request.arrival_s)
                 if fault_trace is not None:
                     first = first_failure_at.get(request.request_id)
                     if first is not None:
@@ -443,8 +523,11 @@ class OnlineScheduler:
             # In fault mode the loop is open-ended: retries re-enter the
             # queue after the original stream drains, and when the heap
             # finally empties the dispatcher is parked on queue.get()
-            # (parked getters do not keep the simulation alive).
-            while remaining > 0 or fault_mode:
+            # (parked getters do not keep the simulation alive).  With a
+            # controller the loop is open-ended too: door rejections
+            # mean the dispatch count never reaches len(ordered).
+            open_ended = fault_mode or controller is not None
+            while remaining > 0 or open_ended:
                 first = yield queue.get()
                 batch = [first]
                 while queue.size > 0 and len(batch) < self.max_batch:
@@ -490,11 +573,23 @@ class OnlineScheduler:
                     env.process(serve(request, plans[index], slot, fresh[index]))
                     remaining -= 1
 
+        def control_driver():
+            # Ticks on the sim clock, mirroring the sharded scheduler's
+            # epoch driver; stops once the stream settles so a long tail
+            # of wakeups never outlives the run's useful work.
+            while True:
+                yield env.timeout(self.control.interval_s)
+                if len(served) + len(shed_ids) + len(rejected_ids) >= len(ordered):
+                    break
+                controller.wake()
+
         env.process(source())
         env.process(dispatcher())
+        if controller is not None:
+            env.process(control_driver())
         env.run()
 
-        settled = len(served) + len(shed_ids)
+        settled = len(served) + len(shed_ids) + len(rejected_ids)
         if settled != len(ordered):
             raise RuntimeError(
                 f"{len(ordered) - settled} requests never completed (deadlock?)"
@@ -528,4 +623,9 @@ class OnlineScheduler:
             spilled=stats.spilled,
             cold_routed=stats.cold,
             routing=stats,
+            rejected=len(rejected_ids),
+            rejected_requests=(
+                tuple(sorted(rejected_ids)) if self.trace_level == TRACE_FULL else ()
+            ),
+            control=controller.trace if controller is not None else None,
         )

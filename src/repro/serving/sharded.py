@@ -111,6 +111,12 @@ from repro.faults import (
 )
 from repro.metrics.energy import cluster_energy_j
 from repro.platform.cluster import LEADER_LEAST_LOADED, Cluster, build_cluster
+from repro.serving.control import (
+    DOWNGRADE,
+    REJECT,
+    Controller,
+    ControlPolicy,
+)
 from repro.serving.routing import ClusteredRouter, resolve_router
 from repro.serving.scheduler import ServedRequest, ServingResult
 from repro.serving.specialize import ShardSpecializer
@@ -164,6 +170,7 @@ class ShardedScheduler:
         retry: Optional[RetryPolicy] = None,
         router=None,
         epoch_s: float = 0.0,
+        control: Optional[ControlPolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -219,6 +226,12 @@ class ShardedScheduler:
         #: Specialization-epoch length [simulated s]; 0 disables the
         #: epoch driver (no respecialization, no leader re-election).
         self.epoch_s = epoch_s
+        #: The SLO-driven control plane (ISSUE 9): adaptive concurrency,
+        #: elastic shards, door admission control, per-shard circuit
+        #: breakers and battery lookahead
+        #: (:class:`~repro.serving.control.ControlPolicy`).  ``None``
+        #: runs the open-loop path byte-identically.
+        self.control = control
 
     # Internals --------------------------------------------------------------
 
@@ -269,12 +282,16 @@ class ShardedScheduler:
         leaders = self.shard_leaders()
         injector = None
         if self.faults is not None:
+            # Order-preserving dedup: tuple(set(...)) would hand the
+            # protected list hash-randomised ordering across runs.
+            protected = tuple(dict.fromkeys(leaders))
             injector = FaultInjector(
                 runtime,
                 self.cluster,
-                # Order-preserving dedup: tuple(set(...)) would hand the
-                # protected list hash-randomised ordering across runs.
-                self.faults.events(self.cluster, protected=tuple(dict.fromkeys(leaders))),
+                self.faults.events(self.cluster, protected=protected),
+                batteries=self.faults.battery_map(protected),
+                battery_sample_s=self.faults.battery_sample_s,
+                battery_horizon_s=self.faults.horizon_s,
             )
             injector.arm()
         # A zero-event process never arms: no driver process, no gates,
@@ -321,11 +338,67 @@ class ShardedScheduler:
         #: request_id -> sim time of its first mid-plan failure.
         first_failure_at: Dict[int, float] = {}
         shed_ids: List[int] = []
+        rejected_ids: List[int] = []
+
+        controller = None
+        if self.control is not None:
+            controller = Controller(
+                self.control,
+                env,
+                trace_level=self.trace_level,
+                inflight=inflight,
+                router=router,
+                num_shards=self.num_shards,
+            )
+        # Leaders can move after fault arming (epoch re-election, or an
+        # elastic rescale under the controller): such leaders are not
+        # churn-protected, so the dispatcher re-checks availability.
+        dynamic_leaders = self.leader_policy == LEADERS_EPOCH or (
+            controller is not None
+            and self.control.elastic
+            and self.leader_policy != LEADERS_SHARED
+        )
+
+        def drain_shard(shard: int) -> int:
+            """Move ``shard``'s queued items to healthy shards (breaker
+            trip / elastic merge).  The moves ride the steal ledger, so
+            the per-shard reconciliation stays exact.  With no healthy
+            target the items stay put (admission cannot drop work that
+            is already admitted)."""
+            queue = queues[shard]
+            moved = 0
+            targets = [
+                other
+                for other in range(self.num_shards)
+                if other != shard and router.allowed(other)
+            ]
+            if not targets:
+                return 0
+            while queue.size > 0:
+                taker = min(targets, key=lambda other: (queues[other].size, other))
+                queues[taker].put(queue.get_nowait())
+                idle[taker] = False  # its parked getter wakes with this item
+                counters["steals"] += 1
+                stolen_out[shard] += 1
+                stolen_in[taker] += 1
+                moved += 1
+            return moved
 
         def source():
             for request in ordered:
                 if request.arrival_s > env.now:
                     yield env.timeout(request.arrival_s - env.now)
+                if controller is not None:
+                    verdict = controller.admit(request)
+                    if verdict == REJECT:
+                        rejected_ids.append(request.request_id)
+                        continue
+                    if verdict == DOWNGRADE:
+                        request = replace(
+                            request,
+                            priority=request.priority
+                            + self.control.admission_downgrade_by,
+                        )
                 specializer.observe(request.model)
                 shard = router.route(request)
                 admitted[shard] += 1
@@ -339,13 +412,19 @@ class ShardedScheduler:
             idle[shard] = False  # its parked getter wakes with this item
             queues[shard].put(request)
 
-        def handle_failure(request: InferenceRequest, lost: DeviceLostError) -> None:
+        def handle_failure(
+            request: InferenceRequest, lost: DeviceLostError, shard: int
+        ) -> None:
             """Retry, downgrade or shed one failed request (the policy)."""
             attempt = attempt_of.get(request.request_id, 1)
             fault_trace.record_failure(
                 request.request_id, lost.device, lost.segment, lost.time_s, attempt
             )
             first_failure_at.setdefault(request.request_id, lost.time_s)
+            if controller is not None:
+                # Feed the shard's breaker first: a failure burst trips
+                # it whatever the retry policy then decides.
+                controller.observe_failure(shard, dispatched[shard])
             if attempt > retry.max_retries:
                 shed_ids.append(request.request_id)
                 fault_trace.record_shed(request.request_id)
@@ -367,10 +446,11 @@ class ShardedScheduler:
                     )
                     fault_trace.record_downgrade(request.request_id)
             attempt_of[request.request_id] = attempt + 1
-            fault_trace.record_retry(request.request_id)
-            env.process(readmit(again, retry.backoff_s(attempt)))
+            delay = retry.backoff_s(attempt, request.request_id)
+            fault_trace.record_retry(request.request_id, env.now + delay)
+            env.process(readmit(again, delay))
 
-        def serve(request: InferenceRequest, plan, slot, replanned: bool):
+        def serve(request: InferenceRequest, plan, slot, replanned: bool, shard: int):
             holder = {"slot": slot}
 
             def checkpoint():
@@ -395,7 +475,7 @@ class ShardedScheduler:
                 except DeviceLostError as lost:
                     if fault_trace is None:
                         raise
-                    handle_failure(request, lost)
+                    handle_failure(request, lost, shard)
                     return
                 attempts = attempt_of.get(request.request_id, 1) if fault_mode else 1
                 served.append(
@@ -406,6 +486,8 @@ class ShardedScheduler:
                         attempts=attempts,
                     )
                 )
+                if controller is not None:
+                    controller.observe_completion(env.now - request.arrival_s, shard)
                 if fault_trace is not None:
                     first = first_failure_at.get(request.request_id)
                     if first is not None:
@@ -420,7 +502,12 @@ class ShardedScheduler:
             queue = queues[shard]
             if queue.size < self.steal_threshold:
                 return
-            takers = [other for other in range(self.num_shards) if idle[other]]
+            takers = [
+                other
+                for other in range(self.num_shards)
+                if idle[other]
+                and (controller is None or controller.dispatch_ok(other))
+            ]
             if not takers:
                 return
             movable = queue.size // 2
@@ -442,7 +529,11 @@ class ShardedScheduler:
             side closes that gap: a dispatcher about to park instead
             takes work from the deepest queue at or past the steal
             threshold (ties to the lowest shard index, deterministic).
+            A shard the control plane sidelined (breaker open, or past
+            the elastic active prefix) must not pull work onto itself.
             """
+            if controller is not None and not controller.dispatch_ok(shard):
+                return 0
             queue = queues[shard]
             victim = None
             depth = 0
@@ -501,13 +592,15 @@ class ShardedScheduler:
                 # loop-entry binding).
                 leader = leaders[shard]
                 if (
-                    self.leader_policy == LEADERS_EPOCH
+                    dynamic_leaders
                     and fault_mode
                     and not self.cluster.is_available(leader)
                 ):
-                    # An epoch-elected leader died mid-epoch: re-elect
-                    # immediately (a dispatcher cannot plan from a dead
-                    # brain, and epoch leaders are not churn-protected).
+                    # A dynamically (re-)elected leader died mid-epoch:
+                    # re-elect immediately (a dispatcher cannot plan from
+                    # a dead brain, and leaders elected after arming --
+                    # epoch boundaries, elastic rescales -- are not
+                    # churn-protected).
                     leader = self.cluster.elect_leader(
                         LEADER_LEAST_LOADED,
                         load=runtime.load_snapshot(view=self.load_view),
@@ -578,7 +671,7 @@ class ShardedScheduler:
                             batch_avail = self.cluster.availability_signature()
                         counters["replans"] += 1
                     dispatched[shard] += 1
-                    env.process(serve(request, plans[index], slot, fresh[index]))
+                    env.process(serve(request, plans[index], slot, fresh[index], shard))
 
         def epoch_driver():
             # Ticks every epoch_s until the stream settles: each tick
@@ -588,10 +681,10 @@ class ShardedScheduler:
             # under the live load snapshot.  Parked dispatchers do not
             # keep the simulation alive, but this timeout does, so the
             # driver checks settlement first and stops ticking once all
-            # requests are served or shed.
+            # requests are served, shed or rejected.
             while True:
                 yield env.timeout(self.epoch_s)
-                if len(served) + len(shed_ids) >= len(ordered):
+                if len(served) + len(shed_ids) + len(rejected_ids) >= len(ordered):
                     break
                 plan = specializer.respecialize()
                 if clustered:
@@ -606,14 +699,65 @@ class ShardedScheduler:
                     leaders[:] = elected
                 stats.record_epoch(env.now, leaders, plan.specialty_models, reelected)
 
+        def rescale(old: int, new: int) -> None:
+            """Elastic scale step: re-elect the active prefix's leaders
+            through the PR 7 machinery (shared leadership has nothing to
+            re-elect -- every shard plans from ``devices[0]``)."""
+            del old
+            if self.leader_policy == LEADERS_SHARED:
+                return
+            elected = self.cluster.reelect_shard_leaders(
+                new, load=runtime.load_snapshot(view=self.load_view)
+            )
+            leaders[:new] = elected
+
+        if controller is not None:
+
+            def est_wait_s() -> float:
+                # Capacity-weighted backlog over every available
+                # station: a min over devices would always find an
+                # idle weak core and the deadline door would never
+                # close, so congestion on the cores that do the work
+                # has to dominate the estimate.
+                total = 0.0
+                weight = 0.0
+                for device in self.cluster.devices:
+                    if not self.cluster.is_available(device.name):
+                        continue
+                    for station in runtime.stations_of(device.name):
+                        total += station.compute_weight * station.backlog_seconds
+                        weight += station.compute_weight
+                return total / weight if weight > 0.0 else 0.0
+
+            controller.bind(
+                pressure_of=lambda: sum(queue.size for queue in queues)
+                + inflight.queue_length,
+                queue_depth=lambda: sum(queue.size for queue in queues),
+                est_wait_s=est_wait_s,
+                drain_shard=drain_shard,
+                rescale=rescale,
+                injector=injector if fault_mode else None,
+            )
+
+        def control_driver():
+            # The controller's wake loop: same settlement idiom as the
+            # epoch driver, so its timer never outlives the stream.
+            while True:
+                yield env.timeout(self.control.interval_s)
+                if len(served) + len(shed_ids) + len(rejected_ids) >= len(ordered):
+                    break
+                controller.wake()
+
         env.process(source())
         for shard in range(self.num_shards):
             env.process(dispatcher(shard))
         if self.epoch_s > 0:
             env.process(epoch_driver())
+        if controller is not None:
+            env.process(control_driver())
         env.run()
 
-        settled = len(served) + len(shed_ids)
+        settled = len(served) + len(shed_ids) + len(rejected_ids)
         if settled != len(ordered):
             raise RuntimeError(
                 f"{len(ordered) - settled} requests never completed (deadlock?)"
@@ -659,4 +803,9 @@ class ShardedScheduler:
             cold_routed=stats.cold,
             leader_reelections=stats.reelections,
             routing=stats,
+            rejected=len(rejected_ids),
+            rejected_requests=(
+                tuple(sorted(rejected_ids)) if self.trace_level == TRACE_FULL else ()
+            ),
+            control=controller.trace if controller is not None else None,
         )

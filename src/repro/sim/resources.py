@@ -81,6 +81,22 @@ class Resource:
             users.append(nxt)
             nxt.succeed()
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the slot count at simulation time.
+
+        Widening grants queued waiters immediately (FIFO order);
+        narrowing only lowers the ceiling -- holders are never revoked,
+        the pool shrinks as they release.  Used by the serving control
+        plane's adaptive-concurrency actuator.
+        """
+        if capacity < 1:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        while self._waiting and len(self._users) < capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
 
 class PriorityRequest(Event):
     """A pending claim on a :class:`PriorityResource` slot.
@@ -229,6 +245,23 @@ class PriorityResource:
                     return
             raise SimulationError("releasing a request this resource never granted")
         while self._waiting and len(self._users) < self.capacity:
+            nxt = self._pop_next()
+            self._users.append(nxt)
+            nxt.succeed()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the slot count at simulation time.
+
+        Widening grants queued waiters immediately in ``(priority,
+        arrival)`` order (aging-aware); narrowing only lowers the
+        ceiling -- holders are never revoked, the pool shrinks as they
+        release.  Used by the serving control plane's
+        adaptive-concurrency actuator.
+        """
+        if capacity < 1:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        while self._waiting and len(self._users) < capacity:
             nxt = self._pop_next()
             self._users.append(nxt)
             nxt.succeed()

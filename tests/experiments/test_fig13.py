@@ -1,0 +1,113 @@
+"""Fig. 13 control-plane experiment tests (the ISSUE 9 acceptance sweep).
+
+The full sweep (2 streams x {3 static windows + controller} plus
+2 churn levels x {none, breaker}) is exercised end-to-end by
+``hidp-experiments fig13`` and gated in
+``benchmarks/test_bench_serving.py``; here a reduced grid pins the
+sweep structure, the stream-blind policy contract, the reconciliation
+invariants and the report.
+"""
+
+import pytest
+
+from repro.experiments.fig13_control import (
+    CHURN_LEVELS,
+    CONTROLLER,
+    SLO_S,
+    STATIC_INFLIGHTS,
+    STREAMS,
+    control_policy,
+    churn_policy,
+    report_fig13,
+    run_fig13_churn,
+    run_fig13_streams,
+    summarize_fig13,
+)
+from repro.platform.cluster import build_cluster
+
+
+def _cluster():
+    return build_cluster(["jetson_tx2", "jetson_orin_nx", "jetson_nano"])
+
+
+@pytest.fixture(scope="module")
+def stream_results():
+    return run_fig13_streams(
+        streams=("bursty_light",), inflights=(2,), cluster=_cluster()
+    )
+
+
+@pytest.fixture(scope="module")
+def churn_results():
+    return run_fig13_churn(levels=("hostile",), cluster=_cluster())
+
+
+class TestSweep:
+    def test_full_grid_defaults(self):
+        assert STREAMS == ("bursty_light", "bursty")
+        assert STATIC_INFLIGHTS == (2, 4, 12)
+        assert CHURN_LEVELS == ("moderate", "hostile")
+        assert SLO_S == 1.5
+
+    def test_policies_are_stream_blind_and_deterministic(self):
+        # One frozen policy serves every stream: no per-stream tuning.
+        assert control_policy() == control_policy()
+        assert churn_policy() == churn_policy()
+        assert churn_policy().breaker_failures > 0
+        assert churn_policy().concurrency is False  # isolates the breakers
+
+    def test_grid_keys(self, stream_results, churn_results):
+        assert set(stream_results) == {
+            ("bursty_light", "static/2"),
+            ("bursty_light", CONTROLLER),
+        }
+        assert set(churn_results) == {("hostile", "none"), ("hostile", "breaker")}
+
+    def test_every_stream_cell_settles_every_request(self, stream_results):
+        for key, result in stream_results.items():
+            assert result.count + result.shed + result.rejected == 120, key
+            assert result.failures == result.retries + result.shed, key
+            result.busy.assert_no_overlaps()
+
+    def test_static_cells_run_open_loop(self, stream_results):
+        static = stream_results[("bursty_light", "static/2")]
+        assert static.control is None
+        assert static.rejected == 0
+
+    def test_controller_cell_carries_its_trace(self, stream_results):
+        controlled = stream_results[("bursty_light", CONTROLLER)]
+        assert controlled.control is not None
+        assert controlled.control.wakeups > 0
+
+    def test_churn_cells_reconcile_and_breaker_has_a_trace(self, churn_results):
+        for key, result in churn_results.items():
+            assert result.count + result.shed + result.rejected == 120, key
+            assert result.failures == result.retries + result.shed, key
+            result.busy.assert_no_overlaps()
+        assert churn_results[("hostile", "none")].control is None
+        breaker = churn_results[("hostile", "breaker")].control
+        assert breaker is not None
+        assert breaker.wakeups > 0
+
+
+class TestSummary:
+    def test_summary_keys_and_bounds(self, stream_results, churn_results):
+        summary = summarize_fig13(stream_results, churn_results)
+        assert set(summary) == {
+            "bursty_light/static/2",
+            f"bursty_light/{CONTROLLER}",
+            "churn/hostile/none",
+            "churn/hostile/breaker",
+        }
+        for cell in summary.values():
+            assert 0.0 <= cell["slo_attainment"] <= 1.0
+            assert cell["p99_ms"] > 0.0
+        assert summary["bursty_light/static/2"]["widened"] == 0
+        assert summary["churn/hostile/none"]["breaker_trips"] == 0
+
+    def test_report_renders(self, stream_results, churn_results):
+        text = report_fig13(stream_results, churn_results)
+        assert "Fig. 13" in text
+        assert CONTROLLER in text
+        assert "churn/hostile" in text
+        assert "SLO" in text

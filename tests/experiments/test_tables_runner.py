@@ -40,6 +40,7 @@ class TestRunner:
             "fig10",
             "fig11",
             "fig12",
+            "fig13",
             "accuracy",
             "sensitivity",
         }

@@ -31,6 +31,14 @@ every hatch corner (arming it is a structural no-op), and a *seeded
 churn* stream -- device loss, recovery, retries and all -- is itself
 schedule-identical across the hatch grid.
 
+The control dimension (ISSUE 9) pins the same pair of contracts for
+the SLO control plane: ``control=None`` and a no-op
+``ControlPolicy.noop()`` produce the same served timeline and counters
+in every hatch corner (the wake timer adds simulation events, so
+``sim_events`` is legitimately excluded from *that* comparison only),
+and an *active* controller -- AIMD narrowing, admission rejections and
+all -- is itself schedule-identical across the hatch grid.
+
 Marked ``matrix``: ``pytest -m "smoke or matrix or chaos"`` is the fast
 gate.
 """
@@ -47,6 +55,7 @@ from repro.serving import (
     LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
+    ControlPolicy,
     OnlineScheduler,
     PerturbationProcess,
     RetryPolicy,
@@ -154,6 +163,12 @@ def _fingerprint(result):
         "cold_routed": result.cold_routed,
         "leader_reelections": result.leader_reelections,
         "routed_by_shard": tuple(result.routing.routed) if result.routing else (),
+        # Control-plane accounting (ISSUE 9): the rejected bucket and
+        # every actuation counter must be hatch-invariant.
+        "rejected": result.rejected,
+        "control_counters": (
+            result.control.counters() if result.control is not None else None
+        ),
     }
 
 
@@ -223,13 +238,17 @@ def _fault_stream():
     )
 
 
-def _run_scheduler(scheduler, requests, trace_level="full", faults=None, retry=None):
+def _run_scheduler(
+    scheduler, requests, trace_level="full", faults=None, retry=None, control=None
+):
     """One pinned run of either scheduler tier, optionally under faults."""
     kwargs = {"cluster": _cluster(), "max_inflight": 3, "trace_level": trace_level}
     if faults is not None:
         kwargs["faults"] = faults
     if retry is not None:
         kwargs["retry"] = retry
+    if control is not None:
+        kwargs["control"] = control
     if scheduler == "online":
         return OnlineScheduler(**kwargs).run(requests)
     return ShardedScheduler(
@@ -376,3 +395,90 @@ def test_router_dimension_has_teeth():
         "affinity",
         "clustered",
     }
+
+
+#: An *active* control policy for the control dimension: a tight SLO
+#: forces AIMD narrowing and a low pressure bound forces admission
+#: rejections on the pinned stream, so the corner genuinely actuates.
+ACTIVE_CONTROL = ControlPolicy(
+    interval_s=0.2,
+    slo_s=0.4,
+    min_inflight=1,
+    max_inflight=6,
+    admission="reject",
+    admission_pressure=4,
+)
+
+#: Fields legitimately excluded from the ``control=None`` vs
+#: ``ControlPolicy.noop()`` comparison: the wake timer adds simulation
+#: events, and a bound (if idle) ControlTrace exists only when a
+#: controller does.
+NOOP_CONTROL_EXCLUDED = ("sim_events", "control_counters")
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_noop_control_byte_identical(monkeypatch, scheduler):
+    """The degenerate pin (ISSUE 9): a no-op ``ControlPolicy`` -- every
+    actuator off -- reproduces the control-free schedule in every hatch
+    corner.  Only ``sim_events`` may differ (the wake timer itself)."""
+    requests = _stream()
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+    bare = _fingerprint(_run_scheduler(scheduler, requests))
+    assert bare["rejected"] == 0
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        noop = _fingerprint(
+            _run_scheduler(
+                scheduler, requests, trace_level=trace_level,
+                control=ControlPolicy.noop(),
+            )
+        )
+        for field, expected in bare.items():
+            if field in NOOP_CONTROL_EXCLUDED:
+                continue
+            assert noop[field] == expected, (
+                f"{scheduler}: no-op control forked {field} in hatch "
+                f"(sim={sim_fast}, dse={dse_fast}, trace={trace_level})"
+            )
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_control_hatch_grid_schedule_identical(monkeypatch, scheduler):
+    """An *active* controller -- AIMD narrowing, admission rejections
+    and all -- must itself be schedule-identical across the hatch grid,
+    actuation counters included."""
+    requests = _stream()
+    reference = None
+    reference_hatch = None
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        result = _run_scheduler(
+            scheduler, requests, trace_level=trace_level, control=ACTIVE_CONTROL
+        )
+        assert result.count + result.shed + result.rejected == len(requests)
+        fingerprint = _fingerprint(result)
+        if reference is None:
+            reference, reference_hatch = fingerprint, (sim_fast, dse_fast, trace_level)
+            continue
+        for field, expected in reference.items():
+            assert fingerprint[field] == expected, (
+                f"{scheduler}: control hatch (sim={sim_fast}, dse={dse_fast}, "
+                f"trace={trace_level}) forked {field} from reference hatch "
+                f"{reference_hatch}"
+            )
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_control_dimension_has_teeth(scheduler):
+    """The control corner only guards actuation if the controller
+    actually acts: the active policy must narrow or reject, and the
+    schedule must genuinely differ from the control-free run."""
+    requests = _stream()
+    bare = _run_scheduler(scheduler, requests)
+    controlled = _run_scheduler(scheduler, requests, control=ACTIVE_CONTROL)
+    counters = controlled.control.counters()
+    assert counters["narrowed"] + counters["rejected_pressure"] > 0
+    assert _fingerprint(controlled)["timeline"] != _fingerprint(bare)["timeline"]

@@ -26,7 +26,8 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.platform.cluster import build_cluster
-from repro.serving import OnlineScheduler, ShardedScheduler
+from repro.platform.power import BatteryModel
+from repro.serving import ControlPolicy, OnlineScheduler, ShardedScheduler
 from repro.sim.runtime import SimRuntime
 from repro.sim.trace import TRACE_AGGREGATE, TraceLevelError
 from repro.workloads.arrivals import poisson_stream
@@ -472,3 +473,291 @@ class TestCorrelatedOutages:
         assert result.failures == result.retries + result.shed
         assert result.count + result.shed == 24
         result.busy.assert_no_overlaps()
+
+
+class TestRetryJitter:
+    """Seeded retry jitter (ISSUE 9 satellite).
+
+    A correlated-group outage fails its whole cohort around one
+    instant; without jitter every victim of the same attempt number
+    re-admits after the *identical* backoff -- a thundering herd that
+    re-synchronises the very load spike that broke the group.  With
+    ``jitter`` set, each ``(request, attempt)`` draws a deterministic
+    stretch factor, so the cohort's re-admissions land on distinct
+    event times while the run stays seeded-reproducible.
+    """
+
+    COHORT = tuple(range(10, 22))
+
+    def _correlated(self, rate=0.4):
+        return PerturbationProcess(
+            seed=11,
+            horizon_s=20.0,
+            correlated_rate=rate,
+            correlated_group=("jetson_orin_nx", "jetson_nano"),
+            mean_correlated_outage_s=0.6,
+        )
+
+    def _run(self, retry):
+        requests = poisson_stream(HEAVY, rate_rps=1.5, num_requests=24, seed=5)
+        return ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=4,
+            faults=self._correlated(),
+            retry=retry,
+            trace_level="full",
+        ).run(requests)
+
+    @staticmethod
+    def _timeline(result):
+        return [
+            (r.request.request_id, r.dispatched_s, r.completed_s)
+            for r in result.served
+        ]
+
+    def test_zero_jitter_is_a_thundering_herd(self):
+        policy = RetryPolicy(jitter=0.0, jitter_seed=7)
+        readmits = {policy.backoff_s(1, request_id=rid) for rid in self.COHORT}
+        assert len(readmits) == 1
+
+    def test_cohort_spreads_across_distinct_times(self):
+        """Every member of a cohort failing at one instant re-admits at
+        a distinct time, bounded by ``[delay, delay * (1 + jitter)]``."""
+        policy = RetryPolicy(jitter=0.5, jitter_seed=7)
+        base = RetryPolicy().backoff_s(1)
+        outage_s = 8.25
+        readmits = [
+            outage_s + policy.backoff_s(1, request_id=rid) for rid in self.COHORT
+        ]
+        assert len(set(readmits)) == len(self.COHORT)
+        for readmit in readmits:
+            assert outage_s + base <= readmit <= outage_s + base * 1.5
+
+    def test_draws_replay_deterministically(self):
+        attempts = (1, 2, 3)
+        first = RetryPolicy(jitter=0.3, jitter_seed=9)
+        second = RetryPolicy(jitter=0.3, jitter_seed=9)
+        assert [first.backoff_s(n, request_id=4) for n in attempts] == [
+            second.backoff_s(n, request_id=4) for n in attempts
+        ]
+        reseeded = RetryPolicy(jitter=0.3, jitter_seed=10)
+        assert first.backoff_s(1, request_id=4) != reseeded.backoff_s(
+            1, request_id=4
+        )
+
+    def test_zero_jitter_serving_is_byte_identical_to_legacy(self):
+        """``jitter=0`` (whatever the seed) never perturbs an existing
+        run: the legacy exponential backoff is returned exactly."""
+        legacy = self._run(RetryPolicy(max_retries=3))
+        pinned = self._run(RetryPolicy(max_retries=3, jitter=0.0, jitter_seed=99))
+        assert legacy.retries > 0  # the comparison exercises the retry path
+        assert self._timeline(legacy) == self._timeline(pinned)
+        assert legacy.faults.retry_times == pinned.faults.retry_times
+
+    def test_jittered_serving_spreads_and_replays(self):
+        """Jitter moves the recorded re-admission times (the herd
+        spreads) yet the jittered run replays byte-identically."""
+        plain = self._run(RetryPolicy(max_retries=3))
+        jittered = self._run(RetryPolicy(max_retries=3, jitter=0.5, jitter_seed=7))
+        replay = self._run(RetryPolicy(max_retries=3, jitter=0.5, jitter_seed=7))
+        assert jittered.faults.retry_times != plain.faults.retry_times
+        assert self._timeline(jittered) == self._timeline(replay)
+        assert jittered.faults.retry_times == replay.faults.retry_times
+        assert jittered.retries > 0  # the spread assertion above has teeth
+
+
+class TestBatteryDrain:
+    """Finite energy budgets (ISSUE 9 satellite): drain follows actual
+    busy time under the actual DVFS factor, a floor crossing leaves
+    through the same ``set_available`` path as churn and never rejoins,
+    and the controller's ``battery_margin`` lookahead turns the
+    surprise outage into a planned, failure-free migration."""
+
+    def _requests(self, num=18):
+        return poisson_stream(HEAVY, rate_rps=1.5, num_requests=num, seed=5)
+
+    def _battery_faults(self, **model_kwargs):
+        model = dict(capacity_j=6.0, floor_j=0.5, idle_w=0.2, busy_w=3.0)
+        model.update(model_kwargs)
+        return PerturbationProcess(
+            seed=3,
+            horizon_s=30.0,
+            batteries=(("jetson_orin_nx", BatteryModel(**model)),),
+        )
+
+    @staticmethod
+    def _timeline(result):
+        return [
+            (r.request.request_id, r.dispatched_s, r.completed_s)
+            for r in result.served
+        ]
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=0.0)
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=5.0, floor_j=5.0)  # floor must sit below
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=5.0, busy_w=-1.0)
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=5.0).drain_j(window_s=-1.0, busy_s=0.0)
+
+    def test_drain_math(self):
+        model = BatteryModel(capacity_j=10.0, idle_w=0.5, busy_w=2.0)
+        assert model.drain_j(window_s=4.0, busy_s=1.0) == pytest.approx(4.0)
+        assert model.drain_j(4.0, 1.0, dvfs_factor=3.0) == pytest.approx(8.0)
+
+    def test_process_validation(self):
+        with pytest.raises(ValueError, match="not a BatteryModel"):
+            PerturbationProcess(batteries=(("jetson_nano", object()),))
+        with pytest.raises(ValueError, match="duplicate battery"):
+            PerturbationProcess(
+                batteries=(
+                    ("jetson_nano", BatteryModel(capacity_j=1.0)),
+                    ("jetson_nano", BatteryModel(capacity_j=2.0)),
+                )
+            )
+        with pytest.raises(ValueError, match="battery_sample_s"):
+            PerturbationProcess(
+                batteries=(("jetson_nano", BatteryModel(capacity_j=1.0)),),
+                battery_sample_s=0.0,
+            )
+        with pytest.raises(ValueError, match="unknown device"):
+            FaultInjector(
+                SimRuntime(_cluster()),
+                _cluster(),
+                [],
+                batteries={"submarine": BatteryModel(capacity_j=1.0)},
+            )
+
+    def test_floor_crossing_leaves_and_never_rejoins(self):
+        """Idle draw alone crosses the floor; the device departs via
+        ``set_available`` and stays down for the rest of the run."""
+        runtime = SimRuntime(_cluster())
+        injector = FaultInjector(
+            runtime,
+            runtime.cluster,
+            [],
+            batteries={"jetson_nano": BatteryModel(capacity_j=2.0, idle_w=1.0)},
+            battery_sample_s=0.25,
+            battery_horizon_s=10.0,
+        )
+        assert injector.armed
+        injector.arm()
+        env = runtime.env
+        env.run(until=1.0)
+        assert not injector.battery_drained("jetson_nano")
+        assert runtime.cluster.is_available("jetson_nano")
+        env.run()
+        assert injector.battery_drained("jetson_nano")
+        assert not runtime.cluster.is_available("jetson_nano")
+        assert injector.battery_level("jetson_nano") <= 0.0
+        assert injector.counts == {"battery_drain": 1}
+        assert injector.applied == 1
+
+    def test_busy_drain_scales_with_dvfs(self):
+        """A throttled station runs longer per unit of work and bills
+        the stretched seconds at full draw: factor 2 quadruples the
+        busy drain of the same task."""
+
+        def charge_after(throttled):
+            runtime = SimRuntime(_cluster())
+            events = (
+                [FaultEvent(0.01, DVFS_THROTTLE, "jetson_nano", factor=2.0)]
+                if throttled
+                else []
+            )
+            injector = FaultInjector(
+                runtime,
+                runtime.cluster,
+                events,
+                batteries={
+                    "jetson_nano": BatteryModel(capacity_j=100.0, busy_w=1.0)
+                },
+                battery_sample_s=0.5,
+                battery_horizon_s=12.0,
+            )
+            injector.arm()
+            station = runtime.stations_of("jetson_nano")[0]
+
+            def work():
+                yield runtime.env.timeout(0.02)  # after the throttle lands
+                yield from station.run_overhead(1.0)
+
+            runtime.env.process(work())
+            runtime.env.run()
+            return 100.0 - injector.battery_level("jetson_nano")
+
+        assert charge_after(throttled=False) == pytest.approx(1.0)
+        assert charge_after(throttled=True) == pytest.approx(4.0)
+
+    def test_force_drain_requires_a_battery(self):
+        runtime = SimRuntime(_cluster())
+        injector = FaultInjector(runtime, runtime.cluster, [])
+        with pytest.raises(ValueError, match="no battery"):
+            injector.force_drain("jetson_nano")
+
+    def test_surprise_crossing_fails_midplan_and_recovers(self):
+        """Without lookahead the crossing lands mid-plan: the executor
+        sees the lost device, retries elsewhere, and the ledger
+        reconciles."""
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=4,
+            faults=self._battery_faults(),
+            retry=RetryPolicy(max_retries=3),
+        ).run(self._requests())
+        assert result.fault_events > 0
+        assert result.failures > 0
+        assert result.failures == result.retries + result.shed
+        assert result.count + result.shed == 18
+        result.busy.assert_no_overlaps()
+
+    def test_planned_drain_preempts_the_outage(self):
+        """With ``battery_margin`` lookahead the controller drains the
+        device *before* the floor crossing: same departure, zero
+        mid-plan failures."""
+        policy = ControlPolicy(
+            interval_s=0.25, concurrency=False, battery_margin=2.0
+        )
+        result = ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=4,
+            faults=self._battery_faults(),
+            retry=RetryPolicy(max_retries=3),
+            control=policy,
+            trace_level="full",
+        ).run(self._requests())
+        assert result.control.planned_drains == 1
+        assert result.fault_events > 0  # the drain is a counted fault event
+        assert result.failures == 0
+        assert result.count == 18
+        drains = [
+            d for d in result.control.decisions if d.kind == "planned_drain"
+        ]
+        assert [d.target for d in drains] == ["jetson_orin_nx"]
+
+    def test_unbatteried_runs_stay_byte_identical(self):
+        """No battery entries -- or a battery that never crosses -- must
+        not perturb the fault-free schedule."""
+        def run(faults=None):
+            return ShardedScheduler(
+                cluster=_cluster(), num_shards=2, max_inflight=4, faults=faults
+            ).run(self._requests())
+
+        base = self._timeline(run())
+        empty = self._timeline(run(PerturbationProcess(seed=3, batteries=())))
+        ample = self._timeline(
+            run(
+                PerturbationProcess(
+                    seed=3,
+                    horizon_s=30.0,
+                    batteries=(("jetson_orin_nx", BatteryModel(capacity_j=1e9)),),
+                )
+            )
+        )
+        assert base == empty
+        assert base == ample

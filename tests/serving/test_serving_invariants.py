@@ -19,6 +19,14 @@ to *completes once XOR is shed*, and the failure counters must
 reconcile exactly (``failures == retries + shed``, re-admissions join
 the per-shard dispatch balance).
 
+The controller trials (ISSUE 9) put a randomly drawn
+:class:`ControlPolicy` on top of the churn draws: the door may now
+reject or downgrade arrivals, breakers may freeze and restore shards,
+and AIMD may resize the inflight window mid-stream -- yet the same
+ledger must reconcile with ``rejected`` as a third terminal bucket
+(served, shed and rejected ids partition the stream) and
+``failures == retries + shed`` untouched by control actions.
+
 The draws are seeded, so a failure reproduces deterministically from
 the printed trial seed.
 """
@@ -36,9 +44,15 @@ from repro.serving import (
     LEADERS_SHARED,
     PLANNING_BUCKET,
     PLANNING_OFF,
+    ControlPolicy,
     PerturbationProcess,
     RetryPolicy,
     ShardedScheduler,
+)
+from repro.serving.control import (
+    ADMISSION_DOWNGRADE,
+    ADMISSION_NONE,
+    ADMISSION_REJECT,
 )
 from repro.workloads.arrivals import (
     bursty_stream,
@@ -54,6 +68,7 @@ CHAOS_MODELS = ("vgg19", "inception_v3", "resnet152", "tiny_cnn")
 
 TRIAL_SEEDS = tuple(range(6))
 CHAOS_TRIAL_SEEDS = tuple(range(5))
+CONTROL_TRIAL_SEEDS = tuple(range(5))
 
 
 def _random_stream(rng):
@@ -102,6 +117,33 @@ def _random_faults(rng):
         link_factor=rng.uniform(2.0, 6.0),
         dvfs_rate=rng.uniform(0.0, 0.3),
         dvfs_factor=rng.uniform(1.5, 3.0),
+    )
+
+
+def _random_control(rng):
+    """A random self-protection policy: any mix of AIMD concurrency,
+    elastic shards, door admission, deadline shedding and breakers."""
+    return ControlPolicy(
+        interval_s=rng.uniform(0.1, 0.5),
+        slo_s=rng.uniform(0.5, 2.0),
+        concurrency=rng.choice((True, False)),
+        min_inflight=1,
+        max_inflight=8,
+        widen_by=rng.randint(1, 2),
+        narrow_factor=rng.uniform(0.5, 0.8),
+        elastic=rng.choice((True, False)),
+        min_shards=1,
+        scale_up_backlog=rng.uniform(2.0, 6.0),
+        scale_down_backlog=rng.uniform(0.5, 1.5),
+        admission=rng.choice(
+            (ADMISSION_NONE, ADMISSION_REJECT, ADMISSION_DOWNGRADE)
+        ),
+        admission_pressure=rng.randint(3, 12),
+        admission_downgrade_by=rng.randint(1, 3),
+        deadline_shed=rng.choice((True, False)),
+        breaker_failures=rng.choice((0, 2, 3)),
+        breaker_window_s=rng.uniform(1.0, 3.0),
+        breaker_cooldown_s=rng.uniform(0.5, 2.0),
     )
 
 
@@ -231,6 +273,112 @@ def test_randomized_churn_invariants(trial):
     assert sum(result.dispatched_by_shard) == (
         result.count + result.shed + result.retries
     ), context
+
+
+def _control_trial(trial):
+    rng = random.Random(6000 + trial)
+    requests = poisson_stream(
+        tuple(rng.sample(CHAOS_MODELS, rng.randint(2, len(CHAOS_MODELS)))),
+        rate_rps=rng.uniform(1.0, 3.0),
+        num_requests=rng.randint(12, 24),
+        seed=rng.randrange(10_000),
+        priority_weights=rng.choice((None, {0: 0.3, 2: 0.7})),
+    )
+    faults = _random_faults(rng)
+    retry = _random_retry(rng)
+    control = _random_control(rng)
+    scheduler = _random_scheduler(
+        rng, faults=faults, retry=retry, control=control, trace_level="full"
+    )
+    return requests, control, scheduler
+
+
+@pytest.mark.chaos
+@pytest.mark.control
+@pytest.mark.parametrize("trial", CONTROL_TRIAL_SEEDS)
+def test_randomized_control_churn_invariants(trial):
+    """The churn property with a random controller in the loop: the
+    door may reject, breakers may freeze shards, AIMD may resize the
+    window -- the ledger must still balance with ``rejected`` as a
+    third terminal bucket."""
+    requests, control, scheduler = _control_trial(trial)
+    context = (
+        f"trial={trial} shards={scheduler.num_shards} "
+        f"inflight={scheduler.max_inflight} leaders={scheduler.leader_policy} "
+        f"control={control} requests={len(requests)}"
+    )
+
+    result = scheduler.run(requests)
+
+    # Served, shed and rejected ids partition the stream.
+    served_ids = sorted(record.request.request_id for record in result.served)
+    assert len(set(served_ids)) == len(served_ids), context
+    shed_ids = set(result.shed_requests)
+    rejected_ids = set(result.rejected_requests)
+    assert shed_ids.isdisjoint(served_ids), context
+    assert rejected_ids.isdisjoint(served_ids), context
+    assert rejected_ids.isdisjoint(shed_ids), context
+    assert sorted(set(served_ids) | shed_ids | rejected_ids) == sorted(
+        r.request_id for r in requests
+    ), context
+    assert result.count + result.shed + result.rejected == len(requests), context
+
+    # Timelines stay causally ordered and stations never overlap, even
+    # across breaker freezes and elastic rescales.
+    for record in result.served:
+        assert record.arrival_s <= record.dispatched_s <= record.completed_s, context
+    result.busy.assert_no_overlaps()
+
+    # Failure accounting is untouched by control actions.
+    assert result.failures == result.retries + result.shed, context
+    assert result.faults is not None and result.faults.failures == result.failures, context
+
+    # The control trace reconciles with the result's terminal buckets.
+    trace = result.control
+    assert trace is not None, context
+    assert trace.wakeups > 0, context
+    assert trace.rejected == result.rejected, context
+    # A served record at a worse priority than it arrived with was
+    # downgraded either at the door or by the retry policy -- the two
+    # ledgers together must account for every such record.
+    arrived_priority = {r.request_id: r.priority for r in requests}
+    worsened = sum(
+        1 for record in result.served
+        if record.request.priority > arrived_priority[record.request.request_id]
+    )
+    assert worsened <= trace.door_downgraded + result.faults.downgraded, context
+
+    # Door rejections never reach a shard: admissions cover exactly the
+    # non-rejected prefix of the ledger, and re-admissions still join
+    # the per-shard dispatch balance.
+    assert sum(result.admitted_by_shard) == len(requests) - result.rejected, context
+    for shard in range(scheduler.num_shards):
+        assert result.dispatched_by_shard[shard] == (
+            result.admitted_by_shard[shard]
+            + result.readmitted_by_shard[shard]
+            + result.stolen_in_by_shard[shard]
+            - result.stolen_out_by_shard[shard]
+        ), f"{context} shard={shard}"
+    assert sum(result.dispatched_by_shard) == (
+        result.count + result.shed + result.retries
+    ), context
+
+
+@pytest.mark.chaos
+@pytest.mark.control
+def test_control_churn_trials_are_not_vacuous():
+    """Across the controller draws, the controller must actually act
+    (actuations) and the fault path must actually fire (failures), or
+    the property above tests a no-op."""
+    total_actuations = 0
+    total_failures = 0
+    for trial in CONTROL_TRIAL_SEEDS:
+        requests, _, scheduler = _control_trial(trial)
+        result = scheduler.run(requests)
+        total_actuations += result.control.actuations
+        total_failures += result.failures
+    assert total_actuations > 0
+    assert total_failures > 0
 
 
 @pytest.mark.chaos
