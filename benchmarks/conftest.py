@@ -21,10 +21,14 @@ _BENCH_DIR = Path(__file__).resolve().parent
 
 def pytest_collection_modifyitems(items):
     # The hook sees the whole collected session; only mark this
-    # directory's items.
+    # directory's items.  Items explicitly marked ``bigsim`` (the
+    # several-minute 100k-request gate) keep that marker *instead* of
+    # ``bench``, so ``-m bench`` stays a fast sweep and the big gate
+    # only runs on an explicit ``-m bigsim``.
     for item in items:
         if _BENCH_DIR in Path(str(item.fspath)).parents:
-            item.add_marker(pytest.mark.bench)
+            if item.get_closest_marker("bigsim") is None:
+                item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

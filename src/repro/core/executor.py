@@ -54,7 +54,7 @@ from repro.core.plans import (
 )
 from repro.metrics.results import InferenceResult
 from repro.platform.processor import KIND_CPU
-from repro.sim.engine import Event
+from repro.sim.engine import Event, Timeout
 from repro.sim.runtime import SimRuntime
 from repro.sim.trace import TRACE_FULL
 from repro.workloads.requests import InferenceRequest
@@ -69,6 +69,145 @@ MERGE_OVERHEAD_S = 0.001
 #: may continue, or waits on whatever events (slot re-grants...) must
 #: resolve before the next segment starts.
 Checkpoint = Callable[[], Generator[Event, None, None]]
+
+
+class _TaskSpec:
+    """One local task, compiled to flat constants for the fast path.
+
+    Everything a fused task flow touches per execution -- the station,
+    its FIFO resource, the memoised durations and the record arguments
+    -- resolved once per (plan, run) so the per-serve generators do no
+    graph walks, no dict sums and no attribute chains.  Values mirror
+    exactly what the reference arm recomputes each execution.
+    """
+
+    __slots__ = (
+        "station",
+        "resource",
+        "busy_key",
+        "in_s",
+        "duration",
+        "out_s",
+        "label",
+        "total_flops",
+        "device",
+        "processor",
+    )
+
+    def __init__(self, station, in_s, duration, out_s, label, total_flops):
+        self.station = station
+        self.resource = station._resource
+        self.busy_key = station.key
+        self.in_s = in_s
+        self.duration = duration
+        self.out_s = out_s
+        self.label = label
+        self.total_flops = total_flops
+        self.device = station.device.name
+        self.processor = station.processor.name
+
+
+class _CompiledLocal:
+    """A :class:`LocalExec` compiled against one runtime's stations."""
+
+    __slots__ = ("device", "label", "mode", "specs", "stages", "tail")
+
+    def __init__(self, device, label, mode, specs=None, stages=None, tail=None):
+        self.device = device
+        self.label = label
+        self.mode = mode
+        self.specs = specs
+        self.stages = stages
+        self.tail = tail
+
+
+def _child_task_flow(env, runtime, spec, faults, device_name, segment):
+    """Process: one fan-out child (tile or stage task), fully fused.
+
+    The body is ``ProcessorStation.run_task`` flattened around the
+    compiled :class:`_TaskSpec` constants, bracketed by the input and
+    output hand-off timeouts -- zero delegated generators, so every
+    resume of the hottest simulated flow activates exactly one frame.
+    Keep the hold protocol in sync with ``run_task`` (commit backlog,
+    request, busy-record, release; un-commit on an abandoned claim).
+    Faults follow the fan-out sentinel contract: gate at flow start,
+    *return* the loss as the process value.
+    """
+    if faults is not None and not faults.device_ok(device_name):
+        return DeviceLostError(device_name, segment, env.now)
+    yield Timeout(env, spec.in_s)
+    station = spec.station
+    duration = spec.duration
+    factor = station.throttle.factor
+    if factor != 1.0:
+        duration = duration * factor
+    committed = station.committed_until
+    now = env.now
+    station.committed_until = (committed if committed > now else now) + duration
+    runtime._load_version += 1
+    resource = spec.resource
+    request = resource.request()
+    try:
+        yield request
+    except BaseException:
+        resource.release(request)
+        station.committed_until -= duration
+        runtime._load_version += 1
+        raise
+    start = env.now
+    try:
+        yield Timeout(env, duration)
+    finally:
+        end = env.now
+        runtime.busy.record(spec.busy_key, start, end, spec.label)
+        resource.release(request)
+    runtime.flops_log.record(end, spec.total_flops, spec.device, spec.processor, spec.label)
+    yield Timeout(env, spec.out_s)
+
+
+def _probe_round_trip(env, channel, leader, dst):
+    """Process: one availability status round trip, transmits fused.
+
+    The body is ``NetworkChannel.transmit`` flattened twice (request
+    leg, reply leg) -- ``src != dst`` always holds here, and bandwidth/
+    latency are read live at grant time exactly like the reference, so
+    degradation episodes land identically.  Keep in sync with
+    ``transmit``.
+    """
+    resource = channel._resource
+    log_record = channel._log.record
+    request = resource.request()
+    try:
+        yield request
+    except BaseException:
+        resource.release(request)
+        raise
+    start = env.now
+    try:
+        yield Timeout(env, STATUS_PACKET_BYTES / channel._bandwidth_bytes_s)
+    finally:
+        resource.release(request)
+    hold_end = env.now
+    yield Timeout(env, channel._latency_s)
+    log_record(
+        start, env.now, STATUS_PACKET_BYTES, leader, dst, "status_request", hold_end=hold_end
+    )
+    request = resource.request()
+    try:
+        yield request
+    except BaseException:
+        resource.release(request)
+        raise
+    start = env.now
+    try:
+        yield Timeout(env, STATUS_PACKET_BYTES / channel._bandwidth_bytes_s)
+    finally:
+        resource.release(request)
+    hold_end = env.now
+    yield Timeout(env, channel._latency_s)
+    log_record(
+        start, env.now, STATUS_PACKET_BYTES, dst, leader, "status_reply", hold_end=hold_end
+    )
 
 
 class PlanExecutor:
@@ -108,6 +247,10 @@ class PlanExecutor:
         # same plan moves the same tensors every execution.
         self._devices = {device.name: device for device in runtime.cluster.devices}
         self._transfer_seconds: dict = {}
+        # Compiled local-exec flows (fast path; see _compiled_local)
+        # and the per-device scheduler-CPU station memo.
+        self._compiled: dict = {}
+        self._scheduler_stations: dict = {}
 
     def _local_transfer_seconds(self, device_name: str, size_bytes: int) -> float:
         key = (device_name, size_bytes)
@@ -143,12 +286,25 @@ class PlanExecutor:
     # Helpers ----------------------------------------------------------------
 
     def _scheduler_station(self, device_name: str):
-        """The processor hosting the middleware controller (first CPU)."""
+        """The processor hosting the middleware controller (first CPU).
+
+        Memoised per device on the fast path: the cluster's processor
+        layout is fixed for the lifetime of a run.
+        """
+        station = self._scheduler_stations.get(device_name)
+        if station is not None:
+            return station
         device = self.runtime.cluster.device(device_name)
+        station = None
         for proc in device.processors:
             if proc.kind == KIND_CPU:
-                return self.runtime.station(device_name, proc.name)
-        return self.runtime.station(device_name, device.processors[0].name)
+                station = self.runtime.station(device_name, proc.name)
+                break
+        if station is None:
+            station = self.runtime.station(device_name, device.processors[0].name)
+        if self._fast:
+            self._scheduler_stations[device_name] = station
+        return station
 
     def _busy(self, device_name: str, seconds: float, label: str) -> Generator[Event, None, None]:
         """Charge controller overhead as busy time on the scheduler CPU.
@@ -161,7 +317,35 @@ class PlanExecutor:
         if seconds <= 0:
             return
         station = self._scheduler_station(device_name)
-        yield from station.run_overhead(seconds, label=label)
+        if not self._fast:
+            yield from station.run_overhead(seconds, label=label)
+            return
+        # run_overhead/_hold fused: identical hold protocol, two fewer
+        # delegated generators (keep in sync with ProcessorStation._hold).
+        runtime = self.runtime
+        env = runtime.env
+        factor = station.throttle.factor
+        if factor != 1.0:
+            seconds = seconds * factor
+        committed = station.committed_until
+        now = env.now
+        station.committed_until = (committed if committed > now else now) + seconds
+        runtime._load_version += 1
+        resource = station._resource
+        request = resource.request()
+        try:
+            yield request
+        except BaseException:
+            resource.release(request)
+            station.committed_until -= seconds
+            runtime._load_version += 1
+            raise
+        start = env.now
+        try:
+            yield Timeout(env, seconds)
+        finally:
+            runtime.busy.record(station.key, start, env.now, label)
+            resource.release(request)
 
     def charge_overhead(
         self, device_name: str, seconds: float, label: str
@@ -211,6 +395,16 @@ class PlanExecutor:
             if faults is not None and not faults.device_ok(device.name):
                 continue
 
+            if self._fast:
+                probes.append(
+                    env.process(
+                        _probe_round_trip(
+                            env, self.runtime.network, leader, device.name
+                        )
+                    )
+                )
+                continue
+
             def round_trip(dst: str = device.name) -> Generator[Event, None, None]:
                 yield from self.runtime.network.transmit(
                     leader, dst, STATUS_PACKET_BYTES, tag="status_request"
@@ -226,6 +420,154 @@ class PlanExecutor:
     # Local execution ----------------------------------------------------------
 
     def _run_local(
+        self, device_name: str, local: LocalExec, label: str, faults=None
+    ) -> Generator[Event, None, None]:
+        """Run one node's local execution (all four local modes).
+
+        The fast path executes a compiled :class:`_CompiledLocal` --
+        flat per-task constants, fused hold protocol, zero delegated
+        generators on the sequential modes; the reference arm below
+        keeps the seed structure as the executable spec.  Both arms
+        produce identical event schedules (pinned by the cross-hatch
+        matrix).
+
+        Fault semantics: tile/stage fan-out children cannot raise (an
+        exception in a child process would crash the event loop), so
+        they gate availability at flow start and *return* the
+        DeviceLostError as their process value; the parent collects
+        every child -- in-flight work runs to completion and is
+        charged -- and re-raises the first failure.  The sequential
+        modes gate in the caller's own frame and raise directly.
+        """
+        if not self._fast:
+            yield from self._run_local_reference(device_name, local, label, faults)
+            return
+        compiled = self._compiled_local(device_name, local, label)
+        runtime = self.runtime
+        env = runtime.env
+        mode = compiled.mode
+        if mode == LOCAL_DATA or mode == LOCAL_STAGED:
+            segment = "tile" if mode == LOCAL_DATA else "stage"
+            for stage in compiled.stages:
+                children = [
+                    env.process(
+                        _child_task_flow(env, runtime, spec, faults, device_name, segment)
+                    )
+                    for spec in stage
+                ]
+                values = yield env.all_of(children)
+                if faults is not None:
+                    for value in values:
+                        if isinstance(value, DeviceLostError):
+                            raise value
+            segment_specs = compiled.specs  # the data-mode tail, if any
+        else:
+            segment = "execute"
+            segment_specs = compiled.specs  # single / pipeline task list
+        for spec in segment_specs:
+            if faults is not None:
+                self._check(faults, (device_name,), segment)
+            yield Timeout(env, spec.in_s)
+            # ProcessorStation.run_task, fused over the compiled spec
+            # (keep the hold protocol in sync with run_task/_hold).
+            station = spec.station
+            duration = spec.duration
+            factor = station.throttle.factor
+            if factor != 1.0:
+                duration = duration * factor
+            committed = station.committed_until
+            now = env.now
+            station.committed_until = (committed if committed > now else now) + duration
+            runtime._load_version += 1
+            resource = spec.resource
+            request = resource.request()
+            try:
+                yield request
+            except BaseException:
+                resource.release(request)
+                station.committed_until -= duration
+                runtime._load_version += 1
+                raise
+            start = env.now
+            try:
+                yield Timeout(env, duration)
+            finally:
+                end = env.now
+                runtime.busy.record(spec.busy_key, start, end, spec.label)
+                resource.release(request)
+            runtime.flops_log.record(
+                end, spec.total_flops, spec.device, spec.processor, spec.label
+            )
+
+    def _compiled_local(self, device_name: str, local: LocalExec, label: str):
+        """The compiled form of a local exec, memoised per run.
+
+        Serving runs execute the same cached plan's locals thousands of
+        times; resolving stations, durations and transfer times once
+        per (plan, run) removes every per-serve recomputation.  Keyed
+        by identity with the local pinned in the value (so an id reuse
+        after eviction can never alias), revalidated against the
+        device/label binding, which is fixed per assignment.
+        """
+        key = id(local)
+        hit = self._compiled.get(key)
+        if hit is not None and hit[0] is local:
+            compiled = hit[1]
+            if compiled.device == device_name and compiled.label == label:
+                return compiled
+        runtime = self.runtime
+
+        def spec_of(task, with_out: bool) -> _TaskSpec:
+            station = runtime.station(device_name, task.processor)
+            duration, total_flops = self._task_costs(station, task)
+            return _TaskSpec(
+                station,
+                self._local_transfer_seconds(device_name, task.input_bytes),
+                duration,
+                self._local_transfer_seconds(device_name, task.output_bytes)
+                if with_out
+                else 0.0,
+                task.label or label,
+                total_flops,
+            )
+
+        mode = local.mode
+        if mode == LOCAL_DATA:
+            compiled = _CompiledLocal(
+                device_name,
+                label,
+                mode,
+                specs=[spec_of(local.tail, False)] if local.tail is not None else [],
+                stages=[[spec_of(task, True) for task in local.tasks]],
+            )
+        elif mode == LOCAL_STAGED:
+            compiled = _CompiledLocal(
+                device_name,
+                label,
+                mode,
+                specs=[],
+                stages=[[spec_of(task, True) for task in stage] for stage in local.stages],
+            )
+        elif mode == LOCAL_SINGLE:
+            compiled = _CompiledLocal(
+                device_name,
+                label,
+                mode,
+                specs=[spec_of(local.tasks[0], False)],
+            )
+        else:  # pipeline
+            compiled = _CompiledLocal(
+                device_name,
+                label,
+                mode,
+                specs=[spec_of(task, False) for task in local.tasks],
+            )
+        self._compiled[key] = (local, compiled)
+        if len(self._compiled) > self.TASK_SECONDS_MAX:
+            self._compiled.pop(next(iter(self._compiled)))
+        return compiled
+
+    def _run_local_reference(
         self, device_name: str, local: LocalExec, label: str, faults=None
     ) -> Generator[Event, None, None]:
         # Local tensor hand-offs are inlined single timeouts (exactly
@@ -245,7 +587,7 @@ class PlanExecutor:
             task = local.tasks[0]
             if faults is not None:
                 self._check(faults, (device_name,), "execute")
-            yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
+            yield Timeout(env, self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
             duration, total_flops = self._task_costs(station, task)
             yield from station.run_task(
@@ -264,7 +606,7 @@ class PlanExecutor:
                 def tile_flow(t=task) -> Generator[Event, None, None]:
                     if faults is not None and not faults.device_ok(device_name):
                         return DeviceLostError(device_name, "tile", env.now)
-                    yield env.timeout(self._local_transfer_seconds(device_name, t.input_bytes))
+                    yield Timeout(env, self._local_transfer_seconds(device_name, t.input_bytes))
                     station = self.runtime.station(device_name, t.processor)
                     duration, total_flops = self._task_costs(station, t)
                     yield from station.run_task(
@@ -275,7 +617,7 @@ class PlanExecutor:
                         duration=duration,
                         total_flops=total_flops,
                     )
-                    yield env.timeout(self._local_transfer_seconds(device_name, t.output_bytes))
+                    yield Timeout(env, self._local_transfer_seconds(device_name, t.output_bytes))
 
                 children.append(env.process(tile_flow()))
             values = yield env.all_of(children)
@@ -287,8 +629,9 @@ class PlanExecutor:
                 if faults is not None:
                     self._check(faults, (device_name,), "tile")
                 station = self.runtime.station(device_name, local.tail.processor)
-                yield env.timeout(
-                    self._local_transfer_seconds(device_name, local.tail.input_bytes)
+                yield Timeout(
+                    env,
+                    self._local_transfer_seconds(device_name, local.tail.input_bytes),
                 )
                 duration, total_flops = self._task_costs(station, local.tail)
                 yield from station.run_task(
@@ -308,7 +651,8 @@ class PlanExecutor:
                     def stage_flow(t=task) -> Generator[Event, None, None]:
                         if faults is not None and not faults.device_ok(device_name):
                             return DeviceLostError(device_name, "stage", env.now)
-                        yield env.timeout(
+                        yield Timeout(
+                            env,
                             self._local_transfer_seconds(device_name, t.input_bytes)
                         )
                         station = self.runtime.station(device_name, t.processor)
@@ -321,7 +665,8 @@ class PlanExecutor:
                             duration=duration,
                             total_flops=total_flops,
                         )
-                        yield env.timeout(
+                        yield Timeout(
+                            env,
                             self._local_transfer_seconds(device_name, t.output_bytes)
                         )
 
@@ -336,7 +681,7 @@ class PlanExecutor:
         for task in local.tasks:
             if faults is not None:
                 self._check(faults, (device_name,), "execute")
-            yield env.timeout(self._local_transfer_seconds(device_name, task.input_bytes))
+            yield Timeout(env, self._local_transfer_seconds(device_name, task.input_bytes))
             station = self.runtime.station(device_name, task.processor)
             duration, total_flops = self._task_costs(station, task)
             yield from station.run_task(
@@ -363,6 +708,80 @@ class PlanExecutor:
         faults=None,
     ) -> Generator[Event, None, None]:
         env = self.runtime.env
+        if self._fast:
+            # Fast arm: both NetworkChannel.transmit legs flattened
+            # (src != dst holds on each guarded leg) and _map_overhead
+            # inlined.  Bandwidth/latency are read live at grant time,
+            # so degradation episodes land identically to the reference
+            # arm below -- keep the two arms in sync.
+            device = assignment.device
+            channel = self.runtime.network
+            if device != leader:
+                if faults is not None:
+                    self._check(faults, (device,), "offload")
+                resource = channel._resource
+                request = resource.request()
+                try:
+                    yield request
+                except BaseException:
+                    resource.release(request)
+                    raise
+                start = env.now
+                try:
+                    yield Timeout(
+                        env, assignment.send_bytes / channel._bandwidth_bytes_s
+                    )
+                finally:
+                    resource.release(request)
+                hold_end = env.now
+                yield Timeout(env, channel._latency_s)
+                channel._log.record(
+                    start,
+                    env.now,
+                    assignment.send_bytes,
+                    leader,
+                    device,
+                    "workload",
+                    hold_end=hold_end,
+                )
+            if trace is not None:
+                trace.enter(env.now, STATE_MAP)
+            if self.charge_local_map and len(assignment.local.tasks) > 1:
+                yield from self._busy(device, LOCAL_MAP_OVERHEAD_S, "local_dse")
+            if trace is not None:
+                trace.enter(env.now, STATE_EXECUTE)
+            yield from self._run_local(device, assignment.local, assignment.label, faults)
+            if device != leader:
+                if faults is not None:
+                    self._check(faults, (device,), "result")
+                resource = channel._resource
+                request = resource.request()
+                try:
+                    yield request
+                except BaseException:
+                    resource.release(request)
+                    raise
+                start = env.now
+                try:
+                    yield Timeout(
+                        env, assignment.return_bytes / channel._bandwidth_bytes_s
+                    )
+                finally:
+                    resource.release(request)
+                hold_end = env.now
+                yield Timeout(env, channel._latency_s)
+                channel._log.record(
+                    start,
+                    env.now,
+                    assignment.return_bytes,
+                    device,
+                    leader,
+                    "result",
+                    hold_end=hold_end,
+                )
+            if trace is not None:
+                trace.enter(env.now, STATE_ANALYZE)
+            return
         if assignment.device != leader:
             if faults is not None:
                 self._check(faults, (assignment.device,), "offload")

@@ -397,3 +397,53 @@ class StreamingStats:
     @property
     def reservoir(self) -> Tuple[float, ...]:
         return tuple(self._reservoir)
+
+
+def result_fingerprint(result) -> str:
+    """A canonical digest of everything a schedule-identical run must
+    reproduce exactly.
+
+    Hashes the full served timeline (request id, dispatch, completion,
+    replan flag, attempts) plus the event count, makespan, energy,
+    traffic and scheduler counters through ``repr`` -- floats render
+    with exact ``repr`` round-tripping, so two results digest equal iff
+    their schedules are byte-identical.  Used by the checkpoint/resume
+    pins (cross-hatch matrix, ``benchmarks/test_bench_engine.py``): a
+    resumed :class:`~repro.serving.scheduler.ServingResult` must digest
+    equal to the uninterrupted run's.
+    """
+    import hashlib
+
+    canon = repr(
+        (
+            [
+                (
+                    record.request.request_id,
+                    record.dispatched_s,
+                    record.completed_s,
+                    record.replanned,
+                    record.attempts,
+                )
+                for record in result.served
+            ],
+            result.sim_events,
+            result.makespan_s,
+            result.energy_j,
+            result.network_bytes,
+            result.total_flops,
+            result.batches,
+            result.replans,
+            result.steals,
+            result.preemptions,
+            result.planning_charged_s,
+            result.leader_devices,
+            result.dispatched_by_shard,
+            result.failures,
+            result.retries,
+            result.shed,
+            result.downgraded,
+            result.fault_events,
+            result.rejected,
+        )
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()

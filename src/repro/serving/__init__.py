@@ -180,7 +180,12 @@ from repro.serving.routing import (
     Router,
     resolve_router,
 )
-from repro.serving.scheduler import OnlineScheduler, ServedRequest, ServingResult
+from repro.serving.scheduler import (
+    OnlineScheduler,
+    RunCheckpoint,
+    ServedRequest,
+    ServingResult,
+)
 from repro.serving.sharded import (
     ASSIGN_HASH,
     ASSIGN_MODEL,
@@ -195,6 +200,7 @@ from repro.serving.specialize import ShardSpecializer, SpecializationPlan
 
 __all__ = [
     "OnlineScheduler",
+    "RunCheckpoint",
     "ServedRequest",
     "ServingResult",
     "ShardedScheduler",

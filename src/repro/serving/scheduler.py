@@ -280,6 +280,72 @@ class ServingResult:
         }
 
 
+class RunCheckpoint:
+    """A serving run paused mid-stream, resumable to the exact result.
+
+    Produced by either scheduler's ``run(..., checkpoint_at_s=S)``: the
+    event loop pauses once the clock reaches ``S``, the engine state is
+    captured (:meth:`SimRuntime.snapshot`), and this handle is returned
+    instead of the :class:`ServingResult`.  Calling :meth:`resume`
+    validates and rewinds to the captured state, then drains the run to
+    completion -- the resumed result is byte-identical to the
+    uninterrupted run, because pausing processes the exact same event
+    prefix and nothing simulated happens while paused.
+
+    The checkpoint is *in-memory*: pending generator frames (the
+    in-flight plan executions) are held live by the captured heap, so
+    the handle is valid only within the process that produced it, and
+    only until :meth:`resume` is called.  ``segments`` maps each
+    request id to how many plan-segment boundaries its execution had
+    crossed by the pause -- the consistency cut the executor's
+    checkpoint hook records (see ``PlanExecutor.execute``).
+    """
+
+    __slots__ = (
+        "sim_time",
+        "served_count",
+        "segments",
+        "_runtime",
+        "_snapshot",
+        "_finish",
+    )
+
+    def __init__(self, runtime, snapshot, finish, served_count, segments):
+        self.sim_time = snapshot.sim_time
+        self.served_count = served_count
+        self.segments = segments
+        self._runtime = runtime
+        self._snapshot = snapshot
+        self._finish = finish
+
+    @property
+    def pending_events(self) -> int:
+        """Heap entries captured at the pause (in-flight schedule)."""
+        return self._snapshot.pending_events
+
+    def resume(self) -> "ServingResult":
+        """Rewind to the captured state and drain the run to its end."""
+        self._runtime.restore(self._snapshot)
+        return self._finish()
+
+
+def _segment_recorder(segments: Dict[int, int], request_id: int, inner=None):
+    """Build a ``PlanExecutor`` checkpoint hook counting segment crossings.
+
+    The recorder adds *no* simulation events (it only mutates the
+    ``segments`` ledger), so installing it keeps the schedule
+    byte-identical; ``inner`` chains a pre-existing hook (the sharded
+    scheduler's cooperative-preemption closure) after the count.
+    """
+
+    def checkpoint():
+        segments[request_id] = segments.get(request_id, 0) + 1
+        if inner is not None:
+            yield from inner()
+
+    return checkpoint
+
+
 class OnlineScheduler:
     """Serves an open-loop request stream on one cluster.
 
@@ -357,8 +423,18 @@ class OnlineScheduler:
 
     # Entry point -------------------------------------------------------------
 
-    def run(self, requests: Sequence[InferenceRequest]) -> ServingResult:
-        """Serve the full stream; returns aggregated serving metrics."""
+    def run(
+        self,
+        requests: Sequence[InferenceRequest],
+        checkpoint_at_s: Optional[float] = None,
+    ) -> ServingResult:
+        """Serve the full stream; returns aggregated serving metrics.
+
+        ``checkpoint_at_s`` pauses the event loop once the clock
+        reaches that simulated time and returns a
+        :class:`RunCheckpoint` instead; ``resume()`` on the handle
+        drains the rest of the run to a byte-identical result.
+        """
         if not requests:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
@@ -397,6 +473,11 @@ class OnlineScheduler:
         first_failure_at: Dict[int, float] = {}
         shed_ids: List[int] = []
         rejected_ids: List[int] = []
+        #: request_id -> plan-segment boundaries crossed (checkpoint
+        #: runs only; the recorder hook adds no events).
+        segments: Optional[Dict[int, int]] = (
+            {} if checkpoint_at_s is not None else None
+        )
 
         controller = None
         if self.control is not None:
@@ -490,9 +571,14 @@ class OnlineScheduler:
             env.process(readmit(again, delay))
 
         def serve(request: InferenceRequest, plan, slot, replanned: bool):
+            hook = (
+                _segment_recorder(segments, request.request_id)
+                if segments is not None
+                else None
+            )
             try:
                 try:
-                    result = yield from executor.execute(request, plan)
+                    result = yield from executor.execute(request, plan, checkpoint=hook)
                 except DeviceLostError as lost:
                     if fault_trace is None:
                         raise
@@ -587,16 +673,66 @@ class OnlineScheduler:
         env.process(dispatcher())
         if controller is not None:
             env.process(control_driver())
-        env.run()
 
-        settled = len(served) + len(shed_ids) + len(rejected_ids)
-        if settled != len(ordered):
-            raise RuntimeError(
-                f"{len(ordered) - settled} requests never completed (deadlock?)"
+        def finish() -> ServingResult:
+            env.run()
+            settled = len(served) + len(shed_ids) + len(rejected_ids)
+            if settled != len(ordered):
+                raise RuntimeError(
+                    f"{len(ordered) - settled} requests never completed (deadlock?)"
+                )
+            served.sort(key=lambda record: record.request.request_id)
+            makespan = max((record.completed_s for record in served), default=0.0)
+            energy_by_device = cluster_energy_j(
+                self.cluster, runtime.busy, (0.0, makespan)
             )
-        served.sort(key=lambda record: record.request.request_id)
-        makespan = max((record.completed_s for record in served), default=0.0)
-        energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
+            return self._build_result(
+                runtime,
+                env,
+                served,
+                makespan,
+                energy_by_device,
+                counters,
+                fault_trace,
+                injector,
+                shed_ids,
+                rejected_ids,
+                router,
+                stats,
+                controller,
+            )
+
+        if checkpoint_at_s is not None:
+            # Pause: drain the exact event prefix up to the requested
+            # time, capture the state, and hand control back.  finish()
+            # later continues from the same heap, so the pause never
+            # perturbs the schedule.
+            env.run(until=checkpoint_at_s)
+            return RunCheckpoint(
+                runtime=runtime,
+                snapshot=runtime.snapshot(),
+                finish=finish,
+                served_count=len(served),
+                segments=dict(segments),
+            )
+        return finish()
+
+    def _build_result(
+        self,
+        runtime,
+        env,
+        served,
+        makespan,
+        energy_by_device,
+        counters,
+        fault_trace,
+        injector,
+        shed_ids,
+        rejected_ids,
+        router,
+        stats,
+        controller,
+    ) -> ServingResult:
         return ServingResult(
             strategy=self.strategy.name,
             served=served,

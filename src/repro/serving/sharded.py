@@ -118,7 +118,12 @@ from repro.serving.control import (
     ControlPolicy,
 )
 from repro.serving.routing import ClusteredRouter, resolve_router
-from repro.serving.scheduler import ServedRequest, ServingResult
+from repro.serving.scheduler import (
+    RunCheckpoint,
+    ServedRequest,
+    ServingResult,
+    _segment_recorder,
+)
 from repro.serving.specialize import ShardSpecializer
 from repro.sim.resources import PriorityResource, Store
 from repro.sim.runtime import LOAD_VIEW_WEIGHTED, LOAD_VIEWS, SimRuntime
@@ -273,8 +278,19 @@ class ShardedScheduler:
 
     # Entry point -------------------------------------------------------------
 
-    def run(self, requests: Sequence[InferenceRequest]) -> ServingResult:
-        """Serve the full stream; returns aggregated serving metrics."""
+    def run(
+        self,
+        requests: Sequence[InferenceRequest],
+        checkpoint_at_s: Optional[float] = None,
+    ) -> ServingResult:
+        """Serve the full stream; returns aggregated serving metrics.
+
+        ``checkpoint_at_s`` pauses the event loop once the clock
+        reaches that simulated time and returns a
+        :class:`~repro.serving.scheduler.RunCheckpoint` instead;
+        ``resume()`` on the handle drains the rest of the run to a
+        byte-identical result.
+        """
         if not requests:
             raise ValueError("no requests to serve")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
@@ -339,6 +355,11 @@ class ShardedScheduler:
         first_failure_at: Dict[int, float] = {}
         shed_ids: List[int] = []
         rejected_ids: List[int] = []
+        #: request_id -> plan-segment boundaries crossed (checkpoint
+        #: runs only; the recorder hook adds no events).
+        segments: Optional[Dict[int, int]] = (
+            {} if checkpoint_at_s is not None else None
+        )
 
         controller = None
         if self.control is not None:
@@ -465,12 +486,17 @@ class ShardedScheduler:
                     holder["slot"] = resumed
                     yield resumed
 
+            hook = checkpoint if self.preemption else None
+            if segments is not None:
+                # Compose: count the boundary, then run the preemption
+                # hand-off (the recorder itself adds no events).
+                hook = _segment_recorder(segments, request.request_id, inner=hook)
             try:
                 try:
                     result = yield from executor.execute(
                         request,
                         plan,
-                        checkpoint=checkpoint if self.preemption else None,
+                        checkpoint=hook,
                     )
                 except DeviceLostError as lost:
                     if fault_trace is None:
@@ -755,57 +781,78 @@ class ShardedScheduler:
             env.process(epoch_driver())
         if controller is not None:
             env.process(control_driver())
-        env.run()
 
-        settled = len(served) + len(shed_ids) + len(rejected_ids)
-        if settled != len(ordered):
-            raise RuntimeError(
-                f"{len(ordered) - settled} requests never completed (deadlock?)"
+        def finish() -> ServingResult:
+            env.run()
+            settled = len(served) + len(shed_ids) + len(rejected_ids)
+            if settled != len(ordered):
+                raise RuntimeError(
+                    f"{len(ordered) - settled} requests never completed (deadlock?)"
+                )
+            served.sort(key=lambda record: record.request.request_id)
+            makespan = max((record.completed_s for record in served), default=0.0)
+            energy_by_device = cluster_energy_j(
+                self.cluster, runtime.busy, (0.0, makespan)
             )
-        served.sort(key=lambda record: record.request.request_id)
-        makespan = max((record.completed_s for record in served), default=0.0)
-        energy_by_device = cluster_energy_j(self.cluster, runtime.busy, (0.0, makespan))
-        return ServingResult(
-            strategy=self.strategy.name,
-            served=served,
-            makespan_s=makespan,
-            energy_j=sum(energy_by_device.values()),
-            energy_by_device=energy_by_device,
-            network_bytes=runtime.transfer_log.total_bytes,
-            total_flops=runtime.flops_log.total_flops,
-            busy=runtime.busy,
-            batches=counters["batches"],
-            replans=counters["replans"],
-            max_batch_observed=counters["max_batch"],
-            shards=self.num_shards,
-            steals=counters["steals"],
-            preemptions=counters["preemptions"],
-            leader_devices=tuple(leaders),
-            admitted_by_shard=tuple(admitted),
-            dispatched_by_shard=tuple(dispatched),
-            stolen_in_by_shard=tuple(stolen_in),
-            stolen_out_by_shard=tuple(stolen_out),
-            planning_charged_s=counters["planning_s"],
-            sim_events=env.scheduled_events,
-            failures=fault_trace.failures if fault_trace is not None else 0,
-            retries=fault_trace.retries if fault_trace is not None else 0,
-            shed=len(shed_ids),
-            downgraded=fault_trace.downgraded if fault_trace is not None else 0,
-            fault_events=injector.applied if injector is not None else 0,
-            readmitted_by_shard=tuple(readmitted),
-            shed_requests=(
-                tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
-            ),
-            faults=fault_trace,
-            router=router.name,
-            epochs=stats.epochs,
-            spilled=stats.spilled,
-            cold_routed=stats.cold,
-            leader_reelections=stats.reelections,
-            routing=stats,
-            rejected=len(rejected_ids),
-            rejected_requests=(
-                tuple(sorted(rejected_ids)) if self.trace_level == TRACE_FULL else ()
-            ),
-            control=controller.trace if controller is not None else None,
-        )
+            return build_result(makespan, energy_by_device)
+
+        def build_result(makespan, energy_by_device) -> ServingResult:
+            return ServingResult(
+                strategy=self.strategy.name,
+                served=served,
+                makespan_s=makespan,
+                energy_j=sum(energy_by_device.values()),
+                energy_by_device=energy_by_device,
+                network_bytes=runtime.transfer_log.total_bytes,
+                total_flops=runtime.flops_log.total_flops,
+                busy=runtime.busy,
+                batches=counters["batches"],
+                replans=counters["replans"],
+                max_batch_observed=counters["max_batch"],
+                shards=self.num_shards,
+                steals=counters["steals"],
+                preemptions=counters["preemptions"],
+                leader_devices=tuple(leaders),
+                admitted_by_shard=tuple(admitted),
+                dispatched_by_shard=tuple(dispatched),
+                stolen_in_by_shard=tuple(stolen_in),
+                stolen_out_by_shard=tuple(stolen_out),
+                planning_charged_s=counters["planning_s"],
+                sim_events=env.scheduled_events,
+                failures=fault_trace.failures if fault_trace is not None else 0,
+                retries=fault_trace.retries if fault_trace is not None else 0,
+                shed=len(shed_ids),
+                downgraded=fault_trace.downgraded if fault_trace is not None else 0,
+                fault_events=injector.applied if injector is not None else 0,
+                readmitted_by_shard=tuple(readmitted),
+                shed_requests=(
+                    tuple(sorted(shed_ids)) if self.trace_level == TRACE_FULL else ()
+                ),
+                faults=fault_trace,
+                router=router.name,
+                epochs=stats.epochs,
+                spilled=stats.spilled,
+                cold_routed=stats.cold,
+                leader_reelections=stats.reelections,
+                routing=stats,
+                rejected=len(rejected_ids),
+                rejected_requests=(
+                    tuple(sorted(rejected_ids)) if self.trace_level == TRACE_FULL else ()
+                ),
+                control=controller.trace if controller is not None else None,
+            )
+
+        if checkpoint_at_s is not None:
+            # Pause: drain the exact event prefix up to the requested
+            # time, capture the state, and hand control back.  finish()
+            # later continues from the same heap, so the pause never
+            # perturbs the schedule.
+            env.run(until=checkpoint_at_s)
+            return RunCheckpoint(
+                runtime=runtime,
+                snapshot=runtime.snapshot(),
+                finish=finish,
+                served_count=len(served),
+                segments=dict(segments),
+            )
+        return finish()

@@ -10,26 +10,44 @@ Only the features the HiDP framework needs are implemented: timeouts,
 processes, all-of conditions, FIFO resources and stores.  No interrupt
 machinery, no real-time pacing.
 
-The engine ships in two schedule-identical forms, selected per
+Both engine forms share one pending-set representation -- a heap of
+``(time, seq, event)`` tuples -- so every schedule site is
+branch-free and ``pending_events``/``scheduled_events`` are exact by
+construction.  What differs is the *drain*, selected per
 :class:`Environment` by :func:`repro.fastpath.sim_fastpath_enabled`
 (``REPRO_SIM_FASTPATH=0`` forces the reference form):
 
-- The **fast path** cuts per-event allocation and dispatch cost: a
-  process bootstraps by scheduling *itself* (no bootstrap ``Event``),
-  late ``add_callback`` subscriptions schedule a slim :class:`_LateCall`
-  instead of a proxy ``Event``, callback lists are allocated lazily,
-  ``Timeout`` construction is flattened, and :meth:`Environment.run`
-  binds the heap operations locally.
-- The **reference path** is the seed implementation, kept as the
-  executable specification.  Every heap entry of the fast path occupies
-  exactly the same ``(time, sequence)`` slot as its reference
-  counterpart, so the two paths produce identical event schedules --
-  pinned by ``tests/sim/test_engine_fastpath.py``.
+- The **fast path** batch-pops every simultaneous-time entry under a
+  single clock store and routes each through a type-specialised arm:
+  timeouts, resource grants and plain events are retired inline --
+  when the sole subscriber is a waiting :class:`Process` its generator
+  is resumed *directly*, skipping the ``_process`` -> callback ->
+  ``_resume`` frame chain -- late calls invoke their stored callback,
+  and everything else (process bootstraps/completions, conditions)
+  falls back to generic ``_process()`` dispatch.  Processes bootstrap
+  by scheduling themselves (no bootstrap ``Event``) and subscribe to
+  events as bare callables, so the hottest wait-resume cycle allocates
+  nothing beyond the event and its heap entry.
+- The **reference path** is the seed implementation -- one ``heappop``
+  + ``_process()`` per event -- kept as the executable specification.
+  Every fast-path entry occupies exactly the same ``(time, sequence)``
+  slot as its reference counterpart, so the two paths produce
+  identical event schedules -- pinned by
+  ``tests/sim/test_engine_fastpath.py`` and the cross-hatch matrix.
+
+:meth:`Environment.snapshot` exports the pending set as parallel
+arrays (numpy times/seqs plus the aligned event list, mirroring the
+DP-kernel array style) and :meth:`Environment.restore` rebuilds the
+heap from them -- the run-checkpoint machinery in ``repro.serving``
+builds on this pair.  (The *live* heap stays a C-heapq tuple heap
+rather than a numpy structure: a Python-level array heap pays
+interpreter cost per sift where ``heapq`` pays none, and loses.)
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
+from math import isfinite
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.fastpath import sim_fastpath_enabled
@@ -37,6 +55,41 @@ from repro.fastpath import sim_fastpath_enabled
 
 class SimulationError(RuntimeError):
     """Raised for illegal engine usage (double triggers, deadlocks...)."""
+
+
+class ProcessCrashed(SimulationError):
+    """An exception escaped a process generator during the event loop.
+
+    Chains the original exception (``__cause__``) and carries the crash
+    context the bare traceback loses: the simulated time and the
+    :class:`Process` whose generator raised.  The environment itself
+    stays consistent -- the crashing event was popped before its
+    callbacks ran, so a subsequent :meth:`Environment.run` continues
+    with the remaining schedule intact.
+    """
+
+    def __init__(self, process: "Process", sim_time: float, cause: BaseException):
+        name = getattr(process._generator, "__name__", "<generator>")
+        super().__init__(
+            f"process {name!r} crashed at t={sim_time!r}s: {cause!r}"
+        )
+        self.process = process
+        self.sim_time = sim_time
+
+
+#: Resource-grant classes registered by ``repro.sim.resources`` for the
+#: batch-drain loop's typed dispatch.  A grant is processed exactly like
+#: a plain ``Event`` (no ``_process`` override), so the inline arm may
+#: absorb it; anything unregistered falls back to ``_process()``.
+_GRANT_CLASS: Any = None
+_PRIORITY_GRANT_CLASS: Any = None
+
+
+def register_grant_classes(grant: type, priority_grant: type) -> None:
+    """Let the drain loop inline resource grants (called by resources)."""
+    global _GRANT_CLASS, _PRIORITY_GRANT_CLASS
+    _GRANT_CLASS = grant
+    _PRIORITY_GRANT_CLASS = priority_grant
 
 
 class Event:
@@ -47,7 +100,10 @@ class Event:
     subscriber, the overwhelmingly common case: the process waiting on
     this event), or a list of callables.  The compact single-subscriber
     form avoids a one-element list allocation per event on the hot
-    path; :meth:`add_callback` upgrades it transparently.
+    path; :meth:`add_callback` upgrades it transparently.  A waiting
+    :class:`Process` subscribes as *itself* (processes are callable),
+    which is what lets the batch-drain loop resume its generator
+    without any intermediate frames.
     """
 
     __slots__ = ("env", "callbacks", "_triggered", "_processed", "_value")
@@ -161,14 +217,24 @@ class _LateCall:
         self._callback(self)
 
 
+#: Upper bound used by the fused delay guard: ``0.0 <= delay < _INF``
+#: is ``math.isfinite(delay) and delay >= 0`` in one chained comparison
+#: (NaN fails both bounds -- a NaN heap key would silently corrupt the
+#: ordering of every later event), keeping the validation off the hot
+#: path's function-call budget.
+_INF = float("inf")
+
+
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout: {delay}")
+        if not (0.0 <= delay < _INF):
+            if isfinite(delay) and delay < 0:
+                raise SimulationError(f"negative timeout: {delay}")
+            raise SimulationError(f"non-finite timeout: {delay!r}")
         # Flattened Event.__init__ + schedule: a Timeout is born
         # triggered and goes straight onto the heap.
         self.env = env
@@ -182,7 +248,15 @@ class Timeout(Event):
 
 
 class Process(Event):
-    """Wraps a generator; the process event triggers when it returns."""
+    """Wraps a generator; the process event triggers when it returns.
+
+    A process is *callable* (calling it resumes its generator with the
+    completed event's value), so it sits directly in an event's
+    ``callbacks`` slot with no bound-method allocation -- and the
+    batch-drain loop recognises the class and resumes the generator
+    inline, skipping the ``_process`` -> callback -> ``_resume`` frame
+    chain entirely.
+    """
 
     __slots__ = ("_generator", "_started")
 
@@ -219,13 +293,19 @@ class Process(Event):
             target = self._generator.send(completed._value)
         except StopIteration as stop:
             if self._triggered:
-                raise SimulationError("process event already triggered")
+                raise SimulationError("process event already triggered") from None
             self._triggered = True
             self._value = stop.value
             env = self.env
             heappush(env._queue, (env.now, env._seq, self))
             env._seq += 1
             return
+        except Exception as exc:
+            # The generator body raised: surface it as an engine error
+            # carrying the simulated time and the process, with the
+            # original exception chained.  The event that resumed us was
+            # already popped, so the environment stays runnable.
+            raise ProcessCrashed(self, self.env.now, exc) from exc
         try:
             processed = target._processed
         except AttributeError:
@@ -233,18 +313,22 @@ class Process(Event):
                 f"process yielded {type(target).__name__}, expected an Event"
             ) from None
         if processed:
-            target.add_callback(self._resume)
+            target.add_callback(self)
         else:
             # Event.add_callback's not-yet-processed branch, inlined
             # (the hottest subscription site) -- keep the storage scheme
             # (None / bare callable / list) in sync with add_callback.
             callbacks = target.callbacks
             if callbacks is None:
-                target.callbacks = self._resume
+                target.callbacks = self
             elif callbacks.__class__ is list:
-                callbacks.append(self._resume)
+                callbacks.append(self)
             else:
-                target.callbacks = [callbacks, self._resume]
+                target.callbacks = [callbacks, self]
+
+    #: Calling a process resumes it -- this is what lets a Process
+    #: object *be* the callback entry for the event it waits on.
+    __call__ = _resume
 
 
 class AllOf(Event):
@@ -280,6 +364,33 @@ class AllOf(Event):
             self.succeed([c._value for c in self._children])
 
 
+class EngineSnapshot:
+    """A point-in-time capture of an :class:`Environment`'s pending set.
+
+    The pending events live in **parallel arrays** -- ``times``
+    (float64) and ``seqs`` (int64) numpy arrays plus the aligned
+    ``events`` list, in exact schedule order -- alongside the clock,
+    the sequence counter and the processed-event count the restore
+    validation needs.  Event objects are held by reference: a snapshot
+    is valid to restore for as long as no captured generator frame has
+    advanced, i.e. until the environment processes another event.
+    """
+
+    __slots__ = ("now", "seq", "processed", "times", "seqs", "events")
+
+    def __init__(self, now, seq, processed, times, seqs, events):
+        self.now = now
+        self.seq = seq
+        self.processed = processed
+        self.times = times
+        self.seqs = seqs
+        self.events = events
+
+    @property
+    def pending(self) -> int:
+        return len(self.events)
+
+
 class Environment:
     """The event loop: a priority queue over (time, sequence)."""
 
@@ -309,25 +420,10 @@ class Environment:
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events until the queue drains or ``until`` is reached."""
+        if until is not None and not isfinite(until):
+            raise SimulationError(f"non-finite run horizon: {until!r}")
         if self._fast:
-            queue = self._queue
-            pop = heappop
-            if until is None:
-                while queue:
-                    time, _, event = pop(queue)
-                    self.now = time
-                    event._process()
-                return
-            while queue:
-                time = queue[0][0]
-                if time > until:
-                    self.now = until
-                    return
-                _, _, event = pop(queue)
-                self.now = time
-                event._process()
-            if self.now < until:
-                self.now = until
+            self._drain(until)
             return
         # Reference loop (seed behaviour, kept as the executable spec).
         while self._queue:
@@ -341,6 +437,146 @@ class Environment:
         if until is not None:
             self.now = max(self.now, until)
 
+    def _drain(self, until: Optional[float]) -> None:
+        """The batch-drain loop: pop a timestamp, retire its whole batch.
+
+        The outer loop reads each distinct time once (one clock store,
+        one ``until`` comparison per *batch*); the inner loop pops every
+        entry at that time -- including same-time entries scheduled
+        mid-batch, which the peek picks up in their exact sequence slots
+        -- and dispatches it through a type-specialised arm instead of
+        generic ``_process()``.  The inline arms mirror
+        ``Event._process`` / ``Process._resume`` exactly; keep them in
+        sync.
+        """
+        queue = self._queue
+        pop = heappop
+        timeout_cls = Timeout
+        event_cls = Event
+        grant_cls = _GRANT_CLASS
+        priority_grant_cls = _PRIORITY_GRANT_CLASS
+        process_cls = Process
+        allof_cls = AllOf
+        late_cls = _LateCall
+        list_cls = list
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            self.now = time
+            while True:
+                event = pop(queue)[2]
+                cls = event.__class__
+                # Every engine class whose processing is exactly
+                # ``Event._process`` (a *started* Process completes like
+                # a plain event) takes the inline arm, ordered by
+                # observed frequency; anything else -- an unstarted
+                # Process bootstrap, a late call, or an out-of-tree
+                # Event subclass -- falls through below.
+                if (
+                    cls is timeout_cls
+                    or (cls is process_cls and event._started)
+                    or cls is grant_cls
+                    or cls is event_cls
+                    or cls is priority_grant_cls
+                    or cls is allof_cls
+                ):
+                    event._processed = True
+                    callback = event.callbacks
+                    if callback is not None:
+                        event.callbacks = None
+                        if callback.__class__ is process_cls:
+                            # Resume the waiting process inline.
+                            try:
+                                target = callback._generator.send(event._value)
+                            except StopIteration as stop:
+                                if callback._triggered:
+                                    raise SimulationError(
+                                        "process event already triggered"
+                                    ) from None
+                                callback._triggered = True
+                                callback._value = stop.value
+                                heappush(queue, (time, self._seq, callback))
+                                self._seq += 1
+                            except Exception as exc:
+                                raise ProcessCrashed(
+                                    callback, time, exc
+                                ) from exc
+                            else:
+                                try:
+                                    processed = target._processed
+                                except AttributeError:
+                                    raise SimulationError(
+                                        f"process yielded"
+                                        f" {type(target).__name__},"
+                                        " expected an Event"
+                                    ) from None
+                                if processed:
+                                    target.add_callback(callback)
+                                else:
+                                    subscribers = target.callbacks
+                                    if subscribers is None:
+                                        target.callbacks = callback
+                                    elif subscribers.__class__ is list_cls:
+                                        subscribers.append(callback)
+                                    else:
+                                        target.callbacks = [
+                                            subscribers,
+                                            callback,
+                                        ]
+                        elif callback.__class__ is list_cls:
+                            for entry in callback:
+                                entry(event)
+                        else:
+                            callback(event)
+                elif cls is process_cls:
+                    # Bootstrap: first resume of a fresh process
+                    # (``send(None)``) -- the duplicate of the inline
+                    # resume above, with the process itself as target.
+                    event._started = True
+                    try:
+                        target = event._generator.send(None)
+                    except StopIteration as stop:
+                        if event._triggered:
+                            raise SimulationError(
+                                "process event already triggered"
+                            ) from None
+                        event._triggered = True
+                        event._value = stop.value
+                        heappush(queue, (time, self._seq, event))
+                        self._seq += 1
+                    except Exception as exc:
+                        raise ProcessCrashed(event, time, exc) from exc
+                    else:
+                        try:
+                            processed = target._processed
+                        except AttributeError:
+                            raise SimulationError(
+                                f"process yielded"
+                                f" {type(target).__name__},"
+                                " expected an Event"
+                            ) from None
+                        if processed:
+                            target.add_callback(event)
+                        else:
+                            subscribers = target.callbacks
+                            if subscribers is None:
+                                target.callbacks = event
+                            elif subscribers.__class__ is list_cls:
+                                subscribers.append(event)
+                            else:
+                                target.callbacks = [subscribers, event]
+                elif cls is late_cls:
+                    event._processed = True
+                    event._callback(event)
+                else:
+                    event._process()
+                if not queue or queue[0][0] != time:
+                    break
+        if until is not None and self.now < until:
+            self.now = until
+
     def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
         """Convenience: drive one process to completion, return its value."""
         process = self.process(generator)
@@ -348,6 +584,52 @@ class Environment:
         if not process.triggered:
             raise SimulationError("process deadlocked: event queue drained early")
         return process.value
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the clock, sequence counter and pending set.
+
+        The pending events are exported as parallel arrays in exact
+        ``(time, seq)`` schedule order.  Everything is held by
+        reference -- see :class:`EngineSnapshot` for the validity
+        window.
+        """
+        import numpy as np
+
+        entries = sorted(self._queue)
+        return EngineSnapshot(
+            now=self.now,
+            seq=self._seq,
+            processed=self._seq - len(self._queue),
+            times=np.array([entry[0] for entry in entries], dtype=np.float64),
+            seqs=np.array([entry[1] for entry in entries], dtype=np.int64),
+            events=[entry[2] for entry in entries],
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Rewind the pending set to a snapshot taken on this run.
+
+        Valid only while no event has been processed since the capture
+        (processing advances generator frames, which no snapshot can
+        rewind); events merely *scheduled* since are discarded along
+        with their sequence numbers, so the restored schedule continues
+        byte-identically to one that never scheduled them.
+        """
+        processed = self._seq - len(self._queue)
+        if processed != snapshot.processed:
+            raise SimulationError(
+                f"cannot restore: {processed - snapshot.processed} events were"
+                " processed since the snapshot (generator frames advanced)"
+            )
+        queue = [
+            (time, seq, event)
+            for time, seq, event in zip(
+                snapshot.times.tolist(), snapshot.seqs.tolist(), snapshot.events
+            )
+        ]
+        heapify(queue)
+        self._queue = queue
+        self.now = snapshot.now
+        self._seq = snapshot.seq
 
     @property
     def pending_events(self) -> int:

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional, Tuple
 
-from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.engine import (
+    Environment,
+    Event,
+    SimulationError,
+    register_grant_classes,
+)
 
 
 class Request(Event):
@@ -60,7 +66,13 @@ class Resource:
         req = Request(self.env, self)
         if len(self._users) < self.capacity:
             self._users.append(req)
-            req.succeed()
+            # Inline Event.succeed: a fresh request is never triggered,
+            # so the guard is statically dead (grants are the hottest
+            # schedule site after timeouts; keep in sync with succeed).
+            env = self.env
+            req._triggered = True
+            heappush(env._queue, (env.now, env._seq, req))
+            env._seq += 1
         else:
             self._waiting.append(req)
         return req
@@ -79,7 +91,11 @@ class Resource:
         if self._waiting and len(users) < self.capacity:
             nxt = self._waiting.popleft()
             users.append(nxt)
-            nxt.succeed()
+            # Inline Event.succeed (see request()).
+            env = self.env
+            nxt._triggered = True
+            heappush(env._queue, (env.now, env._seq, nxt))
+            env._seq += 1
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the slot count at simulation time.
@@ -265,6 +281,11 @@ class PriorityResource:
             nxt = self._pop_next()
             self._users.append(nxt)
             nxt.succeed()
+
+
+# Grants have no ``_process`` override, so the batch-drain loop may
+# absorb them into its inline plain-event arm (see engine._drain).
+register_grant_classes(Request, PriorityRequest)
 
 
 class Store:

@@ -28,7 +28,7 @@ from repro.platform.cluster import Cluster
 from repro.platform.device import Device
 from repro.platform.power import DVFSThrottle
 from repro.platform.processor import Processor
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Timeout
 from repro.sim.resources import Resource
 from repro.sim.trace import (
     TRACE_FULL,
@@ -114,7 +114,7 @@ class ProcessorStation:
             raise
         start = env.now
         try:
-            yield env.timeout(duration)
+            yield Timeout(env, duration)
         finally:
             end = env.now
             self._busy.record(self.key, start, end, label)
@@ -165,7 +165,7 @@ class ProcessorStation:
             raise
         start = env.now
         try:
-            yield env.timeout(duration)
+            yield Timeout(env, duration)
         finally:
             end = env.now
             self._busy.record(self.key, start, end, label)
@@ -262,12 +262,35 @@ class NetworkChannel:
         # propagation latency elapses after the channel is free.
         serialisation = size_bytes / self._bandwidth_bytes_s
         try:
-            yield env.timeout(serialisation)
+            yield Timeout(env, serialisation)
         finally:
             self._resource.release(request)
         hold_end = env.now
-        yield env.timeout(self._latency_s)
+        yield Timeout(env, self._latency_s)
         self._log.record(start, env.now, size_bytes, src, dst, tag, hold_end=hold_end)
+
+
+class RuntimeSnapshot:
+    """A paused run's engine state plus the runtime-side cache keys.
+
+    Wraps the engine's :class:`~repro.sim.engine.EngineSnapshot` and the
+    load-snapshot version counter; valid under the same window (nothing
+    processed since capture).  Produced by :meth:`SimRuntime.snapshot`.
+    """
+
+    __slots__ = ("engine", "load_version")
+
+    def __init__(self, engine, load_version: int):
+        self.engine = engine
+        self.load_version = load_version
+
+    @property
+    def sim_time(self) -> float:
+        return self.engine.now
+
+    @property
+    def pending_events(self) -> int:
+        return self.engine.pending
 
 
 class SimRuntime:
@@ -387,6 +410,32 @@ class SimRuntime:
             device.name: self.device_backlog(device.name, view=view)
             for device in self.cluster.devices
         }
+
+    def snapshot(self) -> RuntimeSnapshot:
+        """Capture the paused run: engine state + runtime cache keys.
+
+        Station backlogs, trace aggregates and channel state live in
+        objects referenced by the pending generator frames, so the
+        in-memory checkpoint holds them by reference -- the snapshot is
+        a consistency *witness* (heap, clock, sequence counter), not a
+        serialised copy.  Valid while no event has been processed since
+        capture; see :meth:`Environment.snapshot`.
+        """
+        return RuntimeSnapshot(
+            engine=self.env.snapshot(), load_version=self._load_version
+        )
+
+    def restore(self, snapshot: RuntimeSnapshot) -> None:
+        """Rewind to a snapshot taken on this runtime.
+
+        Delegates the heap/clock/counter rewind to the engine (which
+        validates nothing was processed since capture) and drops the
+        load-snapshot memo -- its key includes the clock, which may
+        alias after a rewind over scheduled-then-discarded events.
+        """
+        self.env.restore(snapshot.engine)
+        self._load_version = snapshot.load_version
+        self._snapshot_cache = None
 
     @property
     def now(self) -> float:

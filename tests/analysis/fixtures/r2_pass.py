@@ -36,3 +36,18 @@ def memo_guard(cache, key, values):
     if fastpath_enabled():
         cache[key] = result
     return result
+
+
+def _reference_flow(values):
+    for value in values:
+        yield value * 2
+
+
+def priced_inverted_delegation(values):
+    # The ISSUE 10 executor shape: the *reference* arm is an early
+    # ``yield from`` delegation behind the inverted gate, and the fast
+    # body is the fall-through -- both arms alive, so R2 must pass it.
+    if not fastpath_enabled():
+        yield from _reference_flow(values)
+        return
+    yield from (value * 2 for value in values)

@@ -48,6 +48,7 @@ import itertools
 import pytest
 
 from repro.dnn.models import MODEL_NAMES
+from repro.metrics.serving import result_fingerprint
 from repro.platform.cluster import build_cluster
 from repro.serving import (
     LEADERS_DISTRIBUTED,
@@ -395,6 +396,118 @@ def test_router_dimension_has_teeth():
         "affinity",
         "clustered",
     }
+
+
+#: Leader-policy corners for the checkpoint/resume dimension (ISSUE
+#: 10): shared, distributed and the full epoch stack (clustered router
+#: + re-election), each of which moves generator frames across plan
+#: segments differently.
+CHECKPOINT_CORNERS = (
+    ("shared", LEADERS_SHARED, "hash", 0.0),
+    ("distributed", LEADERS_DISTRIBUTED, "hash", 0.0),
+    ("epoch", LEADERS_EPOCH, "clustered", 0.5),
+)
+
+
+@pytest.mark.parametrize(
+    "name,leader_policy,router,epoch_s",
+    CHECKPOINT_CORNERS,
+    ids=[c[0] for c in CHECKPOINT_CORNERS],
+)
+def test_checkpoint_resume_hatch_grid_byte_identical(
+    monkeypatch, name, leader_policy, router, epoch_s
+):
+    """ISSUE 10 satellite: snapshot a seeded stream mid-run, resume,
+    and the resumed ``ServingResult`` digests byte-identical to the
+    uninterrupted run in every hatch corner of every leader policy."""
+    requests = _stream()
+
+    def scheduler():
+        return ShardedScheduler(
+            cluster=_cluster(),
+            num_shards=2,
+            max_inflight=3,
+            planning_overhead=PLANNING_BUCKET,
+            leader_policy=leader_policy,
+            router=router,
+            epoch_s=epoch_s,
+        )
+
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+    plain = scheduler().run(requests)
+    reference = result_fingerprint(plain)
+    pause_at = plain.makespan_s / 2
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        checkpoint = scheduler().run(requests, checkpoint_at_s=pause_at)
+        assert checkpoint.sim_time == pause_at
+        assert 0 < checkpoint.served_count < len(requests)
+        assert checkpoint.pending_events > 0
+        resumed = checkpoint.resume()
+        assert result_fingerprint(resumed) == reference, (
+            f"{name}: checkpoint/resume forked the schedule in hatch "
+            f"(sim={sim_fast}, dse={dse_fast}, trace={trace_level})"
+        )
+
+
+@pytest.mark.parametrize("scheduler", ("sharded", "online"))
+def test_checkpoint_resume_faults_armed_byte_identical(monkeypatch, scheduler):
+    """The faults-armed corner: pausing mid-churn -- retries queued,
+    devices down, recovery in flight -- must still resume to the exact
+    uninterrupted schedule in every hatch corner."""
+    requests = _fault_stream()
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_DSE_FASTPATH", "1")
+    plain = _run_scheduler(scheduler, requests, faults=CHURN_FAULTS, retry=CHURN_RETRY)
+    assert plain.fault_events > 0  # the corner only guards armed runs
+    reference = result_fingerprint(plain)
+    pause_at = plain.makespan_s / 2
+    kwargs = {"cluster": _cluster(), "max_inflight": 3}
+    for sim_fast, dse_fast, trace_level in HATCH_GRID:
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", sim_fast)
+        monkeypatch.setenv("REPRO_DSE_FASTPATH", dse_fast)
+        if scheduler == "online":
+            tier = OnlineScheduler(
+                trace_level=trace_level,
+                faults=CHURN_FAULTS,
+                retry=CHURN_RETRY,
+                **kwargs,
+            )
+        else:
+            tier = ShardedScheduler(
+                num_shards=2,
+                planning_overhead=PLANNING_BUCKET,
+                leader_policy=LEADERS_SHARED,
+                trace_level=trace_level,
+                faults=CHURN_FAULTS,
+                retry=CHURN_RETRY,
+                **kwargs,
+            )
+        resumed = tier.run(requests, checkpoint_at_s=pause_at).resume()
+        assert result_fingerprint(resumed) == reference, (
+            f"{scheduler}: faults-armed checkpoint/resume forked the "
+            f"schedule in hatch (sim={sim_fast}, dse={dse_fast}, "
+            f"trace={trace_level})"
+        )
+
+
+def test_checkpoint_records_segment_progress():
+    """The pause handle is a consistency cut: it reports the simulated
+    pause time, the prefix's served count, the live heap size and how
+    many plan-segment boundaries each in-flight execution had crossed."""
+    requests = _stream()
+    plain = ShardedScheduler(
+        cluster=_cluster(), num_shards=2, max_inflight=3
+    ).run(requests)
+    checkpoint = ShardedScheduler(
+        cluster=_cluster(), num_shards=2, max_inflight=3
+    ).run(requests, checkpoint_at_s=plain.makespan_s / 2)
+    assert checkpoint.segments  # dispatched requests crossed boundaries
+    assert all(count > 0 for count in checkpoint.segments.values())
+    resumed = checkpoint.resume()
+    assert result_fingerprint(resumed) == result_fingerprint(plain)
 
 
 #: An *active* control policy for the control dimension: a tight SLO
